@@ -1,0 +1,156 @@
+//! Plain trace-driven measurement: the inner loop of every sweep in
+//! Figures 2–4.
+
+use bpred_core::Predictor;
+use bpred_trace::Trace;
+
+/// The outcome of driving one predictor over one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunResult {
+    /// Conditional branches simulated.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredictions: u64,
+}
+
+impl RunResult {
+    /// Misprediction rate in `[0, 1]`; 0 for an empty run.
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Misprediction rate in percent, as the paper's figures report.
+    #[must_use]
+    pub fn misprediction_percent(&self) -> f64 {
+        100.0 * self.misprediction_rate()
+    }
+}
+
+/// Drives `predictor` over the conditional branches of `trace` in
+/// program order (predict, then update with the architectural outcome),
+/// exactly the paper's trace-driven methodology.
+pub fn measure<P: Predictor + ?Sized>(trace: &Trace, predictor: &mut P) -> RunResult {
+    let mut result = RunResult::default();
+    for record in trace.conditional() {
+        result.branches += 1;
+        let predicted = predictor.predict_with_target(record.pc, record.target);
+        result.mispredictions += u64::from(predicted != record.taken);
+        predictor.update(record.pc, record.taken);
+    }
+    result
+}
+
+/// Like [`measure`], but resets the predictor to its power-on state
+/// every `flush_interval` conditional branches — a simple model of
+/// predictor-state loss across context switches, relevant to the IBS
+/// traces which interleave kernel and user activity.
+///
+/// # Panics
+///
+/// Panics if `flush_interval` is zero.
+pub fn measure_with_flushes<P: Predictor + ?Sized>(
+    trace: &Trace,
+    predictor: &mut P,
+    flush_interval: u64,
+) -> RunResult {
+    assert!(flush_interval > 0, "flush interval must be positive");
+    let mut result = RunResult::default();
+    for record in trace.conditional() {
+        if result.branches > 0 && result.branches.is_multiple_of(flush_interval) {
+            predictor.reset();
+        }
+        result.branches += 1;
+        let predicted = predictor.predict_with_target(record.pc, record.target);
+        result.mispredictions += u64::from(predicted != record.taken);
+        predictor.update(record.pc, record.taken);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_core::{AlwaysTaken, Bimodal};
+    use bpred_trace::BranchRecord;
+
+    fn trace_of(outcomes: &[bool]) -> Trace {
+        outcomes.iter().map(|&t| BranchRecord::conditional(0x40, 0x80, t)).collect()
+    }
+
+    #[test]
+    fn always_taken_scores_the_taken_rate() {
+        let t = trace_of(&[true, true, false, true]);
+        let r = measure(&t, &mut AlwaysTaken);
+        assert_eq!(r.branches, 4);
+        assert_eq!(r.mispredictions, 1);
+        assert!((r.misprediction_rate() - 0.25).abs() < 1e-12);
+        assert!((r.misprediction_percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodal_warms_up_then_tracks() {
+        // All-taken stream: weakly-taken init predicts correctly from
+        // the start.
+        let t = trace_of(&[true; 100]);
+        let r = measure(&t, &mut Bimodal::new(4));
+        assert_eq!(r.mispredictions, 0);
+        // All-not-taken: one miss while the counter swings.
+        let t = trace_of(&[false; 100]);
+        let r = measure(&t, &mut Bimodal::new(4));
+        assert_eq!(r.mispredictions, 1);
+    }
+
+    #[test]
+    fn unconditional_branches_are_not_measured() {
+        let mut t = trace_of(&[true, true]);
+        t.push(BranchRecord::unconditional(0x100, 0x200));
+        let r = measure(&t, &mut AlwaysTaken);
+        assert_eq!(r.branches, 2);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_rate() {
+        let r = measure(&Trace::new("e"), &mut AlwaysTaken);
+        assert_eq!(r.misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn flushes_reset_learned_state() {
+        use bpred_core::Gshare;
+        // A biased branch: without flushes nearly perfect; with a tiny
+        // flush interval, the warm-up cost recurs.
+        let t = trace_of(&[false; 1000]);
+        let plain = measure(&t, &mut Bimodal::new(4));
+        let flushed = measure_with_flushes(&t, &mut Bimodal::new(4), 10);
+        assert_eq!(plain.mispredictions, 1);
+        assert!(
+            flushed.mispredictions >= 90,
+            "each flush must cost a warm-up miss: {}",
+            flushed.mispredictions
+        );
+        // A huge interval is equivalent to no flushes at all.
+        let huge = measure_with_flushes(&t, &mut Gshare::new(6, 6), 1_000_000);
+        let plain_g = measure(&t, &mut Gshare::new(6, 6));
+        assert_eq!(huge, plain_g);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush interval")]
+    fn zero_flush_interval_is_rejected() {
+        let t = trace_of(&[true]);
+        let _ = measure_with_flushes(&t, &mut Bimodal::new(4), 0);
+    }
+
+    #[test]
+    fn works_through_dyn_predictor() {
+        let t = trace_of(&[true, false, true]);
+        let mut boxed: Box<dyn bpred_core::Predictor> = Box::new(AlwaysTaken);
+        let r = measure(&t, boxed.as_mut());
+        assert_eq!(r.mispredictions, 1);
+    }
+}

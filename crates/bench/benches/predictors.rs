@@ -1,0 +1,67 @@
+//! Predictor-throughput benchmarks: one per scheme, measuring the
+//! predict+update hot loop over a fixed synthetic branch stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bpred_analysis::measure;
+use bpred_core::PredictorSpec;
+use bpred_trace::{BranchRecord, Trace};
+
+/// A mixed-bias synthetic stream: biased loop branches, correlated
+/// branches, and weakly-biased noise over 200 static sites.
+fn synthetic_trace(len: usize) -> Trace {
+    let mut t = Trace::new("bench");
+    let mut x = 0x0123_4567_89AB_CDEFu64;
+    let mut last = false;
+    for i in 0..len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let site = (x >> 33) % 200;
+        let pc = 0x40_0000 + site * 4;
+        let taken = match site % 4 {
+            0 => true,                     // biased taken
+            1 => i % 10 != 0,              // loop-like
+            2 => last,                     // correlated
+            _ => (x >> 17) & 1 == 1,       // weakly biased
+        };
+        last = taken;
+        t.push(BranchRecord::conditional(pc, 0x40_0000, taken));
+    }
+    t
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let trace = synthetic_trace(100_000);
+    let mut group = c.benchmark_group("predict_update");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let specs = [
+        "bimodal:s=12",
+        "gshare:s=12,h=12",
+        "gshare:s=12,h=6",
+        "gselect:a=6,h=6",
+        "gag:h=12",
+        "pas:i=6,a=4,h=8",
+        "bimode:d=11",
+        "agree:s=12,h=12,b=11",
+        "gskew:s=11,h=11",
+        "yags:c=11,e=10,h=10,t=6",
+        "tournament:s=11",
+    ];
+    for spec_str in specs {
+        let spec: PredictorSpec = spec_str.parse().expect("valid spec");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec_str),
+            &spec,
+            |b, spec| {
+                b.iter_batched(
+                    || spec.build(),
+                    |mut p| measure(&trace, p.as_mut()),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

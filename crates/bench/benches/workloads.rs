@@ -1,0 +1,63 @@
+//! Workload trace-generation benchmarks: how fast each benchmark
+//! kernel produces its branch stream (at smoke scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bpred_workloads::{Scale, Workload};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    for name in ["compress", "gcc", "go", "xlisp", "vortex", "verilog", "mpeg_play"] {
+        let w = Workload::by_name(name).expect("registered workload");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| w.trace(Scale::Smoke));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isa_machine");
+    group.sample_size(10);
+    group.bench_function("sieve_20k", |b| {
+        b.iter(|| bpred_sim::kernels::sieve(20_000));
+    });
+    group.bench_function("bubble_sort_150", |b| {
+        b.iter(|| bpred_sim::kernels::bubble_sort(150));
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use bpred_trace::{read_binary, stream_binary, write_binary};
+    let trace = Workload::by_name("compress").expect("registered").trace(Scale::Smoke);
+    let mut encoded = Vec::new();
+    write_binary(&trace, &mut encoded).expect("encode");
+    let mut group = c.benchmark_group("trace_codec");
+    group.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    group.bench_function("write_binary", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            write_binary(&trace, &mut buf).expect("encode");
+            buf
+        });
+    });
+    group.bench_function("read_binary", |b| {
+        b.iter(|| read_binary(std::io::Cursor::new(&encoded)).expect("decode"));
+    });
+    group.bench_function("stream_binary", |b| {
+        b.iter(|| {
+            stream_binary(std::io::Cursor::new(&encoded))
+                .expect("header")
+                .fold(0usize, |n, r| {
+                    r.expect("record");
+                    n + 1
+                })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_sim_machine, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Hardware cost accounting in the paper's units.
+//!
+//! Section 3.3: "Cost is measured by counting the number of bytes used in
+//! the 2-bit counters." History registers and tags are excluded from this
+//! headline figure but reported separately, so the crate tracks both.
+
+use std::fmt;
+
+/// Hardware cost of a predictor, split the way the paper reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Bits of prediction-state storage (two-bit counters, and one-bit
+    /// state for schemes that use it). This is the paper's cost metric.
+    pub state_bits: u64,
+    /// Bits of everything else: history registers, tags, valid bits.
+    /// Excluded from the paper's byte counts.
+    pub metadata_bits: u64,
+}
+
+impl Cost {
+    /// Cost with only counter state.
+    #[must_use]
+    pub fn state(bits: u64) -> Self {
+        Self { state_bits: bits, metadata_bits: 0 }
+    }
+
+    /// The paper's headline figure: counter state in bytes.
+    #[must_use]
+    pub fn state_bytes(self) -> f64 {
+        self.state_bits as f64 / 8.0
+    }
+
+    /// Counter state in kilobytes (the x-axis of Figures 2-4).
+    #[must_use]
+    pub fn state_kib(self) -> f64 {
+        self.state_bits as f64 / 8192.0
+    }
+
+    /// Component-wise sum of two costs.
+    #[must_use]
+    pub fn plus(self, other: Cost) -> Cost {
+        Cost {
+            state_bits: self.state_bits + other.state_bits,
+            metadata_bits: self.metadata_bits + other.metadata_bits,
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} KB state (+{} bits metadata)", self.state_kib(), self.metadata_bits)
+    }
+}
+
+/// The predictor size ladder of Figures 2-4: 0.25 KB to 32 KB of two-bit
+/// counters, i.e. table index widths 10 through 17.
+///
+/// Returns `(index_bits, kib)` pairs; a gshare with `index_bits`-bit index
+/// costs exactly `kib` kilobytes.
+#[must_use]
+pub fn paper_size_ladder() -> Vec<(u32, f64)> {
+    (10..=17).map(|s| (s, 2f64.powi(s as i32) / 4096.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_bytes_and_kib() {
+        let c = Cost::state(2 * 1024); // 1K two-bit counters
+        assert_eq!(c.state_bytes(), 256.0);
+        assert_eq!(c.state_kib(), 0.25);
+    }
+
+    #[test]
+    fn plus_sums_componentwise() {
+        let a = Cost { state_bits: 10, metadata_bits: 3 };
+        let b = Cost { state_bits: 5, metadata_bits: 7 };
+        assert_eq!(a.plus(b), Cost { state_bits: 15, metadata_bits: 10 });
+    }
+
+    #[test]
+    fn ladder_spans_quarter_to_thirty_two_kib() {
+        let ladder = paper_size_ladder();
+        assert_eq!(ladder.first(), Some(&(10, 0.25)));
+        assert_eq!(ladder.last(), Some(&(17, 32.0)));
+        assert_eq!(ladder.len(), 8);
+    }
+
+    #[test]
+    fn display_mentions_kib() {
+        let c = Cost { state_bits: 8192, metadata_bits: 12 };
+        assert_eq!(c.to_string(), "1.000 KB state (+12 bits metadata)");
+    }
+}

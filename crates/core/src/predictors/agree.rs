@@ -1,0 +1,202 @@
+//! The agree predictor (\[Sprangle97\], cited in Section 2.1): PHT counters
+//! predict *agreement with a per-branch bias bit* instead of a direction,
+//! converting destructive aliasing between opposite-biased branches into
+//! harmless aliasing between agreeing ones.
+//!
+//! In hardware the bias bit lives in the BTB; here it is a direct-mapped
+//! one-bit table set on first encounter (a standard simulation
+//! idealisation, counted as predictor state plus a valid bit of
+//! metadata).
+
+use crate::cost::Cost;
+use crate::counter::Counter2;
+use crate::history::GlobalHistory;
+use crate::index::{gshare_index, low_bits, pc_word};
+use crate::predictor::{CounterId, Predictor};
+use crate::table::CounterTable;
+
+/// An agree predictor with a `2^table_bits` agreement PHT and a
+/// `2^bias_bits` bias-bit table.
+#[derive(Debug, Clone)]
+pub struct Agree {
+    pht: CounterTable,
+    bias: Vec<bool>,
+    seen: Vec<bool>,
+    history: GlobalHistory,
+    table_bits: u32,
+    history_bits: u32,
+    bias_bits: u32,
+}
+
+impl Agree {
+    /// Creates an agree predictor. The agreement PHT is initialised
+    /// weakly-agree; unseen branches are assumed biased taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits > 30`, `bias_bits > 30`, or
+    /// `history_bits > table_bits`.
+    #[must_use]
+    pub fn new(table_bits: u32, history_bits: u32, bias_bits: u32) -> Self {
+        assert!(
+            history_bits <= table_bits,
+            "agree history ({history_bits}) must not exceed PHT index bits ({table_bits})"
+        );
+        assert!(bias_bits <= 30, "bias table index must be <= 30 bits");
+        Self {
+            pht: CounterTable::new(table_bits, Counter2::WEAKLY_TAKEN),
+            bias: vec![true; 1usize << bias_bits],
+            seen: vec![false; 1usize << bias_bits],
+            history: GlobalHistory::new(history_bits),
+            table_bits,
+            history_bits,
+            bias_bits,
+        }
+    }
+
+    fn pht_index(&self, pc: u64) -> usize {
+        gshare_index(pc, self.history.value(), self.table_bits, self.history_bits)
+    }
+
+    fn bias_index(&self, pc: u64) -> usize {
+        low_bits(pc_word(pc), self.bias_bits) as usize
+    }
+
+    /// The bias bit currently assigned to the branch at `pc`.
+    #[must_use]
+    pub fn bias_bit(&self, pc: u64) -> bool {
+        self.bias[self.bias_index(pc)]
+    }
+}
+
+impl Predictor for Agree {
+    fn name(&self) -> String {
+        format!("agree(s={},h={},b={})", self.table_bits, self.history_bits, self.bias_bits)
+    }
+
+    fn predict(&self, pc: u64) -> bool {
+        let agree = self.pht.predict(self.pht_index(pc));
+        let bias = self.bias[self.bias_index(pc)];
+        if agree {
+            bias
+        } else {
+            !bias
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let bi = self.bias_index(pc);
+        if !self.seen[bi] {
+            // First encounter sets the bias, so this branch agrees with
+            // itself by construction.
+            self.seen[bi] = true;
+            self.bias[bi] = taken;
+        }
+        let agreed = taken == self.bias[bi];
+        let pi = self.pht_index(pc);
+        self.pht.update(pi, agreed);
+        self.history.push(taken);
+    }
+
+    fn cost(&self) -> Cost {
+        Cost {
+            // Agreement counters plus the bias bits are prediction state.
+            state_bits: self.pht.storage_bits() + self.bias.len() as u64,
+            // Valid bits and the history register are bookkeeping.
+            metadata_bits: self.seen.len() as u64 + u64::from(self.history_bits),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.pht.reset();
+        self.bias.iter_mut().for_each(|b| *b = true);
+        self.seen.iter_mut().for_each(|s| *s = false);
+        self.history.reset();
+    }
+
+    fn counter_id(&self, pc: u64) -> Option<CounterId> {
+        Some(self.pht_index(pc))
+    }
+
+    fn num_counters(&self) -> usize {
+        self.pht.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_outcome_sets_the_bias() {
+        let mut p = Agree::new(8, 8, 8);
+        p.update(0x1000, false);
+        assert!(!p.bias_bit(0x1000));
+        // Later flips do not move the bias bit.
+        p.update(0x1000, true);
+        assert!(!p.bias_bit(0x1000));
+    }
+
+    #[test]
+    fn opposite_biased_aliases_become_harmless() {
+        // Two branches colliding in the PHT with opposite biases: both
+        // "agree" with their own bias, so the shared counter saturates at
+        // agree and neither thrashes — the scheme's selling point.
+        let s = 4u32;
+        let mut p = Agree::new(s, 0, 10);
+        let a = 0x1000u64;
+        let b = a + (1u64 << (s + 2));
+        assert_eq!(p.pht_index(a), p.pht_index(b));
+        let mut late_miss = 0;
+        for i in 0..400 {
+            for (pc, t) in [(a, true), (b, false)] {
+                if i >= 100 && p.predict(pc) != t {
+                    late_miss += 1;
+                }
+                p.update(pc, t);
+            }
+        }
+        assert_eq!(late_miss, 0, "agree should neutralise the opposite-bias alias");
+    }
+
+    #[test]
+    fn still_tracks_history_deviations_from_bias() {
+        // A branch biased taken that goes not-taken whenever the last two
+        // outcomes were taken: the agreement PHT learns the exception
+        // pattern through history.
+        let mut p = Agree::new(10, 10, 8);
+        let pc = 0x2000;
+        let mut late_miss = 0;
+        let mut hist2 = (false, false);
+        for i in 0..2000 {
+            let taken = !(hist2.0 && hist2.1);
+            if i >= 500 && p.predict(pc) != taken {
+                late_miss += 1;
+            }
+            p.update(pc, taken);
+            hist2 = (hist2.1, taken);
+        }
+        assert!(late_miss <= 4, "agree lost the exception pattern ({late_miss})");
+    }
+
+    #[test]
+    fn unseen_branches_default_to_taken_bias() {
+        let p = Agree::new(6, 0, 6);
+        assert!(p.predict(0x1234 & !3));
+    }
+
+    #[test]
+    fn cost_accounts_bias_bits_as_state() {
+        let p = Agree::new(10, 8, 9);
+        assert_eq!(p.cost().state_bits, 2 * 1024 + 512);
+        assert_eq!(p.cost().metadata_bits, 512 + 8);
+    }
+
+    #[test]
+    fn reset_clears_bias_learning() {
+        let mut p = Agree::new(8, 4, 8);
+        p.update(0x1000, false);
+        p.reset();
+        assert!(p.bias_bit(0x1000), "bias must return to the unseen default");
+    }
+}

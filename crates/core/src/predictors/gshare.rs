@@ -1,0 +1,240 @@
+//! McFarling's gshare predictor (\[McFarling93\]): the paper's principal
+//! baseline.
+//!
+//! The global history is XOR-ed with low branch-address bits to index one
+//! table of two-bit counters. Following the paper (Section 3.1), the
+//! history length `m` and the table index width `s` are independent with
+//! `m <= s`; when `m < s` the top `s - m` index bits are pure address and
+//! the table behaves as `2^(s-m)` PHTs — the multi-PHT configurations the
+//! exhaustive `gshare.best` search ranges over. `m == s` is the
+//! single-PHT configuration (`gshare.1PHT`).
+
+use crate::cost::Cost;
+use crate::counter::Counter2;
+use crate::history::GlobalHistory;
+use crate::index::gshare_index;
+use crate::predictor::{CounterId, Predictor};
+use crate::table::CounterTable;
+
+/// A gshare predictor with a `2^s`-entry table and `m` history bits.
+///
+/// ```
+/// use bpred_core::{Gshare, Predictor};
+///
+/// // The paper's "history-indexed" exemplar: 8 address bits XOR 8
+/// // history bits into 256 counters.
+/// let mut p = Gshare::new(8, 8);
+/// assert_eq!(p.name(), "gshare(s=8,h=8)");
+/// let pc = 0x1000;
+/// for i in 0..64 { p.update(pc, i % 2 == 0); }
+/// assert!(p.predict(pc)); // alternation learned through global history
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: CounterTable,
+    history: GlobalHistory,
+    table_bits: u32,
+    history_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare with `2^table_bits` counters (initialised
+    /// weakly-taken, as in the paper's experiments) and `history_bits` of
+    /// global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits > 30` or `history_bits > table_bits`.
+    #[must_use]
+    pub fn new(table_bits: u32, history_bits: u32) -> Self {
+        assert!(
+            history_bits <= table_bits,
+            "gshare history ({history_bits}) must not exceed table index bits ({table_bits})"
+        );
+        Self {
+            table: CounterTable::new(table_bits, Counter2::WEAKLY_TAKEN),
+            history: GlobalHistory::new(history_bits),
+            table_bits,
+            history_bits,
+        }
+    }
+
+    /// The single-PHT configuration: history length equals index width.
+    #[must_use]
+    pub fn single_pht(table_bits: u32) -> Self {
+        Self::new(table_bits, table_bits)
+    }
+
+    /// log2 of the table size.
+    #[must_use]
+    pub fn table_bits(&self) -> u32 {
+        self.table_bits
+    }
+
+    /// Global history length in bits.
+    #[must_use]
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Number of PHTs in the Yeh–Patt view: `2^(s - m)`.
+    #[must_use]
+    pub fn num_phts(&self) -> usize {
+        1usize << (self.table_bits - self.history_bits)
+    }
+
+    /// The table index consulted for `pc` in the current state.
+    #[must_use]
+    pub fn index(&self, pc: u64) -> usize {
+        gshare_index(pc, self.history.value(), self.table_bits, self.history_bits)
+    }
+}
+
+impl Predictor for Gshare {
+    fn name(&self) -> String {
+        format!("gshare(s={},h={})", self.table_bits, self.history_bits)
+    }
+
+    fn predict(&self, pc: u64) -> bool {
+        self.table.predict(self.index(pc))
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table.update(idx, taken);
+        self.history.push(taken);
+    }
+
+    fn cost(&self) -> Cost {
+        Cost {
+            state_bits: self.table.storage_bits(),
+            metadata_bits: u64::from(self.history_bits),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.table.reset();
+        self.history.reset();
+    }
+
+    fn counter_id(&self, pc: u64) -> Option<CounterId> {
+        Some(self.index(pc))
+    }
+
+    fn num_counters(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_history_gshare_equals_bimodal() {
+        use crate::predictors::bimodal::Bimodal;
+        let mut g = Gshare::new(8, 0);
+        let mut b = Bimodal::new(8);
+        let pcs = [0x1000u64, 0x1010, 0x2044, 0x1000, 0x1010];
+        for (i, &pc) in pcs.iter().cycle().take(200).enumerate() {
+            let taken = (i * 7) % 3 == 0;
+            assert_eq!(g.predict(pc), b.predict(pc), "step {i}");
+            g.update(pc, taken);
+            b.update(pc, taken);
+        }
+    }
+
+    #[test]
+    fn learns_correlated_if_then_else() {
+        // Branch B's outcome equals branch A's previous outcome: global
+        // history makes B perfectly predictable.
+        let mut p = Gshare::new(10, 10);
+        let (a, b) = (0x1000u64, 0x1040u64);
+        let mut late_miss = 0;
+        for i in 0..2000 {
+            let a_out = (i / 3) % 2 == 0; // slow alternation
+            p.update(a, a_out);
+            let b_out = a_out;
+            if i >= 500 && p.predict(b) != b_out {
+                late_miss += 1;
+            }
+            p.update(b, b_out);
+        }
+        assert!(late_miss <= 2, "gshare missed correlation {late_miss} times");
+    }
+
+    #[test]
+    fn destructive_aliasing_between_opposite_biased_branches() {
+        // Two branches chosen to collide in the table with opposite
+        // biases: the Section 2.1 failure mode gshare suffers from.
+        let s = 4u32;
+        let mut p = Gshare::new(s, 0); // no history: collision is purely address
+        let a = 0x1000u64;
+        let b = a + (1u64 << (s + 2)); // same low s word bits
+        assert_eq!(p.index(a), p.index(b));
+        let mut late_miss = 0;
+        for i in 0..400 {
+            for (pc, t) in [(a, true), (b, false)] {
+                if i >= 100 && p.predict(pc) != t {
+                    late_miss += 1;
+                }
+                p.update(pc, t);
+            }
+        }
+        assert!(late_miss >= 300, "aliased counter must oscillate, missed {late_miss}");
+    }
+
+    #[test]
+    fn num_phts_matches_address_only_bits() {
+        assert_eq!(Gshare::new(10, 10).num_phts(), 1);
+        assert_eq!(Gshare::new(10, 8).num_phts(), 4);
+        assert_eq!(Gshare::new(10, 0).num_phts(), 1024);
+    }
+
+    #[test]
+    fn single_pht_constructor() {
+        let p = Gshare::single_pht(12);
+        assert_eq!(p.table_bits(), 12);
+        assert_eq!(p.history_bits(), 12);
+        assert_eq!(p.num_phts(), 1);
+    }
+
+    #[test]
+    fn cost_counts_counters_as_state_history_as_metadata() {
+        let p = Gshare::new(13, 9);
+        assert_eq!(p.cost().state_bits, 2 * 8192);
+        assert_eq!(p.cost().metadata_bits, 9);
+        assert_eq!(p.cost().state_kib(), 2.0);
+    }
+
+    #[test]
+    fn update_trains_pre_update_index() {
+        // The counter trained must be the one selected by the history
+        // *before* the shift; otherwise predict/update desynchronise.
+        let mut p = Gshare::new(6, 6);
+        let pc = 0x1000;
+        let idx_before = p.index(pc);
+        let counter_before = p.table.counter(idx_before);
+        p.update(pc, false);
+        assert_eq!(p.table.counter(idx_before), counter_before.updated(false));
+    }
+
+    #[test]
+    fn reset_restores_power_on_behaviour() {
+        let mut p = Gshare::new(8, 8);
+        for i in 0..100 {
+            p.update(0x40 * i, i % 3 == 0);
+        }
+        p.reset();
+        let fresh = Gshare::new(8, 8);
+        for pc in (0..256u64).map(|i| i * 4) {
+            assert_eq!(p.predict(pc), fresh.predict(pc));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn rejects_history_longer_than_index() {
+        let _ = Gshare::new(8, 9);
+    }
+}

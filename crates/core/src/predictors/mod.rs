@@ -1,0 +1,18 @@
+//! Concrete predictor implementations.
+//!
+//! Each submodule holds one scheme, its configuration type, and unit
+//! tests exercising the behaviours the paper attributes to it.
+
+pub mod agree;
+pub mod bimodal;
+pub mod bimode;
+pub mod delayed;
+pub mod gselect;
+pub mod gshare;
+pub mod gskew;
+pub mod statics;
+pub mod tournament;
+pub mod trimode;
+pub mod twobcgskew;
+pub mod two_level;
+pub mod yags;

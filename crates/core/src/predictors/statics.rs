@@ -1,0 +1,111 @@
+//! Static baseline predictors: no state, no learning.
+
+use crate::cost::Cost;
+use crate::predictor::Predictor;
+
+/// Predicts every branch taken. The classic static lower bound
+/// (\[Smith81\] baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysTaken;
+
+impl Predictor for AlwaysTaken {
+    fn name(&self) -> String {
+        "always-taken".to_owned()
+    }
+
+    fn predict(&self, _pc: u64) -> bool {
+        true
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn cost(&self) -> Cost {
+        Cost::default()
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Predicts every branch not-taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysNotTaken;
+
+impl Predictor for AlwaysNotTaken {
+    fn name(&self) -> String {
+        "always-not-taken".to_owned()
+    }
+
+    fn predict(&self, _pc: u64) -> bool {
+        false
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn cost(&self) -> Cost {
+        Cost::default()
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Backward-taken / forward-not-taken: the classic static heuristic
+/// (loop-closing branches jump backwards and are usually taken; forward
+/// branches guard exceptional paths and are usually not). Needs the
+/// decoded target, so it predicts through
+/// [`Predictor::predict_with_target`]; plain `predict` (no target)
+/// falls back to taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Btfnt;
+
+impl Predictor for Btfnt {
+    fn name(&self) -> String {
+        "btfnt".to_owned()
+    }
+
+    fn predict(&self, _pc: u64) -> bool {
+        true
+    }
+
+    fn predict_with_target(&self, pc: u64, target: u64) -> bool {
+        target < pc
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn cost(&self) -> Cost {
+        Cost::default()
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btfnt_follows_the_target_direction() {
+        let p = Btfnt;
+        assert!(p.predict_with_target(0x1000, 0x0F00), "backward -> taken");
+        assert!(!p.predict_with_target(0x1000, 0x1100), "forward -> not taken");
+        assert!(!p.predict_with_target(0x1000, 0x1000), "self-loop counts as forward");
+        assert!(p.predict(0x1000), "without a target, fall back to taken");
+        assert_eq!(p.cost().state_bits, 0);
+    }
+
+    #[test]
+    fn statics_are_constant_and_free() {
+        let mut t = AlwaysTaken;
+        let mut n = AlwaysNotTaken;
+        for pc in [0u64, 4, 0x8000_0000] {
+            assert!(t.predict(pc));
+            assert!(!n.predict(pc));
+            t.update(pc, false);
+            n.update(pc, true);
+        }
+        assert!(t.predict(0));
+        assert!(!n.predict(0));
+        assert_eq!(t.cost().state_bits, 0);
+        assert_eq!(n.cost().state_bits, 0);
+    }
+}

@@ -1,0 +1,517 @@
+//! Textual predictor specifications: a small `name:key=value,...` grammar
+//! used by the experiment harness CLI and the sweep generators, so that a
+//! configuration can round-trip through a command line or a results file.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::predictor::Predictor;
+use crate::predictors::agree::Agree;
+use crate::predictors::bimodal::Bimodal;
+use crate::predictors::bimode::{BankInit, BiMode, BiModeConfig, ChoiceUpdate, IndexShare};
+use crate::predictors::gselect::Gselect;
+use crate::predictors::gshare::Gshare;
+use crate::predictors::gskew::{Gskew, GskewUpdate};
+use crate::predictors::statics::{AlwaysNotTaken, AlwaysTaken, Btfnt};
+use crate::predictors::tournament::Tournament;
+use crate::predictors::trimode::{TriMode, TriModeConfig};
+use crate::predictors::twobcgskew::TwoBcGskew;
+use crate::predictors::two_level::{HistorySource, TwoLevel};
+use crate::predictors::yags::Yags;
+
+/// A buildable predictor configuration.
+///
+/// ```
+/// use bpred_core::PredictorSpec;
+///
+/// let spec: PredictorSpec = "bimode:d=10,c=10,h=10".parse()?;
+/// let p = spec.build();
+/// assert_eq!(p.cost().state_kib(), 0.75);
+/// # Ok::<(), bpred_core::ParseSpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictorSpec {
+    /// Static taken.
+    AlwaysTaken,
+    /// Static not-taken.
+    AlwaysNotTaken,
+    /// Static backward-taken / forward-not-taken.
+    Btfnt,
+    /// Smith bimodal: `2^table_bits` counters.
+    Bimodal {
+        /// log2 table size.
+        table_bits: u32,
+    },
+    /// gshare: `2^table_bits` counters, `history_bits` of history.
+    Gshare {
+        /// log2 table size.
+        table_bits: u32,
+        /// Global history length.
+        history_bits: u32,
+    },
+    /// gselect: address and history concatenated.
+    Gselect {
+        /// Address bits in the index.
+        address_bits: u32,
+        /// History bits in the index.
+        history_bits: u32,
+    },
+    /// Yeh–Patt two-level predictor.
+    TwoLevel {
+        /// First-level history organisation.
+        source: HistorySource,
+        /// PHT-selecting address bits.
+        address_bits: u32,
+        /// History length.
+        history_bits: u32,
+    },
+    /// The bi-mode predictor.
+    BiMode(BiModeConfig),
+    /// The agree predictor.
+    Agree {
+        /// log2 agreement-PHT size.
+        table_bits: u32,
+        /// History length.
+        history_bits: u32,
+        /// log2 bias-bit table size.
+        bias_bits: u32,
+    },
+    /// Three-bank skewed predictor.
+    Gskew {
+        /// log2 per-bank size.
+        bank_bits: u32,
+        /// History length.
+        history_bits: u32,
+        /// Train all banks every branch instead of partial update.
+        total_update: bool,
+    },
+    /// YAGS exception-cache predictor.
+    Yags {
+        /// log2 choice-PHT size.
+        choice_bits: u32,
+        /// log2 exception-cache size.
+        cache_bits: u32,
+        /// History length.
+        history_bits: u32,
+        /// Partial tag width.
+        tag_bits: u32,
+    },
+    /// Classic McFarling tournament: bimodal + single-PHT gshare of the
+    /// given size with a same-size meta table.
+    Tournament {
+        /// log2 size shared by both components and the meta table.
+        table_bits: u32,
+    },
+    /// The tri-mode extension (bi-mode plus a weak bank).
+    TriMode {
+        /// log2 of each direction bank.
+        direction_bits: u32,
+        /// log2 of the choice/conflict tables.
+        choice_bits: u32,
+        /// History length.
+        history_bits: u32,
+    },
+    /// The 2bc-gskew hybrid (bimodal + two skewed banks + meta).
+    TwoBcGskew {
+        /// log2 per-bank size (four banks).
+        bank_bits: u32,
+        /// Long history length (the short one is half).
+        history_bits: u32,
+    },
+}
+
+impl PredictorSpec {
+    /// Builds the predictor this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters violate a predictor's constructor
+    /// constraints (for example `history_bits > table_bits` for gshare);
+    /// specs produced by [`FromStr`] parsing are *not* pre-validated
+    /// against those constraints.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Predictor> {
+        match *self {
+            PredictorSpec::AlwaysTaken => Box::new(AlwaysTaken),
+            PredictorSpec::AlwaysNotTaken => Box::new(AlwaysNotTaken),
+            PredictorSpec::Btfnt => Box::new(Btfnt),
+            PredictorSpec::Bimodal { table_bits } => Box::new(Bimodal::new(table_bits)),
+            PredictorSpec::Gshare { table_bits, history_bits } => {
+                Box::new(Gshare::new(table_bits, history_bits))
+            }
+            PredictorSpec::Gselect { address_bits, history_bits } => {
+                Box::new(Gselect::new(address_bits, history_bits))
+            }
+            PredictorSpec::TwoLevel { source, address_bits, history_bits } => {
+                Box::new(TwoLevel::new(source, address_bits, history_bits))
+            }
+            PredictorSpec::BiMode(config) => Box::new(BiMode::new(config)),
+            PredictorSpec::Agree { table_bits, history_bits, bias_bits } => {
+                Box::new(Agree::new(table_bits, history_bits, bias_bits))
+            }
+            PredictorSpec::Gskew { bank_bits, history_bits, total_update } => {
+                let update =
+                    if total_update { GskewUpdate::Total } else { GskewUpdate::Partial };
+                Box::new(Gskew::with_update(bank_bits, history_bits, update))
+            }
+            PredictorSpec::Yags { choice_bits, cache_bits, history_bits, tag_bits } => {
+                Box::new(Yags::new(choice_bits, cache_bits, history_bits, tag_bits))
+            }
+            PredictorSpec::Tournament { table_bits } => Box::new(Tournament::new(
+                Box::new(Bimodal::new(table_bits)),
+                Box::new(Gshare::new(table_bits, table_bits)),
+                table_bits,
+            )),
+            PredictorSpec::TriMode { direction_bits, choice_bits, history_bits } => {
+                Box::new(TriMode::new(TriModeConfig::new(
+                    direction_bits,
+                    choice_bits,
+                    history_bits,
+                )))
+            }
+            PredictorSpec::TwoBcGskew { bank_bits, history_bits } => {
+                Box::new(TwoBcGskew::new(bank_bits, history_bits))
+            }
+        }
+    }
+}
+
+/// Error returned when a predictor spec string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    message: String,
+}
+
+impl ParseSpecError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid predictor spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+/// Key=value parameter list parsed from the part after `:`.
+struct Params<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Params<'a> {
+    fn parse(s: &'a str) -> Result<Self, ParseSpecError> {
+        let mut pairs = Vec::new();
+        if s.is_empty() {
+            return Ok(Self { pairs });
+        }
+        for item in s.split(',') {
+            let (k, v) = item
+                .split_once('=')
+                .ok_or_else(|| ParseSpecError::new(format!("expected key=value, got `{item}`")))?;
+            pairs.push((k.trim(), v.trim()));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn num(&self, key: &str) -> Result<u32, ParseSpecError> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| ParseSpecError::new(format!("missing parameter `{key}`")))?;
+        v.parse()
+            .map_err(|_| ParseSpecError::new(format!("parameter `{key}`: `{v}` is not a number")))
+    }
+
+    fn num_or(&self, key: &str, default: u32) -> Result<u32, ParseSpecError> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| {
+                ParseSpecError::new(format!("parameter `{key}`: `{v}` is not a number"))
+            }),
+            None => Ok(default),
+        }
+    }
+}
+
+impl FromStr for PredictorSpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, rest) = match s.split_once(':') {
+            Some((n, r)) => (n.trim(), r.trim()),
+            None => (s.trim(), ""),
+        };
+        let p = Params::parse(rest)?;
+        match name {
+            "always-taken" => Ok(PredictorSpec::AlwaysTaken),
+            "always-not-taken" => Ok(PredictorSpec::AlwaysNotTaken),
+            "btfnt" => Ok(PredictorSpec::Btfnt),
+            "bimodal" => Ok(PredictorSpec::Bimodal { table_bits: p.num("s")? }),
+            "gshare" => Ok(PredictorSpec::Gshare {
+                table_bits: p.num("s")?,
+                history_bits: p.num("h")?,
+            }),
+            "gselect" => Ok(PredictorSpec::Gselect {
+                address_bits: p.num("a")?,
+                history_bits: p.num("h")?,
+            }),
+            "gag" => Ok(PredictorSpec::TwoLevel {
+                source: HistorySource::Global,
+                address_bits: 0,
+                history_bits: p.num("h")?,
+            }),
+            "gas" => Ok(PredictorSpec::TwoLevel {
+                source: HistorySource::Global,
+                address_bits: p.num("a")?,
+                history_bits: p.num("h")?,
+            }),
+            "pag" => Ok(PredictorSpec::TwoLevel {
+                source: HistorySource::PerAddress { index_bits: p.num("i")? },
+                address_bits: 0,
+                history_bits: p.num("h")?,
+            }),
+            "pas" => Ok(PredictorSpec::TwoLevel {
+                source: HistorySource::PerAddress { index_bits: p.num("i")? },
+                address_bits: p.num("a")?,
+                history_bits: p.num("h")?,
+            }),
+            "sag" => Ok(PredictorSpec::TwoLevel {
+                source: HistorySource::PerSet {
+                    index_bits: p.num("i")?,
+                    shift: p.num_or("k", 6)?,
+                },
+                address_bits: 0,
+                history_bits: p.num("h")?,
+            }),
+            "sas" => Ok(PredictorSpec::TwoLevel {
+                source: HistorySource::PerSet {
+                    index_bits: p.num("i")?,
+                    shift: p.num_or("k", 6)?,
+                },
+                address_bits: p.num("a")?,
+                history_bits: p.num("h")?,
+            }),
+            "bimode" => {
+                let d = p.num("d")?;
+                let mut config = BiModeConfig::new(d, p.num_or("c", d)?, p.num_or("h", d)?);
+                config.choice_update = match p.get("choice") {
+                    None | Some("partial") => ChoiceUpdate::Partial,
+                    Some("always") => ChoiceUpdate::Always,
+                    Some(v) => {
+                        return Err(ParseSpecError::new(format!(
+                            "choice must be partial|always, got `{v}`"
+                        )))
+                    }
+                };
+                config.bank_init = match p.get("init") {
+                    None | Some("split") => BankInit::Split,
+                    Some("uniform") => BankInit::UniformWeaklyTaken,
+                    Some(v) => {
+                        return Err(ParseSpecError::new(format!(
+                            "init must be split|uniform, got `{v}`"
+                        )))
+                    }
+                };
+                config.index_share = match p.get("index") {
+                    None | Some("shared") => IndexShare::Shared,
+                    Some("skewed") => IndexShare::SkewedPerBank,
+                    Some(v) => {
+                        return Err(ParseSpecError::new(format!(
+                            "index must be shared|skewed, got `{v}`"
+                        )))
+                    }
+                };
+                Ok(PredictorSpec::BiMode(config))
+            }
+            "agree" => Ok(PredictorSpec::Agree {
+                table_bits: p.num("s")?,
+                history_bits: p.num("h")?,
+                bias_bits: p.num_or("b", p.num("s")?)?,
+            }),
+            "gskew" => Ok(PredictorSpec::Gskew {
+                bank_bits: p.num("s")?,
+                history_bits: p.num("h")?,
+                total_update: match p.get("update") {
+                    None | Some("partial") => false,
+                    Some("total") => true,
+                    Some(v) => {
+                        return Err(ParseSpecError::new(format!(
+                            "update must be partial|total, got `{v}`"
+                        )))
+                    }
+                },
+            }),
+            "yags" => Ok(PredictorSpec::Yags {
+                choice_bits: p.num("c")?,
+                cache_bits: p.num("e")?,
+                history_bits: p.num("h")?,
+                tag_bits: p.num_or("t", 6)?,
+            }),
+            "tournament" => Ok(PredictorSpec::Tournament { table_bits: p.num("s")? }),
+            "2bcgskew" => Ok(PredictorSpec::TwoBcGskew {
+                bank_bits: p.num("s")?,
+                history_bits: p.num("h")?,
+            }),
+            "trimode" => {
+                let d = p.num("d")?;
+                Ok(PredictorSpec::TriMode {
+                    direction_bits: d,
+                    choice_bits: p.num_or("c", d)?,
+                    history_bits: p.num_or("h", d)?,
+                })
+            }
+            other => Err(ParseSpecError::new(format!("unknown predictor `{other}`"))),
+        }
+    }
+}
+
+impl fmt::Display for PredictorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictorSpec::AlwaysTaken => f.write_str("always-taken"),
+            PredictorSpec::AlwaysNotTaken => f.write_str("always-not-taken"),
+            PredictorSpec::Btfnt => f.write_str("btfnt"),
+            PredictorSpec::Bimodal { table_bits } => write!(f, "bimodal:s={table_bits}"),
+            PredictorSpec::Gshare { table_bits, history_bits } => {
+                write!(f, "gshare:s={table_bits},h={history_bits}")
+            }
+            PredictorSpec::Gselect { address_bits, history_bits } => {
+                write!(f, "gselect:a={address_bits},h={history_bits}")
+            }
+            PredictorSpec::TwoLevel { source, address_bits, history_bits } => match source {
+                HistorySource::Global if *address_bits == 0 => {
+                    write!(f, "gag:h={history_bits}")
+                }
+                HistorySource::Global => write!(f, "gas:a={address_bits},h={history_bits}"),
+                HistorySource::PerAddress { index_bits } if *address_bits == 0 => {
+                    write!(f, "pag:i={index_bits},h={history_bits}")
+                }
+                HistorySource::PerAddress { index_bits } => {
+                    write!(f, "pas:i={index_bits},a={address_bits},h={history_bits}")
+                }
+                HistorySource::PerSet { index_bits, shift } if *address_bits == 0 => {
+                    write!(f, "sag:i={index_bits},k={shift},h={history_bits}")
+                }
+                HistorySource::PerSet { index_bits, shift } => {
+                    write!(f, "sas:i={index_bits},k={shift},a={address_bits},h={history_bits}")
+                }
+            },
+            PredictorSpec::BiMode(c) => {
+                write!(f, "bimode:d={},c={},h={}", c.direction_bits, c.choice_bits, c.history_bits)?;
+                if c.choice_update == ChoiceUpdate::Always {
+                    f.write_str(",choice=always")?;
+                }
+                if c.bank_init == BankInit::UniformWeaklyTaken {
+                    f.write_str(",init=uniform")?;
+                }
+                if c.index_share == IndexShare::SkewedPerBank {
+                    f.write_str(",index=skewed")?;
+                }
+                Ok(())
+            }
+            PredictorSpec::Agree { table_bits, history_bits, bias_bits } => {
+                write!(f, "agree:s={table_bits},h={history_bits},b={bias_bits}")
+            }
+            PredictorSpec::Gskew { bank_bits, history_bits, total_update } => {
+                write!(f, "gskew:s={bank_bits},h={history_bits}")?;
+                if *total_update {
+                    f.write_str(",update=total")?;
+                }
+                Ok(())
+            }
+            PredictorSpec::Yags { choice_bits, cache_bits, history_bits, tag_bits } => {
+                write!(f, "yags:c={choice_bits},e={cache_bits},h={history_bits},t={tag_bits}")
+            }
+            PredictorSpec::Tournament { table_bits } => write!(f, "tournament:s={table_bits}"),
+            PredictorSpec::TriMode { direction_bits, choice_bits, history_bits } => {
+                write!(f, "trimode:d={direction_bits},c={choice_bits},h={history_bits}")
+            }
+            PredictorSpec::TwoBcGskew { bank_bits, history_bits } => {
+                write!(f, "2bcgskew:s={bank_bits},h={history_bits}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) -> PredictorSpec {
+        let spec: PredictorSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+        let shown = spec.to_string();
+        let again: PredictorSpec = shown.parse().unwrap();
+        assert_eq!(spec, again, "display/parse roundtrip for {s} via {shown}");
+        spec
+    }
+
+    #[test]
+    fn every_scheme_roundtrips_and_builds() {
+        for s in [
+            "always-taken",
+            "always-not-taken",
+            "btfnt",
+            "bimodal:s=8",
+            "gshare:s=10,h=8",
+            "gselect:a=3,h=5",
+            "gag:h=10",
+            "gas:a=2,h=8",
+            "pag:i=4,h=6",
+            "pas:i=4,a=2,h=6",
+            "sag:i=4,k=5,h=6",
+            "sas:i=4,k=5,a=2,h=6",
+            "bimode:d=8,c=8,h=8",
+            "bimode:d=8,c=6,h=7,choice=always,init=uniform,index=skewed",
+            "agree:s=10,h=8,b=9",
+            "gskew:s=8,h=8",
+            "gskew:s=8,h=8,update=total",
+            "yags:c=8,e=6,h=6,t=6",
+            "tournament:s=8",
+            "trimode:d=8,c=8,h=8",
+            "2bcgskew:s=8,h=8",
+        ] {
+            let spec = roundtrip(s);
+            let p = spec.build();
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn bimode_defaults_choice_and_history_to_direction() {
+        let spec: PredictorSpec = "bimode:d=9".parse().unwrap();
+        assert_eq!(spec, PredictorSpec::BiMode(BiModeConfig::paper_default(9)));
+    }
+
+    #[test]
+    fn built_names_match_schemes() {
+        let p = PredictorSpec::from_str("gshare:s=10,h=7").unwrap().build();
+        assert_eq!(p.name(), "gshare(s=10,h=7)");
+        let p = PredictorSpec::from_str("bimode:d=7").unwrap().build();
+        assert_eq!(p.name(), "bi-mode(d=7,c=7,h=7)");
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let err = PredictorSpec::from_str("nonsense:x=1").unwrap_err();
+        assert!(err.to_string().contains("unknown predictor"));
+        let err = PredictorSpec::from_str("gshare:s=10").unwrap_err();
+        assert!(err.to_string().contains("missing parameter `h`"));
+        let err = PredictorSpec::from_str("gshare:s=ten,h=2").unwrap_err();
+        assert!(err.to_string().contains("not a number"));
+        let err = PredictorSpec::from_str("gshare:s").unwrap_err();
+        assert!(err.to_string().contains("key=value"));
+        let err = PredictorSpec::from_str("bimode:d=8,choice=sometimes").unwrap_err();
+        assert!(err.to_string().contains("partial|always"));
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let spec: PredictorSpec = " gshare : s=10 , h=4 ".parse().unwrap();
+        assert_eq!(spec, PredictorSpec::Gshare { table_bits: 10, history_bits: 4 });
+    }
+}

@@ -1,0 +1,67 @@
+//! `repro` — regenerates the tables and figures of *The Bi-Mode Branch
+//! Predictor* (MICRO-30, 1997). See `repro list` or `--help`.
+
+use std::process::ExitCode;
+
+use bpred_harness::cli::{self, EXPERIMENTS};
+use bpred_harness::traces::TraceSet;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.command == "list" {
+        print!("{}", cli::usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let names: Vec<&str> = if options.command == "all" {
+        EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+    } else if EXPERIMENTS.iter().any(|(n, _)| *n == options.command) {
+        vec![options.command.as_str()]
+    } else {
+        eprintln!("unknown experiment `{}`\n\n{}", options.command, cli::usage());
+        return ExitCode::FAILURE;
+    };
+
+    eprintln!("generating traces (scale {}, both paper suites) ...", options.scale);
+    let started = std::time::Instant::now();
+    let set = TraceSet::paper_suites(options.scale, options.jobs);
+    eprintln!("traces ready in {:.1}s", started.elapsed().as_secs_f64());
+
+    for name in names {
+        let started = std::time::Instant::now();
+        let report = cli::run_experiment(name, &set, options.jobs)
+            .expect("names were validated against the experiment list");
+        println!("{report}");
+        eprintln!("[{name} in {:.1}s]", started.elapsed().as_secs_f64());
+        if let Some(dir) = &options.out {
+            match report.write_csv(dir) {
+                Ok(files) => {
+                    for f in files {
+                        eprintln!("wrote {}", f.display());
+                    }
+                    match bpred_harness::plot::write_plots(&report, dir) {
+                        Ok(scripts) => {
+                            for s in scripts {
+                                eprintln!("wrote {}", s.display());
+                            }
+                        }
+                        Err(e) => eprintln!("plot scripts for {name} not written: {e}"),
+                    }
+                }
+                Err(e) => {
+                    eprintln!("failed to write CSVs for {name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,192 @@
+//! Command-line surface of the `repro` binary, kept in the library so
+//! argument parsing and experiment dispatch are unit-testable.
+
+use std::path::PathBuf;
+
+use bpred_workloads::{Scale, Suite};
+
+use crate::experiments;
+use crate::format::Report;
+use crate::traces::TraceSet;
+
+/// The experiment registry: `(subcommand, description)` in paper order.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "workload inputs (paper Table 1)"),
+    ("table2", "static/dynamic branch counts (paper Table 2)"),
+    ("table3", "normalized-count worked example (paper Table 3)"),
+    ("table4", "bias-class change counts on gcc (paper Table 4)"),
+    ("fig2", "suite-average misprediction vs size (paper Figure 2)"),
+    ("fig3", "per-benchmark curves, SPEC CINT95 (paper Figure 3)"),
+    ("fig4", "per-benchmark curves, IBS-Ultrix (paper Figure 4)"),
+    ("fig5", "gshare bias breakdown on gcc (paper Figure 5)"),
+    ("fig6", "bi-mode bias breakdown on gcc (paper Figure 6)"),
+    ("fig7", "misprediction by bias class, gcc (paper Figure 7)"),
+    ("fig8", "misprediction by bias class, go (paper Figure 8)"),
+    ("ablation-choice-update", "partial vs always choice update"),
+    ("ablation-init", "direction-bank initialisation"),
+    ("ablation-choice-size", "choice predictor sizing"),
+    ("ablation-index", "shared vs skewed bank index"),
+    ("ablation-delay", "update-delay (resolution latency) sensitivity"),
+    ("ablation-flush", "context-switch flush-interval sensitivity"),
+    ("aliasing", "destructive/harmless/neutral alias taxonomy on gcc"),
+    ("compare-dealias", "bi-mode vs agree/gskew/yags/tournament"),
+    ("future-trimode", "the paper's future-work direction: a weak third bank"),
+    ("warmup", "windowed misprediction over time (convergence curves)"),
+    ("summary", "reproduction scoreboard: every headline claim, judged live"),
+];
+
+/// Parsed command-line options.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Options {
+    /// The experiment name, `all`, or `list`.
+    pub command: String,
+    /// Trace scale (default: paper).
+    pub scale: Scale,
+    /// Worker-thread bound (default: machine parallelism).
+    pub jobs: Option<usize>,
+    /// Directory to write per-section CSVs into.
+    pub out: Option<PathBuf>,
+}
+
+/// The help text.
+#[must_use]
+pub fn usage() -> String {
+    let mut s = String::from(
+        "usage: repro <experiment|all|list> [--scale smoke|paper|full] [--jobs N] [--out DIR]\n\nexperiments:\n",
+    );
+    for (name, desc) in EXPERIMENTS {
+        s.push_str(&format!("  {name:<24} {desc}\n"));
+    }
+    s
+}
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a user-facing message (which may be the usage text) on any
+/// malformed input.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut command = None;
+    let mut scale = Scale::Paper;
+    let mut jobs = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(v).ok_or_else(|| format!("unknown scale `{v}`"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = Some(v.parse::<usize>().map_err(|_| format!("bad job count `{v}`"))?);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "-h" | "--help" => return Err(usage()),
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(Options { command: command.ok_or_else(usage)?, scale, jobs, out })
+}
+
+/// Runs one experiment by registry name. Returns `None` for unknown
+/// names.
+#[must_use]
+pub fn run_experiment(name: &str, set: &TraceSet, jobs: Option<usize>) -> Option<Report> {
+    let report = match name {
+        "table1" => experiments::table1(set.scale()),
+        "table2" => experiments::table2(set),
+        "table3" => experiments::table3(),
+        "table4" => experiments::table4(set),
+        "fig2" => experiments::fig2(set, jobs),
+        "fig3" => experiments::fig34(set, Suite::SpecInt95, jobs),
+        "fig4" => experiments::fig34(set, Suite::IbsUltrix, jobs),
+        "fig5" => experiments::fig5(set),
+        "fig6" => experiments::fig6(set),
+        "fig7" => experiments::fig78(set, "gcc"),
+        "fig8" => experiments::fig78(set, "go"),
+        "ablation-choice-update" => experiments::ablation_choice_update(set),
+        "ablation-init" => experiments::ablation_init(set),
+        "ablation-choice-size" => experiments::ablation_choice_size(set),
+        "ablation-index" => experiments::ablation_index(set),
+        "ablation-delay" => experiments::ablation_delay(set),
+        "ablation-flush" => experiments::ablation_flush(set),
+        "aliasing" => experiments::aliasing_taxonomy(set),
+        "compare-dealias" => experiments::compare_dealias(set),
+        "future-trimode" => experiments::future_trimode(set),
+        "warmup" => experiments::warmup_curves(set),
+        "summary" => experiments::summary(set, jobs),
+        _ => return None,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_full_option_set() {
+        let o = parse_args(&args(&["fig2", "--scale", "smoke", "--jobs", "3", "--out", "r"]))
+            .expect("valid arguments");
+        assert_eq!(o.command, "fig2");
+        assert_eq!(o.scale, Scale::Smoke);
+        assert_eq!(o.jobs, Some(3));
+        assert_eq!(o.out, Some(PathBuf::from("r")));
+    }
+
+    #[test]
+    fn defaults_to_paper_scale() {
+        let o = parse_args(&args(&["table2"])).expect("valid");
+        assert_eq!(o.scale, Scale::Paper);
+        assert_eq!(o.jobs, None);
+        assert_eq!(o.out, None);
+    }
+
+    #[test]
+    fn rejects_bad_inputs_with_messages() {
+        assert!(parse_args(&args(&["fig2", "--scale", "huge"]))
+            .unwrap_err()
+            .contains("unknown scale"));
+        assert!(parse_args(&args(&["fig2", "--jobs", "many"]))
+            .unwrap_err()
+            .contains("bad job count"));
+        assert!(parse_args(&args(&["fig2", "--scale"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_args(&args(&[])).unwrap_err().starts_with("usage:"));
+        assert!(parse_args(&args(&["--bogus"])).unwrap_err().contains("unexpected argument"));
+        assert!(parse_args(&args(&["-h"])).unwrap_err().starts_with("usage:"));
+    }
+
+    #[test]
+    fn usage_lists_every_experiment() {
+        let u = usage();
+        for (name, _) in EXPERIMENTS {
+            assert!(u.contains(name), "usage is missing `{name}`");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_yields_none() {
+        use bpred_workloads::Workload;
+        let set = crate::traces::TraceSet::of(
+            vec![Workload::by_name("compress").expect("registered")],
+            Scale::Smoke,
+            Some(1),
+        );
+        assert!(run_experiment("figZZ", &set, None).is_none());
+        assert!(run_experiment("table3", &set, None).is_some());
+    }
+}

@@ -1,0 +1,507 @@
+//! Ablations of the bi-mode design decisions the paper calls out, plus
+//! the de-aliasing-scheme comparison from the related-work lineage
+//! (\[Lee97\]'s comparative study).
+
+use bpred_core::{
+    Agree, BiMode, BiModeConfig, BankInit, ChoiceUpdate, DelayedUpdate, Gselect, Gshare, Gskew,
+    IndexShare, Predictor, Tournament, TriMode, TriModeConfig, TwoBcGskew, Yags,
+};
+use bpred_core::predictors::bimodal::Bimodal;
+use bpred_trace::Trace;
+
+use crate::experiments::{kib, pct};
+use crate::format::{Report, Table};
+use crate::traces::TraceSet;
+
+fn average_rate(traces: &[&Trace], mut p: impl Predictor) -> f64 {
+    let total: f64 = traces
+        .iter()
+        .map(|t| {
+            p.reset();
+            bpred_analysis::measure(t, &mut p).misprediction_rate()
+        })
+        .sum();
+    total / traces.len() as f64
+}
+
+fn all_traces(set: &TraceSet) -> Vec<&Trace> {
+    set.entries().iter().map(|(_, t)| t).collect()
+}
+
+/// Ablation: the partial choice-update rule vs always updating the
+/// choice predictor. The paper: partial update is "particularly
+/// effective when the total hardware budget is small".
+#[must_use]
+pub fn ablation_choice_update(set: &TraceSet) -> Report {
+    let traces = all_traces(set);
+    let mut report = Report::new(
+        "ablation-choice-update",
+        "Ablation: partial vs always choice-predictor update",
+    );
+    let mut t = Table::new(["d", "size KB", "partial %", "always %", "partial wins"]);
+    let mut small_budget_gain = 0.0;
+    for d in [8u32, 9, 10, 12, 14] {
+        let mut partial_cfg = BiModeConfig::paper_default(d);
+        partial_cfg.choice_update = ChoiceUpdate::Partial;
+        let mut always_cfg = partial_cfg;
+        always_cfg.choice_update = ChoiceUpdate::Always;
+        let partial = average_rate(&traces, BiMode::new(partial_cfg));
+        let always = average_rate(&traces, BiMode::new(always_cfg));
+        if d == 8 {
+            small_budget_gain = always - partial;
+        }
+        t.push_row([
+            d.to_string(),
+            kib(BiMode::new(partial_cfg).cost().state_kib()),
+            pct(partial),
+            pct(always),
+            (partial <= always).to_string(),
+        ]);
+    }
+    report.section("suite-average misprediction", t);
+    report.note(format!(
+        "Smallest budget (d=8) gain from partial update: {} percentage points.",
+        pct(small_budget_gain)
+    ));
+    report
+}
+
+/// Ablation: footnote-2 split bank initialisation vs both banks
+/// weakly-taken.
+#[must_use]
+pub fn ablation_init(set: &TraceSet) -> Report {
+    let traces = all_traces(set);
+    let mut report =
+        Report::new("ablation-init", "Ablation: direction-bank initialisation");
+    let mut t = Table::new(["d", "split init %", "uniform init %"]);
+    for d in [8u32, 10, 12] {
+        let split_cfg = BiModeConfig::paper_default(d);
+        let mut uniform_cfg = split_cfg;
+        uniform_cfg.bank_init = BankInit::UniformWeaklyTaken;
+        t.push_row([
+            d.to_string(),
+            pct(average_rate(&traces, BiMode::new(split_cfg))),
+            pct(average_rate(&traces, BiMode::new(uniform_cfg))),
+        ]);
+    }
+    report.section("suite-average misprediction", t);
+    report
+}
+
+/// Ablation: choice-predictor sizing relative to one direction bank.
+#[must_use]
+pub fn ablation_choice_size(set: &TraceSet) -> Report {
+    let traces = all_traces(set);
+    let mut report =
+        Report::new("ablation-choice-size", "Ablation: choice predictor sizing (d=10)");
+    report.note(
+        "The paper sizes the choice table equal to one direction bank; this \
+         sweep varies it from a quarter to double that size.",
+    );
+    let d = 10u32;
+    let mut t = Table::new(["choice bits", "total size KB", "misprediction %"]);
+    for c in [d - 4, d - 2, d - 1, d, d + 1] {
+        let cfg = BiModeConfig::new(d, c, d);
+        let p = BiMode::new(cfg);
+        let size = p.cost().state_kib();
+        t.push_row([c.to_string(), kib(size), pct(average_rate(&traces, p))]);
+    }
+    report.section("suite-average misprediction", t);
+    report
+}
+
+/// Ablation: shared gshare-style direction index vs per-bank skewed
+/// hashing (combining bi-mode with gskew-style dispersion).
+#[must_use]
+pub fn ablation_index(set: &TraceSet) -> Report {
+    let traces = all_traces(set);
+    let mut report =
+        Report::new("ablation-index", "Ablation: shared vs skewed direction-bank index");
+    let mut t = Table::new(["d", "shared %", "skewed %"]);
+    for d in [8u32, 10, 12] {
+        let shared_cfg = BiModeConfig::paper_default(d);
+        let mut skewed_cfg = shared_cfg;
+        skewed_cfg.index_share = IndexShare::SkewedPerBank;
+        t.push_row([
+            d.to_string(),
+            pct(average_rate(&traces, BiMode::new(shared_cfg))),
+            pct(average_rate(&traces, BiMode::new(skewed_cfg))),
+        ]);
+    }
+    report.section("suite-average misprediction", t);
+    report
+}
+
+/// The de-aliasing shoot-out: bi-mode vs agree, gskew, YAGS, gselect,
+/// tournament and plain gshare/bimodal at three hardware budgets.
+#[must_use]
+pub fn compare_dealias(set: &TraceSet) -> Report {
+    let traces = all_traces(set);
+    let mut report = Report::new(
+        "compare-dealias",
+        "Comparison: de-aliasing schemes at matched budgets",
+    );
+    report.note(
+        "Costs are bytes of predictor state (paper accounting); metadata \
+         (tags, histories, valid bits) reported separately per config name.",
+    );
+    // (budget label, gshare s). Other schemes are sized to land close
+    // to the same state budget; exact KB is printed.
+    for (label, s) in [("~0.75-1 KB", 12u32), ("~3-4 KB", 14), ("~12-16 KB", 16)] {
+        let mut t = Table::new(["scheme", "size KB", "misprediction %"]);
+        let d = s - 1;
+        let configs: Vec<Box<dyn Predictor>> = vec![
+            Box::new(Bimodal::new(s)),
+            Box::new(Gshare::new(s, s)),
+            Box::new(Gshare::new(s, s - 4)),
+            Box::new(Gselect::new(4, s - 4)),
+            Box::new(BiMode::new(BiModeConfig::paper_default(d))),
+            Box::new(Agree::new(s, s, s - 1)),
+            Box::new(Gskew::new(s - 1, s - 1)),
+            Box::new(TwoBcGskew::new(s - 1, s - 1)),
+            Box::new(Yags::new(s - 1, s - 2, s - 2, 6)),
+            Box::new(Tournament::new(
+                Box::new(Bimodal::new(s - 1)),
+                Box::new(Gshare::new(s - 1, s - 1)),
+                s - 1,
+            )),
+        ];
+        for p in configs {
+            let size = p.cost().state_kib();
+            let name = p.name();
+            let rate = {
+                let mut p = p;
+                let total: f64 = traces
+                    .iter()
+                    .map(|tr| {
+                        p.reset();
+                        bpred_analysis::measure(tr, p.as_mut()).misprediction_rate()
+                    })
+                    .sum();
+                total / traces.len() as f64
+            };
+            t.push_row([name, kib(size), pct(rate)]);
+        }
+        report.section(format!("budget {label}"), t);
+    }
+    report
+}
+
+/// Ablation: how much does the paper's immediate-update idealisation
+/// matter? Updates are held in a FIFO of the given depth (modelling
+/// branch-resolution latency) before reaching the tables.
+#[must_use]
+pub fn ablation_delay(set: &TraceSet) -> Report {
+    let traces = all_traces(set);
+    let mut report = Report::new(
+        "ablation-delay",
+        "Ablation: update-delay sensitivity (resolution latency)",
+    );
+    report.note(
+        "The paper (like most trace-driven studies) trains tables \
+         immediately after each prediction; real pipelines train at \
+         resolution. Rates are suite averages.",
+    );
+    let mut t = Table::new(["delay (branches)", "gshare(s=12) %", "bi-mode(d=11) %"]);
+    for delay in [0usize, 1, 2, 4, 8, 16, 32] {
+        let g = average_rate(&traces, DelayedUpdate::new(Gshare::new(12, 12), delay));
+        let b = average_rate(
+            &traces,
+            DelayedUpdate::new(BiMode::new(BiModeConfig::paper_default(11)), delay),
+        );
+        t.push_row([delay.to_string(), pct(g), pct(b)]);
+    }
+    report.section("suite-average misprediction vs update delay", t);
+    report
+}
+
+/// The paper's future-work direction, implemented and measured: the
+/// tri-mode predictor quarantines weakly-biased branches in a third
+/// bank. Compared against bi-mode per benchmark and on the averages.
+#[must_use]
+pub fn future_trimode(set: &TraceSet) -> Report {
+    let mut report = Report::new(
+        "future-trimode",
+        "Future work: tri-mode (weak-bank) predictor vs bi-mode",
+    );
+    report.note(
+        "Section 5 proposes separating weakly-biased substreams from the \
+         strongly-biased ones; tri-mode adds a third, weak-mode bank fed \
+         by a per-address conflict detector. Sizes differ (4/3 of \
+         bi-mode's banks plus the conflict table), so both are shown \
+         with their exact costs.",
+    );
+    for d in [9u32, 11, 13] {
+        let bimode = BiMode::new(BiModeConfig::paper_default(d));
+        let trimode = TriMode::new(TriModeConfig::new(d, d, d));
+        let mut t = Table::new(["benchmark", "bi-mode %", "tri-mode %", "winner"]);
+        let (mut bi_sum, mut tri_sum) = (0.0, 0.0);
+        for (w, trace) in set.entries() {
+            let mut b = bimode.clone();
+            let mut x = trimode.clone();
+            let br = bpred_analysis::measure(trace, &mut b).misprediction_rate();
+            let tr = bpred_analysis::measure(trace, &mut x).misprediction_rate();
+            bi_sum += br;
+            tri_sum += tr;
+            t.push_row([
+                w.name().to_owned(),
+                pct(br),
+                pct(tr),
+                if tr < br { "tri-mode" } else { "bi-mode" }.to_owned(),
+            ]);
+        }
+        let n = set.entries().len() as f64;
+        t.push_row([
+            "AVERAGE".to_owned(),
+            pct(bi_sum / n),
+            pct(tri_sum / n),
+            if tri_sum < bi_sum { "tri-mode" } else { "bi-mode" }.to_owned(),
+        ]);
+        report.section(
+            format!(
+                "d={d}: bi-mode {} KB vs tri-mode {} KB",
+                kib(bimode.cost().state_kib()),
+                kib(trimode.cost().state_kib())
+            ),
+            t,
+        );
+    }
+    report
+}
+
+/// The alias taxonomy of Section 2.2, measured: how much of each
+/// scheme's aliasing is destructive (opposite strong biases), harmless
+/// (same strong bias) or neutral (weakly biased), on gcc.
+#[must_use]
+pub fn aliasing_taxonomy(set: &TraceSet) -> Report {
+    let trace = set.trace("gcc").expect("the taxonomy uses the gcc trace");
+    let mut report = Report::new(
+        "aliasing",
+        "Alias taxonomy on gcc: destructive vs harmless vs neutral",
+    );
+    report.note(
+        "Section 2.2's claim, quantified: bi-mode should 'separate the \
+         destructive aliases while keeping the harmless aliases \
+         together'. Pairs are traffic-weighted by the smaller stream.",
+    );
+    for (label, s) in [("256 counters", 8u32), ("1K counters", 10)] {
+        let mut t = Table::new([
+            "scheme",
+            "shared counters",
+            "destructive pairs",
+            "harmless pairs",
+            "neutral pairs",
+            "destructive traffic %",
+        ]);
+        let d = s - 1;
+        let schemes: Vec<(String, bpred_analysis::AliasReport)> = vec![
+            (
+                format!("gshare(s={s},h={s})"),
+                bpred_analysis::AliasReport::measure(trace, || Gshare::new(s, s)),
+            ),
+            (
+                format!("gshare(s={s},h=2)"),
+                bpred_analysis::AliasReport::measure(trace, || Gshare::new(s, 2)),
+            ),
+            (
+                format!("bi-mode(d={d})"),
+                bpred_analysis::AliasReport::measure(trace, || {
+                    BiMode::new(BiModeConfig::paper_default(d))
+                }),
+            ),
+        ];
+        for (name, r) in schemes {
+            t.push_row([
+                name,
+                r.counters_shared.to_string(),
+                r.destructive_pairs.to_string(),
+                r.harmless_pairs.to_string(),
+                r.neutral_pairs.to_string(),
+                pct(r.destructive_fraction()),
+            ]);
+        }
+        report.section(label.to_owned(), t);
+    }
+    report
+}
+
+/// Context-switch model: flush all predictor state every N branches
+/// (IBS traces interleave kernel and user activity; this quantifies
+/// how much cold state costs each scheme).
+#[must_use]
+pub fn ablation_flush(set: &TraceSet) -> Report {
+    let traces = all_traces(set);
+    let mut report = Report::new(
+        "ablation-flush",
+        "Ablation: predictor flush interval (context-switch model)",
+    );
+    let mut t = Table::new(["flush interval", "gshare(s=12) %", "bi-mode(d=11) %"]);
+    for interval in [10_000u64, 50_000, 250_000, u64::MAX] {
+        let label = if interval == u64::MAX {
+            "never".to_owned()
+        } else {
+            interval.to_string()
+        };
+        let avg = |mut p: Box<dyn Predictor>| -> f64 {
+            let total: f64 = traces
+                .iter()
+                .map(|tr| {
+                    p.reset();
+                    if interval == u64::MAX {
+                        bpred_analysis::measure(tr, p.as_mut()).misprediction_rate()
+                    } else {
+                        bpred_analysis::measure_with_flushes(tr, p.as_mut(), interval)
+                            .misprediction_rate()
+                    }
+                })
+                .sum();
+            total / traces.len() as f64
+        };
+        t.push_row([
+            label,
+            pct(avg(Box::new(Gshare::new(12, 12)))),
+            pct(avg(Box::new(BiMode::new(BiModeConfig::paper_default(11))))),
+        ]);
+    }
+    report.section("suite-average misprediction vs flush interval", t);
+    report
+}
+
+
+/// Warm-up curves: windowed misprediction over time for the three
+/// Figure-2 schemes on gcc, showing convergence from power-on (the
+/// transient behind the footnote-2 initialisation and the flush
+/// ablation).
+#[must_use]
+pub fn warmup_curves(set: &TraceSet) -> Report {
+    let trace = set.trace("gcc").expect("warm-up uses the gcc trace");
+    let mut report =
+        Report::new("warmup", "Warm-up: windowed misprediction over time (gcc)");
+    let window = (trace.conditional().count() as u64 / 40).max(1_000);
+    report.note(format!("Window: {window} conditional branches."));
+    let mut gshare = Gshare::new(12, 12);
+    let mut bimode = BiMode::new(BiModeConfig::paper_default(11));
+    let mut bimodal = Bimodal::new(12);
+    let g = bpred_analysis::windowed_rates(trace, &mut gshare, window);
+    let b = bpred_analysis::windowed_rates(trace, &mut bimode, window);
+    let s = bpred_analysis::windowed_rates(trace, &mut bimodal, window);
+    let mut t = Table::new(["window", "bimodal %", "gshare(12,12) %", "bi-mode(d=11) %"]);
+    for (i, ((gr, br), sr)) in g.iter().zip(&b).zip(&s).enumerate() {
+        t.push_row([(i + 1).to_string(), pct(*sr), pct(*gr), pct(*br)]);
+    }
+    report.section("windowed misprediction", t);
+    report.note(format!(
+        "Warm-up windows (rate above steady state): bimodal {}, gshare {}, bi-mode {}.",
+        bpred_analysis::warmup_windows(&s, 0.01),
+        bpred_analysis::warmup_windows(&g, 0.01),
+        bpred_analysis::warmup_windows(&b, 0.01),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_workloads::{Scale, Workload};
+
+    fn small_set() -> TraceSet {
+        TraceSet::of(
+            vec![
+                Workload::by_name("gcc").unwrap(),
+                Workload::by_name("vortex").unwrap(),
+            ],
+            Scale::Smoke,
+            Some(2),
+        )
+    }
+
+    #[test]
+    fn choice_update_ablation_has_all_sizes() {
+        let r = ablation_choice_update(&small_set());
+        assert_eq!(r.sections[0].1.len(), 5);
+    }
+
+    #[test]
+    fn init_and_index_ablations_run() {
+        let set = small_set();
+        assert_eq!(ablation_init(&set).sections[0].1.len(), 3);
+        assert_eq!(ablation_index(&set).sections[0].1.len(), 3);
+    }
+
+    #[test]
+    fn choice_size_ablation_covers_five_sizes() {
+        let r = ablation_choice_size(&small_set());
+        assert_eq!(r.sections[0].1.len(), 5);
+    }
+
+    #[test]
+    fn delay_ablation_runs_and_zero_delay_matches_plain() {
+        let r = ablation_delay(&small_set());
+        let t = &r.sections[0].1;
+        assert_eq!(t.len(), 7);
+        let csv = t.to_csv();
+        assert!(csv.lines().nth(1).expect("delay-0 row").starts_with("0,"));
+    }
+
+    #[test]
+    fn warmup_curves_have_windows_and_summary() {
+        let set = small_set();
+        let r = warmup_curves(&set);
+        assert!(r.sections[0].1.len() >= 8);
+        assert!(r.notes.iter().any(|n| n.starts_with("Warm-up windows")));
+    }
+
+    #[test]
+    fn aliasing_taxonomy_shows_bimode_reducing_destructive_share() {
+        let set = small_set();
+        let r = aliasing_taxonomy(&set);
+        assert_eq!(r.sections.len(), 2);
+        let csv = r.sections[0].1.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert_eq!(rows.len(), 3);
+        let frac = |row: &str| -> f64 {
+            row.rsplit(',').next().expect("last column").parse().expect("percent")
+        };
+        let gshare_hist = frac(rows[0]);
+        let bimode = frac(rows[2]);
+        assert!(
+            bimode < gshare_hist,
+            "bi-mode must carry a smaller destructive share: {bimode} vs {gshare_hist}"
+        );
+    }
+
+    #[test]
+    fn flush_ablation_monotone_toward_never() {
+        let set = small_set();
+        let r = ablation_flush(&set);
+        let t = &r.sections[0].1;
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        assert!(csv.lines().last().expect("never row").starts_with("never,"));
+    }
+
+    #[test]
+    fn trimode_experiment_reports_all_benchmarks_and_average() {
+        let set = small_set();
+        let r = future_trimode(&set);
+        assert_eq!(r.sections.len(), 3);
+        for (_, t) in &r.sections {
+            assert_eq!(t.len(), set.entries().len() + 1);
+        }
+        assert!(r.sections[0].0.contains("KB"));
+    }
+
+    #[test]
+    fn dealias_comparison_lists_nine_schemes_per_budget() {
+        let r = compare_dealias(&small_set());
+        assert_eq!(r.sections.len(), 3);
+        for (_, t) in &r.sections {
+            assert_eq!(t.len(), 10);
+        }
+        let csv = r.sections[0].1.to_csv();
+        assert!(csv.contains("bi-mode"));
+        assert!(csv.contains("agree"));
+        assert!(csv.contains("gskew"));
+        assert!(csv.contains("yags"));
+    }
+}

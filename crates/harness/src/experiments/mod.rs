@@ -1,0 +1,51 @@
+//! One module per paper artefact. The experiment index lives in
+//! DESIGN.md; every function here regenerates one table or figure (or
+//! one ablation the paper's design decisions call for).
+
+pub mod ablations;
+pub mod figures;
+pub mod summary;
+pub mod tables;
+
+pub use ablations::{
+    ablation_choice_size, ablation_choice_update, ablation_delay, ablation_flush,
+    ablation_index, ablation_init, aliasing_taxonomy, compare_dealias, future_trimode,
+    warmup_curves,
+};
+pub use figures::{fig2, fig34, fig5, fig6, fig78};
+pub use summary::summary;
+pub use tables::{table1, table2, table3, table4};
+
+/// Formats a rate in `[0,1]` as the paper's percent numbers.
+#[must_use]
+pub fn pct(rate: f64) -> String {
+    format!("{:.2}", 100.0 * rate)
+}
+
+/// Formats a KB cost like the paper's axes (0.25, 0.375, 1, 32...).
+#[must_use]
+pub fn kib(k: f64) -> String {
+    if (k - k.round()).abs() < 1e-9 {
+        format!("{}", k.round() as i64)
+    } else {
+        format!("{k}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_two_decimals() {
+        assert_eq!(pct(0.12345), "12.35");
+        assert_eq!(pct(0.0), "0.00");
+    }
+
+    #[test]
+    fn kib_drops_trailing_zeros_for_integers() {
+        assert_eq!(kib(32.0), "32");
+        assert_eq!(kib(0.375), "0.375");
+        assert_eq!(kib(1.5), "1.5");
+    }
+}

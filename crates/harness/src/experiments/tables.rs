@@ -1,0 +1,204 @@
+//! Tables 1–4 of the paper.
+
+use bpred_analysis::{Analysis, BiasClass, StreamStats};
+use bpred_core::{BiMode, BiModeConfig, Gshare};
+use bpred_workloads::{Scale, Workload};
+
+use crate::format::{Report, Table};
+use crate::traces::TraceSet;
+
+/// Table 1: the input data sets. The paper documents the (reduced)
+/// SPEC inputs; the reproduction documents each workload's synthetic
+/// input and the scale factors.
+#[must_use]
+pub fn table1(scale: Scale) -> Report {
+    let mut report = Report::new("table1", "Table 1: workload inputs (reproduction)");
+    report.note(format!(
+        "Paper: reduced SPEC CINT95 input files. Reproduction: deterministic \
+         synthetic inputs, scale `{scale}` (work factor {}x smoke).",
+        scale.factor()
+    ));
+    let mut t = Table::new(["benchmark", "suite", "input / algorithmic core"]);
+    for w in Workload::all() {
+        t.push_row([w.name(), &w.suite().to_string(), w.description()]);
+    }
+    report.section("workloads", t);
+    report
+}
+
+/// Table 2: static and dynamic conditional branch counts.
+#[must_use]
+pub fn table2(set: &TraceSet) -> Report {
+    let mut report = Report::new("table2", "Table 2: static and dynamic branch counts");
+    report.note(format!("Scale: {}.", set.scale()));
+    let mut t = Table::new([
+        "benchmark",
+        "suite",
+        "static cond.",
+        "dynamic cond.",
+        "taken %",
+        "strongly biased %",
+    ]);
+    for (w, trace) in set.entries() {
+        let s = trace.stats();
+        t.push_row([
+            w.name().to_owned(),
+            w.suite().to_string(),
+            s.static_conditional.to_string(),
+            s.dynamic_conditional.to_string(),
+            format!("{:.1}", 100.0 * s.taken_rate()),
+            format!("{:.1}", 100.0 * s.strongly_biased_fraction()),
+        ]);
+    }
+    report.section("branch counts", t);
+    report
+}
+
+/// Table 3: the paper's worked example of normalized per-counter
+/// counts — four static branches sending streams to one counter.
+#[must_use]
+pub fn table3() -> Report {
+    let mut report =
+        Report::new("table3", "Table 3: normalized-count worked example (verbatim)");
+    // The exact numbers from the paper's Table 3.
+    let rows: [(u64, u64, u64); 4] =
+        [(0x001, 12, 11), (0x005, 20, 1), (0x100, 8, 3), (0x150, 10, 1)];
+    let total: u64 = rows.iter().map(|(_, n, _)| n).sum();
+    let mut t = Table::new([
+        "branch address",
+        "|s_ic| (outcomes at c)",
+        "taken outcomes",
+        "bias class",
+        "normalized count N_bc",
+    ]);
+    let mut per_class = [0u64; 3];
+    for (addr, count, taken) in rows {
+        let stats = StreamStats { taken, total: count };
+        let class = stats.class();
+        per_class[match class {
+            BiasClass::StronglyTaken => 0,
+            BiasClass::StronglyNotTaken => 1,
+            BiasClass::WeaklyBiased => 2,
+        }] += count;
+        t.push_row([
+            format!("0x{addr:03x}"),
+            count.to_string(),
+            taken.to_string(),
+            class.to_string(),
+            format!("{}/{} = {:.0}%", count, total, 100.0 * count as f64 / total as f64),
+        ]);
+    }
+    report.section("streams incident on counter c", t);
+
+    let mut summary = Table::new(["class", "normalized count", "role"]);
+    let pct = |n: u64| format!("{:.0}%", 100.0 * n as f64 / total as f64);
+    let dominant = if per_class[0] >= per_class[1] { 0 } else { 1 };
+    for (i, name) in ["ST", "SNT", "WB"].iter().enumerate() {
+        let role = if i == 2 {
+            "weakly biased"
+        } else if i == dominant {
+            "dominant"
+        } else {
+            "non-dominant"
+        };
+        summary.push_row([(*name).to_owned(), pct(per_class[i]), role.to_owned()]);
+    }
+    report.note(
+        "An undesirable counter: the SNT class dominates (60%) but not \
+         overwhelmingly, so the ST stream (24%) destructively interferes.",
+    );
+    report.section("per-class totals at counter c", summary);
+    report
+}
+
+/// Table 4: numbers of bias-class changes for the history-indexed
+/// gshare and the bi-mode scheme, on the gcc benchmark.
+///
+/// # Panics
+///
+/// Panics if the trace set lacks the `gcc` workload.
+#[must_use]
+pub fn table4(set: &TraceSet) -> Report {
+    let trace = set.trace("gcc").expect("table 4 needs the gcc trace");
+    let mut report = Report::new("table4", "Table 4: bias-class changes (gcc)");
+    report.note(
+        "A change is counted when consecutive accesses to one counter come \
+         from substreams of different bias classes; each change is attributed \
+         to the class whose run was interrupted, bucketed by that counter's \
+         dominant class. 256-counter budgets as in the paper's Section 4.",
+    );
+    let mut t = Table::new(["scheme", "dominant", "non-dominant", "WB", "total"]);
+    let history = Analysis::run(trace, || Gshare::new(8, 8));
+    let bimode = Analysis::run(trace, || BiMode::new(BiModeConfig::paper_default(7)));
+    for (name, a) in [("history-indexed", &history), ("bi-mode", &bimode)] {
+        t.push_row([
+            name.to_owned(),
+            a.class_changes.dominant.to_string(),
+            a.class_changes.non_dominant.to_string(),
+            a.class_changes.wb.to_string(),
+            a.class_changes.total().to_string(),
+        ]);
+    }
+    report.section("class changes", t);
+
+    let expectation = if bimode.class_changes.total() <= history.class_changes.total() {
+        "REPRODUCED: bi-mode has fewer class changes (less intermingling)."
+    } else {
+        "NOT reproduced: bi-mode shows more class changes than gshare here."
+    };
+    report.note(expectation.to_owned());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_workloads::Workload;
+
+    fn smoke_set() -> TraceSet {
+        TraceSet::of(
+            vec![Workload::by_name("gcc").unwrap(), Workload::by_name("compress").unwrap()],
+            Scale::Smoke,
+            Some(2),
+        )
+    }
+
+    #[test]
+    fn table1_lists_every_workload() {
+        let r = table1(Scale::Smoke);
+        assert_eq!(r.sections[0].1.len(), Workload::all().len());
+    }
+
+    #[test]
+    fn table2_reports_counts() {
+        let r = table2(&smoke_set());
+        let t = &r.sections[0].1;
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.contains("gcc"));
+        assert!(csv.contains("compress"));
+    }
+
+    #[test]
+    fn table3_matches_the_papers_numbers() {
+        let r = table3();
+        let csv = r.sections[0].1.to_csv();
+        assert!(csv.contains("0x001,12,11,ST,12/50 = 24%"), "{csv}");
+        assert!(csv.contains("0x005,20,1,SNT,20/50 = 40%"), "{csv}");
+        assert!(csv.contains("0x100,8,3,WB,8/50 = 16%"), "{csv}");
+        assert!(csv.contains("0x150,10,1,SNT,10/50 = 20%"), "{csv}");
+        let summary = r.sections[1].1.to_csv();
+        assert!(summary.contains("SNT,60%,dominant"), "{summary}");
+        assert!(summary.contains("ST,24%,non-dominant"), "{summary}");
+        assert!(summary.contains("WB,16%,weakly biased"), "{summary}");
+    }
+
+    #[test]
+    fn table4_reproduces_fewer_changes_for_bimode() {
+        let r = table4(&smoke_set());
+        assert!(
+            r.notes.iter().any(|n| n.starts_with("REPRODUCED")),
+            "bi-mode must show fewer class changes on gcc: {r}"
+        );
+    }
+}

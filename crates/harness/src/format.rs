@@ -1,0 +1,227 @@
+//! Plain-text table rendering and CSV output for experiment reports.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table: the unit every experiment reports in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match {} headers",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table as CSV (RFC-4180-style quoting for fields containing
+    /// commas or quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut csv = String::new();
+        let mut emit = |row: &[String]| {
+            let line: Vec<String> = row.iter().map(|f| field(f)).collect();
+            csv.push_str(&line.join(","));
+            csv.push('\n');
+        };
+        emit(&self.headers);
+        for r in &self.rows {
+            emit(r);
+        }
+        csv
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:>w$}", w = *w))
+                .collect();
+            writeln!(f, "  {}", cells.join("  "))
+        };
+        render(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "  {}", rule.join("  "))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named report: one or more captioned tables plus free-form notes.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Slug used for output file names, e.g. `fig2`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Prose notes shown before the tables.
+    pub notes: Vec<String>,
+    /// Captioned tables in display order.
+    pub sections: Vec<(String, Table)>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self { id: id.into(), title: title.into(), notes: Vec::new(), sections: Vec::new() }
+    }
+
+    /// Adds a prose note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Adds a captioned table.
+    pub fn section(&mut self, caption: impl Into<String>, table: Table) {
+        self.sections.push((caption.into(), table));
+    }
+
+    /// Writes every section as `<id>_<n>.csv` under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or files.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (i, (_, table)) in self.sections.iter().enumerate() {
+            let path = dir.join(format!("{}_{}.csv", self.id, i));
+            fs::write(&path, table.to_csv())?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        for n in &self.notes {
+            writeln!(f, "{n}")?;
+        }
+        for (caption, table) in &self.sections {
+            writeln!(f, "\n-- {caption} --")?;
+            write!(f, "{table}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["name", "value"]);
+        t.push_row(["alpha", "1"]);
+        t.push_row(["a,b", "2"]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let rendered = sample().to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "   name  value");
+        assert_eq!(lines[1], "  -----  -----");
+        assert_eq!(lines[2], "  alpha      1");
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "name,value\nalpha,1\n\"a,b\",2\n");
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = Table::new(["x"]);
+        t.push_row(["say \"hi\""]);
+        assert_eq!(t.to_csv(), "x\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn report_renders_notes_and_sections() {
+        let mut r = Report::new("t", "A Title");
+        r.note("a note");
+        r.section("numbers", sample());
+        let s = r.to_string();
+        assert!(s.contains("== A Title =="));
+        assert!(s.contains("a note"));
+        assert!(s.contains("-- numbers --"));
+    }
+
+    #[test]
+    fn report_writes_csv_files() {
+        let dir = std::env::temp_dir().join(format!("bpred-report-{}", std::process::id()));
+        let mut r = Report::new("demo", "t");
+        r.section("one", sample());
+        r.section("two", sample());
+        let written = r.write_csv(&dir).expect("csv written");
+        assert_eq!(written.len(), 2);
+        assert!(written[0].ends_with("demo_0.csv"));
+        let content = std::fs::read_to_string(&written[1]).unwrap();
+        assert!(content.starts_with("name,value"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment harness regenerating every table and figure of *The
+//! Bi-Mode Branch Predictor* (Lee, Chen & Mudge, MICRO-30, 1997).
+//!
+//! Each experiment in [`experiments`] corresponds to one table or
+//! figure of the paper (see DESIGN.md for the index) and produces a
+//! [`format::Report`]: aligned text for the terminal plus CSV
+//! files for plotting. The `repro` binary exposes them as subcommands:
+//!
+//! ```text
+//! repro fig2 --scale paper --out results/
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cli;
+pub mod experiments;
+pub mod format;
+pub mod parallel;
+pub mod plot;
+pub mod search;
+pub mod sweep;
+pub mod traces;
+
+pub use format::{Report, Table};
+pub use traces::TraceSet;

@@ -1,0 +1,92 @@
+//! Minimal scoped-thread fan-out used by the sweeps: the experiments
+//! are embarrassingly parallel over (workload, configuration) pairs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Applies `f` to every item on a pool of scoped threads, preserving
+/// input order in the output.
+///
+/// The thread count is `min(items, jobs)`; pass `None` for the
+/// machine's available parallelism.
+pub fn map<T, R, F>(items: Vec<T>, jobs: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZero::get))
+        .clamp(1, n);
+    if jobs == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("slot mutex is never poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = map((0..100).collect(), Some(7), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let out: Vec<i32> = map(Vec::<i32>::new(), None, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_job_path() {
+        let out = map(vec![1, 2, 3], Some(1), |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let out = map(vec![10, 20], Some(16), |x| x / 10);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently_when_asked() {
+        use std::sync::atomic::AtomicUsize;
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let _ = map((0..8).collect(), Some(4), |_| {
+            let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(live, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(PEAK.load(Ordering::SeqCst) >= 2, "no overlap observed");
+    }
+}

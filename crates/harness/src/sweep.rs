@@ -1,0 +1,203 @@
+//! Predictor-size sweeps: the machinery behind Figures 2, 3 and 4.
+//!
+//! The x-axis is hardware cost in KB of two-bit counters. gshare points
+//! sit at table sizes `2^10..2^17` (0.25 KB–32 KB); bi-mode points sit
+//! at 1.5x the next-smaller gshare (two half-size direction banks plus
+//! an equal-size choice table), reproducing the staggered positions of
+//! the paper's plots.
+
+use bpred_core::{BiMode, BiModeConfig, Gshare, Predictor};
+use bpred_trace::Trace;
+
+use crate::parallel;
+use crate::search;
+
+/// The schemes compared in Figures 2–4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// gshare with history length = index width (single PHT).
+    GshareSinglePht,
+    /// gshare with the best exhaustively-searched history length.
+    GshareBest,
+    /// The bi-mode predictor at its paper-default shape.
+    BiMode,
+}
+
+impl Scheme {
+    /// The label used in the paper's legends.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::GshareSinglePht => "gshare.1PHT",
+            Scheme::GshareBest => "gshare.best",
+            Scheme::BiMode => "bi-mode",
+        }
+    }
+}
+
+/// One measured point of a curve.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Scheme the point belongs to.
+    pub scheme: Scheme,
+    /// Predictor cost in KB of counter state.
+    pub kib: f64,
+    /// The configuration's printable name.
+    pub config: String,
+    /// Per-trace misprediction rates, in input trace order.
+    pub rates: Vec<f64>,
+}
+
+impl SweepPoint {
+    /// The average misprediction rate over the traces, in `[0, 1]`.
+    #[must_use]
+    pub fn average_rate(&self) -> f64 {
+        if self.rates.is_empty() {
+            0.0
+        } else {
+            self.rates.iter().sum::<f64>() / self.rates.len() as f64
+        }
+    }
+}
+
+/// The paper's gshare size ladder: index widths for 0.25 KB to 32 KB.
+pub const GSHARE_SIZES: std::ops::RangeInclusive<u32> = 10..=17;
+
+/// The matching bi-mode ladder: direction-bank widths whose total cost
+/// interleaves the gshare ladder (0.375 KB to 24 KB).
+pub const BIMODE_SIZES: std::ops::RangeInclusive<u32> = 9..=16;
+
+fn measure_all(traces: &[&Trace], mut predictor: impl Predictor) -> Vec<f64> {
+    traces
+        .iter()
+        .map(|t| {
+            predictor.reset();
+            bpred_analysis::measure(t, &mut predictor).misprediction_rate()
+        })
+        .collect()
+}
+
+/// Sweeps one scheme across its size ladder. `jobs` bounds the
+/// parallelism of both the sweep and the embedded `gshare.best`
+/// searches.
+#[must_use]
+pub fn sweep_scheme(traces: &[&Trace], scheme: Scheme, jobs: Option<usize>) -> Vec<SweepPoint> {
+    match scheme {
+        Scheme::GshareSinglePht => {
+            let sizes: Vec<u32> = GSHARE_SIZES.collect();
+            parallel::map(sizes, jobs, |&s| {
+                let p = Gshare::single_pht(s);
+                SweepPoint {
+                    scheme,
+                    kib: p.cost().state_kib(),
+                    config: p.name(),
+                    rates: measure_all(traces, p),
+                }
+            })
+        }
+        Scheme::GshareBest => {
+            // The search itself parallelises over candidate history
+            // lengths; run sizes sequentially to bound thread count.
+            GSHARE_SIZES
+                .map(|s| {
+                    let best = search::best_gshare(traces, s, jobs);
+                    let p = Gshare::new(s, best.history_bits);
+                    SweepPoint {
+                        scheme,
+                        kib: p.cost().state_kib(),
+                        config: p.name(),
+                        rates: best.per_workload,
+                    }
+                })
+                .collect()
+        }
+        Scheme::BiMode => {
+            let sizes: Vec<u32> = BIMODE_SIZES.collect();
+            parallel::map(sizes, jobs, |&d| {
+                let p = BiMode::new(BiModeConfig::paper_default(d));
+                SweepPoint {
+                    scheme,
+                    kib: p.cost().state_kib(),
+                    config: p.name(),
+                    rates: measure_all(traces, p),
+                }
+            })
+        }
+    }
+}
+
+/// Sweeps all three schemes (the full Figure 2/3/4 data set).
+#[must_use]
+pub fn sweep_all(traces: &[&Trace], jobs: Option<usize>) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for scheme in [Scheme::GshareSinglePht, Scheme::GshareBest, Scheme::BiMode] {
+        points.extend(sweep_scheme(traces, scheme, jobs));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_trace::BranchRecord;
+
+    fn small_trace() -> Trace {
+        let mut t = Trace::new("t");
+        let mut x = 1u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x1000 + (x % 50) * 4;
+            t.push(BranchRecord::conditional(pc, 0, !x.is_multiple_of(3)));
+        }
+        t
+    }
+
+    #[test]
+    fn ladders_hit_the_papers_cost_points() {
+        let t = small_trace();
+        let single = sweep_scheme(&[&t], Scheme::GshareSinglePht, Some(2));
+        let kibs: Vec<f64> = single.iter().map(|p| p.kib).collect();
+        assert_eq!(kibs, [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
+
+        let bimode = sweep_scheme(&[&t], Scheme::BiMode, Some(2));
+        let kibs: Vec<f64> = bimode.iter().map(|p| p.kib).collect();
+        assert_eq!(kibs, [0.375, 0.75, 1.5, 3.0, 6.0, 12.0, 24.0, 48.0]);
+    }
+
+    #[test]
+    fn best_is_never_worse_than_single_pht_on_average() {
+        let t = small_trace();
+        let single = sweep_scheme(&[&t], Scheme::GshareSinglePht, Some(2));
+        let best = sweep_scheme(&[&t], Scheme::GshareBest, Some(2));
+        for (s, b) in single.iter().zip(&best) {
+            assert!(
+                b.average_rate() <= s.average_rate() + 1e-12,
+                "best ({}) lost to 1PHT ({}) at {} KB",
+                b.average_rate(),
+                s.average_rate(),
+                s.kib
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_all_produces_three_curves() {
+        let t = small_trace();
+        let all = sweep_all(&[&t], Some(2));
+        assert_eq!(all.len(), 24);
+        for scheme in [Scheme::GshareSinglePht, Scheme::GshareBest, Scheme::BiMode] {
+            assert_eq!(all.iter().filter(|p| p.scheme == scheme).count(), 8);
+        }
+    }
+
+    #[test]
+    fn average_rate_averages() {
+        let p = SweepPoint {
+            scheme: Scheme::BiMode,
+            kib: 1.0,
+            config: String::new(),
+            rates: vec![0.1, 0.3],
+        };
+        assert!((p.average_rate() - 0.2).abs() < 1e-12);
+    }
+}

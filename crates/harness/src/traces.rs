@@ -1,0 +1,145 @@
+//! Trace generation and caching for the experiment suites.
+//!
+//! Workload traces are deterministic, so they are generated once per
+//! (workload, scale) and cached — in memory within a `TraceSet`, and
+//! optionally on disk in the binary codec so repeated `repro`
+//! invocations skip regeneration.
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use bpred_trace::Trace;
+use bpred_workloads::{Scale, Suite, Workload};
+
+use crate::parallel;
+
+/// Cache-format version; bump when workload generators change so stale
+/// traces on disk are ignored.
+const CACHE_VERSION: u32 = 5;
+
+/// The traces of a set of workloads at one scale.
+#[derive(Debug)]
+pub struct TraceSet {
+    scale: Scale,
+    entries: Vec<(Workload, Trace)>,
+}
+
+/// Where on-disk trace caching lives, if enabled.
+fn cache_dir() -> Option<PathBuf> {
+    if std::env::var_os("BPRED_NO_TRACE_CACHE").is_some() {
+        return None;
+    }
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let base = std::env::var_os("BPRED_TRACE_CACHE")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("bpred-trace-cache"));
+        fs::create_dir_all(&base).ok().map(|()| base)
+    })
+    .clone()
+}
+
+fn cached_path(workload: &Workload, scale: Scale) -> Option<PathBuf> {
+    cache_dir().map(|d| d.join(format!("v{CACHE_VERSION}-{}-{scale}.bptr", workload.name())))
+}
+
+/// Generates (or loads from cache) one workload trace.
+#[must_use]
+pub fn load_trace(workload: &Workload, scale: Scale) -> Trace {
+    if let Some(path) = cached_path(workload, scale) {
+        if let Ok(file) = File::open(&path) {
+            if let Ok(trace) = bpred_trace::read_binary(BufReader::new(file)) {
+                return trace;
+            }
+            // Corrupt cache entry: fall through and regenerate.
+            fs::remove_file(&path).ok();
+        }
+        let trace = workload.trace(scale);
+        if let Ok(file) = File::create(&path) {
+            // Best-effort cache write; failure only costs regeneration.
+            if bpred_trace::write_binary(&trace, BufWriter::new(file)).is_err() {
+                fs::remove_file(&path).ok();
+            }
+        }
+        return trace;
+    }
+    workload.trace(scale)
+}
+
+impl TraceSet {
+    /// Generates the traces of both paper suites (SPEC CINT95 and
+    /// IBS-Ultrix) in parallel.
+    #[must_use]
+    pub fn paper_suites(scale: Scale, jobs: Option<usize>) -> Self {
+        let mut workloads = Workload::suite_workloads(Suite::SpecInt95);
+        workloads.extend(Workload::suite_workloads(Suite::IbsUltrix));
+        Self::of(workloads, scale, jobs)
+    }
+
+    /// Generates the traces of the given workloads in parallel.
+    #[must_use]
+    pub fn of(workloads: Vec<Workload>, scale: Scale, jobs: Option<usize>) -> Self {
+        let entries = parallel::map(workloads, jobs, |w| (*w, load_trace(w, scale)));
+        Self { scale, entries }
+    }
+
+    /// The scale the traces were generated at.
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// All (workload, trace) pairs, in registry order.
+    #[must_use]
+    pub fn entries(&self) -> &[(Workload, Trace)] {
+        &self.entries
+    }
+
+    /// The entries belonging to one suite.
+    pub fn suite(&self, suite: Suite) -> impl Iterator<Item = &(Workload, Trace)> {
+        self.entries.iter().filter(move |(w, _)| w.suite() == suite)
+    }
+
+    /// Looks up one workload's trace by name.
+    #[must_use]
+    pub fn trace(&self, name: &str) -> Option<&Trace> {
+        self.entries.iter().find(|(w, _)| w.name() == name).map(|(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_caches_a_trace() {
+        let dir = std::env::temp_dir().join(format!("bpred-tc-test-{}", std::process::id()));
+        // Isolate the cache via the env var; tests in this process run
+        // the OnceLock once, so set it before the first call.
+        std::env::set_var("BPRED_TRACE_CACHE", &dir);
+        let w = Workload::by_name("compress").expect("registered");
+        let a = load_trace(&w, Scale::Smoke);
+        let b = load_trace(&w, Scale::Smoke);
+        assert_eq!(a, b, "cache round-trip must be lossless");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_set_indexes_by_name_and_suite() {
+        let set = TraceSet::of(
+            vec![
+                Workload::by_name("compress").unwrap(),
+                Workload::by_name("groff").unwrap(),
+            ],
+            Scale::Smoke,
+            Some(2),
+        );
+        assert!(set.trace("compress").is_some());
+        assert!(set.trace("nope").is_none());
+        assert_eq!(set.suite(Suite::SpecInt95).count(), 1);
+        assert_eq!(set.suite(Suite::IbsUltrix).count(), 1);
+        assert_eq!(set.scale(), Scale::Smoke);
+    }
+}

@@ -1,0 +1,476 @@
+//! A two-pass text assembler for the simulator ISA.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! ; comments run to end of line (also '#')
+//! label:  add  r1, r2, r3        ; ALU: add sub mul div rem and or xor sll srl slt
+//!         addi r1, r2, -5
+//!         li   r1, 42             ; sugar for addi r1, r0, 42
+//!         mv   r1, r2             ; sugar for addi r1, r2, 0
+//!         lw   r1, 8(r2)          ; word-addressed loads/stores
+//!         sw   r1, 8(r2)
+//!         beq  r1, r2, label      ; beq bne blt bge, plus ble/bgt sugar
+//!         j    label              ; sugar for jal r0, label
+//!         jal  label              ; links r31
+//!         jr   r31                ; sugar for jalr r0, r31
+//!         call label              ; sugar for jal r31, label
+//!         ret                     ; sugar for jalr r0, r31
+//!         nop
+//!         halt
+//! .data 1 2 3                     ; appends words to initial data memory
+//! ```
+//!
+//! Registers are `r0`..`r31` with aliases `zero` (r0) and `ra` (r31).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{AluOp, Cond, Instruction, Program, Reg};
+
+/// Error produced by [`assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self { line, message: message.into() }
+    }
+
+    /// 1-based source line of the error.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(token: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = token.trim();
+    match t {
+        "zero" => return Ok(Reg::ZERO),
+        "ra" => return Ok(Reg::RA),
+        _ => {}
+    }
+    let idx = t
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|n| *n < 32)
+        .ok_or_else(|| AsmError::new(line, format!("`{t}` is not a register")))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_imm(token: &str, line: usize) -> Result<i64, AsmError> {
+    let t = token.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = t.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        t.parse::<i64>().ok()
+    };
+    parsed.ok_or_else(|| AsmError::new(line, format!("`{t}` is not an immediate")))
+}
+
+/// Parses `off(reg)` memory operands.
+fn parse_mem(token: &str, line: usize) -> Result<(i64, Reg), AsmError> {
+    let t = token.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| AsmError::new(line, format!("`{t}` is not an off(reg) operand")))?;
+    if !t.ends_with(')') {
+        return Err(AsmError::new(line, format!("`{t}` is missing `)`")));
+    }
+    let off = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let reg = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((off, reg))
+}
+
+/// Unresolved instruction: branch/jump targets still carry label names.
+enum Draft {
+    Ready(Instruction),
+    Branch { cond: Cond, rs: Reg, rt: Reg, label: String },
+    Jal { rd: Reg, label: String },
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with a line number for syntax errors,
+/// unknown mnemonics or registers, duplicate labels, and undefined
+/// label references.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut drafts: Vec<(usize, Draft)> = Vec::new();
+    let mut data: Vec<i64> = Vec::new();
+
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let mut line = raw;
+        if let Some(pos) = line.find([';', '#']) {
+            line = &line[..pos];
+        }
+        let mut line = line.trim();
+
+        // Labels (possibly several) before the instruction.
+        while let Some(colon) = line.find(':') {
+            let label = line[..colon].trim();
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(AsmError::new(line_no, format!("bad label `{label}`")));
+            }
+            if labels.insert(label.to_owned(), drafts.len()).is_some() {
+                return Err(AsmError::new(line_no, format!("duplicate label `{label}`")));
+            }
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(words) = line.strip_prefix(".data") {
+            for w in words.split_whitespace() {
+                data.push(parse_imm(w, line_no)?);
+            }
+            continue;
+        }
+
+        let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (line, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let expect = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError::new(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+
+        let alu = |op: AluOp, ops: &[&str]| -> Result<Draft, AsmError> {
+            Ok(Draft::Ready(Instruction::Alu {
+                op,
+                rd: parse_reg(ops[0], line_no)?,
+                rs: parse_reg(ops[1], line_no)?,
+                rt: parse_reg(ops[2], line_no)?,
+            }))
+        };
+        let branch = |cond: Cond, ops: &[&str], swap: bool| -> Result<Draft, AsmError> {
+            let (a, b) = if swap { (ops[1], ops[0]) } else { (ops[0], ops[1]) };
+            Ok(Draft::Branch {
+                cond,
+                rs: parse_reg(a, line_no)?,
+                rt: parse_reg(b, line_no)?,
+                label: ops[2].to_owned(),
+            })
+        };
+
+        let draft = match mnemonic {
+            "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "sll" | "srl"
+            | "slt" => {
+                expect(3)?;
+                let op = match mnemonic {
+                    "add" => AluOp::Add,
+                    "sub" => AluOp::Sub,
+                    "mul" => AluOp::Mul,
+                    "div" => AluOp::Div,
+                    "rem" => AluOp::Rem,
+                    "and" => AluOp::And,
+                    "or" => AluOp::Or,
+                    "xor" => AluOp::Xor,
+                    "sll" => AluOp::Sll,
+                    "srl" => AluOp::Srl,
+                    _ => AluOp::Slt,
+                };
+                alu(op, &ops)?
+            }
+            "addi" => {
+                expect(3)?;
+                Draft::Ready(Instruction::Addi {
+                    rd: parse_reg(ops[0], line_no)?,
+                    rs: parse_reg(ops[1], line_no)?,
+                    imm: parse_imm(ops[2], line_no)?,
+                })
+            }
+            "li" => {
+                expect(2)?;
+                Draft::Ready(Instruction::Addi {
+                    rd: parse_reg(ops[0], line_no)?,
+                    rs: Reg::ZERO,
+                    imm: parse_imm(ops[1], line_no)?,
+                })
+            }
+            "mv" => {
+                expect(2)?;
+                Draft::Ready(Instruction::Addi {
+                    rd: parse_reg(ops[0], line_no)?,
+                    rs: parse_reg(ops[1], line_no)?,
+                    imm: 0,
+                })
+            }
+            "lw" => {
+                expect(2)?;
+                let (imm, rs) = parse_mem(ops[1], line_no)?;
+                Draft::Ready(Instruction::Lw { rd: parse_reg(ops[0], line_no)?, rs, imm })
+            }
+            "sw" => {
+                expect(2)?;
+                let (imm, rs) = parse_mem(ops[1], line_no)?;
+                Draft::Ready(Instruction::Sw { rt: parse_reg(ops[0], line_no)?, rs, imm })
+            }
+            "beq" => {
+                expect(3)?;
+                branch(Cond::Eq, &ops, false)?
+            }
+            "bne" => {
+                expect(3)?;
+                branch(Cond::Ne, &ops, false)?
+            }
+            "blt" => {
+                expect(3)?;
+                branch(Cond::Lt, &ops, false)?
+            }
+            "bge" => {
+                expect(3)?;
+                branch(Cond::Ge, &ops, false)?
+            }
+            // ble a,b == bge b,a ; bgt a,b == blt b,a
+            "ble" => {
+                expect(3)?;
+                branch(Cond::Ge, &ops, true)?
+            }
+            "bgt" => {
+                expect(3)?;
+                branch(Cond::Lt, &ops, true)?
+            }
+            "j" => {
+                expect(1)?;
+                Draft::Jal { rd: Reg::ZERO, label: ops[0].to_owned() }
+            }
+            "jal" => match ops.len() {
+                1 => Draft::Jal { rd: Reg::RA, label: ops[0].to_owned() },
+                2 => Draft::Jal {
+                    rd: parse_reg(ops[0], line_no)?,
+                    label: ops[1].to_owned(),
+                },
+                n => {
+                    return Err(AsmError::new(
+                        line_no,
+                        format!("`jal` expects 1 or 2 operands, got {n}"),
+                    ))
+                }
+            },
+            "call" => {
+                expect(1)?;
+                Draft::Jal { rd: Reg::RA, label: ops[0].to_owned() }
+            }
+            "jalr" => {
+                expect(2)?;
+                Draft::Ready(Instruction::Jalr {
+                    rd: parse_reg(ops[0], line_no)?,
+                    rs: parse_reg(ops[1], line_no)?,
+                })
+            }
+            "jr" => {
+                expect(1)?;
+                Draft::Ready(Instruction::Jalr {
+                    rd: Reg::ZERO,
+                    rs: parse_reg(ops[0], line_no)?,
+                })
+            }
+            "ret" => {
+                expect(0)?;
+                Draft::Ready(Instruction::Jalr { rd: Reg::ZERO, rs: Reg::RA })
+            }
+            "nop" => {
+                expect(0)?;
+                Draft::Ready(Instruction::Nop)
+            }
+            "halt" => {
+                expect(0)?;
+                Draft::Ready(Instruction::Halt)
+            }
+            other => return Err(AsmError::new(line_no, format!("unknown mnemonic `{other}`"))),
+        };
+        drafts.push((line_no, draft));
+    }
+
+    // Pass 2: resolve labels.
+    let mut instructions = Vec::with_capacity(drafts.len());
+    for (line_no, draft) in drafts {
+        let resolve = |label: &str| -> Result<usize, AsmError> {
+            labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::new(line_no, format!("undefined label `{label}`")))
+        };
+        let instr = match draft {
+            Draft::Ready(i) => i,
+            Draft::Branch { cond, rs, rt, label } => {
+                Instruction::Branch { cond, rs, rt, target: resolve(&label)? }
+            }
+            Draft::Jal { rd, label } => Instruction::Jal { rd, target: resolve(&label)? },
+        };
+        instructions.push(instr);
+    }
+    Ok(Program { instructions, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_every_mnemonic() {
+        let p = assemble(
+            r"
+            start: add r1, r2, r3
+                   sub r1, r2, r3
+                   mul r1, r2, r3
+                   div r1, r2, r3
+                   rem r1, r2, r3
+                   and r1, r2, r3
+                   or  r1, r2, r3
+                   xor r1, r2, r3
+                   sll r1, r2, r3
+                   srl r1, r2, r3
+                   slt r1, r2, r3
+                   addi r1, r2, -4
+                   li r1, 0x10
+                   mv r1, r2
+                   lw r1, 4(r2)
+                   sw r1, (r2)
+                   beq r1, r2, start
+                   bne r1, r2, start
+                   blt r1, r2, start
+                   bge r1, r2, start
+                   ble r1, r2, start
+                   bgt r1, r2, start
+                   j start
+                   jal start
+                   jal r5, start
+                   call start
+                   jalr r0, ra
+                   jr ra
+                   ret
+                   nop
+                   halt
+            ",
+        )
+        .expect("all mnemonics assemble");
+        assert_eq!(p.instructions.len(), 31);
+    }
+
+    #[test]
+    fn resolves_forward_and_backward_labels() {
+        let p = assemble(
+            r"
+            a: beq r0, r0, b
+               nop
+            b: beq r0, r0, a
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.instructions[0],
+            Instruction::Branch { cond: Cond::Eq, rs: Reg::ZERO, rt: Reg::ZERO, target: 2 }
+        );
+        assert_eq!(
+            p.instructions[2],
+            Instruction::Branch { cond: Cond::Eq, rs: Reg::ZERO, rt: Reg::ZERO, target: 0 }
+        );
+    }
+
+    #[test]
+    fn ble_and_bgt_swap_operands() {
+        let p = assemble("x: ble r1, r2, x\n bgt r3, r4, x").unwrap();
+        assert_eq!(
+            p.instructions[0],
+            Instruction::Branch {
+                cond: Cond::Ge,
+                rs: Reg::new(2),
+                rt: Reg::new(1),
+                target: 0
+            }
+        );
+        assert_eq!(
+            p.instructions[1],
+            Instruction::Branch {
+                cond: Cond::Lt,
+                rs: Reg::new(4),
+                rt: Reg::new(3),
+                target: 0
+            }
+        );
+    }
+
+    #[test]
+    fn data_directive_appends_words() {
+        let p = assemble(".data 1 2 -3\n.data 0x10\nhalt").unwrap();
+        assert_eq!(p.data, vec![1, 2, -3, 16]);
+        assert_eq!(p.instructions.len(), 1);
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = assemble("addi ra, zero, 1").unwrap();
+        assert_eq!(
+            p.instructions[0],
+            Instruction::Addi { rd: Reg::RA, rs: Reg::ZERO, imm: 1 }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let p = assemble("; leading comment\n\n# another\n nop ; trailing\n").unwrap();
+        assert_eq!(p.instructions, vec![Instruction::Nop]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nfrobnicate r1").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("unknown mnemonic"));
+
+        let err = assemble("beq r1, r2, nowhere").unwrap_err();
+        assert!(err.to_string().contains("undefined label"));
+
+        let err = assemble("add r1, r2").unwrap_err();
+        assert!(err.to_string().contains("expects 3 operands"));
+
+        let err = assemble("a: nop\na: nop").unwrap_err();
+        assert!(err.to_string().contains("duplicate label"));
+
+        let err = assemble("li r99, 1").unwrap_err();
+        assert!(err.to_string().contains("not a register"));
+
+        let err = assemble("li r1, abc").unwrap_err();
+        assert!(err.to_string().contains("not an immediate"));
+    }
+
+    #[test]
+    fn negative_hex_immediates() {
+        let p = assemble("li r1, -0x10").unwrap();
+        assert_eq!(p.instructions[0], Instruction::Addi { rd: Reg::new(1), rs: Reg::ZERO, imm: -16 });
+    }
+}

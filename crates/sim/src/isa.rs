@@ -1,0 +1,269 @@
+//! Instruction set definition for the trace-generation machine.
+//!
+//! A deliberately small 32-register RISC: enough to write real kernels
+//! (sorts, searches, hashes) whose conditional branches exercise a
+//! predictor the way compiled code does. Instructions occupy 4 bytes of
+//! the simulated address space so branch PCs have realistic spacing.
+
+use std::fmt;
+
+/// Base byte address of the first instruction.
+pub const TEXT_BASE: u64 = 0x0040_0000;
+
+/// Bytes per instruction.
+pub const INSTRUCTION_BYTES: u64 = 4;
+
+/// A register name `r0`..`r31`. `r0` reads as zero and ignores writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// The conventional return-address register (`r31`).
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "register index must be 0..=31, got {index}");
+        Reg(index)
+    }
+
+    /// The register number.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Comparison condition of a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two register values.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// The assembler mnemonic suffix (`beq` etc.).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+        }
+    }
+}
+
+/// Binary ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (traps on divide-by-zero).
+    Div,
+    /// Signed remainder (traps on divide-by-zero).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left (by low 6 bits of the right operand).
+    Sll,
+    /// Logical shift right (by low 6 bits of the right operand).
+    Srl,
+    /// Set-if-less-than (signed): 1 or 0.
+    Slt,
+}
+
+impl AluOp {
+    /// The assembler mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Slt => "slt",
+        }
+    }
+}
+
+/// One decoded instruction. Branch/jump targets are instruction indices
+/// (resolved from labels by the assembler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `op rd, rs, rt` — register ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+    },
+    /// `addi rd, rs, imm` — add immediate.
+    Addi {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs: Reg,
+        /// Immediate addend.
+        imm: i64,
+    },
+    /// `lw rd, imm(rs)` — load the word at word-address `rs + imm`.
+    Lw {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        rs: Reg,
+        /// Word offset.
+        imm: i64,
+    },
+    /// `sw rt, imm(rs)` — store `rt` at word-address `rs + imm`.
+    Sw {
+        /// Value to store.
+        rt: Reg,
+        /// Base address register.
+        rs: Reg,
+        /// Word offset.
+        imm: i64,
+    },
+    /// `b<cond> rs, rt, target` — conditional branch.
+    Branch {
+        /// Comparison.
+        cond: Cond,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// `jal rd, target` — jump and link.
+    Jal {
+        /// Link register (PC of the next instruction is written here).
+        rd: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// `jalr rd, rs` — indirect jump and link through `rs` (a byte PC).
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Register holding the target byte PC.
+        rs: Reg,
+    },
+    /// Stop execution.
+    Halt,
+    /// Do nothing.
+    Nop,
+}
+
+/// An assembled program: instructions plus optional initial memory image.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Instructions in layout order.
+    pub instructions: Vec<Instruction>,
+    /// Initial contents of data memory (word-addressed from 0).
+    pub data: Vec<i64>,
+}
+
+impl Program {
+    /// The byte PC of instruction `index`.
+    #[must_use]
+    pub fn pc_of(index: usize) -> u64 {
+        TEXT_BASE + index as u64 * INSTRUCTION_BYTES
+    }
+
+    /// The instruction index of a byte PC, if it is in range and aligned.
+    #[must_use]
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
+        if pc < TEXT_BASE || !(pc - TEXT_BASE).is_multiple_of(INSTRUCTION_BYTES) {
+            return None;
+        }
+        let idx = ((pc - TEXT_BASE) / INSTRUCTION_BYTES) as usize;
+        (idx < self.instructions.len()).then_some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_bounds() {
+        assert_eq!(Reg::new(31), Reg::RA);
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::new(7).to_string(), "r7");
+    }
+
+    #[test]
+    #[should_panic(expected = "register index")]
+    fn reg_rejects_32() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn cond_eval_truth_table() {
+        assert!(Cond::Eq.eval(3, 3) && !Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4) && !Cond::Ne.eval(3, 3));
+        assert!(Cond::Lt.eval(-1, 0) && !Cond::Lt.eval(0, -1));
+        assert!(Cond::Ge.eval(0, 0) && !Cond::Ge.eval(-5, 0));
+    }
+
+    #[test]
+    fn pc_mapping_roundtrips() {
+        let p = Program { instructions: vec![Instruction::Nop; 4], data: vec![] };
+        for i in 0..4 {
+            assert_eq!(p.index_of(Program::pc_of(i)), Some(i));
+        }
+        assert_eq!(p.index_of(Program::pc_of(4)), None);
+        assert_eq!(p.index_of(TEXT_BASE + 2), None, "unaligned");
+        assert_eq!(p.index_of(0), None, "below text base");
+    }
+}

@@ -1,0 +1,444 @@
+//! Trace persistence: a compact little-endian binary format and a
+//! line-oriented text format.
+//!
+//! Binary layout (version 1):
+//!
+//! ```text
+//! magic   "BPTR"            4 bytes
+//! version u8                = 1
+//! name    u32 len + UTF-8 bytes
+//! count   u64
+//! records count * { pc: u64, target: u64, flags: u8 }
+//!           flags bit 0 = taken, bits 1..4 = kind tag
+//! ```
+//!
+//! Text format: a `# trace: <name>` header line, then one record per
+//! line: `<pc-hex> <target-hex> <T|N> <kind>`.
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+use crate::record::{BranchKind, BranchRecord};
+use crate::trace::Trace;
+
+const MAGIC: &[u8; 4] = b"BPTR";
+const VERSION: u8 = 1;
+
+/// Error produced by the trace codecs.
+#[derive(Debug)]
+pub enum CodecError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a valid trace in the expected format.
+    Malformed(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "trace i/o error: {e}"),
+            CodecError::Malformed(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            CodecError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> CodecError {
+    CodecError::Malformed(msg.into())
+}
+
+/// Writes a trace in the binary format.
+///
+/// A `&mut` reference can be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] on write failure.
+pub fn write_binary<W: Write>(trace: &Trace, mut writer: W) -> Result<(), CodecError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&[VERSION])?;
+    let name = trace.name().as_bytes();
+    writer.write_all(&(name.len() as u32).to_le_bytes())?;
+    writer.write_all(name)?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for r in trace.iter() {
+        writer.write_all(&r.pc.to_le_bytes())?;
+        writer.write_all(&r.target.to_le_bytes())?;
+        let flags = u8::from(r.taken) | (r.kind.tag() << 1);
+        writer.write_all(&[flags])?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the binary format.
+///
+/// A `&mut` reference can be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] on read failure and
+/// [`CodecError::Malformed`] when the bytes are not a valid trace.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, CodecError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(malformed("bad magic"));
+    }
+    let mut version = [0u8; 1];
+    reader.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(malformed(format!("unsupported version {}", version[0])));
+    }
+    let mut len4 = [0u8; 4];
+    reader.read_exact(&mut len4)?;
+    let name_len = u32::from_le_bytes(len4) as usize;
+    if name_len > 4096 {
+        return Err(malformed("unreasonable name length"));
+    }
+    let mut name = vec![0u8; name_len];
+    reader.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| malformed("name is not UTF-8"))?;
+    let mut len8 = [0u8; 8];
+    reader.read_exact(&mut len8)?;
+    let count = u64::from_le_bytes(len8);
+    let mut trace = Trace::new(name);
+    let mut rec = [0u8; 17];
+    for i in 0..count {
+        reader
+            .read_exact(&mut rec)
+            .map_err(|e| malformed(format!("truncated at record {i}: {e}")))?;
+        let pc = u64::from_le_bytes(rec[0..8].try_into().expect("slice is 8 bytes"));
+        let target = u64::from_le_bytes(rec[8..16].try_into().expect("slice is 8 bytes"));
+        let flags = rec[16];
+        let taken = flags & 1 == 1;
+        let kind = BranchKind::from_tag(flags >> 1)
+            .ok_or_else(|| malformed(format!("bad kind tag {}", flags >> 1)))?;
+        trace.push(BranchRecord { pc, target, taken, kind });
+    }
+    Ok(trace)
+}
+
+/// Writes a trace in the human-readable text format.
+///
+/// A `&mut` reference can be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] on write failure.
+pub fn write_text<W: Write>(trace: &Trace, mut writer: W) -> Result<(), CodecError> {
+    writeln!(writer, "# trace: {}", trace.name())?;
+    for r in trace.iter() {
+        writeln!(
+            writer,
+            "{:x} {:x} {} {}",
+            r.pc,
+            r.target,
+            if r.taken { "T" } else { "N" },
+            r.kind
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format.
+///
+/// A `&mut` reference can be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] on read failure and
+/// [`CodecError::Malformed`] on syntax errors.
+pub fn read_text<R: BufRead>(reader: R) -> Result<Trace, CodecError> {
+    let mut trace = Trace::new("");
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(name) = rest.trim().strip_prefix("trace:") {
+                trace.set_name(name.trim());
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |what: &str| malformed(format!("line {}: {what}", lineno + 1));
+        let pc = u64::from_str_radix(parts.next().ok_or_else(|| err("missing pc"))?, 16)
+            .map_err(|_| err("bad pc"))?;
+        let target =
+            u64::from_str_radix(parts.next().ok_or_else(|| err("missing target"))?, 16)
+                .map_err(|_| err("bad target"))?;
+        let taken = match parts.next().ok_or_else(|| err("missing direction"))? {
+            "T" => true,
+            "N" => false,
+            other => return Err(err(&format!("bad direction `{other}`"))),
+        };
+        let kind = match parts.next().ok_or_else(|| err("missing kind"))? {
+            "cond" => BranchKind::Conditional,
+            "jump" => BranchKind::Unconditional,
+            "call" => BranchKind::Call,
+            "ret" => BranchKind::Return,
+            "ijmp" => BranchKind::Indirect,
+            other => return Err(err(&format!("bad kind `{other}`"))),
+        };
+        trace.push(BranchRecord { pc, target, taken, kind });
+    }
+    Ok(trace)
+}
+
+
+/// A streaming reader over a binary trace: yields records one at a
+/// time without materialising the whole trace in memory — the way to
+/// consume `--scale full` traces from disk.
+///
+/// Construct with [`stream_binary`]; iterate to get
+/// `Result<BranchRecord, CodecError>` items. The trace name is
+/// available from [`BinaryStream::name`] after construction.
+#[derive(Debug)]
+pub struct BinaryStream<R> {
+    reader: R,
+    name: String,
+    remaining: u64,
+    index: u64,
+    failed: bool,
+}
+
+impl<R: Read> BinaryStream<R> {
+    /// The trace's provenance name from the header.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records left to read.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+/// Opens a binary trace for streaming: reads and validates the header,
+/// then returns an iterator over the records.
+///
+/// A `&mut` reference can be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] on read failure and
+/// [`CodecError::Malformed`] if the header is not a valid trace
+/// header.
+pub fn stream_binary<R: Read>(mut reader: R) -> Result<BinaryStream<R>, CodecError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(malformed("bad magic"));
+    }
+    let mut version = [0u8; 1];
+    reader.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(malformed(format!("unsupported version {}", version[0])));
+    }
+    let mut len4 = [0u8; 4];
+    reader.read_exact(&mut len4)?;
+    let name_len = u32::from_le_bytes(len4) as usize;
+    if name_len > 4096 {
+        return Err(malformed("unreasonable name length"));
+    }
+    let mut name = vec![0u8; name_len];
+    reader.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| malformed("name is not UTF-8"))?;
+    let mut len8 = [0u8; 8];
+    reader.read_exact(&mut len8)?;
+    let remaining = u64::from_le_bytes(len8);
+    Ok(BinaryStream { reader, name, remaining, index: 0, failed: false })
+}
+
+impl<R: Read> Iterator for BinaryStream<R> {
+    type Item = Result<BranchRecord, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.remaining == 0 {
+            return None;
+        }
+        let mut rec = [0u8; 17];
+        if let Err(e) = self.reader.read_exact(&mut rec) {
+            self.failed = true;
+            return Some(Err(malformed(format!("truncated at record {}: {e}", self.index))));
+        }
+        self.remaining -= 1;
+        self.index += 1;
+        let pc = u64::from_le_bytes(rec[0..8].try_into().expect("slice is 8 bytes"));
+        let target = u64::from_le_bytes(rec[8..16].try_into().expect("slice is 8 bytes"));
+        let flags = rec[16];
+        let taken = flags & 1 == 1;
+        match BranchKind::from_tag(flags >> 1) {
+            Some(kind) => Some(Ok(BranchRecord { pc, target, taken, kind })),
+            None => {
+                self.failed = true;
+                Some(Err(malformed(format!("bad kind tag {}", flags >> 1))))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.failed {
+            (0, Some(0))
+        } else {
+            let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+            (n, Some(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("roundtrip");
+        t.push(BranchRecord::conditional(0x1000, 0x1040, true));
+        t.push(BranchRecord::conditional(0x1008, 0x0FF0, false));
+        t.push(BranchRecord::unconditional(0x1010, 0x2000));
+        t.push(BranchRecord { pc: 0x2000, target: 0x3000, taken: true, kind: BranchKind::Call });
+        t.push(BranchRecord { pc: 0x3010, target: 0x2004, taken: true, kind: BranchKind::Return });
+        t.push(BranchRecord { pc: 0x2008, target: 0x4000, taken: true, kind: BranchKind::Indirect });
+        t
+    }
+
+    #[test]
+    fn streaming_matches_bulk_read() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let stream = stream_binary(Cursor::new(&buf)).unwrap();
+        assert_eq!(stream.name(), "roundtrip");
+        assert_eq!(stream.remaining(), t.len() as u64);
+        let records: Vec<BranchRecord> =
+            stream.map(|r| r.expect("valid record")).collect();
+        assert_eq!(records, t.records());
+    }
+
+    #[test]
+    fn streaming_size_hint_is_exact() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let mut stream = stream_binary(Cursor::new(&buf)).unwrap();
+        assert_eq!(stream.size_hint(), (6, Some(6)));
+        stream.next();
+        assert_eq!(stream.size_hint(), (5, Some(5)));
+    }
+
+    #[test]
+    fn streaming_reports_truncation_once_then_stops() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let stream = stream_binary(Cursor::new(&buf)).unwrap();
+        let results: Vec<Result<BranchRecord, CodecError>> = stream.collect();
+        assert_eq!(results.len(), 6, "5 good records + 1 error");
+        assert!(results[..5].iter().all(Result::is_ok));
+        assert!(results[5].as_ref().is_err());
+    }
+
+    #[test]
+    fn streaming_rejects_bad_header() {
+        assert!(stream_binary(Cursor::new(b"NOPE\x01")).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(Cursor::new(&buf)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let back = read_text(Cursor::new(&buf)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(Cursor::new(b"NOPE\x01")).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn binary_rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[4] = 99;
+        let err = read_binary(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_binary(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn binary_rejects_bad_kind_tag() {
+        let mut buf = Vec::new();
+        let mut t = Trace::new("x");
+        t.push(BranchRecord::conditional(0, 0, false));
+        write_binary(&t, &mut buf).unwrap();
+        let flags_pos = buf.len() - 1;
+        buf[flags_pos] = 5 << 1;
+        let err = read_binary(Cursor::new(&buf)).unwrap_err();
+        assert!(err.to_string().contains("bad kind tag"));
+    }
+
+    #[test]
+    fn text_tolerates_blank_lines_and_comments() {
+        let input = "# trace: demo\n\n# a comment\n1000 1040 T cond\n";
+        let t = read_text(Cursor::new(input)).unwrap();
+        assert_eq!(t.name(), "demo");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn text_reports_line_numbers_on_errors() {
+        let input = "# trace: demo\n1000 1040 X cond\n";
+        let err = read_text(Cursor::new(input)).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new("empty");
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        assert_eq!(read_binary(Cursor::new(&buf)).unwrap(), t);
+        let mut txt = Vec::new();
+        write_text(&t, &mut txt).unwrap();
+        assert_eq!(read_text(Cursor::new(&txt)).unwrap(), t);
+    }
+}

@@ -1,0 +1,150 @@
+//! A single dynamic branch event.
+
+use std::fmt;
+
+/// The control-flow class of a branch instruction.
+///
+/// Predictors in this reproduction train only on
+/// [`Conditional`](BranchKind::Conditional) branches (the paper's Table 2
+/// counts conditional branches only); the other kinds are carried so that
+/// traces remain usable for BTB/fetch studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BranchKind {
+    /// A direction-predicted conditional branch.
+    Conditional,
+    /// An unconditional direct jump.
+    Unconditional,
+    /// A direct call.
+    Call,
+    /// A return.
+    Return,
+    /// An indirect jump through a register.
+    Indirect,
+}
+
+impl BranchKind {
+    /// All kinds, in codec tag order.
+    pub const ALL: [BranchKind; 5] = [
+        BranchKind::Conditional,
+        BranchKind::Unconditional,
+        BranchKind::Call,
+        BranchKind::Return,
+        BranchKind::Indirect,
+    ];
+
+    /// Stable one-byte codec tag.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            BranchKind::Conditional => 0,
+            BranchKind::Unconditional => 1,
+            BranchKind::Call => 2,
+            BranchKind::Return => 3,
+            BranchKind::Indirect => 4,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Self::ALL.get(tag as usize).copied()
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Conditional => "cond",
+            BranchKind::Unconditional => "jump",
+            BranchKind::Call => "call",
+            BranchKind::Return => "ret",
+            BranchKind::Indirect => "ijmp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic branch: the instruction's address, its (byte) target, the
+/// resolved direction, and its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchRecord {
+    /// Byte address of the branch instruction.
+    pub pc: u64,
+    /// Byte address of the taken-path target.
+    pub target: u64,
+    /// Resolved direction (`true` = taken). Always `true` for
+    /// unconditional kinds.
+    pub taken: bool,
+    /// Control-flow class.
+    pub kind: BranchKind,
+}
+
+impl BranchRecord {
+    /// A conditional branch event.
+    #[must_use]
+    pub fn conditional(pc: u64, target: u64, taken: bool) -> Self {
+        Self { pc, target, taken, kind: BranchKind::Conditional }
+    }
+
+    /// An unconditional jump event (always taken).
+    #[must_use]
+    pub fn unconditional(pc: u64, target: u64) -> Self {
+        Self { pc, target, taken: true, kind: BranchKind::Unconditional }
+    }
+
+    /// Whether this branch jumps backwards (target below the branch),
+    /// the heuristic behind BTFNT static prediction and loop detection.
+    #[must_use]
+    pub fn is_backward(&self) -> bool {
+        self.target < self.pc
+    }
+}
+
+impl fmt::Display for BranchRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#010x} -> {:#010x} {} {}",
+            self.pc,
+            self.target,
+            if self.taken { "T" } else { "N" },
+            self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for kind in BranchKind::ALL {
+            assert_eq!(BranchKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(BranchKind::from_tag(5), None);
+    }
+
+    #[test]
+    fn constructors_set_kind_and_direction() {
+        let c = BranchRecord::conditional(0x10, 0x20, false);
+        assert_eq!(c.kind, BranchKind::Conditional);
+        assert!(!c.taken);
+        let u = BranchRecord::unconditional(0x10, 0x8);
+        assert_eq!(u.kind, BranchKind::Unconditional);
+        assert!(u.taken);
+    }
+
+    #[test]
+    fn backward_detection() {
+        assert!(BranchRecord::conditional(0x100, 0x80, true).is_backward());
+        assert!(!BranchRecord::conditional(0x100, 0x180, true).is_backward());
+        assert!(!BranchRecord::conditional(0x100, 0x100, true).is_backward());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = BranchRecord::conditional(0x1000, 0x1040, true);
+        assert_eq!(r.to_string(), "0x00001000 -> 0x00001040 T cond");
+    }
+}

@@ -1,0 +1,192 @@
+//! The in-memory trace container.
+
+use crate::record::{BranchKind, BranchRecord};
+use crate::stats::TraceStats;
+
+/// A named, ordered sequence of dynamic branch events.
+///
+/// ```
+/// use bpred_trace::{BranchRecord, Trace};
+///
+/// let trace: Trace = std::iter::repeat_with(|| BranchRecord::conditional(0x40, 0x80, true))
+///     .take(3)
+///     .collect();
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.conditional().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    name: String,
+    records: Vec<BranchRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace with a provenance name (workload name).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), records: Vec::new() }
+    }
+
+    /// Creates a trace from existing records.
+    #[must_use]
+    pub fn from_records(name: impl Into<String>, records: Vec<BranchRecord>) -> Self {
+        Self { name: name.into(), records }
+    }
+
+    /// The workload name this trace came from.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the trace (e.g. after filtering).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of dynamic branch events of all kinds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, record: BranchRecord) {
+        self.records.push(record);
+    }
+
+    /// All events in program order.
+    #[must_use]
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Iterates over all events.
+    pub fn iter(&self) -> std::slice::Iter<'_, BranchRecord> {
+        self.records.iter()
+    }
+
+    /// Iterates over the conditional branches only — the stream
+    /// predictors train on.
+    pub fn conditional(&self) -> impl Iterator<Item = &BranchRecord> + '_ {
+        self.records.iter().filter(|r| r.kind == BranchKind::Conditional)
+    }
+
+    /// A new trace holding only the conditional branches.
+    #[must_use]
+    pub fn conditional_only(&self) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            records: self.conditional().copied().collect(),
+        }
+    }
+
+    /// A new trace truncated to at most `n` events (prefix). Useful for
+    /// quick-look runs of the big workloads.
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            records: self.records.iter().take(n).copied().collect(),
+        }
+    }
+
+    /// Computes summary statistics (Table 2 columns and more).
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::measure(self)
+    }
+}
+
+impl FromIterator<BranchRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = BranchRecord>>(iter: I) -> Self {
+        Trace { name: String::new(), records: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<BranchRecord> for Trace {
+    fn extend<I: IntoIterator<Item = BranchRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a BranchRecord;
+    type IntoIter = std::slice::Iter<'a, BranchRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = BranchRecord;
+    type IntoIter = std::vec::IntoIter<BranchRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("sample");
+        t.push(BranchRecord::conditional(0x100, 0x80, true));
+        t.push(BranchRecord::unconditional(0x104, 0x200));
+        t.push(BranchRecord::conditional(0x200, 0x300, false));
+        t
+    }
+
+    #[test]
+    fn push_and_len() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.name(), "sample");
+    }
+
+    #[test]
+    fn conditional_filter_drops_jumps() {
+        let t = sample();
+        assert_eq!(t.conditional().count(), 2);
+        let only = t.conditional_only();
+        assert_eq!(only.len(), 2);
+        assert!(only.iter().all(|r| r.kind == BranchKind::Conditional));
+        assert_eq!(only.name(), "sample");
+    }
+
+    #[test]
+    fn truncated_takes_prefix() {
+        let t = sample();
+        let head = t.truncated(2);
+        assert_eq!(head.len(), 2);
+        assert_eq!(head.records()[0], t.records()[0]);
+        assert_eq!(t.truncated(100).len(), 3);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace =
+            (0..5).map(|i| BranchRecord::conditional(i * 4, 0, true)).collect();
+        t.extend((0..3).map(|i| BranchRecord::conditional(i * 4, 0, false)));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn borrowing_iteration() {
+        let t = sample();
+        let pcs: Vec<u64> = (&t).into_iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, [0x100, 0x104, 0x200]);
+        let owned: Vec<BranchRecord> = t.clone().into_iter().collect();
+        assert_eq!(owned.len(), 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! The benchmark kernel implementations, one module per benchmark the
+//! paper traces (Table 2). See each module's docs for the algorithmic
+//! core it models and the branch structure it contributes.
+
+pub mod compress;
+pub mod gcc;
+pub mod go;
+pub mod groff;
+pub mod gs;
+pub mod mpeg;
+pub mod nroff;
+pub mod perl;
+pub mod sdet;
+pub mod textgen;
+pub mod verilog;
+pub mod vortex;
+pub mod xlisp;

@@ -1,0 +1,108 @@
+//! Deterministic natural-text generation shared by the text-processing
+//! workloads (compress, perl, groff, nroff).
+//!
+//! Produces word/sentence-structured ASCII with Zipf-distributed word
+//! frequencies — the property that gives LZW its dictionary hits and the
+//! formatters their realistic line-fill branch behaviour.
+
+use crate::rng::Rng;
+
+/// A deterministic vocabulary of `n` pseudo-words.
+#[must_use]
+pub fn vocabulary(rng: &mut Rng, n: usize) -> Vec<String> {
+    const SYLLABLES: [&str; 16] = [
+        "ka", "ro", "mi", "ten", "sol", "ar", "ve", "lu", "qua", "bis", "ner", "tol", "ex",
+        "ium", "pre", "dak",
+    ];
+    (0..n)
+        .map(|_| {
+            let syllables = 1 + rng.below(3) as usize;
+            let mut w = String::new();
+            for _ in 0..=syllables {
+                let syllable = *rng.pick::<&str>(&SYLLABLES);
+                w.push_str(syllable);
+            }
+            w
+        })
+        .collect()
+}
+
+/// Generates roughly `target_bytes` of sentence-structured text drawn
+/// from a Zipf-weighted vocabulary.
+#[must_use]
+pub fn generate(rng: &mut Rng, target_bytes: usize) -> String {
+    let vocab = vocabulary(rng, 600);
+    let mut out = String::with_capacity(target_bytes + 64);
+    while out.len() < target_bytes {
+        // One sentence: 4..14 words, occasional comma, final period.
+        let words = 4 + rng.below(11) as usize;
+        for w in 0..words {
+            let word = &vocab[rng.zipf(vocab.len())];
+            if w == 0 {
+                // Capitalise the first letter.
+                let mut chars = word.chars();
+                if let Some(first) = chars.next() {
+                    out.push(first.to_ascii_uppercase());
+                    out.push_str(chars.as_str());
+                }
+            } else {
+                out.push_str(word);
+            }
+            if w + 1 < words {
+                if rng.chance(0.08) {
+                    out.push(',');
+                }
+                out.push(' ');
+            }
+        }
+        out.push_str(". ");
+        if rng.chance(0.15) {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&mut Rng::new(11), 2000);
+        let b = generate(&mut Rng::new(11), 2000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_reaches_target_and_is_ascii() {
+        let t = generate(&mut Rng::new(1), 5000);
+        assert!(t.len() >= 5000);
+        assert!(t.is_ascii());
+    }
+
+    #[test]
+    fn text_has_sentence_structure() {
+        let t = generate(&mut Rng::new(2), 5000);
+        assert!(t.contains(". "));
+        assert!(t.contains(' '));
+        assert!(t.chars().any(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let t = generate(&mut Rng::new(3), 20_000);
+        let mut counts = std::collections::HashMap::new();
+        for w in t.split_whitespace() {
+            let w = w.trim_matches(|c: char| !c.is_ascii_alphanumeric());
+            if !w.is_empty() {
+                *counts.entry(w.to_ascii_lowercase()).or_insert(0u32) += 1;
+            }
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf: the top word should dwarf the median word.
+        let median = freqs[freqs.len() / 2];
+        assert!(freqs[0] > median * 5, "top {} median {median}", freqs[0]);
+    }
+}

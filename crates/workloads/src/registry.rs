@@ -1,0 +1,354 @@
+//! The workload registry: the benchmark suites of the paper's Table 2,
+//! plus the PC-accurate ISA-simulator kernels as a third suite.
+
+use std::fmt;
+
+use bpred_trace::Trace;
+
+use crate::kernels;
+
+/// How much work a trace generation performs.
+///
+/// `Smoke` is for tests (tens of thousands of branches), `Paper` is the
+/// default experiment scale (on the order of a million conditional
+/// branches per workload), and `Full` approaches the paper's own trace
+/// lengths at the cost of runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Fast: for unit tests and smoke checks.
+    Smoke,
+    /// The default experiment scale.
+    #[default]
+    Paper,
+    /// Long traces, closest to the paper's 5-40M dynamic branches.
+    Full,
+}
+
+impl Scale {
+    /// Work multiplier relative to `Smoke`.
+    #[must_use]
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Paper => 12,
+            Scale::Full => 48,
+        }
+    }
+
+    /// Parses `smoke|paper|full`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "paper" => Some(Scale::Paper),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scale::Smoke => "smoke",
+            Scale::Paper => "paper",
+            Scale::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Benchmark suite membership, following the paper's grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CINT95 analogues (paper Figure 3).
+    SpecInt95,
+    /// IBS-Ultrix analogues (paper Figure 4).
+    IbsUltrix,
+    /// PC-accurate kernels from the `bpred-sim` ISA machine.
+    SimKernels,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::SpecInt95 => "SPEC CINT95",
+            Suite::IbsUltrix => "IBS-Ultrix",
+            Suite::SimKernels => "sim-kernels",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One registered workload.
+#[derive(Clone, Copy)]
+pub struct Workload {
+    name: &'static str,
+    suite: Suite,
+    description: &'static str,
+    generator: fn(Scale) -> Trace,
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// The benchmark name as it appears in the paper's tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Which suite the workload belongs to.
+    #[must_use]
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// A one-line description of the modelled benchmark.
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Generates the workload's branch trace.
+    #[must_use]
+    pub fn trace(&self, scale: Scale) -> Trace {
+        (self.generator)(scale)
+    }
+
+    /// All registered workloads, paper order: SPEC then IBS then sim.
+    #[must_use]
+    pub fn all() -> Vec<Workload> {
+        REGISTRY.to_vec()
+    }
+
+    /// The workloads of one suite.
+    #[must_use]
+    pub fn suite_workloads(suite: Suite) -> Vec<Workload> {
+        REGISTRY.iter().filter(|w| w.suite == suite).copied().collect()
+    }
+
+    /// Looks a workload up by name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Workload> {
+        REGISTRY.iter().find(|w| w.name == name).copied()
+    }
+}
+
+fn sim_bubble(scale: Scale) -> Trace {
+    let n = match scale {
+        Scale::Smoke => 120,
+        Scale::Paper => 450,
+        Scale::Full => 900,
+    };
+    bpred_sim::kernels::bubble_sort(n)
+}
+
+fn sim_bsearch(scale: Scale) -> Trace {
+    let queries = 600 * scale.factor() as usize;
+    bpred_sim::kernels::binary_search(4096, queries)
+}
+
+fn sim_quicksort(scale: Scale) -> Trace {
+    let n = match scale {
+        Scale::Smoke => 1_500,
+        Scale::Paper => 18_000,
+        Scale::Full => 50_000,
+    };
+    bpred_sim::kernels::quicksort(n)
+}
+
+fn sim_matmul(scale: Scale) -> Trace {
+    let n = match scale {
+        Scale::Smoke => 24,
+        Scale::Paper => 64,
+        Scale::Full => 110,
+    };
+    bpred_sim::kernels::matmul(n)
+}
+
+fn sim_sieve(scale: Scale) -> Trace {
+    let n = match scale {
+        Scale::Smoke => 8_000,
+        Scale::Paper => 120_000,
+        Scale::Full => 500_000,
+    };
+    bpred_sim::kernels::sieve(n)
+}
+
+const REGISTRY: &[Workload] = &[
+    Workload {
+        name: "compress",
+        suite: Suite::SpecInt95,
+        description: "LZW compression/decompression over Zipf-structured text",
+        generator: kernels::compress::trace,
+    },
+    Workload {
+        name: "gcc",
+        suite: Suite::SpecInt95,
+        description: "optimizing compiler pipeline over generated programs",
+        generator: kernels::gcc::trace,
+    },
+    Workload {
+        name: "go",
+        suite: Suite::SpecInt95,
+        description: "Monte-Carlo Go self-play with capture logic",
+        generator: kernels::go::trace,
+    },
+    Workload {
+        name: "xlisp",
+        suite: Suite::SpecInt95,
+        description: "Lisp interpreter running recursive list programs",
+        generator: kernels::xlisp::trace,
+    },
+    Workload {
+        name: "perl",
+        suite: Suite::SpecInt95,
+        description: "regex-lite scanning and word-frequency scripting",
+        generator: kernels::perl::trace,
+    },
+    Workload {
+        name: "vortex",
+        suite: Suite::SpecInt95,
+        description: "in-memory object database with a skewed transaction mix",
+        generator: kernels::vortex::trace,
+    },
+    Workload {
+        name: "groff",
+        suite: Suite::IbsUltrix,
+        description: "text formatter with justification and hyphenation",
+        generator: kernels::groff::trace,
+    },
+    Workload {
+        name: "gs",
+        suite: Suite::IbsUltrix,
+        description: "software rasteriser: polygon fill, lines, clipping",
+        generator: kernels::gs::trace,
+    },
+    Workload {
+        name: "mpeg_play",
+        suite: Suite::IbsUltrix,
+        description: "block video decoder: RLE, IDCT, motion compensation",
+        generator: kernels::mpeg::trace_mpeg_play,
+    },
+    Workload {
+        name: "nroff",
+        suite: Suite::IbsUltrix,
+        description: "terminal formatter: filling, centering, pagination",
+        generator: kernels::nroff::trace,
+    },
+    Workload {
+        name: "real_gcc",
+        suite: Suite::IbsUltrix,
+        description: "the compiler pipeline over a larger input mix",
+        generator: kernels::gcc::trace_real_gcc,
+    },
+    Workload {
+        name: "sdet",
+        suite: Suite::IbsUltrix,
+        description: "systems mix: scheduler, file-system tree, syscalls",
+        generator: kernels::sdet::trace,
+    },
+    Workload {
+        name: "verilog",
+        suite: Suite::IbsUltrix,
+        description: "event-driven gate-level logic simulator",
+        generator: kernels::verilog::trace,
+    },
+    Workload {
+        name: "video_play",
+        suite: Suite::IbsUltrix,
+        description: "lighter video decoder: more skips, sparser residuals",
+        generator: kernels::mpeg::trace_video_play,
+    },
+    Workload {
+        name: "sim-bubble-sort",
+        suite: Suite::SimKernels,
+        description: "ISA-machine bubble sort (PC-accurate branches)",
+        generator: sim_bubble,
+    },
+    Workload {
+        name: "sim-binary-search",
+        suite: Suite::SimKernels,
+        description: "ISA-machine repeated binary search",
+        generator: sim_bsearch,
+    },
+    Workload {
+        name: "sim-sieve",
+        suite: Suite::SimKernels,
+        description: "ISA-machine sieve of Eratosthenes",
+        generator: sim_sieve,
+    },
+    Workload {
+        name: "sim-quicksort",
+        suite: Suite::SimKernels,
+        description: "ISA-machine quicksort with explicit stack and calls",
+        generator: sim_quicksort,
+    },
+    Workload {
+        name: "sim-matmul",
+        suite: Suite::SimKernels,
+        description: "ISA-machine dense matrix multiply (counted loop nest)",
+        generator: sim_matmul,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_the_papers_benchmark_lists() {
+        let spec: Vec<&str> =
+            Workload::suite_workloads(Suite::SpecInt95).iter().map(|w| w.name()).collect();
+        assert_eq!(spec, ["compress", "gcc", "go", "xlisp", "perl", "vortex"]);
+        let ibs: Vec<&str> =
+            Workload::suite_workloads(Suite::IbsUltrix).iter().map(|w| w.name()).collect();
+        assert_eq!(
+            ibs,
+            ["groff", "gs", "mpeg_play", "nroff", "real_gcc", "sdet", "verilog", "video_play"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Workload::by_name("go").unwrap().suite(), Suite::SpecInt95);
+        assert!(Workload::by_name("doom").is_none());
+    }
+
+    #[test]
+    fn trace_names_match_registry_names() {
+        for w in Workload::all() {
+            if w.suite() == Suite::SimKernels {
+                continue; // sim kernels carry their own sim-* names
+            }
+            let trace = w.trace(Scale::Smoke);
+            assert_eq!(trace.name(), w.name(), "trace name mismatch for {}", w.name());
+        }
+    }
+
+    #[test]
+    fn scale_factors_are_ordered() {
+        assert!(Scale::Smoke.factor() < Scale::Paper.factor());
+        assert!(Scale::Paper.factor() < Scale::Full.factor());
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("nope"), None);
+        assert_eq!(Scale::Paper.to_string(), "paper");
+    }
+
+    #[test]
+    fn sim_suite_produces_pc_accurate_traces() {
+        let t = Workload::by_name("sim-sieve").unwrap().trace(Scale::Smoke);
+        assert!(t.conditional().count() > 1_000);
+        // ISA-machine PCs live in its text segment, below the synthetic
+        // site segment.
+        assert!(t.iter().all(|r| r.pc < crate::tracer::SITE_BASE));
+    }
+}

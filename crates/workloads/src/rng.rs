@@ -1,0 +1,212 @@
+//! A small, self-contained deterministic RNG (xoshiro256** seeded via
+//! SplitMix64).
+//!
+//! Hand-rolled instead of depending on `rand` so that workload traces
+//! are bit-stable forever: a `rand` version bump must never silently
+//! change every measured misprediction rate in EXPERIMENTS.md.
+
+/// Deterministic pseudo-random generator for workload construction.
+///
+/// ```
+/// use bpred_workloads::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { state: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniformly distributed bits (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Multiply-shift bounded sampling (Lemire); the slight modulo
+        // bias of the simple fallback is irrelevant here, but this is
+        // just as cheap.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform value in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from an empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// A skewed (Zipf-ish, exponent ~1) index in `0..n`, favouring small
+    /// indices the way symbol/identifier frequencies do in real inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn zipf(&mut self, n: usize) -> usize {
+        assert!(n > 0, "zipf over an empty domain");
+        // Inverse-CDF of 1/x on [1, n+1): floor(exp(u * ln(n+1))) - 1.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = ((n as f64 + 1.0).ln() * u).exp();
+        ((x as usize).saturating_sub(1)).min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+        // All residues appear.
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn range_is_inclusive_exclusive() {
+        let mut r = Rng::new(4);
+        for _ in 0..1000 {
+            let v = r.range(10, 13);
+            assert!((10..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes_and_middle() {
+        let mut r = Rng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn zipf_favours_small_indices() {
+        let mut r = Rng::new(8);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.zipf(10)] += 1;
+        }
+        assert!(counts[0] > counts[5], "{counts:?}");
+        assert!(counts[0] > 2 * counts[9], "{counts:?}");
+        assert!(counts.iter().all(|c| *c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut r = Rng::new(9);
+        let items = ['a', 'b', 'c'];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let c = *r.pick(&items);
+            seen[(c as u8 - b'a') as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        let _ = Rng::new(0).below(0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Facade crate for the bi-mode branch predictor reproduction: one
+//! `use bimode_repro::...` away from every sub-crate.
+//!
+//! See the workspace README for the full tour. The sub-crates:
+//!
+//! * [`core`] — predictor models (bi-mode, gshare, two-level, …)
+//! * [`trace`] — branch trace model, codecs, statistics
+//! * [`sim`] — the RISC ISA machine and assembler
+//! * [`workloads`] — the benchmark suite analogues
+//! * [`analysis`] — the Section 4 bias-class framework
+//! * [`harness`] — experiment regeneration (tables and figures)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bpred_analysis as analysis;
+pub use bpred_core as core;
+pub use bpred_harness as harness;
+pub use bpred_sim as sim;
+pub use bpred_trace as trace;
+pub use bpred_workloads as workloads;
