@@ -152,7 +152,8 @@ mod tests {
             t.push(BranchRecord::conditional(base, 0, true)); // ST
             t.push(BranchRecord::conditional(base + stride, 0, true)); // ST (harmless)
             t.push(BranchRecord::conditional(base + 2 * stride, 0, false)); // SNT (destructive)
-            t.push(BranchRecord::conditional(base + 3 * stride, 0, i % 2 == 0)); // WB (neutral)
+            t.push(BranchRecord::conditional(base + 3 * stride, 0, i % 2 == 0));
+            // WB (neutral)
         }
         t
     }

@@ -33,12 +33,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aliasing;
+pub mod batch;
 pub mod bias;
 pub mod simulate;
 pub mod twopass;
 pub mod warmup;
 
 pub use aliasing::AliasReport;
+pub use batch::{measure_batch, measure_packed, measure_packed_with_flushes};
 pub use bias::{BiasClass, StreamStats};
 pub use simulate::{measure, measure_with_flushes, RunResult};
 pub use twopass::{Analysis, ClassChanges, CounterBias, MispredictionBreakdown};

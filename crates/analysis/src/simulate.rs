@@ -79,7 +79,10 @@ mod tests {
     use bpred_trace::BranchRecord;
 
     fn trace_of(outcomes: &[bool]) -> Trace {
-        outcomes.iter().map(|&t| BranchRecord::conditional(0x40, 0x80, t)).collect()
+        outcomes
+            .iter()
+            .map(|&t| BranchRecord::conditional(0x40, 0x80, t))
+            .collect()
     }
 
     #[test]

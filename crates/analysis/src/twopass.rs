@@ -55,7 +55,11 @@ impl CounterBias {
         if total == 0 {
             return (0.0, 0.0, 0.0);
         }
-        let (dom, non) = if self.st >= self.snt { (self.st, self.snt) } else { (self.snt, self.st) };
+        let (dom, non) = if self.st >= self.snt {
+            (self.st, self.snt)
+        } else {
+            (self.snt, self.st)
+        };
         let t = total as f64;
         (dom as f64 / t, non as f64 / t, self.wb as f64 / t)
     }
@@ -174,7 +178,10 @@ impl Analysis {
             let counter = predictor
                 .counter_id(record.pc)
                 .expect("num_counters > 0 implies counter_id is Some");
-            streams.entry((record.pc, counter)).or_default().record(record.taken);
+            streams
+                .entry((record.pc, counter))
+                .or_default()
+                .record(record.taken);
             predictor.update(record.pc, record.taken);
         }
 
@@ -191,7 +198,10 @@ impl Analysis {
             let counter = predictor
                 .counter_id(record.pc)
                 .expect("num_counters > 0 implies counter_id is Some");
-            assert!(counter < num_counters, "pass 2 diverged: counter {counter} out of range");
+            assert!(
+                counter < num_counters,
+                "pass 2 diverged: counter {counter} out of range"
+            );
             let class = streams
                 .get(&(record.pc, counter))
                 .expect("pass 2 diverged: unseen substream")
@@ -287,7 +297,11 @@ impl Analysis {
     pub fn area_fractions(&self) -> (f64, f64, f64) {
         let (mut dom, mut non, mut wb) = (0u64, 0u64, 0u64);
         for c in &self.per_counter {
-            let (d, n) = if c.st >= c.snt { (c.st, c.snt) } else { (c.snt, c.st) };
+            let (d, n) = if c.st >= c.snt {
+                (c.st, c.snt)
+            } else {
+                (c.snt, c.st)
+            };
             dom += d;
             non += n;
             wb += c.wb;
@@ -325,8 +339,11 @@ mod tests {
         let t = aliased_trace();
         let analysis = Analysis::run(&t, || Gshare::new(4, 0));
         // One counter sees both an ST and an SNT substream, 50/50.
-        let mixed: Vec<&CounterBias> =
-            analysis.per_counter.iter().filter(|c| c.st > 0 && c.snt > 0).collect();
+        let mixed: Vec<&CounterBias> = analysis
+            .per_counter
+            .iter()
+            .filter(|c| c.st > 0 && c.snt > 0)
+            .collect();
         assert_eq!(mixed.len(), 1);
         let (dom, non, wb) = mixed[0].normalized();
         assert!((dom - 0.5).abs() < 1e-12);
@@ -387,7 +404,10 @@ mod tests {
         let t = aliased_trace();
         let analysis = Analysis::run(&t, || Gshare::new(6, 4));
         let plain = crate::simulate::measure(&t, &mut Gshare::new(6, 4));
-        assert_eq!(analysis.run, plain, "two-pass must not perturb the simulation");
+        assert_eq!(
+            analysis.run, plain,
+            "two-pass must not perturb the simulation"
+        );
     }
 
     #[test]
@@ -402,12 +422,19 @@ mod tests {
         let analysis = Analysis::run(&t, || Bimodal::new(4));
         let sorted = analysis.sorted_for_figure();
         let (_, _, first_wb) = sorted[0].1.normalized();
-        assert!((first_wb - 1.0).abs() < 1e-12, "WB-heavy counter must sort first");
+        assert!(
+            (first_wb - 1.0).abs() < 1e-12,
+            "WB-heavy counter must sort first"
+        );
     }
 
     #[test]
     fn dominant_class_tie_break_prefers_taken() {
-        let c = CounterBias { st: 5, snt: 5, wb: 0 };
+        let c = CounterBias {
+            st: 5,
+            snt: 5,
+            wb: 0,
+        };
         assert_eq!(c.dominant_class(), BiasClass::StronglyTaken);
     }
 

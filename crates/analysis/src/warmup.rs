@@ -61,7 +61,9 @@ mod tests {
     use bpred_trace::BranchRecord;
 
     fn biased_trace(n: usize) -> Trace {
-        (0..n).map(|i| BranchRecord::conditional(0x40 + (i as u64 % 16) * 4, 0, false)).collect()
+        (0..n)
+            .map(|i| BranchRecord::conditional(0x40 + (i as u64 % 16) * 4, 0, false))
+            .collect()
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Execution-engine comparison: the scalar per-configuration trace
+//! walk vs the packed single-pass batch, at growing batch widths. The
+//! batch side should pull ahead as soon as several configurations share
+//! one pass, since the trace is streamed once instead of N times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bpred_analysis::{measure, measure_batch};
+use bpred_core::{BiMode, BiModeConfig, Gshare, Predictor};
+use bpred_trace::{PackedTrace, Trace};
+use bpred_workloads::{Scale, Workload};
+
+/// Paper scale — the `repro` default. The AoS trace is far larger than
+/// LLC here, so the scalar per-config re-walk pays its memory traffic;
+/// smoke-scale traces fit in cache and hide exactly that cost.
+fn gcc_trace() -> Trace {
+    Workload::by_name("gcc")
+        .expect("registered")
+        .trace(Scale::Paper)
+}
+
+/// A mixed ladder of `n` configurations, like a sweep would build.
+fn ladder(n: usize) -> Vec<Box<dyn Predictor>> {
+    (0..n)
+        .map(|i| -> Box<dyn Predictor> {
+            if i % 3 == 2 {
+                Box::new(BiMode::new(BiModeConfig::paper_default(8 + (i % 5) as u32)))
+            } else {
+                Box::new(Gshare::new(12, (i % 13) as u32))
+            }
+        })
+        .collect()
+}
+
+/// A homogeneous gshare ladder — the monomorphised path the sweeps
+/// and the exhaustive search drive.
+fn gshare_ladder(n: usize) -> Vec<Gshare> {
+    (0..n).map(|i| Gshare::new(12, (i % 13) as u32)).collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let trace = gcc_trace();
+    let packed = PackedTrace::build(&trace).expect("gcc site table fits");
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for configs in [1usize, 4, 16, 64] {
+        group.throughput(Throughput::Elements(packed.len() as u64 * configs as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", configs), &configs, |b, &n| {
+            b.iter(|| {
+                ladder(n)
+                    .iter_mut()
+                    .map(|p| measure(&trace, p.as_mut()))
+                    .collect::<Vec<_>>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch", configs), &configs, |b, &n| {
+            b.iter(|| {
+                let mut batch = ladder(n);
+                measure_batch(&packed, &mut batch)
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("scalar-gshare", configs),
+            &configs,
+            |b, &n| {
+                b.iter(|| {
+                    gshare_ladder(n)
+                        .iter_mut()
+                        .map(|p| measure(&trace, p))
+                        .collect::<Vec<_>>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch-gshare", configs),
+            &configs,
+            |b, &n| {
+                b.iter(|| {
+                    let mut batch = gshare_ladder(n);
+                    measure_batch(&packed, &mut batch)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

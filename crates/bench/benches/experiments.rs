@@ -9,11 +9,17 @@ use bpred_core::{BiMode, BiModeConfig, Gshare};
 use bpred_harness::search::best_gshare;
 use bpred_harness::sweep::{sweep_scheme, Scheme};
 use bpred_harness::traces::TraceSet;
-use bpred_trace::Trace;
+use bpred_trace::{PackedTrace, Trace};
 use bpred_workloads::{Scale, Workload};
 
 fn gcc_trace() -> Trace {
-    Workload::by_name("gcc").expect("registered").trace(Scale::Smoke)
+    Workload::by_name("gcc")
+        .expect("registered")
+        .trace(Scale::Smoke)
+}
+
+fn gcc_packed() -> PackedTrace {
+    PackedTrace::build(&gcc_trace()).expect("gcc site table fits")
 }
 
 fn small_set() -> TraceSet {
@@ -29,7 +35,7 @@ fn small_set() -> TraceSet {
 
 /// Figure 2/3/4 kernel: the size sweep.
 fn bench_fig2_sweep(c: &mut Criterion) {
-    let trace = gcc_trace();
+    let trace = gcc_packed();
     let traces = [&trace];
     let mut group = c.benchmark_group("fig2_sweep");
     group.sample_size(10);
@@ -44,7 +50,7 @@ fn bench_fig2_sweep(c: &mut Criterion) {
 
 /// The gshare.best exhaustive search (Section 3.1 methodology).
 fn bench_best_search(c: &mut Criterion) {
-    let trace = gcc_trace();
+    let trace = gcc_packed();
     let mut group = c.benchmark_group("gshare_best_search");
     group.sample_size(10);
     group.bench_function("s12", |b| {

@@ -14,14 +14,16 @@ fn synthetic_trace(len: usize) -> Trace {
     let mut x = 0x0123_4567_89AB_CDEFu64;
     let mut last = false;
     for i in 0..len {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let site = (x >> 33) % 200;
         let pc = 0x40_0000 + site * 4;
         let taken = match site % 4 {
-            0 => true,                     // biased taken
-            1 => i % 10 != 0,              // loop-like
-            2 => last,                     // correlated
-            _ => (x >> 17) & 1 == 1,       // weakly biased
+            0 => true,               // biased taken
+            1 => i % 10 != 0,        // loop-like
+            2 => last,               // correlated
+            _ => (x >> 17) & 1 == 1, // weakly biased
         };
         last = taken;
         t.push(BranchRecord::conditional(pc, 0x40_0000, taken));
@@ -48,17 +50,13 @@ fn bench_predictors(c: &mut Criterion) {
     ];
     for spec_str in specs {
         let spec: PredictorSpec = spec_str.parse().expect("valid spec");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(spec_str),
-            &spec,
-            |b, spec| {
-                b.iter_batched(
-                    || spec.build(),
-                    |mut p| measure(&trace, p.as_mut()),
-                    criterion::BatchSize::SmallInput,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(spec_str), &spec, |b, spec| {
+            b.iter_batched(
+                || spec.build(),
+                |mut p| measure(&trace, p.as_mut()),
+                criterion::BatchSize::SmallInput,
+            );
+        });
     }
     group.finish();
 }

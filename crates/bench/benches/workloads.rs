@@ -8,7 +8,15 @@ use bpred_workloads::{Scale, Workload};
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_generation");
     group.sample_size(10);
-    for name in ["compress", "gcc", "go", "xlisp", "vortex", "verilog", "mpeg_play"] {
+    for name in [
+        "compress",
+        "gcc",
+        "go",
+        "xlisp",
+        "vortex",
+        "verilog",
+        "mpeg_play",
+    ] {
         let w = Workload::by_name(name).expect("registered workload");
         group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
             b.iter(|| w.trace(Scale::Smoke));
@@ -31,7 +39,9 @@ fn bench_sim_machine(c: &mut Criterion) {
 
 fn bench_codec(c: &mut Criterion) {
     use bpred_trace::{read_binary, stream_binary, write_binary};
-    let trace = Workload::by_name("compress").expect("registered").trace(Scale::Smoke);
+    let trace = Workload::by_name("compress")
+        .expect("registered")
+        .trace(Scale::Smoke);
     let mut encoded = Vec::new();
     write_binary(&trace, &mut encoded).expect("encode");
     let mut group = c.benchmark_group("trace_codec");

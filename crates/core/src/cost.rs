@@ -21,7 +21,10 @@ impl Cost {
     /// Cost with only counter state.
     #[must_use]
     pub fn state(bits: u64) -> Self {
-        Self { state_bits: bits, metadata_bits: 0 }
+        Self {
+            state_bits: bits,
+            metadata_bits: 0,
+        }
     }
 
     /// The paper's headline figure: counter state in bytes.
@@ -48,7 +51,12 @@ impl Cost {
 
 impl fmt::Display for Cost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.3} KB state (+{} bits metadata)", self.state_kib(), self.metadata_bits)
+        write!(
+            f,
+            "{:.3} KB state (+{} bits metadata)",
+            self.state_kib(),
+            self.metadata_bits
+        )
     }
 }
 
@@ -59,7 +67,9 @@ impl fmt::Display for Cost {
 /// costs exactly `kib` kilobytes.
 #[must_use]
 pub fn paper_size_ladder() -> Vec<(u32, f64)> {
-    (10..=17).map(|s| (s, 2f64.powi(s as i32) / 4096.0)).collect()
+    (10..=17)
+        .map(|s| (s, 2f64.powi(s as i32) / 4096.0))
+        .collect()
 }
 
 #[cfg(test)]
@@ -75,9 +85,21 @@ mod tests {
 
     #[test]
     fn plus_sums_componentwise() {
-        let a = Cost { state_bits: 10, metadata_bits: 3 };
-        let b = Cost { state_bits: 5, metadata_bits: 7 };
-        assert_eq!(a.plus(b), Cost { state_bits: 15, metadata_bits: 10 });
+        let a = Cost {
+            state_bits: 10,
+            metadata_bits: 3,
+        };
+        let b = Cost {
+            state_bits: 5,
+            metadata_bits: 7,
+        };
+        assert_eq!(
+            a.plus(b),
+            Cost {
+                state_bits: 15,
+                metadata_bits: 10
+            }
+        );
     }
 
     #[test]
@@ -90,7 +112,10 @@ mod tests {
 
     #[test]
     fn display_mentions_kib() {
-        let c = Cost { state_bits: 8192, metadata_bits: 12 };
+        let c = Cost {
+            state_bits: 8192,
+            metadata_bits: 12,
+        };
         assert_eq!(c.to_string(), "1.000 KB state (+12 bits metadata)");
     }
 }

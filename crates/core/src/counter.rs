@@ -40,7 +40,10 @@ impl Counter2 {
     /// Panics if `value > 3`.
     #[must_use]
     pub fn from_state(value: u8) -> Self {
-        assert!(value <= 3, "two-bit counter state must be in 0..=3, got {value}");
+        assert!(
+            value <= 3,
+            "two-bit counter state must be in 0..=3, got {value}"
+        );
         Self { value }
     }
 
@@ -134,10 +137,20 @@ impl SatCounter {
     /// exceeds the maximum representable value.
     #[must_use]
     pub fn new(bits: u32, initial: u16) -> Self {
-        assert!((1..=16).contains(&bits), "counter width must be 1..=16, got {bits}");
+        assert!(
+            (1..=16).contains(&bits),
+            "counter width must be 1..=16, got {bits}"
+        );
         let max = ((1u32 << bits) - 1) as u16;
-        assert!(initial <= max, "initial value {initial} exceeds {bits}-bit maximum {max}");
-        Self { value: initial, max, threshold: (max as u32).div_ceil(2) as u16 }
+        assert!(
+            initial <= max,
+            "initial value {initial} exceeds {bits}-bit maximum {max}"
+        );
+        Self {
+            value: initial,
+            max,
+            threshold: (max as u32).div_ceil(2) as u16,
+        }
     }
 
     /// The current value.
@@ -240,8 +253,9 @@ mod tests {
 
     #[test]
     fn two_bit_display_names() {
-        let names: Vec<String> =
-            (0..4).map(|s| Counter2::from_state(s).to_string()).collect();
+        let names: Vec<String> = (0..4)
+            .map(|s| Counter2::from_state(s).to_string())
+            .collect();
         assert_eq!(names, ["SN", "WN", "WT", "ST"]);
     }
 

@@ -76,7 +76,11 @@ impl GlobalHistory {
     /// Panics if `n` exceeds the configured length.
     #[must_use]
     pub fn low(self, n: u32) -> u64 {
-        assert!(n <= self.bits, "requested {n} bits from a {}-bit history", self.bits);
+        assert!(
+            n <= self.bits,
+            "requested {n} bits from a {}-bit history",
+            self.bits
+        );
         if n == 0 {
             0
         } else {
@@ -145,7 +149,10 @@ impl PerAddressHistories {
     /// Panics if `index_bits > 30` or `history_bits > MAX_HISTORY_BITS`.
     #[must_use]
     pub fn new(index_bits: u32, history_bits: u32) -> Self {
-        assert!(index_bits <= 30, "per-address history table index must be <= 30 bits");
+        assert!(
+            index_bits <= 30,
+            "per-address history table index must be <= 30 bits"
+        );
         let n = 1usize << index_bits;
         Self {
             entries: vec![GlobalHistory::new(history_bits); n],

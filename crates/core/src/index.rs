@@ -50,7 +50,10 @@ pub fn low_bits(value: u64, bits: u32) -> u64 {
 /// Panics if `bits` is zero or greater than 63.
 #[must_use]
 pub fn fold_xor(value: u64, bits: u32) -> u64 {
-    assert!((1..=63).contains(&bits), "fold width must be 1..=63, got {bits}");
+    assert!(
+        (1..=63).contains(&bits),
+        "fold width must be 1..=63, got {bits}"
+    );
     let mask = (1u64 << bits) - 1;
     let mut v = value;
     let mut acc = 0u64;
@@ -84,7 +87,10 @@ pub fn fold_xor(value: u64, bits: u32) -> u64 {
 #[must_use]
 pub fn gshare_index(pc: u64, history: u64, s: u32, m: u32) -> usize {
     assert!(s <= 30, "table index must be <= 30 bits, got {s}");
-    assert!(m <= s, "history bits ({m}) must not exceed table index bits ({s})");
+    assert!(
+        m <= s,
+        "history bits ({m}) must not exceed table index bits ({s})"
+    );
     (low_bits(pc_word(pc), s) ^ low_bits(history, m)) as usize
 }
 
@@ -97,7 +103,11 @@ pub fn gshare_index(pc: u64, history: u64, s: u32, m: u32) -> usize {
 /// Panics if `a + m > 30`.
 #[must_use]
 pub fn gselect_index(pc: u64, history: u64, a: u32, m: u32) -> usize {
-    assert!(a + m <= 30, "gselect index must be <= 30 bits, got {}", a + m);
+    assert!(
+        a + m <= 30,
+        "gselect index must be <= 30 bits, got {}",
+        a + m
+    );
     ((low_bits(pc_word(pc), a) << m) | low_bits(history, m)) as usize
 }
 
@@ -114,10 +124,16 @@ pub fn gselect_index(pc: u64, history: u64, a: u32, m: u32) -> usize {
 #[must_use]
 pub fn skew_index(pc: u64, history: u64, s: u32, m: u32, bank: usize) -> usize {
     assert!(bank < 3, "gskew has 3 banks, got bank {bank}");
-    assert!((1..=30).contains(&s), "table index must be 1..=30 bits, got {s}");
+    assert!(
+        (1..=30).contains(&s),
+        "table index must be 1..=30 bits, got {s}"
+    );
     // Odd multipliers derived from the golden ratio, one per bank.
-    const MULTIPLIERS: [u64; 3] =
-        [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F, 0x1656_67B1_9E37_79F9];
+    const MULTIPLIERS: [u64; 3] = [
+        0x9E37_79B9_7F4A_7C15,
+        0xC2B2_AE3D_27D4_EB4F,
+        0x1656_67B1_9E37_79F9,
+    ];
     let key = (pc_word(pc) << 32) ^ low_bits(history, m);
     let mixed = key.wrapping_mul(MULTIPLIERS[bank]);
     fold_xor(mixed.rotate_left(bank as u32 * 7), s) as usize
@@ -158,7 +174,10 @@ mod tests {
     #[test]
     fn gshare_zero_history_is_bimodal() {
         for pc in [0u64, 0x40, 0x1234 << 2] {
-            assert_eq!(gshare_index(pc, 0xFFFF, 8, 0), (pc_word(pc) & 0xFF) as usize);
+            assert_eq!(
+                gshare_index(pc, 0xFFFF, 8, 0),
+                (pc_word(pc) & 0xFF) as usize
+            );
         }
     }
 
@@ -216,7 +235,10 @@ mod tests {
             }
         }
         assert!(bank0_collisions > 0, "expected some single-bank collisions");
-        assert_eq!(full_collisions, 0, "no pair should collide in all three banks");
+        assert_eq!(
+            full_collisions, 0,
+            "no pair should collide in all three banks"
+        );
     }
 
     #[test]

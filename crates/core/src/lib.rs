@@ -42,14 +42,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cost;
 pub mod counter;
 pub mod history;
 pub mod index;
-pub mod table;
-pub mod cost;
 pub mod predictor;
 pub mod predictors;
 pub mod spec;
+pub mod table;
 
 pub use counter::{Counter2, SatCounter};
 pub use history::{GlobalHistory, PerAddressHistories};
@@ -64,7 +64,7 @@ pub use predictors::gskew::Gskew;
 pub use predictors::statics::{AlwaysNotTaken, AlwaysTaken, Btfnt};
 pub use predictors::tournament::Tournament;
 pub use predictors::trimode::{TriMode, TriModeConfig};
-pub use predictors::twobcgskew::TwoBcGskew;
 pub use predictors::two_level::{HistorySource, TwoLevel, TwoLevelKind};
+pub use predictors::twobcgskew::TwoBcGskew;
 pub use predictors::yags::Yags;
 pub use spec::{ParseSpecError, PredictorSpec};

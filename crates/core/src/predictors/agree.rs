@@ -71,7 +71,10 @@ impl Agree {
 
 impl Predictor for Agree {
     fn name(&self) -> String {
-        format!("agree(s={},h={},b={})", self.table_bits, self.history_bits, self.bias_bits)
+        format!(
+            "agree(s={},h={},b={})",
+            self.table_bits, self.history_bits, self.bias_bits
+        )
     }
 
     fn predict(&self, pc: u64) -> bool {
@@ -156,7 +159,10 @@ mod tests {
                 p.update(pc, t);
             }
         }
-        assert_eq!(late_miss, 0, "agree should neutralise the opposite-bias alias");
+        assert_eq!(
+            late_miss, 0,
+            "agree should neutralise the opposite-bias alias"
+        );
     }
 
     #[test]
@@ -176,7 +182,10 @@ mod tests {
             p.update(pc, taken);
             hist2 = (hist2.1, taken);
         }
-        assert!(late_miss <= 4, "agree lost the exception pattern ({late_miss})");
+        assert!(
+            late_miss <= 4,
+            "agree lost the exception pattern ({late_miss})"
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! (\[Smith81\]). It is both a baseline and the building block the bi-mode
 //! scheme uses as its choice predictor.
 
-use crate::counter::Counter2;
 use crate::cost::Cost;
+use crate::counter::Counter2;
 use crate::index::{low_bits, pc_word};
 use crate::predictor::{CounterId, Predictor};
 use crate::table::CounterTable;
@@ -44,7 +44,9 @@ impl Bimodal {
     /// Panics if `bits > 30`.
     #[must_use]
     pub fn with_init(bits: u32, init: Counter2) -> Self {
-        Self { table: CounterTable::new(bits, init) }
+        Self {
+            table: CounterTable::new(bits, init),
+        }
     }
 
     /// The table index consulted for `pc`.
@@ -141,7 +143,10 @@ mod tests {
             }
             p.update(pc, taken);
         }
-        assert!(miss >= 500, "bimodal mispredicted only {miss}/1000 on alternation");
+        assert!(
+            miss >= 500,
+            "bimodal mispredicted only {miss}/1000 on alternation"
+        );
     }
 
     #[test]

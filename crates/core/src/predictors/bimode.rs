@@ -207,7 +207,13 @@ impl BiMode {
         let bank = usize::from(choice_taken);
         let direction_index = self.direction_index(pc, bank);
         let prediction = self.banks[bank].predict(direction_index);
-        Lookup { choice_index, choice_taken, bank, direction_index, prediction }
+        Lookup {
+            choice_index,
+            choice_taken,
+            bank,
+            direction_index,
+            prediction,
+        }
     }
 
     /// The bank (0 = not-taken mode, 1 = taken mode) the choice predictor
@@ -360,7 +366,10 @@ mod tests {
         let l = p.lookup(pc);
         let choice_before = p.choice.counter(l.choice_index);
         p.update(pc, true); // choice taken, outcome taken
-        assert_eq!(p.choice.counter(l.choice_index), choice_before.updated(true));
+        assert_eq!(
+            p.choice.counter(l.choice_index),
+            choice_before.updated(true)
+        );
     }
 
     #[test]
@@ -374,7 +383,10 @@ mod tests {
         p.banks[1].update(idx, false);
         let choice_before = p.choice.counter(l.choice_index);
         p.update(pc, false); // saved misprediction, but policy = Always
-        assert_eq!(p.choice.counter(l.choice_index), choice_before.updated(false));
+        assert_eq!(
+            p.choice.counter(l.choice_index),
+            choice_before.updated(false)
+        );
     }
 
     #[test]
@@ -411,7 +423,10 @@ mod tests {
         // The shared counter oscillates between weakly- and strongly-taken,
         // so gshare mispredicts essentially every execution of the
         // not-taken branch (~400 of the 800 counted executions).
-        assert!(gshare_miss >= 390, "gshare should thrash ({gshare_miss} misses)");
+        assert!(
+            gshare_miss >= 390,
+            "gshare should thrash ({gshare_miss} misses)"
+        );
         assert_eq!(bimode_miss, 0, "bi-mode should separate the aliases");
     }
 
@@ -431,7 +446,10 @@ mod tests {
             }
             p.update(b, a_out);
         }
-        assert!(late_miss <= 4, "bi-mode lost correlation ({late_miss} misses)");
+        assert!(
+            late_miss <= 4,
+            "bi-mode lost correlation ({late_miss} misses)"
+        );
     }
 
     #[test]
@@ -462,7 +480,10 @@ mod tests {
             .map(|i| 0x1000 + i * 4)
             .filter(|&pc| p.direction_index(pc, 0) != p.direction_index(pc, 1))
             .count();
-        assert!(distinct >= 60, "skewed banks should rarely agree ({distinct}/64)");
+        assert!(
+            distinct >= 60,
+            "skewed banks should rarely agree ({distinct}/64)"
+        );
     }
 
     #[test]
@@ -486,7 +507,10 @@ mod tests {
 
     #[test]
     fn name_encodes_configuration() {
-        assert_eq!(BiMode::new(BiModeConfig::new(7, 7, 7)).name(), "bi-mode(d=7,c=7,h=7)");
+        assert_eq!(
+            BiMode::new(BiModeConfig::new(7, 7, 7)).name(),
+            "bi-mode(d=7,c=7,h=7)"
+        );
         let mut cfg = BiModeConfig::new(7, 7, 7);
         cfg.choice_update = ChoiceUpdate::Always;
         assert!(BiMode::new(cfg).name().contains("always-choice"));

@@ -25,7 +25,11 @@ impl<P: Predictor> DelayedUpdate<P> {
     /// Wraps `inner` with a resolution latency of `delay` branches.
     #[must_use]
     pub fn new(inner: P, delay: usize) -> Self {
-        Self { inner, delay, in_flight: VecDeque::with_capacity(delay + 1) }
+        Self {
+            inner,
+            delay,
+            in_flight: VecDeque::with_capacity(delay + 1),
+        }
     }
 
     /// The configured latency.

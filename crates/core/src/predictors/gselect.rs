@@ -38,7 +38,12 @@ impl Gselect {
     /// The table index consulted for `pc` in the current state.
     #[must_use]
     pub fn index(&self, pc: u64) -> usize {
-        gselect_index(pc, self.history.value(), self.address_bits, self.history_bits)
+        gselect_index(
+            pc,
+            self.history.value(),
+            self.address_bits,
+            self.history_bits,
+        )
     }
 }
 

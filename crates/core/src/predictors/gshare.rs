@@ -160,7 +160,10 @@ mod tests {
             }
             p.update(b, b_out);
         }
-        assert!(late_miss <= 2, "gshare missed correlation {late_miss} times");
+        assert!(
+            late_miss <= 2,
+            "gshare missed correlation {late_miss} times"
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
                 p.update(pc, t);
             }
         }
-        assert!(late_miss >= 300, "aliased counter must oscillate, missed {late_miss}");
+        assert!(
+            late_miss >= 300,
+            "aliased counter must oscillate, missed {late_miss}"
+        );
     }
 
     #[test]

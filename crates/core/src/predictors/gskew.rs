@@ -53,9 +53,7 @@ impl Gskew {
     #[must_use]
     pub fn with_update(bank_bits: u32, history_bits: u32, update: GskewUpdate) -> Self {
         Self {
-            banks: std::array::from_fn(|_| {
-                CounterTable::new(bank_bits, Counter2::WEAKLY_TAKEN)
-            }),
+            banks: std::array::from_fn(|_| CounterTable::new(bank_bits, Counter2::WEAKLY_TAKEN)),
             history: GlobalHistory::new(history_bits),
             bank_bits,
             history_bits,
@@ -65,7 +63,13 @@ impl Gskew {
 
     fn indices(&self, pc: u64) -> [usize; 3] {
         std::array::from_fn(|bank| {
-            skew_index(pc, self.history.value(), self.bank_bits, self.history_bits, bank)
+            skew_index(
+                pc,
+                self.history.value(),
+                self.bank_bits,
+                self.history_bits,
+                bank,
+            )
         })
     }
 
@@ -152,7 +156,10 @@ mod tests {
         p.banks[0].update(idx[0], false);
         p.banks[0].update(idx[0], false);
         assert!(!p.banks[0].predict(idx[0]));
-        assert!(p.predict(pc), "two honest banks must out-vote one corrupted bank");
+        assert!(
+            p.predict(pc),
+            "two honest banks must out-vote one corrupted bank"
+        );
     }
 
     #[test]
@@ -203,8 +210,7 @@ mod tests {
         let mut gshare = Gshare::new(7, 7); // 128 counters (more state!)
         let mut skew_miss = 0u32;
         let mut share_miss = 0u32;
-        let branches: Vec<(u64, bool)> =
-            (0..48).map(|i| (0x4000 + i * 4, i % 2 == 0)).collect();
+        let branches: Vec<(u64, bool)> = (0..48).map(|i| (0x4000 + i * 4, i % 2 == 0)).collect();
         for round in 0..200 {
             for &(pc, t) in &branches {
                 if round >= 50 {

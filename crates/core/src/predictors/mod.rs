@@ -13,6 +13,6 @@ pub mod gskew;
 pub mod statics;
 pub mod tournament;
 pub mod trimode;
-pub mod twobcgskew;
 pub mod two_level;
+pub mod twobcgskew;
 pub mod yags;

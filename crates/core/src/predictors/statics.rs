@@ -87,8 +87,14 @@ mod tests {
     fn btfnt_follows_the_target_direction() {
         let p = Btfnt;
         assert!(p.predict_with_target(0x1000, 0x0F00), "backward -> taken");
-        assert!(!p.predict_with_target(0x1000, 0x1100), "forward -> not taken");
-        assert!(!p.predict_with_target(0x1000, 0x1000), "self-loop counts as forward");
+        assert!(
+            !p.predict_with_target(0x1000, 0x1100),
+            "forward -> not taken"
+        );
+        assert!(
+            !p.predict_with_target(0x1000, 0x1000),
+            "self-loop counts as forward"
+        );
         assert!(p.predict(0x1000), "without a target, fall back to taken");
         assert_eq!(p.cost().state_bits, 0);
     }

@@ -73,7 +73,12 @@ impl Tournament {
 
 impl Predictor for Tournament {
     fn name(&self) -> String {
-        format!("tournament({}|{},m={})", self.a.name(), self.b.name(), self.meta_bits)
+        format!(
+            "tournament({}|{},m={})",
+            self.a.name(),
+            self.b.name(),
+            self.meta_bits
+        )
     }
 
     fn predict(&self, pc: u64) -> bool {

@@ -45,7 +45,11 @@ impl TriModeConfig {
     /// [`BiModeConfig::paper_default`]: crate::BiModeConfig::paper_default
     #[must_use]
     pub fn new(direction_bits: u32, choice_bits: u32, history_bits: u32) -> Self {
-        Self { direction_bits, choice_bits, history_bits }
+        Self {
+            direction_bits,
+            choice_bits,
+            history_bits,
+        }
     }
 }
 
@@ -130,7 +134,13 @@ impl TriMode {
             self.config.history_bits,
         );
         let prediction = self.banks[mode as usize].predict(direction_index);
-        Lookup { choice_index, choice_taken, mode, direction_index, prediction }
+        Lookup {
+            choice_index,
+            choice_taken,
+            mode,
+            direction_index,
+            prediction,
+        }
     }
 
     /// The currently selected bank for `pc` (0 = not-taken, 1 = taken,
@@ -182,14 +192,20 @@ impl Predictor for TriMode {
         Cost {
             state_bits: self.choice.storage_bits()
                 + 3 * self.conflict.len() as u64
-                + self.banks.iter().map(CounterTable::storage_bits).sum::<u64>(),
+                + self
+                    .banks
+                    .iter()
+                    .map(CounterTable::storage_bits)
+                    .sum::<u64>(),
             metadata_bits: u64::from(self.config.history_bits),
         }
     }
 
     fn reset(&mut self) {
         self.choice.reset();
-        self.conflict.iter_mut().for_each(|c| *c = SatCounter::new(3, 0));
+        self.conflict
+            .iter_mut()
+            .for_each(|c| *c = SatCounter::new(3, 0));
         for b in &mut self.banks {
             b.reset();
         }
@@ -236,7 +252,11 @@ mod tests {
         for i in 0..100 {
             p.update(pc, i % 2 == 0);
         }
-        assert_eq!(p.selected_bank(pc), 2, "alternating branch must use the weak bank");
+        assert_eq!(
+            p.selected_bank(pc),
+            2,
+            "alternating branch must use the weak bank"
+        );
     }
 
     #[test]
@@ -272,7 +292,10 @@ mod tests {
             }
             p.update(pc, taken);
         }
-        assert!(late_miss <= 4, "period-4 pattern must be learned ({late_miss})");
+        assert!(
+            late_miss <= 4,
+            "period-4 pattern must be learned ({late_miss})"
+        );
     }
 
     #[test]
@@ -305,6 +328,9 @@ mod tests {
             p.update(0x2000, i % 2 == 0); // force weak mode
         }
         let id = p.counter_id(0x2000).unwrap();
-        assert!((2 * 64..192).contains(&id), "weak-bank ids live in the top third: {id}");
+        assert!(
+            (2 * 64..192).contains(&id),
+            "weak-bank ids live in the top third: {id}"
+        );
     }
 }

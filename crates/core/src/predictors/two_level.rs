@@ -155,13 +155,23 @@ impl TwoLevel {
     /// state.
     #[must_use]
     pub fn index(&self, pc: u64) -> usize {
-        gselect_index(pc, self.history_for(pc), self.address_bits, self.history_bits)
+        gselect_index(
+            pc,
+            self.history_for(pc),
+            self.address_bits,
+            self.history_bits,
+        )
     }
 }
 
 impl Predictor for TwoLevel {
     fn name(&self) -> String {
-        format!("{}(a={},h={})", self.kind(), self.address_bits, self.history_bits)
+        format!(
+            "{}(a={},h={})",
+            self.kind(),
+            self.address_bits,
+            self.history_bits
+        )
     }
 
     fn predict(&self, pc: u64) -> bool {
@@ -183,7 +193,10 @@ impl Predictor for TwoLevel {
             Histories::Global(h) => u64::from(h.bits()),
             Histories::PerAddress(t) | Histories::PerSet { table: t, .. } => t.storage_bits(),
         };
-        Cost { state_bits: self.table.storage_bits(), metadata_bits: meta }
+        Cost {
+            state_bits: self.table.storage_bits(),
+            metadata_bits: meta,
+        }
     }
 
     fn reset(&mut self) {
@@ -210,8 +223,14 @@ mod tests {
 
     #[test]
     fn kind_classification_covers_the_taxonomy() {
-        assert_eq!(TwoLevel::new(HistorySource::Global, 0, 8).kind(), TwoLevelKind::GAg);
-        assert_eq!(TwoLevel::new(HistorySource::Global, 3, 8).kind(), TwoLevelKind::GAs);
+        assert_eq!(
+            TwoLevel::new(HistorySource::Global, 0, 8).kind(),
+            TwoLevelKind::GAg
+        );
+        assert_eq!(
+            TwoLevel::new(HistorySource::Global, 3, 8).kind(),
+            TwoLevelKind::GAs
+        );
         assert_eq!(
             TwoLevel::new(HistorySource::PerAddress { index_bits: 4 }, 0, 6).kind(),
             TwoLevelKind::PAg
@@ -226,7 +245,14 @@ mod tests {
     fn per_set_histories_are_shared_within_a_set() {
         // shift=4: 16 words per set. Two branches in the same set share
         // a history register; a branch in the next set does not.
-        let mut p = TwoLevel::new(HistorySource::PerSet { index_bits: 4, shift: 4 }, 2, 4);
+        let mut p = TwoLevel::new(
+            HistorySource::PerSet {
+                index_bits: 4,
+                shift: 4,
+            },
+            2,
+            4,
+        );
         assert_eq!(p.kind(), TwoLevelKind::SAs);
         let (a, b, other) = (0x1000u64, 0x1004u64, 0x1040u64);
         p.update(a, true);
@@ -238,7 +264,14 @@ mod tests {
 
     #[test]
     fn sag_learns_set_local_patterns() {
-        let mut p = TwoLevel::new(HistorySource::PerSet { index_bits: 4, shift: 6 }, 0, 4);
+        let mut p = TwoLevel::new(
+            HistorySource::PerSet {
+                index_bits: 4,
+                shift: 6,
+            },
+            0,
+            4,
+        );
         assert_eq!(p.kind(), TwoLevelKind::SAg);
         let pc = 0x2000;
         let mut late_miss = 0;
@@ -343,7 +376,10 @@ mod tests {
 
     #[test]
     fn names_follow_taxonomy() {
-        assert_eq!(TwoLevel::new(HistorySource::Global, 2, 8).name(), "GAs(a=2,h=8)");
+        assert_eq!(
+            TwoLevel::new(HistorySource::Global, 2, 8).name(),
+            "GAs(a=2,h=8)"
+        );
         assert_eq!(
             TwoLevel::new(HistorySource::PerAddress { index_bits: 4 }, 0, 6).name(),
             "PAg(a=0,h=6)"

@@ -80,7 +80,18 @@ impl TwoBcGskew {
         let egskew = (u8::from(bim) + u8::from(g0) + u8::from(g1)) >= 2;
         let use_egskew = self.meta.predict(meta_index);
         let prediction = if use_egskew { egskew } else { bim };
-        Lookup { bim_index, g0_index, g1_index, meta_index, bim, g0, g1, egskew, use_egskew, prediction }
+        Lookup {
+            bim_index,
+            g0_index,
+            g1_index,
+            meta_index,
+            bim,
+            g0,
+            g1,
+            egskew,
+            use_egskew,
+            prediction,
+        }
     }
 
     /// Whether the meta chooser currently selects the e-gskew majority
@@ -195,7 +206,10 @@ mod tests {
             }
             p.update(pc, taken);
         }
-        assert!(late_miss <= 4, "period-4 pattern must be learned ({late_miss})");
+        assert!(
+            late_miss <= 4,
+            "period-4 pattern must be learned ({late_miss})"
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ struct CacheEntry {
 
 impl CacheEntry {
     fn empty() -> Self {
-        Self { tag: 0, counter: Counter2::WEAKLY_TAKEN, valid: false }
+        Self {
+            tag: 0,
+            counter: Counter2::WEAKLY_TAKEN,
+            valid: false,
+        }
     }
 }
 
@@ -75,7 +79,9 @@ impl DirectionCache {
     }
 
     fn reset(&mut self) {
-        self.entries.iter_mut().for_each(|e| *e = CacheEntry::empty());
+        self.entries
+            .iter_mut()
+            .for_each(|e| *e = CacheEntry::empty());
     }
 }
 
@@ -102,7 +108,10 @@ impl Yags {
     /// Panics if any width exceeds 30 bits or `tag_bits > 16`.
     #[must_use]
     pub fn new(choice_bits: u32, cache_bits: u32, history_bits: u32, tag_bits: u32) -> Self {
-        assert!(tag_bits <= 16, "partial tags are at most 16 bits, got {tag_bits}");
+        assert!(
+            tag_bits <= 16,
+            "partial tags are at most 16 bits, got {tag_bits}"
+        );
         Self {
             choice: CounterTable::new(choice_bits, Counter2::WEAKLY_TAKEN),
             caches: [
@@ -127,8 +136,7 @@ impl Yags {
         // A taken bias consults the NOT-taken exception cache (cache 0),
         // and vice versa.
         let cache = usize::from(!bias);
-        let (idx, hit) =
-            self.caches[cache].lookup(pc, self.history.value(), self.history_bits);
+        let (idx, hit) = self.caches[cache].lookup(pc, self.history.value(), self.history_bits);
         (bias, idx, hit)
     }
 }
@@ -244,7 +252,10 @@ mod tests {
             p.update(pc, taken);
             hist2 = (hist2.1, taken);
         }
-        assert!(late_miss <= 4, "yags lost the exception pattern ({late_miss})");
+        assert!(
+            late_miss <= 4,
+            "yags lost the exception pattern ({late_miss})"
+        );
         assert!(
             p.caches[0].entries.iter().any(|e| e.valid),
             "exceptions must have been allocated in the NT cache"

@@ -15,8 +15,8 @@ use crate::predictors::gskew::{Gskew, GskewUpdate};
 use crate::predictors::statics::{AlwaysNotTaken, AlwaysTaken, Btfnt};
 use crate::predictors::tournament::Tournament;
 use crate::predictors::trimode::{TriMode, TriModeConfig};
-use crate::predictors::twobcgskew::TwoBcGskew;
 use crate::predictors::two_level::{HistorySource, TwoLevel};
+use crate::predictors::twobcgskew::TwoBcGskew;
 use crate::predictors::yags::Yags;
 
 /// A buildable predictor configuration.
@@ -136,42 +136,61 @@ impl PredictorSpec {
             PredictorSpec::AlwaysNotTaken => Box::new(AlwaysNotTaken),
             PredictorSpec::Btfnt => Box::new(Btfnt),
             PredictorSpec::Bimodal { table_bits } => Box::new(Bimodal::new(table_bits)),
-            PredictorSpec::Gshare { table_bits, history_bits } => {
-                Box::new(Gshare::new(table_bits, history_bits))
-            }
-            PredictorSpec::Gselect { address_bits, history_bits } => {
-                Box::new(Gselect::new(address_bits, history_bits))
-            }
-            PredictorSpec::TwoLevel { source, address_bits, history_bits } => {
-                Box::new(TwoLevel::new(source, address_bits, history_bits))
-            }
+            PredictorSpec::Gshare {
+                table_bits,
+                history_bits,
+            } => Box::new(Gshare::new(table_bits, history_bits)),
+            PredictorSpec::Gselect {
+                address_bits,
+                history_bits,
+            } => Box::new(Gselect::new(address_bits, history_bits)),
+            PredictorSpec::TwoLevel {
+                source,
+                address_bits,
+                history_bits,
+            } => Box::new(TwoLevel::new(source, address_bits, history_bits)),
             PredictorSpec::BiMode(config) => Box::new(BiMode::new(config)),
-            PredictorSpec::Agree { table_bits, history_bits, bias_bits } => {
-                Box::new(Agree::new(table_bits, history_bits, bias_bits))
-            }
-            PredictorSpec::Gskew { bank_bits, history_bits, total_update } => {
-                let update =
-                    if total_update { GskewUpdate::Total } else { GskewUpdate::Partial };
+            PredictorSpec::Agree {
+                table_bits,
+                history_bits,
+                bias_bits,
+            } => Box::new(Agree::new(table_bits, history_bits, bias_bits)),
+            PredictorSpec::Gskew {
+                bank_bits,
+                history_bits,
+                total_update,
+            } => {
+                let update = if total_update {
+                    GskewUpdate::Total
+                } else {
+                    GskewUpdate::Partial
+                };
                 Box::new(Gskew::with_update(bank_bits, history_bits, update))
             }
-            PredictorSpec::Yags { choice_bits, cache_bits, history_bits, tag_bits } => {
-                Box::new(Yags::new(choice_bits, cache_bits, history_bits, tag_bits))
-            }
+            PredictorSpec::Yags {
+                choice_bits,
+                cache_bits,
+                history_bits,
+                tag_bits,
+            } => Box::new(Yags::new(choice_bits, cache_bits, history_bits, tag_bits)),
             PredictorSpec::Tournament { table_bits } => Box::new(Tournament::new(
                 Box::new(Bimodal::new(table_bits)),
                 Box::new(Gshare::new(table_bits, table_bits)),
                 table_bits,
             )),
-            PredictorSpec::TriMode { direction_bits, choice_bits, history_bits } => {
-                Box::new(TriMode::new(TriModeConfig::new(
-                    direction_bits,
-                    choice_bits,
-                    history_bits,
-                )))
-            }
-            PredictorSpec::TwoBcGskew { bank_bits, history_bits } => {
-                Box::new(TwoBcGskew::new(bank_bits, history_bits))
-            }
+            PredictorSpec::TriMode {
+                direction_bits,
+                choice_bits,
+                history_bits,
+            } => Box::new(TriMode::new(TriModeConfig::new(
+                direction_bits,
+                choice_bits,
+                history_bits,
+            ))),
+            PredictorSpec::TwoBcGskew {
+                bank_bits,
+                history_bits,
+            } => Box::new(TwoBcGskew::new(bank_bits, history_bits)),
         }
     }
 }
@@ -184,7 +203,9 @@ pub struct ParseSpecError {
 
 impl ParseSpecError {
     fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -251,7 +272,9 @@ impl FromStr for PredictorSpec {
             "always-taken" => Ok(PredictorSpec::AlwaysTaken),
             "always-not-taken" => Ok(PredictorSpec::AlwaysNotTaken),
             "btfnt" => Ok(PredictorSpec::Btfnt),
-            "bimodal" => Ok(PredictorSpec::Bimodal { table_bits: p.num("s")? }),
+            "bimodal" => Ok(PredictorSpec::Bimodal {
+                table_bits: p.num("s")?,
+            }),
             "gshare" => Ok(PredictorSpec::Gshare {
                 table_bits: p.num("s")?,
                 history_bits: p.num("h")?,
@@ -271,12 +294,16 @@ impl FromStr for PredictorSpec {
                 history_bits: p.num("h")?,
             }),
             "pag" => Ok(PredictorSpec::TwoLevel {
-                source: HistorySource::PerAddress { index_bits: p.num("i")? },
+                source: HistorySource::PerAddress {
+                    index_bits: p.num("i")?,
+                },
                 address_bits: 0,
                 history_bits: p.num("h")?,
             }),
             "pas" => Ok(PredictorSpec::TwoLevel {
-                source: HistorySource::PerAddress { index_bits: p.num("i")? },
+                source: HistorySource::PerAddress {
+                    index_bits: p.num("i")?,
+                },
                 address_bits: p.num("a")?,
                 history_bits: p.num("h")?,
             }),
@@ -352,7 +379,9 @@ impl FromStr for PredictorSpec {
                 history_bits: p.num("h")?,
                 tag_bits: p.num_or("t", 6)?,
             }),
-            "tournament" => Ok(PredictorSpec::Tournament { table_bits: p.num("s")? }),
+            "tournament" => Ok(PredictorSpec::Tournament {
+                table_bits: p.num("s")?,
+            }),
             "2bcgskew" => Ok(PredictorSpec::TwoBcGskew {
                 bank_bits: p.num("s")?,
                 history_bits: p.num("h")?,
@@ -377,13 +406,23 @@ impl fmt::Display for PredictorSpec {
             PredictorSpec::AlwaysNotTaken => f.write_str("always-not-taken"),
             PredictorSpec::Btfnt => f.write_str("btfnt"),
             PredictorSpec::Bimodal { table_bits } => write!(f, "bimodal:s={table_bits}"),
-            PredictorSpec::Gshare { table_bits, history_bits } => {
+            PredictorSpec::Gshare {
+                table_bits,
+                history_bits,
+            } => {
                 write!(f, "gshare:s={table_bits},h={history_bits}")
             }
-            PredictorSpec::Gselect { address_bits, history_bits } => {
+            PredictorSpec::Gselect {
+                address_bits,
+                history_bits,
+            } => {
                 write!(f, "gselect:a={address_bits},h={history_bits}")
             }
-            PredictorSpec::TwoLevel { source, address_bits, history_bits } => match source {
+            PredictorSpec::TwoLevel {
+                source,
+                address_bits,
+                history_bits,
+            } => match source {
                 HistorySource::Global if *address_bits == 0 => {
                     write!(f, "gag:h={history_bits}")
                 }
@@ -398,11 +437,18 @@ impl fmt::Display for PredictorSpec {
                     write!(f, "sag:i={index_bits},k={shift},h={history_bits}")
                 }
                 HistorySource::PerSet { index_bits, shift } => {
-                    write!(f, "sas:i={index_bits},k={shift},a={address_bits},h={history_bits}")
+                    write!(
+                        f,
+                        "sas:i={index_bits},k={shift},a={address_bits},h={history_bits}"
+                    )
                 }
             },
             PredictorSpec::BiMode(c) => {
-                write!(f, "bimode:d={},c={},h={}", c.direction_bits, c.choice_bits, c.history_bits)?;
+                write!(
+                    f,
+                    "bimode:d={},c={},h={}",
+                    c.direction_bits, c.choice_bits, c.history_bits
+                )?;
                 if c.choice_update == ChoiceUpdate::Always {
                     f.write_str(",choice=always")?;
                 }
@@ -414,24 +460,50 @@ impl fmt::Display for PredictorSpec {
                 }
                 Ok(())
             }
-            PredictorSpec::Agree { table_bits, history_bits, bias_bits } => {
+            PredictorSpec::Agree {
+                table_bits,
+                history_bits,
+                bias_bits,
+            } => {
                 write!(f, "agree:s={table_bits},h={history_bits},b={bias_bits}")
             }
-            PredictorSpec::Gskew { bank_bits, history_bits, total_update } => {
+            PredictorSpec::Gskew {
+                bank_bits,
+                history_bits,
+                total_update,
+            } => {
                 write!(f, "gskew:s={bank_bits},h={history_bits}")?;
                 if *total_update {
                     f.write_str(",update=total")?;
                 }
                 Ok(())
             }
-            PredictorSpec::Yags { choice_bits, cache_bits, history_bits, tag_bits } => {
-                write!(f, "yags:c={choice_bits},e={cache_bits},h={history_bits},t={tag_bits}")
+            PredictorSpec::Yags {
+                choice_bits,
+                cache_bits,
+                history_bits,
+                tag_bits,
+            } => {
+                write!(
+                    f,
+                    "yags:c={choice_bits},e={cache_bits},h={history_bits},t={tag_bits}"
+                )
             }
             PredictorSpec::Tournament { table_bits } => write!(f, "tournament:s={table_bits}"),
-            PredictorSpec::TriMode { direction_bits, choice_bits, history_bits } => {
-                write!(f, "trimode:d={direction_bits},c={choice_bits},h={history_bits}")
+            PredictorSpec::TriMode {
+                direction_bits,
+                choice_bits,
+                history_bits,
+            } => {
+                write!(
+                    f,
+                    "trimode:d={direction_bits},c={choice_bits},h={history_bits}"
+                )
             }
-            PredictorSpec::TwoBcGskew { bank_bits, history_bits } => {
+            PredictorSpec::TwoBcGskew {
+                bank_bits,
+                history_bits,
+            } => {
                 write!(f, "2bcgskew:s={bank_bits},h={history_bits}")
             }
         }
@@ -512,6 +584,12 @@ mod tests {
     #[test]
     fn whitespace_is_tolerated() {
         let spec: PredictorSpec = " gshare : s=10 , h=4 ".parse().unwrap();
-        assert_eq!(spec, PredictorSpec::Gshare { table_bits: 10, history_bits: 4 });
+        assert_eq!(
+            spec,
+            PredictorSpec::Gshare {
+                table_bits: 10,
+                history_bits: 4
+            }
+        );
     }
 }

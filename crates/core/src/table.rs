@@ -32,8 +32,14 @@ impl CounterTable {
     /// Panics if `bits > 30`.
     #[must_use]
     pub fn new(bits: u32, init: Counter2) -> Self {
-        assert!(bits <= 30, "counter table index must be <= 30 bits, got {bits}");
-        Self { counters: vec![init; 1usize << bits], init }
+        assert!(
+            bits <= 30,
+            "counter table index must be <= 30 bits, got {bits}"
+        );
+        Self {
+            counters: vec![init; 1usize << bits],
+            init,
+        }
     }
 
     /// Number of counters (always a power of two).

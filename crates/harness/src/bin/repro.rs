@@ -26,11 +26,18 @@ fn main() -> ExitCode {
     } else if EXPERIMENTS.iter().any(|(n, _)| *n == options.command) {
         vec![options.command.as_str()]
     } else {
-        eprintln!("unknown experiment `{}`\n\n{}", options.command, cli::usage());
+        eprintln!(
+            "unknown experiment `{}`\n\n{}",
+            options.command,
+            cli::usage()
+        );
         return ExitCode::FAILURE;
     };
 
-    eprintln!("generating traces (scale {}, both paper suites) ...", options.scale);
+    eprintln!(
+        "generating traces (scale {}, both paper suites) ...",
+        options.scale
+    );
     let started = std::time::Instant::now();
     let set = TraceSet::paper_suites(options.scale, options.jobs);
     eprintln!("traces ready in {:.1}s", started.elapsed().as_secs_f64());

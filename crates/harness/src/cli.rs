@@ -15,7 +15,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("table2", "static/dynamic branch counts (paper Table 2)"),
     ("table3", "normalized-count worked example (paper Table 3)"),
     ("table4", "bias-class change counts on gcc (paper Table 4)"),
-    ("fig2", "suite-average misprediction vs size (paper Figure 2)"),
+    (
+        "fig2",
+        "suite-average misprediction vs size (paper Figure 2)",
+    ),
     ("fig3", "per-benchmark curves, SPEC CINT95 (paper Figure 3)"),
     ("fig4", "per-benchmark curves, IBS-Ultrix (paper Figure 4)"),
     ("fig5", "gshare bias breakdown on gcc (paper Figure 5)"),
@@ -26,13 +29,31 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("ablation-init", "direction-bank initialisation"),
     ("ablation-choice-size", "choice predictor sizing"),
     ("ablation-index", "shared vs skewed bank index"),
-    ("ablation-delay", "update-delay (resolution latency) sensitivity"),
-    ("ablation-flush", "context-switch flush-interval sensitivity"),
-    ("aliasing", "destructive/harmless/neutral alias taxonomy on gcc"),
+    (
+        "ablation-delay",
+        "update-delay (resolution latency) sensitivity",
+    ),
+    (
+        "ablation-flush",
+        "context-switch flush-interval sensitivity",
+    ),
+    (
+        "aliasing",
+        "destructive/harmless/neutral alias taxonomy on gcc",
+    ),
     ("compare-dealias", "bi-mode vs agree/gskew/yags/tournament"),
-    ("future-trimode", "the paper's future-work direction: a weak third bank"),
-    ("warmup", "windowed misprediction over time (convergence curves)"),
-    ("summary", "reproduction scoreboard: every headline claim, judged live"),
+    (
+        "future-trimode",
+        "the paper's future-work direction: a weak third bank",
+    ),
+    (
+        "warmup",
+        "windowed misprediction over time (convergence curves)",
+    ),
+    (
+        "summary",
+        "reproduction scoreboard: every headline claim, judged live",
+    ),
 ];
 
 /// Parsed command-line options.
@@ -80,7 +101,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
-                jobs = Some(v.parse::<usize>().map_err(|_| format!("bad job count `{v}`"))?);
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad job count `{v}`"))?,
+                );
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a directory")?;
@@ -93,7 +117,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unexpected argument `{other}`\n\n{}", usage())),
         }
     }
-    Ok(Options { command: command.ok_or_else(usage)?, scale, jobs, out })
+    Ok(Options {
+        command: command.ok_or_else(usage)?,
+        scale,
+        jobs,
+        out,
+    })
 }
 
 /// Runs one experiment by registry name. Returns `None` for unknown
@@ -112,15 +141,15 @@ pub fn run_experiment(name: &str, set: &TraceSet, jobs: Option<usize>) -> Option
         "fig6" => experiments::fig6(set),
         "fig7" => experiments::fig78(set, "gcc"),
         "fig8" => experiments::fig78(set, "go"),
-        "ablation-choice-update" => experiments::ablation_choice_update(set),
-        "ablation-init" => experiments::ablation_init(set),
-        "ablation-choice-size" => experiments::ablation_choice_size(set),
-        "ablation-index" => experiments::ablation_index(set),
-        "ablation-delay" => experiments::ablation_delay(set),
-        "ablation-flush" => experiments::ablation_flush(set),
+        "ablation-choice-update" => experiments::ablation_choice_update(set, jobs),
+        "ablation-init" => experiments::ablation_init(set, jobs),
+        "ablation-choice-size" => experiments::ablation_choice_size(set, jobs),
+        "ablation-index" => experiments::ablation_index(set, jobs),
+        "ablation-delay" => experiments::ablation_delay(set, jobs),
+        "ablation-flush" => experiments::ablation_flush(set, jobs),
         "aliasing" => experiments::aliasing_taxonomy(set),
-        "compare-dealias" => experiments::compare_dealias(set),
-        "future-trimode" => experiments::future_trimode(set),
+        "compare-dealias" => experiments::compare_dealias(set, jobs),
+        "future-trimode" => experiments::future_trimode(set, jobs),
         "warmup" => experiments::warmup_curves(set),
         "summary" => experiments::summary(set, jobs),
         _ => return None,
@@ -138,8 +167,10 @@ mod tests {
 
     #[test]
     fn parses_full_option_set() {
-        let o = parse_args(&args(&["fig2", "--scale", "smoke", "--jobs", "3", "--out", "r"]))
-            .expect("valid arguments");
+        let o = parse_args(&args(&[
+            "fig2", "--scale", "smoke", "--jobs", "3", "--out", "r",
+        ]))
+        .expect("valid arguments");
         assert_eq!(o.command, "fig2");
         assert_eq!(o.scale, Scale::Smoke);
         assert_eq!(o.jobs, Some(3));
@@ -166,8 +197,12 @@ mod tests {
             .unwrap_err()
             .contains("needs a value"));
         assert!(parse_args(&args(&[])).unwrap_err().starts_with("usage:"));
-        assert!(parse_args(&args(&["--bogus"])).unwrap_err().contains("unexpected argument"));
-        assert!(parse_args(&args(&["-h"])).unwrap_err().starts_with("usage:"));
+        assert!(parse_args(&args(&["--bogus"]))
+            .unwrap_err()
+            .contains("unexpected argument"));
+        assert!(parse_args(&args(&["-h"]))
+            .unwrap_err()
+            .starts_with("usage:"));
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! The harness side of the packed execution engine: fan a batch of
+//! predictor configurations over packed traces in a single pass each,
+//! parallelising over traces, with work and wall-clock accounting for
+//! the per-experiment throughput reports.
+//!
+//! The sweeps and ablations all reduce to the same shape: N
+//! configurations measured over T traces. The scalar path costs N
+//! full-trace walks per trace; [`batch_rates`] instead packs the batch
+//! through [`bpred_analysis::measure_batch`], so each trace is streamed
+//! once and its cache-resident blocks are reused across all N
+//! configurations.
+
+use std::time::{Duration, Instant};
+
+use bpred_core::Predictor;
+use bpred_trace::PackedTrace;
+
+use crate::parallel;
+
+/// Work and wall-clock accounting for one (or several, folded) batched
+/// fan-outs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineThroughput {
+    /// Total (configuration, branch) pairs simulated.
+    pub branches: u64,
+    /// Configurations driven.
+    pub configs: usize,
+    /// Wall time of the fan-out.
+    pub wall: Duration,
+}
+
+impl EngineThroughput {
+    /// Simulated branches per second, in millions.
+    #[must_use]
+    pub fn mbranches_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.branches as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another (sequentially run) phase's accounting into this
+    /// one: work adds up, wall times add up.
+    pub fn absorb(&mut self, other: &EngineThroughput) {
+        self.branches += other.branches;
+        self.configs += other.configs;
+        self.wall += other.wall;
+    }
+
+    /// The one-line throughput report emitted under each experiment.
+    #[must_use]
+    pub fn note(&self) -> String {
+        format!(
+            "Throughput: {} branches simulated ({} configs) in {:.3}s = {:.1} Mbranches/s.",
+            self.branches,
+            self.configs,
+            self.wall.as_secs_f64(),
+            self.mbranches_per_sec()
+        )
+    }
+}
+
+/// The average of one configuration's per-trace rates (0 for none).
+#[must_use]
+pub fn average(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        0.0
+    } else {
+        rates.iter().sum::<f64>() / rates.len() as f64
+    }
+}
+
+/// Drives a freshly built predictor batch over every packed trace in a
+/// single pass each — traces in parallel (bounded by `jobs`),
+/// configurations batched within each pass — and returns
+/// `rates[config][trace]` misprediction rates plus the throughput of
+/// the whole fan-out.
+///
+/// `build` is called once per trace, so every trace sees power-on-fresh
+/// predictor state, exactly like the scalar per-(config, trace) loops
+/// this replaces. Homogeneous builders (`Vec<Gshare>`, `Vec<BiMode>`)
+/// get a fully monomorphised measurement loop; mixed grids use
+/// `Vec<Box<dyn Predictor>>`.
+pub fn batch_rates<P, F>(
+    traces: &[&PackedTrace],
+    jobs: Option<usize>,
+    build: F,
+) -> (Vec<Vec<f64>>, EngineThroughput)
+where
+    P: Predictor,
+    F: Fn() -> Vec<P> + Sync,
+{
+    let started = Instant::now();
+    let per_trace: Vec<Vec<f64>> = parallel::map(traces.to_vec(), jobs, |t| {
+        let mut batch = build();
+        bpred_analysis::measure_batch(t, &mut batch)
+            .into_iter()
+            .map(|r| r.misprediction_rate())
+            .collect()
+    });
+    let configs = per_trace.first().map_or_else(|| build().len(), Vec::len);
+    let mut rates = vec![Vec::with_capacity(traces.len()); configs];
+    for trace_rates in &per_trace {
+        for (config, rate) in trace_rates.iter().enumerate() {
+            rates[config].push(*rate);
+        }
+    }
+    let branches = traces.iter().map(|t| t.len() as u64).sum::<u64>() * configs as u64;
+    (
+        rates,
+        EngineThroughput {
+            branches,
+            configs,
+            wall: started.elapsed(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_core::{BiMode, BiModeConfig, Gshare};
+    use bpred_trace::{BranchRecord, Trace};
+
+    fn trace(seed: u64, len: u64) -> Trace {
+        let mut t = Trace::new("t");
+        let mut x = seed | 1;
+        for _ in 0..len {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t.push(BranchRecord::conditional(
+                0x1000 + (x % 40) * 4,
+                0,
+                (x >> 21) & 1 == 0,
+            ));
+        }
+        t
+    }
+
+    fn batch() -> Vec<Box<dyn Predictor>> {
+        vec![
+            Box::new(Gshare::new(8, 8)),
+            Box::new(Gshare::new(8, 0)),
+            Box::new(BiMode::new(BiModeConfig::paper_default(6))),
+        ]
+    }
+
+    #[test]
+    fn rates_match_scalar_per_config_runs() {
+        let (a, b) = (trace(3, 6000), trace(99, 2000));
+        let (pa, pb) = (
+            PackedTrace::build(&a).unwrap(),
+            PackedTrace::build(&b).unwrap(),
+        );
+        let (rates, tp) = batch_rates(&[&pa, &pb], Some(2), batch);
+        assert_eq!(rates.len(), 3);
+        for (config, mut p) in batch().into_iter().enumerate() {
+            for (i, t) in [&a, &b].into_iter().enumerate() {
+                p.reset();
+                let want = bpred_analysis::measure(t, p.as_mut()).misprediction_rate();
+                assert!(
+                    (rates[config][i] - want).abs() == 0.0,
+                    "config {config} trace {i}"
+                );
+            }
+        }
+        assert_eq!(tp.branches, 8000 * 3);
+        assert_eq!(tp.configs, 3);
+    }
+
+    #[test]
+    fn empty_trace_list_still_reports_config_count() {
+        let (rates, tp) = batch_rates(&[], None, batch);
+        assert_eq!(rates.len(), 3);
+        assert!(rates.iter().all(Vec::is_empty));
+        assert_eq!(tp.branches, 0);
+    }
+
+    #[test]
+    fn absorb_accumulates_work_and_wall() {
+        let mut total = EngineThroughput::default();
+        total.absorb(&EngineThroughput {
+            branches: 100,
+            configs: 2,
+            wall: Duration::from_millis(10),
+        });
+        total.absorb(&EngineThroughput {
+            branches: 50,
+            configs: 1,
+            wall: Duration::from_millis(5),
+        });
+        assert_eq!(total.branches, 150);
+        assert_eq!(total.configs, 3);
+        assert_eq!(total.wall, Duration::from_millis(15));
+        assert!(total.mbranches_per_sec() > 0.0);
+        assert!(total.note().contains("Mbranches/s"));
+    }
+
+    #[test]
+    fn average_handles_empty_and_values() {
+        assert_eq!(average(&[]), 0.0);
+        assert!((average(&[0.1, 0.3]) - 0.2).abs() < 1e-12);
+    }
+}

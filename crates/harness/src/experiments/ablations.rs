@@ -1,58 +1,60 @@
 //! Ablations of the bi-mode design decisions the paper calls out, plus
 //! the de-aliasing-scheme comparison from the related-work lineage
 //! (\[Lee97\]'s comparative study).
+//!
+//! Every configuration grid here is fused into one predictor batch and
+//! driven over a single pass of each packed trace by
+//! [`engine::batch_rates`] (traces in parallel, configurations
+//! batched), with the fan-out's throughput reported under each table.
 
+use bpred_core::predictors::bimodal::Bimodal;
 use bpred_core::{
-    Agree, BiMode, BiModeConfig, BankInit, ChoiceUpdate, DelayedUpdate, Gselect, Gshare, Gskew,
+    Agree, BankInit, BiMode, BiModeConfig, ChoiceUpdate, DelayedUpdate, Gselect, Gshare, Gskew,
     IndexShare, Predictor, Tournament, TriMode, TriModeConfig, TwoBcGskew, Yags,
 };
-use bpred_core::predictors::bimodal::Bimodal;
-use bpred_trace::Trace;
+use bpred_trace::PackedTrace;
 
+use crate::engine::{self, EngineThroughput};
 use crate::experiments::{kib, pct};
 use crate::format::{Report, Table};
+use crate::parallel;
 use crate::traces::TraceSet;
-
-fn average_rate(traces: &[&Trace], mut p: impl Predictor) -> f64 {
-    let total: f64 = traces
-        .iter()
-        .map(|t| {
-            p.reset();
-            bpred_analysis::measure(t, &mut p).misprediction_rate()
-        })
-        .sum();
-    total / traces.len() as f64
-}
-
-fn all_traces(set: &TraceSet) -> Vec<&Trace> {
-    set.entries().iter().map(|(_, t)| t).collect()
-}
 
 /// Ablation: the partial choice-update rule vs always updating the
 /// choice predictor. The paper: partial update is "particularly
 /// effective when the total hardware budget is small".
 #[must_use]
-pub fn ablation_choice_update(set: &TraceSet) -> Report {
-    let traces = all_traces(set);
+pub fn ablation_choice_update(set: &TraceSet, jobs: Option<usize>) -> Report {
+    let traces = set.all_packed();
     let mut report = Report::new(
         "ablation-choice-update",
         "Ablation: partial vs always choice-predictor update",
     );
     let mut t = Table::new(["d", "size KB", "partial %", "always %", "partial wins"]);
+    let ds = [8u32, 9, 10, 12, 14];
+    let configs: Vec<BiModeConfig> = ds
+        .iter()
+        .flat_map(|&d| {
+            let mut partial = BiModeConfig::paper_default(d);
+            partial.choice_update = ChoiceUpdate::Partial;
+            let mut always = partial;
+            always.choice_update = ChoiceUpdate::Always;
+            [partial, always]
+        })
+        .collect();
+    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+        configs.iter().map(|&c| BiMode::new(c)).collect::<Vec<_>>()
+    });
     let mut small_budget_gain = 0.0;
-    for d in [8u32, 9, 10, 12, 14] {
-        let mut partial_cfg = BiModeConfig::paper_default(d);
-        partial_cfg.choice_update = ChoiceUpdate::Partial;
-        let mut always_cfg = partial_cfg;
-        always_cfg.choice_update = ChoiceUpdate::Always;
-        let partial = average_rate(&traces, BiMode::new(partial_cfg));
-        let always = average_rate(&traces, BiMode::new(always_cfg));
+    for (i, &d) in ds.iter().enumerate() {
+        let partial = engine::average(&rates[2 * i]);
+        let always = engine::average(&rates[2 * i + 1]);
         if d == 8 {
             small_budget_gain = always - partial;
         }
         t.push_row([
             d.to_string(),
-            kib(BiMode::new(partial_cfg).cost().state_kib()),
+            kib(BiMode::new(configs[2 * i]).cost().state_kib()),
             pct(partial),
             pct(always),
             (partial <= always).to_string(),
@@ -63,80 +65,132 @@ pub fn ablation_choice_update(set: &TraceSet) -> Report {
         "Smallest budget (d=8) gain from partial update: {} percentage points.",
         pct(small_budget_gain)
     ));
+    report.note(tp.note());
     report
 }
 
 /// Ablation: footnote-2 split bank initialisation vs both banks
 /// weakly-taken.
 #[must_use]
-pub fn ablation_init(set: &TraceSet) -> Report {
-    let traces = all_traces(set);
-    let mut report =
-        Report::new("ablation-init", "Ablation: direction-bank initialisation");
+pub fn ablation_init(set: &TraceSet, jobs: Option<usize>) -> Report {
+    let traces = set.all_packed();
+    let mut report = Report::new("ablation-init", "Ablation: direction-bank initialisation");
     let mut t = Table::new(["d", "split init %", "uniform init %"]);
-    for d in [8u32, 10, 12] {
-        let split_cfg = BiModeConfig::paper_default(d);
-        let mut uniform_cfg = split_cfg;
-        uniform_cfg.bank_init = BankInit::UniformWeaklyTaken;
+    let ds = [8u32, 10, 12];
+    let configs: Vec<BiModeConfig> = ds
+        .iter()
+        .flat_map(|&d| {
+            let split = BiModeConfig::paper_default(d);
+            let mut uniform = split;
+            uniform.bank_init = BankInit::UniformWeaklyTaken;
+            [split, uniform]
+        })
+        .collect();
+    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+        configs.iter().map(|&c| BiMode::new(c)).collect::<Vec<_>>()
+    });
+    for (i, &d) in ds.iter().enumerate() {
         t.push_row([
             d.to_string(),
-            pct(average_rate(&traces, BiMode::new(split_cfg))),
-            pct(average_rate(&traces, BiMode::new(uniform_cfg))),
+            pct(engine::average(&rates[2 * i])),
+            pct(engine::average(&rates[2 * i + 1])),
         ]);
     }
     report.section("suite-average misprediction", t);
+    report.note(tp.note());
     report
 }
 
 /// Ablation: choice-predictor sizing relative to one direction bank.
 #[must_use]
-pub fn ablation_choice_size(set: &TraceSet) -> Report {
-    let traces = all_traces(set);
-    let mut report =
-        Report::new("ablation-choice-size", "Ablation: choice predictor sizing (d=10)");
+pub fn ablation_choice_size(set: &TraceSet, jobs: Option<usize>) -> Report {
+    let traces = set.all_packed();
+    let mut report = Report::new(
+        "ablation-choice-size",
+        "Ablation: choice predictor sizing (d=10)",
+    );
     report.note(
         "The paper sizes the choice table equal to one direction bank; this \
          sweep varies it from a quarter to double that size.",
     );
     let d = 10u32;
+    let cs = [d - 4, d - 2, d - 1, d, d + 1];
+    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+        cs.iter()
+            .map(|&c| BiMode::new(BiModeConfig::new(d, c, d)))
+            .collect::<Vec<_>>()
+    });
     let mut t = Table::new(["choice bits", "total size KB", "misprediction %"]);
-    for c in [d - 4, d - 2, d - 1, d, d + 1] {
-        let cfg = BiModeConfig::new(d, c, d);
-        let p = BiMode::new(cfg);
-        let size = p.cost().state_kib();
-        t.push_row([c.to_string(), kib(size), pct(average_rate(&traces, p))]);
+    for (i, &c) in cs.iter().enumerate() {
+        let size = BiMode::new(BiModeConfig::new(d, c, d)).cost().state_kib();
+        t.push_row([c.to_string(), kib(size), pct(engine::average(&rates[i]))]);
     }
     report.section("suite-average misprediction", t);
+    report.note(tp.note());
     report
 }
 
 /// Ablation: shared gshare-style direction index vs per-bank skewed
 /// hashing (combining bi-mode with gskew-style dispersion).
 #[must_use]
-pub fn ablation_index(set: &TraceSet) -> Report {
-    let traces = all_traces(set);
-    let mut report =
-        Report::new("ablation-index", "Ablation: shared vs skewed direction-bank index");
+pub fn ablation_index(set: &TraceSet, jobs: Option<usize>) -> Report {
+    let traces = set.all_packed();
+    let mut report = Report::new(
+        "ablation-index",
+        "Ablation: shared vs skewed direction-bank index",
+    );
     let mut t = Table::new(["d", "shared %", "skewed %"]);
-    for d in [8u32, 10, 12] {
-        let shared_cfg = BiModeConfig::paper_default(d);
-        let mut skewed_cfg = shared_cfg;
-        skewed_cfg.index_share = IndexShare::SkewedPerBank;
+    let ds = [8u32, 10, 12];
+    let configs: Vec<BiModeConfig> = ds
+        .iter()
+        .flat_map(|&d| {
+            let shared = BiModeConfig::paper_default(d);
+            let mut skewed = shared;
+            skewed.index_share = IndexShare::SkewedPerBank;
+            [shared, skewed]
+        })
+        .collect();
+    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+        configs.iter().map(|&c| BiMode::new(c)).collect::<Vec<_>>()
+    });
+    for (i, &d) in ds.iter().enumerate() {
         t.push_row([
             d.to_string(),
-            pct(average_rate(&traces, BiMode::new(shared_cfg))),
-            pct(average_rate(&traces, BiMode::new(skewed_cfg))),
+            pct(engine::average(&rates[2 * i])),
+            pct(engine::average(&rates[2 * i + 1])),
         ]);
     }
     report.section("suite-average misprediction", t);
+    report.note(tp.note());
     report
+}
+
+/// The ten de-aliasing contenders at one gshare-equivalent budget `s`.
+fn dealias_configs(s: u32) -> Vec<Box<dyn Predictor>> {
+    let d = s - 1;
+    vec![
+        Box::new(Bimodal::new(s)),
+        Box::new(Gshare::new(s, s)),
+        Box::new(Gshare::new(s, s - 4)),
+        Box::new(Gselect::new(4, s - 4)),
+        Box::new(BiMode::new(BiModeConfig::paper_default(d))),
+        Box::new(Agree::new(s, s, s - 1)),
+        Box::new(Gskew::new(s - 1, s - 1)),
+        Box::new(TwoBcGskew::new(s - 1, s - 1)),
+        Box::new(Yags::new(s - 1, s - 2, s - 2, 6)),
+        Box::new(Tournament::new(
+            Box::new(Bimodal::new(s - 1)),
+            Box::new(Gshare::new(s - 1, s - 1)),
+            s - 1,
+        )),
+    ]
 }
 
 /// The de-aliasing shoot-out: bi-mode vs agree, gskew, YAGS, gselect,
 /// tournament and plain gshare/bimodal at three hardware budgets.
 #[must_use]
-pub fn compare_dealias(set: &TraceSet) -> Report {
-    let traces = all_traces(set);
+pub fn compare_dealias(set: &TraceSet, jobs: Option<usize>) -> Report {
+    let traces = set.all_packed();
     let mut report = Report::new(
         "compare-dealias",
         "Comparison: de-aliasing schemes at matched budgets",
@@ -146,44 +200,28 @@ pub fn compare_dealias(set: &TraceSet) -> Report {
          (tags, histories, valid bits) reported separately per config name.",
     );
     // (budget label, gshare s). Other schemes are sized to land close
-    // to the same state budget; exact KB is printed.
-    for (label, s) in [("~0.75-1 KB", 12u32), ("~3-4 KB", 14), ("~12-16 KB", 16)] {
+    // to the same state budget; exact KB is printed. All three budgets'
+    // contenders share one batched pass.
+    let budgets = [("~0.75-1 KB", 12u32), ("~3-4 KB", 14), ("~12-16 KB", 16)];
+    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+        budgets
+            .iter()
+            .flat_map(|&(_, s)| dealias_configs(s))
+            .collect()
+    });
+    for (bi, &(label, s)) in budgets.iter().enumerate() {
+        let contenders = dealias_configs(s);
         let mut t = Table::new(["scheme", "size KB", "misprediction %"]);
-        let d = s - 1;
-        let configs: Vec<Box<dyn Predictor>> = vec![
-            Box::new(Bimodal::new(s)),
-            Box::new(Gshare::new(s, s)),
-            Box::new(Gshare::new(s, s - 4)),
-            Box::new(Gselect::new(4, s - 4)),
-            Box::new(BiMode::new(BiModeConfig::paper_default(d))),
-            Box::new(Agree::new(s, s, s - 1)),
-            Box::new(Gskew::new(s - 1, s - 1)),
-            Box::new(TwoBcGskew::new(s - 1, s - 1)),
-            Box::new(Yags::new(s - 1, s - 2, s - 2, 6)),
-            Box::new(Tournament::new(
-                Box::new(Bimodal::new(s - 1)),
-                Box::new(Gshare::new(s - 1, s - 1)),
-                s - 1,
-            )),
-        ];
-        for p in configs {
-            let size = p.cost().state_kib();
-            let name = p.name();
-            let rate = {
-                let mut p = p;
-                let total: f64 = traces
-                    .iter()
-                    .map(|tr| {
-                        p.reset();
-                        bpred_analysis::measure(tr, p.as_mut()).misprediction_rate()
-                    })
-                    .sum();
-                total / traces.len() as f64
-            };
-            t.push_row([name, kib(size), pct(rate)]);
+        for (ci, p) in contenders.iter().enumerate() {
+            t.push_row([
+                p.name(),
+                kib(p.cost().state_kib()),
+                pct(engine::average(&rates[bi * contenders.len() + ci])),
+            ]);
         }
         report.section(format!("budget {label}"), t);
     }
+    report.note(tp.note());
     report
 }
 
@@ -191,8 +229,8 @@ pub fn compare_dealias(set: &TraceSet) -> Report {
 /// matter? Updates are held in a FIFO of the given depth (modelling
 /// branch-resolution latency) before reaching the tables.
 #[must_use]
-pub fn ablation_delay(set: &TraceSet) -> Report {
-    let traces = all_traces(set);
+pub fn ablation_delay(set: &TraceSet, jobs: Option<usize>) -> Report {
+    let traces = set.all_packed();
     let mut report = Report::new(
         "ablation-delay",
         "Ablation: update-delay sensitivity (resolution latency)",
@@ -202,16 +240,31 @@ pub fn ablation_delay(set: &TraceSet) -> Report {
          immediately after each prediction; real pipelines train at \
          resolution. Rates are suite averages.",
     );
+    let delays = [0usize, 1, 2, 4, 8, 16, 32];
+    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+        delays
+            .iter()
+            .flat_map(|&delay| {
+                [
+                    Box::new(DelayedUpdate::new(Gshare::new(12, 12), delay)) as Box<dyn Predictor>,
+                    Box::new(DelayedUpdate::new(
+                        BiMode::new(BiModeConfig::paper_default(11)),
+                        delay,
+                    )),
+                ]
+            })
+            .collect()
+    });
     let mut t = Table::new(["delay (branches)", "gshare(s=12) %", "bi-mode(d=11) %"]);
-    for delay in [0usize, 1, 2, 4, 8, 16, 32] {
-        let g = average_rate(&traces, DelayedUpdate::new(Gshare::new(12, 12), delay));
-        let b = average_rate(
-            &traces,
-            DelayedUpdate::new(BiMode::new(BiModeConfig::paper_default(11)), delay),
-        );
-        t.push_row([delay.to_string(), pct(g), pct(b)]);
+    for (i, &delay) in delays.iter().enumerate() {
+        t.push_row([
+            delay.to_string(),
+            pct(engine::average(&rates[2 * i])),
+            pct(engine::average(&rates[2 * i + 1])),
+        ]);
     }
     report.section("suite-average misprediction vs update delay", t);
+    report.note(tp.note());
     report
 }
 
@@ -219,7 +272,7 @@ pub fn ablation_delay(set: &TraceSet) -> Report {
 /// tri-mode predictor quarantines weakly-biased branches in a third
 /// bank. Compared against bi-mode per benchmark and on the averages.
 #[must_use]
-pub fn future_trimode(set: &TraceSet) -> Report {
+pub fn future_trimode(set: &TraceSet, jobs: Option<usize>) -> Report {
     let mut report = Report::new(
         "future-trimode",
         "Future work: tri-mode (weak-bank) predictor vs bi-mode",
@@ -231,41 +284,55 @@ pub fn future_trimode(set: &TraceSet) -> Report {
          bi-mode's banks plus the conflict table), so both are shown \
          with their exact costs.",
     );
-    for d in [9u32, 11, 13] {
-        let bimode = BiMode::new(BiModeConfig::paper_default(d));
-        let trimode = TriMode::new(TriModeConfig::new(d, d, d));
+    let names: Vec<&str> = set.entries().iter().map(|(w, _)| w.name()).collect();
+    let traces = set.all_packed();
+    let ds = [9u32, 11, 13];
+    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+        ds.iter()
+            .flat_map(|&d| {
+                [
+                    Box::new(BiMode::new(BiModeConfig::paper_default(d))) as Box<dyn Predictor>,
+                    Box::new(TriMode::new(TriModeConfig::new(d, d, d))),
+                ]
+            })
+            .collect()
+    });
+    for (di, &d) in ds.iter().enumerate() {
+        let (bi_rates, tri_rates) = (&rates[2 * di], &rates[2 * di + 1]);
         let mut t = Table::new(["benchmark", "bi-mode %", "tri-mode %", "winner"]);
-        let (mut bi_sum, mut tri_sum) = (0.0, 0.0);
-        for (w, trace) in set.entries() {
-            let mut b = bimode.clone();
-            let mut x = trimode.clone();
-            let br = bpred_analysis::measure(trace, &mut b).misprediction_rate();
-            let tr = bpred_analysis::measure(trace, &mut x).misprediction_rate();
-            bi_sum += br;
-            tri_sum += tr;
+        for (i, name) in names.iter().enumerate() {
+            let (br, tr) = (bi_rates[i], tri_rates[i]);
             t.push_row([
-                w.name().to_owned(),
+                (*name).to_owned(),
                 pct(br),
                 pct(tr),
                 if tr < br { "tri-mode" } else { "bi-mode" }.to_owned(),
             ]);
         }
-        let n = set.entries().len() as f64;
+        let (bi_avg, tri_avg) = (engine::average(bi_rates), engine::average(tri_rates));
         t.push_row([
             "AVERAGE".to_owned(),
-            pct(bi_sum / n),
-            pct(tri_sum / n),
-            if tri_sum < bi_sum { "tri-mode" } else { "bi-mode" }.to_owned(),
+            pct(bi_avg),
+            pct(tri_avg),
+            if tri_avg < bi_avg {
+                "tri-mode"
+            } else {
+                "bi-mode"
+            }
+            .to_owned(),
         ]);
         report.section(
             format!(
                 "d={d}: bi-mode {} KB vs tri-mode {} KB",
-                kib(bimode.cost().state_kib()),
-                kib(trimode.cost().state_kib())
+                kib(BiMode::new(BiModeConfig::paper_default(d))
+                    .cost()
+                    .state_kib()),
+                kib(TriMode::new(TriModeConfig::new(d, d, d)).cost().state_kib())
             ),
             t,
         );
     }
+    report.note(tp.note());
     report
 }
 
@@ -325,48 +392,66 @@ pub fn aliasing_taxonomy(set: &TraceSet) -> Report {
     report
 }
 
+/// Suite average of one flushed configuration, traces in parallel.
+fn flushed_average<P, F>(
+    traces: &[&PackedTrace],
+    jobs: Option<usize>,
+    interval: u64,
+    build: F,
+) -> f64
+where
+    P: Predictor,
+    F: Fn() -> P + Sync,
+{
+    let rates = parallel::map(traces.to_vec(), jobs, |t| {
+        let mut p = build();
+        if interval == u64::MAX {
+            bpred_analysis::measure_packed(t, &mut p).misprediction_rate()
+        } else {
+            bpred_analysis::measure_packed_with_flushes(t, &mut p, interval).misprediction_rate()
+        }
+    });
+    engine::average(&rates)
+}
+
 /// Context-switch model: flush all predictor state every N branches
 /// (IBS traces interleave kernel and user activity; this quantifies
 /// how much cold state costs each scheme).
 #[must_use]
-pub fn ablation_flush(set: &TraceSet) -> Report {
-    let traces = all_traces(set);
+pub fn ablation_flush(set: &TraceSet, jobs: Option<usize>) -> Report {
+    let traces = set.all_packed();
     let mut report = Report::new(
         "ablation-flush",
         "Ablation: predictor flush interval (context-switch model)",
     );
+    let started = std::time::Instant::now();
+    let intervals = [10_000u64, 50_000, 250_000, u64::MAX];
     let mut t = Table::new(["flush interval", "gshare(s=12) %", "bi-mode(d=11) %"]);
-    for interval in [10_000u64, 50_000, 250_000, u64::MAX] {
+    for interval in intervals {
         let label = if interval == u64::MAX {
             "never".to_owned()
         } else {
             interval.to_string()
         };
-        let avg = |mut p: Box<dyn Predictor>| -> f64 {
-            let total: f64 = traces
-                .iter()
-                .map(|tr| {
-                    p.reset();
-                    if interval == u64::MAX {
-                        bpred_analysis::measure(tr, p.as_mut()).misprediction_rate()
-                    } else {
-                        bpred_analysis::measure_with_flushes(tr, p.as_mut(), interval)
-                            .misprediction_rate()
-                    }
-                })
-                .sum();
-            total / traces.len() as f64
-        };
         t.push_row([
             label,
-            pct(avg(Box::new(Gshare::new(12, 12)))),
-            pct(avg(Box::new(BiMode::new(BiModeConfig::paper_default(11))))),
+            pct(flushed_average(&traces, jobs, interval, || {
+                Gshare::new(12, 12)
+            })),
+            pct(flushed_average(&traces, jobs, interval, || {
+                BiMode::new(BiModeConfig::paper_default(11))
+            })),
         ]);
     }
     report.section("suite-average misprediction vs flush interval", t);
+    let tp = EngineThroughput {
+        branches: traces.iter().map(|t| t.len() as u64).sum::<u64>() * 2 * intervals.len() as u64,
+        configs: 2 * intervals.len(),
+        wall: started.elapsed(),
+    };
+    report.note(tp.note());
     report
 }
-
 
 /// Warm-up curves: windowed misprediction over time for the three
 /// Figure-2 schemes on gcc, showing convergence from power-on (the
@@ -375,8 +460,7 @@ pub fn ablation_flush(set: &TraceSet) -> Report {
 #[must_use]
 pub fn warmup_curves(set: &TraceSet) -> Report {
     let trace = set.trace("gcc").expect("warm-up uses the gcc trace");
-    let mut report =
-        Report::new("warmup", "Warm-up: windowed misprediction over time (gcc)");
+    let mut report = Report::new("warmup", "Warm-up: windowed misprediction over time (gcc)");
     let window = (trace.conditional().count() as u64 / 40).max(1_000);
     report.note(format!("Window: {window} conditional branches."));
     let mut gshare = Gshare::new(12, 12);
@@ -417,26 +501,27 @@ mod tests {
 
     #[test]
     fn choice_update_ablation_has_all_sizes() {
-        let r = ablation_choice_update(&small_set());
+        let r = ablation_choice_update(&small_set(), Some(2));
         assert_eq!(r.sections[0].1.len(), 5);
+        assert!(r.notes.iter().any(|n| n.starts_with("Throughput:")));
     }
 
     #[test]
     fn init_and_index_ablations_run() {
         let set = small_set();
-        assert_eq!(ablation_init(&set).sections[0].1.len(), 3);
-        assert_eq!(ablation_index(&set).sections[0].1.len(), 3);
+        assert_eq!(ablation_init(&set, Some(2)).sections[0].1.len(), 3);
+        assert_eq!(ablation_index(&set, Some(2)).sections[0].1.len(), 3);
     }
 
     #[test]
     fn choice_size_ablation_covers_five_sizes() {
-        let r = ablation_choice_size(&small_set());
+        let r = ablation_choice_size(&small_set(), Some(2));
         assert_eq!(r.sections[0].1.len(), 5);
     }
 
     #[test]
     fn delay_ablation_runs_and_zero_delay_matches_plain() {
-        let r = ablation_delay(&small_set());
+        let r = ablation_delay(&small_set(), Some(2));
         let t = &r.sections[0].1;
         assert_eq!(t.len(), 7);
         let csv = t.to_csv();
@@ -460,7 +545,11 @@ mod tests {
         let rows: Vec<&str> = csv.lines().skip(1).collect();
         assert_eq!(rows.len(), 3);
         let frac = |row: &str| -> f64 {
-            row.rsplit(',').next().expect("last column").parse().expect("percent")
+            row.rsplit(',')
+                .next()
+                .expect("last column")
+                .parse()
+                .expect("percent")
         };
         let gshare_hist = frac(rows[0]);
         let bimode = frac(rows[2]);
@@ -473,7 +562,7 @@ mod tests {
     #[test]
     fn flush_ablation_monotone_toward_never() {
         let set = small_set();
-        let r = ablation_flush(&set);
+        let r = ablation_flush(&set, Some(2));
         let t = &r.sections[0].1;
         assert_eq!(t.len(), 4);
         let csv = t.to_csv();
@@ -483,7 +572,7 @@ mod tests {
     #[test]
     fn trimode_experiment_reports_all_benchmarks_and_average() {
         let set = small_set();
-        let r = future_trimode(&set);
+        let r = future_trimode(&set, Some(2));
         assert_eq!(r.sections.len(), 3);
         for (_, t) in &r.sections {
             assert_eq!(t.len(), set.entries().len() + 1);
@@ -493,7 +582,7 @@ mod tests {
 
     #[test]
     fn dealias_comparison_lists_nine_schemes_per_budget() {
-        let r = compare_dealias(&small_set());
+        let r = compare_dealias(&small_set(), Some(2));
         assert_eq!(r.sections.len(), 3);
         for (_, t) in &r.sections {
             assert_eq!(t.len(), 10);

@@ -2,7 +2,6 @@
 
 use bpred_analysis::Analysis;
 use bpred_core::{BiMode, BiModeConfig, Gshare};
-use bpred_trace::Trace;
 use bpred_workloads::Suite;
 
 use crate::experiments::{kib, pct};
@@ -27,29 +26,37 @@ fn curve_table(points: &[SweepPoint]) -> Table {
 /// gshare.1PHT, gshare.best and bi-mode, on SPEC CINT95 and IBS.
 #[must_use]
 pub fn fig2(set: &TraceSet, jobs: Option<usize>) -> Report {
-    let mut report =
-        Report::new("fig2", "Figure 2: averaged misprediction rates vs predictor size");
+    let mut report = Report::new(
+        "fig2",
+        "Figure 2: averaged misprediction rates vs predictor size",
+    );
     report.note(format!("Scale: {}.", set.scale()));
-    for (suite, label) in
-        [(Suite::SpecInt95, "CINT95-AVERAGE"), (Suite::IbsUltrix, "IBS-AVERAGE")]
-    {
-        let traces: Vec<&Trace> = set.suite(suite).map(|(_, t)| t).collect();
-        let points = sweep::sweep_all(&traces, jobs);
+    for (suite, label) in [
+        (Suite::SpecInt95, "CINT95-AVERAGE"),
+        (Suite::IbsUltrix, "IBS-AVERAGE"),
+    ] {
+        let traces = set.suite_packed(suite);
+        let (points, tp) = sweep::sweep_all_with_throughput(&traces, jobs);
         report.section(label, curve_table(&points));
 
         // The paper's headline: bi-mode under the gshare curves.
         let verdict = verdict_bimode_wins(&points);
         report.note(format!("{label}: {verdict}"));
+        report.note(format!("{label}: {}", tp.note()));
     }
     report
 }
 
 /// Compares bi-mode points against gshare.best at the next-larger cost.
 fn verdict_bimode_wins(points: &[SweepPoint]) -> String {
-    let best: Vec<&SweepPoint> =
-        points.iter().filter(|p| p.scheme == Scheme::GshareBest).collect();
-    let bimode: Vec<&SweepPoint> =
-        points.iter().filter(|p| p.scheme == Scheme::BiMode).collect();
+    let best: Vec<&SweepPoint> = points
+        .iter()
+        .filter(|p| p.scheme == Scheme::GshareBest)
+        .collect();
+    let bimode: Vec<&SweepPoint> = points
+        .iter()
+        .filter(|p| p.scheme == Scheme::BiMode)
+        .collect();
     let mut wins = 0;
     let mut comparisons = 0;
     for bm in &bimode {
@@ -82,11 +89,10 @@ pub fn fig34(set: &TraceSet, suite: Suite, jobs: Option<usize>) -> Report {
         "gshare.best uses the configuration that wins the suite average, \
          applied to each benchmark (as in the paper), not a per-benchmark best.",
     );
-    let entries: Vec<(&str, &Trace)> =
-        set.suite(suite).map(|(w, t)| (w.name(), t)).collect();
-    let traces: Vec<&Trace> = entries.iter().map(|(_, t)| *t).collect();
-    let points = sweep::sweep_all(&traces, jobs);
-    for (i, (name, _)) in entries.iter().enumerate() {
+    let names: Vec<&str> = set.suite(suite).map(|(w, _)| w.name()).collect();
+    let traces = set.suite_packed(suite);
+    let (points, tp) = sweep::sweep_all_with_throughput(&traces, jobs);
+    for (i, name) in names.iter().enumerate() {
         let mut t = Table::new(["scheme", "config", "size KB", "misprediction %"]);
         for p in &points {
             t.push_row([
@@ -98,6 +104,7 @@ pub fn fig34(set: &TraceSet, suite: Suite, jobs: Option<usize>) -> Report {
         }
         report.section((*name).to_owned(), t);
     }
+    report.note(tp.note());
     report
 }
 
@@ -120,7 +127,10 @@ fn per_counter_sections(report: &mut Report, caption: &str, analysis: &Analysis)
             pct(w),
         ]);
     }
-    report.section(format!("{caption}: per-counter breakdown (sorted by WB)"), t);
+    report.section(
+        format!("{caption}: per-counter breakdown (sorted by WB)"),
+        t,
+    );
 }
 
 /// Figure 5: bias breakdown of the history-indexed (8 addr ⊕ 8 hist)
@@ -133,8 +143,10 @@ fn per_counter_sections(report: &mut Report, caption: &str, analysis: &Analysis)
 #[must_use]
 pub fn fig5(set: &TraceSet) -> Report {
     let trace = set.trace("gcc").expect("figure 5 needs the gcc trace");
-    let mut report =
-        Report::new("fig5", "Figure 5: bias breakdown for gshare on gcc (256 counters)");
+    let mut report = Report::new(
+        "fig5",
+        "Figure 5: bias breakdown for gshare on gcc (256 counters)",
+    );
     let history = Analysis::run(trace, || Gshare::new(8, 8));
     let address = Analysis::run(trace, || Gshare::new(8, 2));
     per_counter_sections(&mut report, "history-indexed gshare(8,8)", &history);
@@ -145,14 +157,22 @@ pub fn fig5(set: &TraceSet) -> Report {
     let (_, non_addr, wb_addr) = address.area_fractions();
     report.note(format!(
         "{}: history-indexed WB area ({}) {} address-indexed WB area ({}).",
-        if wb_hist <= wb_addr { "REPRODUCED" } else { "NOT reproduced" },
+        if wb_hist <= wb_addr {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        },
         pct(wb_hist),
         if wb_hist <= wb_addr { "<=" } else { ">" },
         pct(wb_addr),
     ));
     report.note(format!(
         "{}: history-indexed non-dominant area ({}) {} address-indexed ({}).",
-        if non_hist >= non_addr { "REPRODUCED" } else { "NOT reproduced" },
+        if non_hist >= non_addr {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        },
         pct(non_hist),
         if non_hist >= non_addr { ">=" } else { "<" },
         pct(non_addr),
@@ -169,8 +189,10 @@ pub fn fig5(set: &TraceSet) -> Report {
 #[must_use]
 pub fn fig6(set: &TraceSet) -> Report {
     let trace = set.trace("gcc").expect("figure 6 needs the gcc trace");
-    let mut report =
-        Report::new("fig6", "Figure 6: bias breakdown for bi-mode on gcc (2x128 + 128)");
+    let mut report = Report::new(
+        "fig6",
+        "Figure 6: bias breakdown for bi-mode on gcc (2x128 + 128)",
+    );
     let bimode = Analysis::run(trace, || BiMode::new(BiModeConfig::paper_default(7)));
     per_counter_sections(&mut report, "bi-mode(d=7,c=7,h=7)", &bimode);
 
@@ -181,7 +203,11 @@ pub fn fig6(set: &TraceSet) -> Report {
     report.note(format!(
         "{}: bi-mode dominant area ({}) {} history-indexed gshare ({}), \
          WB kept comparable ({} vs {}).",
-        if dom_b >= dom_g { "REPRODUCED" } else { "NOT reproduced" },
+        if dom_b >= dom_g {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        },
         pct(dom_b),
         if dom_b >= dom_g { ">=" } else { "<" },
         pct(dom_g),
@@ -206,7 +232,10 @@ pub fn fig78(set: &TraceSet, workload: &str) -> Report {
     let (id, figure) = match workload {
         "gcc" => ("fig7", "Figure 7"),
         "go" => ("fig8", "Figure 8"),
-        other => ("fig78", Box::leak(format!("Figure 7/8 analogue ({other})").into_boxed_str()) as &str),
+        other => (
+            "fig78",
+            Box::leak(format!("Figure 7/8 analogue ({other})").into_boxed_str()) as &str,
+        ),
     };
     let trace = set
         .trace(workload)
@@ -215,14 +244,7 @@ pub fn fig78(set: &TraceSet, workload: &str) -> Report {
         id,
         format!("{figure}: misprediction by bias class ({workload})"),
     );
-    let mut t = Table::new([
-        "counters",
-        "scheme",
-        "SNT %",
-        "ST %",
-        "WB %",
-        "total %",
-    ]);
+    let mut t = Table::new(["counters", "scheme", "SNT %", "ST %", "WB %", "total %"]);
     for (s, m_addr, m_hist, d) in FIG78_CONFIGS {
         let size_label = match s {
             8 => "256",
@@ -263,7 +285,10 @@ mod tests {
 
     fn gcc_go_set() -> TraceSet {
         TraceSet::of(
-            vec![Workload::by_name("gcc").unwrap(), Workload::by_name("go").unwrap()],
+            vec![
+                Workload::by_name("gcc").unwrap(),
+                Workload::by_name("go").unwrap(),
+            ],
             Scale::Smoke,
             Some(2),
         )
@@ -281,8 +306,15 @@ mod tests {
     #[test]
     fn fig5_reproduces_the_wb_area_contrast() {
         let r = fig5(&gcc_go_set());
-        let reproduced = r.notes.iter().filter(|n| n.starts_with("REPRODUCED")).count();
-        assert!(reproduced >= 1, "at least the WB-area claim should reproduce: {r}");
+        let reproduced = r
+            .notes
+            .iter()
+            .filter(|n| n.starts_with("REPRODUCED"))
+            .count();
+        assert!(
+            reproduced >= 1,
+            "at least the WB-area claim should reproduce: {r}"
+        );
     }
 
     #[test]

@@ -8,9 +8,8 @@ pub mod summary;
 pub mod tables;
 
 pub use ablations::{
-    ablation_choice_size, ablation_choice_update, ablation_delay, ablation_flush,
-    ablation_index, ablation_init, aliasing_taxonomy, compare_dealias, future_trimode,
-    warmup_curves,
+    ablation_choice_size, ablation_choice_update, ablation_delay, ablation_flush, ablation_index,
+    ablation_init, aliasing_taxonomy, compare_dealias, future_trimode, warmup_curves,
 };
 pub use figures::{fig2, fig34, fig5, fig6, fig78};
 pub use summary::summary;

@@ -5,7 +5,7 @@
 
 use bpred_analysis::{AliasReport, Analysis};
 use bpred_core::{BiMode, BiModeConfig, Gshare, Predictor, TriMode, TriModeConfig};
-use bpred_trace::Trace;
+use bpred_trace::PackedTrace;
 use bpred_workloads::Suite;
 
 use crate::experiments::pct;
@@ -13,12 +13,12 @@ use crate::format::{Report, Table};
 use crate::search::best_gshare;
 use crate::traces::TraceSet;
 
-fn average_rate(traces: &[&Trace], mut p: impl Predictor) -> f64 {
+fn average_rate(traces: &[&PackedTrace], mut p: impl Predictor) -> f64 {
     let sum: f64 = traces
         .iter()
         .map(|t| {
             p.reset();
-            bpred_analysis::measure(t, &mut p).misprediction_rate()
+            bpred_analysis::measure_packed(t, &mut p).misprediction_rate()
         })
         .sum();
     sum / traces.len() as f64
@@ -45,7 +45,12 @@ impl Scoreboard {
         self.table.push_row([
             claim.to_owned(),
             measured,
-            if holds { "REPRODUCED" } else { "NOT reproduced" }.to_owned(),
+            if holds {
+                "REPRODUCED"
+            } else {
+                "NOT reproduced"
+            }
+            .to_owned(),
         ]);
     }
 }
@@ -57,15 +62,18 @@ impl Scoreboard {
 /// Panics if the trace set lacks the `gcc` or `go` workloads.
 #[must_use]
 pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
-    let mut report =
-        Report::new("summary", "Reproduction scoreboard: the paper's claims, recomputed");
+    let mut report = Report::new(
+        "summary",
+        "Reproduction scoreboard: the paper's claims, recomputed",
+    );
     report.note(format!("Scale: {}.", set.scale()));
     let mut board = Scoreboard::new();
 
-    let spec: Vec<&Trace> = set.suite(Suite::SpecInt95).map(|(_, t)| t).collect();
-    let ibs: Vec<&Trace> = set.suite(Suite::IbsUltrix).map(|(_, t)| t).collect();
+    let spec = set.suite_packed(Suite::SpecInt95);
+    let ibs = set.suite_packed(Suite::IbsUltrix);
     let gcc = set.trace("gcc").expect("summary needs gcc");
     let go = set.trace("go").expect("summary needs go");
+    let go_packed = set.packed("go").expect("summary needs go");
 
     // -- Figure 2: bi-mode vs the next-smaller best gshare, per suite --
     for (suite_name, traces) in [("SPEC", &spec), ("IBS", &ibs)] {
@@ -98,10 +106,15 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
 
     // -- Figure 3: go is the hardest SPEC benchmark --
     let mut rates: Vec<(&str, f64)> = set
-        .suite(Suite::SpecInt95)
+        .packed_entries()
+        .into_iter()
+        .filter(|(w, _)| w.suite() == Suite::SpecInt95)
         .map(|(w, t)| {
             let mut p = Gshare::new(12, 10);
-            (w.name(), bpred_analysis::measure(t, &mut p).misprediction_rate())
+            (
+                w.name(),
+                bpred_analysis::measure_packed(t, &mut p).misprediction_rate(),
+            )
         })
         .collect();
     rates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
@@ -180,8 +193,8 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
     );
 
     // -- §5 future work: tri-mode helps on go --
-    let bi_go = average_rate(&[go], BiMode::new(BiModeConfig::paper_default(10)));
-    let tri_go = average_rate(&[go], TriMode::new(TriModeConfig::new(10, 10, 10)));
+    let bi_go = average_rate(&[go_packed], BiMode::new(BiModeConfig::paper_default(10)));
+    let tri_go = average_rate(&[go_packed], TriMode::new(TriModeConfig::new(10, 10, 10)));
     board.check(
         "§5 (extension): tri-mode beats bi-mode on go",
         format!("{} vs {}", pct(tri_go), pct(bi_go)),

@@ -58,11 +58,17 @@ pub fn table2(set: &TraceSet) -> Report {
 /// counts — four static branches sending streams to one counter.
 #[must_use]
 pub fn table3() -> Report {
-    let mut report =
-        Report::new("table3", "Table 3: normalized-count worked example (verbatim)");
+    let mut report = Report::new(
+        "table3",
+        "Table 3: normalized-count worked example (verbatim)",
+    );
     // The exact numbers from the paper's Table 3.
-    let rows: [(u64, u64, u64); 4] =
-        [(0x001, 12, 11), (0x005, 20, 1), (0x100, 8, 3), (0x150, 10, 1)];
+    let rows: [(u64, u64, u64); 4] = [
+        (0x001, 12, 11),
+        (0x005, 20, 1),
+        (0x100, 8, 3),
+        (0x150, 10, 1),
+    ];
     let total: u64 = rows.iter().map(|(_, n, _)| n).sum();
     let mut t = Table::new([
         "branch address",
@@ -73,7 +79,10 @@ pub fn table3() -> Report {
     ]);
     let mut per_class = [0u64; 3];
     for (addr, count, taken) in rows {
-        let stats = StreamStats { taken, total: count };
+        let stats = StreamStats {
+            taken,
+            total: count,
+        };
         let class = stats.class();
         per_class[match class {
             BiasClass::StronglyTaken => 0,
@@ -85,7 +94,12 @@ pub fn table3() -> Report {
             count.to_string(),
             taken.to_string(),
             class.to_string(),
-            format!("{}/{} = {:.0}%", count, total, 100.0 * count as f64 / total as f64),
+            format!(
+                "{}/{} = {:.0}%",
+                count,
+                total,
+                100.0 * count as f64 / total as f64
+            ),
         ]);
     }
     report.section("streams incident on counter c", t);
@@ -157,7 +171,10 @@ mod tests {
 
     fn smoke_set() -> TraceSet {
         TraceSet::of(
-            vec![Workload::by_name("gcc").unwrap(), Workload::by_name("compress").unwrap()],
+            vec![
+                Workload::by_name("gcc").unwrap(),
+                Workload::by_name("compress").unwrap(),
+            ],
             Scale::Smoke,
             Some(2),
         )

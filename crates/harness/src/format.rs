@@ -16,7 +16,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -116,7 +119,12 @@ impl Report {
     /// Creates an empty report.
     #[must_use]
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        Self { id: id.into(), title: title.into(), notes: Vec::new(), sections: Vec::new() }
+        Self {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            sections: Vec::new(),
+        }
     }
 
     /// Adds a prose note.

@@ -15,6 +15,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cli;
+pub mod engine;
 pub mod experiments;
 pub mod format;
 pub mod parallel;

@@ -8,12 +8,13 @@
 //! In the reproduction's gshare model a configuration at table size
 //! `2^s` is fully described by the history length `m <= s` (the
 //! remaining `s - m` index bits are address bits), so the pairwise grid
-//! collapses to a sweep over `m`.
+//! collapses to a sweep over `m` — run as one batch over a single pass
+//! of each packed trace, not one trace walk per candidate.
 
 use bpred_core::Gshare;
-use bpred_trace::Trace;
+use bpred_trace::PackedTrace;
 
-use crate::parallel;
+use crate::engine;
 
 /// The outcome of the exhaustive search at one table size.
 #[derive(Debug, Clone)]
@@ -32,47 +33,60 @@ pub struct BestGshare {
 
 /// Runs gshare(`s`, `m`) over every trace, returning per-trace rates.
 #[must_use]
-pub fn gshare_rates(traces: &[&Trace], table_bits: u32, history_bits: u32) -> Vec<f64> {
+pub fn gshare_rates(traces: &[&PackedTrace], table_bits: u32, history_bits: u32) -> Vec<f64> {
     traces
         .iter()
         .map(|t| {
-            bpred_analysis::measure(t, &mut Gshare::new(table_bits, history_bits))
+            bpred_analysis::measure_packed(t, &mut Gshare::new(table_bits, history_bits))
                 .misprediction_rate()
         })
         .collect()
 }
 
 /// Exhaustively searches `m in 0..=s` for the best suite-average
-/// gshare at table size `2^s`, parallelising over candidates.
+/// gshare at table size `2^s`. All candidates ride one batched pass
+/// per trace; `jobs` bounds the parallelism over traces.
 ///
 /// # Panics
 ///
 /// Panics if `traces` is empty.
 #[must_use]
-pub fn best_gshare(traces: &[&Trace], table_bits: u32, jobs: Option<usize>) -> BestGshare {
+pub fn best_gshare(traces: &[&PackedTrace], table_bits: u32, jobs: Option<usize>) -> BestGshare {
     assert!(!traces.is_empty(), "the search needs at least one trace");
     let candidates: Vec<u32> = (0..=table_bits).collect();
-    let results = parallel::map(candidates, jobs, |&m| {
-        let rates = gshare_rates(traces, table_bits, m);
-        let avg = rates.iter().sum::<f64>() / rates.len() as f64;
-        (m, avg, rates)
+    let (rates, _) = engine::batch_rates(traces, jobs, || {
+        candidates
+            .iter()
+            .map(|&m| Gshare::new(table_bits, m))
+            .collect::<Vec<_>>()
     });
+    let results: Vec<(u32, f64, Vec<f64>)> = candidates
+        .into_iter()
+        .zip(rates)
+        .map(|(m, rates)| (m, engine::average(&rates), rates))
+        .collect();
     let curve: Vec<(u32, f64)> = results.iter().map(|(m, avg, _)| (*m, *avg)).collect();
     let (history_bits, average_rate, per_workload) = results
         .into_iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"))
         .expect("at least one candidate");
-    BestGshare { table_bits, history_bits, average_rate, per_workload, curve }
+    BestGshare {
+        table_bits,
+        history_bits,
+        average_rate,
+        per_workload,
+        curve,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bpred_trace::BranchRecord;
+    use bpred_trace::{BranchRecord, Trace};
 
     /// A trace where correlation only helps with enough history: branch
     /// B repeats branch A's outcome from two steps ago.
-    fn correlated_trace() -> Trace {
+    fn correlated_trace() -> PackedTrace {
         let mut t = Trace::new("corr");
         let mut hist = [false; 2];
         for i in 0..4000u64 {
@@ -81,12 +95,12 @@ mod tests {
             t.push(BranchRecord::conditional(0x1004, 0, hist[0]));
             hist = [hist[1], a_out];
         }
-        t
+        PackedTrace::build(&t).expect("two sites")
     }
 
     /// A trace full of opposite-biased aliases, where history mixes
     /// things up and m = 0 (pure bimodal) wins.
-    fn alias_heavy_trace() -> Trace {
+    fn alias_heavy_trace() -> PackedTrace {
         let mut t = Trace::new("alias");
         for i in 0..2000u64 {
             for b in 0..16u64 {
@@ -94,14 +108,18 @@ mod tests {
             }
             let _ = i;
         }
-        t
+        PackedTrace::build(&t).expect("16 sites")
     }
 
     #[test]
     fn search_prefers_history_when_correlation_pays() {
         let t = correlated_trace();
         let best = best_gshare(&[&t], 8, Some(2));
-        assert!(best.history_bits >= 3, "expected history to win, got m={}", best.history_bits);
+        assert!(
+            best.history_bits >= 3,
+            "expected history to win, got m={}",
+            best.history_bits
+        );
         assert!(best.average_rate < 0.05);
     }
 
@@ -136,5 +154,13 @@ mod tests {
         assert_eq!(best.per_workload.len(), 2);
         let avg = best.per_workload.iter().sum::<f64>() / 2.0;
         assert!((avg - best.average_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_rates_match_the_scalar_helper() {
+        let t = correlated_trace();
+        let best = best_gshare(&[&t], 8, Some(2));
+        let winner = gshare_rates(&[&t], 8, best.history_bits);
+        assert_eq!(winner, best.per_workload);
     }
 }

@@ -5,12 +5,17 @@
 //! at 1.5x the next-smaller gshare (two half-size direction banks plus
 //! an equal-size choice table), reproducing the staggered positions of
 //! the paper's plots.
+//!
+//! Every scheme's whole ladder — for `gshare.best`, every `(s, m)`
+//! candidate of every ladder size at once — is fused into one predictor
+//! batch and driven over each packed trace in a single pass by
+//! [`engine::batch_rates`], instead of re-walking the trace once per
+//! configuration.
 
 use bpred_core::{BiMode, BiModeConfig, Gshare, Predictor};
-use bpred_trace::Trace;
+use bpred_trace::PackedTrace;
 
-use crate::parallel;
-use crate::search;
+use crate::engine::{self, EngineThroughput};
 
 /// The schemes compared in Figures 2–4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,11 +57,7 @@ impl SweepPoint {
     /// The average misprediction rate over the traces, in `[0, 1]`.
     #[must_use]
     pub fn average_rate(&self) -> f64 {
-        if self.rates.is_empty() {
-            0.0
-        } else {
-            self.rates.iter().sum::<f64>() / self.rates.len() as f64
-        }
+        engine::average(&self.rates)
     }
 }
 
@@ -67,79 +68,125 @@ pub const GSHARE_SIZES: std::ops::RangeInclusive<u32> = 10..=17;
 /// interleaves the gshare ladder (0.375 KB to 24 KB).
 pub const BIMODE_SIZES: std::ops::RangeInclusive<u32> = 9..=16;
 
-fn measure_all(traces: &[&Trace], mut predictor: impl Predictor) -> Vec<f64> {
-    traces
-        .iter()
-        .map(|t| {
-            predictor.reset();
-            bpred_analysis::measure(t, &mut predictor).misprediction_rate()
-        })
-        .collect()
+fn point(scheme: Scheme, p: &dyn Predictor, rates: Vec<f64>) -> SweepPoint {
+    SweepPoint {
+        scheme,
+        kib: p.cost().state_kib(),
+        config: p.name(),
+        rates,
+    }
 }
 
-/// Sweeps one scheme across its size ladder. `jobs` bounds the
-/// parallelism of both the sweep and the embedded `gshare.best`
-/// searches.
+/// Sweeps one scheme across its size ladder in one batched pass per
+/// trace. `jobs` bounds the parallelism over traces.
 #[must_use]
-pub fn sweep_scheme(traces: &[&Trace], scheme: Scheme, jobs: Option<usize>) -> Vec<SweepPoint> {
+pub fn sweep_scheme(
+    traces: &[&PackedTrace],
+    scheme: Scheme,
+    jobs: Option<usize>,
+) -> Vec<SweepPoint> {
+    sweep_scheme_with_throughput(traces, scheme, jobs).0
+}
+
+/// Like [`sweep_scheme`], also reporting the fan-out's throughput.
+#[must_use]
+pub fn sweep_scheme_with_throughput(
+    traces: &[&PackedTrace],
+    scheme: Scheme,
+    jobs: Option<usize>,
+) -> (Vec<SweepPoint>, EngineThroughput) {
     match scheme {
         Scheme::GshareSinglePht => {
             let sizes: Vec<u32> = GSHARE_SIZES.collect();
-            parallel::map(sizes, jobs, |&s| {
-                let p = Gshare::single_pht(s);
-                SweepPoint {
-                    scheme,
-                    kib: p.cost().state_kib(),
-                    config: p.name(),
-                    rates: measure_all(traces, p),
-                }
-            })
+            let (rates, tp) = engine::batch_rates(traces, jobs, || {
+                sizes
+                    .iter()
+                    .map(|&s| Gshare::single_pht(s))
+                    .collect::<Vec<_>>()
+            });
+            let points = sizes
+                .iter()
+                .zip(rates)
+                .map(|(&s, rates)| point(scheme, &Gshare::single_pht(s), rates))
+                .collect();
+            (points, tp)
         }
         Scheme::GshareBest => {
-            // The search itself parallelises over candidate history
-            // lengths; run sizes sequentially to bound thread count.
-            GSHARE_SIZES
+            // Every (s, m <= s) candidate of every ladder size, fused
+            // into one single-pass batch; the per-size winner is picked
+            // afterwards (last minimum, matching `search::best_gshare`).
+            let pairs: Vec<(u32, u32)> = GSHARE_SIZES
+                .flat_map(|s| (0..=s).map(move |m| (s, m)))
+                .collect();
+            let (rates, tp) = engine::batch_rates(traces, jobs, || {
+                pairs
+                    .iter()
+                    .map(|&(s, m)| Gshare::new(s, m))
+                    .collect::<Vec<_>>()
+            });
+            let points = GSHARE_SIZES
                 .map(|s| {
-                    let best = search::best_gshare(traces, s, jobs);
-                    let p = Gshare::new(s, best.history_bits);
-                    SweepPoint {
-                        scheme,
-                        kib: p.cost().state_kib(),
-                        config: p.name(),
-                        rates: best.per_workload,
-                    }
+                    let (&(_, m), rates) = pairs
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(&(ps, _), _)| ps == s)
+                        .min_by(|a, b| {
+                            engine::average(a.1)
+                                .partial_cmp(&engine::average(b.1))
+                                .expect("rates are finite")
+                        })
+                        .expect("every ladder size has candidates");
+                    point(scheme, &Gshare::new(s, m), rates.clone())
                 })
-                .collect()
+                .collect();
+            (points, tp)
         }
         Scheme::BiMode => {
             let sizes: Vec<u32> = BIMODE_SIZES.collect();
-            parallel::map(sizes, jobs, |&d| {
-                let p = BiMode::new(BiModeConfig::paper_default(d));
-                SweepPoint {
-                    scheme,
-                    kib: p.cost().state_kib(),
-                    config: p.name(),
-                    rates: measure_all(traces, p),
-                }
-            })
+            let (rates, tp) = engine::batch_rates(traces, jobs, || {
+                sizes
+                    .iter()
+                    .map(|&d| BiMode::new(BiModeConfig::paper_default(d)))
+                    .collect::<Vec<_>>()
+            });
+            let points = sizes
+                .iter()
+                .zip(rates)
+                .map(|(&d, rates)| {
+                    point(scheme, &BiMode::new(BiModeConfig::paper_default(d)), rates)
+                })
+                .collect();
+            (points, tp)
         }
     }
 }
 
 /// Sweeps all three schemes (the full Figure 2/3/4 data set).
 #[must_use]
-pub fn sweep_all(traces: &[&Trace], jobs: Option<usize>) -> Vec<SweepPoint> {
+pub fn sweep_all(traces: &[&PackedTrace], jobs: Option<usize>) -> Vec<SweepPoint> {
+    sweep_all_with_throughput(traces, jobs).0
+}
+
+/// Like [`sweep_all`], also reporting the combined throughput.
+#[must_use]
+pub fn sweep_all_with_throughput(
+    traces: &[&PackedTrace],
+    jobs: Option<usize>,
+) -> (Vec<SweepPoint>, EngineThroughput) {
     let mut points = Vec::new();
+    let mut throughput = EngineThroughput::default();
     for scheme in [Scheme::GshareSinglePht, Scheme::GshareBest, Scheme::BiMode] {
-        points.extend(sweep_scheme(traces, scheme, jobs));
+        let (p, tp) = sweep_scheme_with_throughput(traces, scheme, jobs);
+        points.extend(p);
+        throughput.absorb(&tp);
     }
-    points
+    (points, throughput)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bpred_trace::BranchRecord;
+    use bpred_trace::{BranchRecord, Trace};
 
     fn small_trace() -> Trace {
         let mut t = Trace::new("t");
@@ -152,9 +199,13 @@ mod tests {
         t
     }
 
+    fn packed() -> PackedTrace {
+        PackedTrace::build(&small_trace()).expect("small site table")
+    }
+
     #[test]
     fn ladders_hit_the_papers_cost_points() {
-        let t = small_trace();
+        let t = packed();
         let single = sweep_scheme(&[&t], Scheme::GshareSinglePht, Some(2));
         let kibs: Vec<f64> = single.iter().map(|p| p.kib).collect();
         assert_eq!(kibs, [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
@@ -166,7 +217,7 @@ mod tests {
 
     #[test]
     fn best_is_never_worse_than_single_pht_on_average() {
-        let t = small_trace();
+        let t = packed();
         let single = sweep_scheme(&[&t], Scheme::GshareSinglePht, Some(2));
         let best = sweep_scheme(&[&t], Scheme::GshareBest, Some(2));
         for (s, b) in single.iter().zip(&best) {
@@ -181,13 +232,27 @@ mod tests {
     }
 
     #[test]
-    fn sweep_all_produces_three_curves() {
-        let t = small_trace();
-        let all = sweep_all(&[&t], Some(2));
+    fn fused_best_matches_the_per_size_search() {
+        let t = packed();
+        let best = sweep_scheme(&[&t], Scheme::GshareBest, Some(2));
+        for (point, s) in best.iter().zip(GSHARE_SIZES) {
+            let search = crate::search::best_gshare(&[&t], s, Some(2));
+            assert_eq!(point.config, Gshare::new(s, search.history_bits).name());
+            assert_eq!(point.rates, search.per_workload, "size {s}");
+        }
+    }
+
+    #[test]
+    fn sweep_all_produces_three_curves_and_throughput() {
+        let t = packed();
+        let (all, tp) = sweep_all_with_throughput(&[&t], Some(2));
         assert_eq!(all.len(), 24);
         for scheme in [Scheme::GshareSinglePht, Scheme::GshareBest, Scheme::BiMode] {
             assert_eq!(all.iter().filter(|p| p.scheme == scheme).count(), 8);
         }
+        // 8 single-PHT + 116 best candidates + 8 bi-mode configurations.
+        assert_eq!(tp.configs, 8 + 116 + 8);
+        assert_eq!(tp.branches, t.len() as u64 * 132);
     }
 
     #[test]

@@ -3,14 +3,17 @@
 //! Workload traces are deterministic, so they are generated once per
 //! (workload, scale) and cached — in memory within a `TraceSet`, and
 //! optionally on disk in the binary codec so repeated `repro`
-//! invocations skip regeneration.
+//! invocations skip regeneration. Each `TraceSet` also lazily builds
+//! the packed (SoA) view of every trace, shared by all the batched
+//! experiments of a run.
 
 use std::fs::{self, File};
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use bpred_trace::Trace;
+use bpred_trace::{PackedTrace, Trace};
 use bpred_workloads::{Scale, Suite, Workload};
 
 use crate::parallel;
@@ -24,6 +27,7 @@ const CACHE_VERSION: u32 = 5;
 pub struct TraceSet {
     scale: Scale,
     entries: Vec<(Workload, Trace)>,
+    packed: Vec<OnceLock<PackedTrace>>,
 }
 
 /// Where on-disk trace caching lives, if enabled.
@@ -45,6 +49,29 @@ fn cached_path(workload: &Workload, scale: Scale) -> Option<PathBuf> {
     cache_dir().map(|d| d.join(format!("v{CACHE_VERSION}-{}-{scale}.bptr", workload.name())))
 }
 
+/// Writes `trace` to `path` atomically: serialise into a uniquely named
+/// temp file in the same directory, then rename into place. Readers
+/// never observe a half-written file (a crash mid-write leaves only the
+/// temp file behind) and concurrent writers of the same trace race
+/// harmlessly — renames are atomic and both sides wrote identical
+/// bytes.
+fn write_cache_atomically(trace: &Trace, path: &PathBuf) {
+    static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let written = File::create(&tmp).is_ok_and(|file| {
+        let mut writer = BufWriter::new(file);
+        bpred_trace::write_binary(trace, &mut writer).is_ok() && writer.flush().is_ok()
+    });
+    // Best-effort cache write; failure only costs regeneration.
+    if !written || fs::rename(&tmp, path).is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+}
+
 /// Generates (or loads from cache) one workload trace.
 #[must_use]
 pub fn load_trace(workload: &Workload, scale: Scale) -> Trace {
@@ -57,12 +84,7 @@ pub fn load_trace(workload: &Workload, scale: Scale) -> Trace {
             fs::remove_file(&path).ok();
         }
         let trace = workload.trace(scale);
-        if let Ok(file) = File::create(&path) {
-            // Best-effort cache write; failure only costs regeneration.
-            if bpred_trace::write_binary(&trace, BufWriter::new(file)).is_err() {
-                fs::remove_file(&path).ok();
-            }
-        }
+        write_cache_atomically(&trace, &path);
         return trace;
     }
     workload.trace(scale)
@@ -82,7 +104,12 @@ impl TraceSet {
     #[must_use]
     pub fn of(workloads: Vec<Workload>, scale: Scale, jobs: Option<usize>) -> Self {
         let entries = parallel::map(workloads, jobs, |w| (*w, load_trace(w, scale)));
-        Self { scale, entries }
+        let packed = entries.iter().map(|_| OnceLock::new()).collect();
+        Self {
+            scale,
+            entries,
+            packed,
+        }
     }
 
     /// The scale the traces were generated at.
@@ -105,7 +132,53 @@ impl TraceSet {
     /// Looks up one workload's trace by name.
     #[must_use]
     pub fn trace(&self, name: &str) -> Option<&Trace> {
-        self.entries.iter().find(|(w, _)| w.name() == name).map(|(_, t)| t)
+        self.entries
+            .iter()
+            .find(|(w, _)| w.name() == name)
+            .map(|(_, t)| t)
+    }
+
+    fn packed_at(&self, index: usize) -> &PackedTrace {
+        self.packed[index].get_or_init(|| {
+            PackedTrace::build(&self.entries[index].1).expect("workload site tables fit 32-bit ids")
+        })
+    }
+
+    /// The packed (SoA) view of one workload's trace, built on first
+    /// use and shared for the lifetime of the set.
+    #[must_use]
+    pub fn packed(&self, name: &str) -> Option<&PackedTrace> {
+        self.entries
+            .iter()
+            .position(|(w, _)| w.name() == name)
+            .map(|i| self.packed_at(i))
+    }
+
+    /// Packed views of one suite's traces, in registry order.
+    #[must_use]
+    pub fn suite_packed(&self, suite: Suite) -> Vec<&PackedTrace> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (w, _))| w.suite() == suite)
+            .map(|(i, _)| self.packed_at(i))
+            .collect()
+    }
+
+    /// Packed views of every trace, in registry order.
+    #[must_use]
+    pub fn all_packed(&self) -> Vec<&PackedTrace> {
+        (0..self.entries.len()).map(|i| self.packed_at(i)).collect()
+    }
+
+    /// All (workload, packed trace) pairs, in registry order.
+    #[must_use]
+    pub fn packed_entries(&self) -> Vec<(Workload, &PackedTrace)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (w, _))| (*w, self.packed_at(i)))
+            .collect()
     }
 }
 
@@ -127,6 +200,61 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_loads_agree_and_leave_no_temp_files() {
+        let w = Workload::by_name("groff").expect("registered");
+        let traces: Vec<Trace> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| load_trace(&w, Scale::Smoke)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        for t in &traces[1..] {
+            assert_eq!(
+                *t, traces[0],
+                "every concurrent load must see the same trace"
+            );
+        }
+        if let Some(dir) = cache_dir() {
+            let leftovers: Vec<PathBuf> = fs::read_dir(dir)
+                .map(|it| {
+                    it.filter_map(Result::ok)
+                        .map(|e| e.path())
+                        // Scope to this test's workload: other tests
+                        // write the shared dir concurrently.
+                        .filter(|p| {
+                            let name = p.to_string_lossy().into_owned();
+                            name.contains("groff") && name.contains(".tmp.")
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            assert!(
+                leftovers.is_empty(),
+                "temp files must not survive: {leftovers:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_temp_files_do_not_break_cache_reads() {
+        let w = Workload::by_name("compress").expect("registered");
+        let a = load_trace(&w, Scale::Smoke);
+        let dead = cached_path(&w, Scale::Smoke).map(|p| p.with_extension("tmp.dead.0"));
+        if let Some(dead) = &dead {
+            // Simulate a crashed writer: a half-written temp neighbour.
+            fs::write(dead, b"partial garbage").ok();
+        }
+        let b = load_trace(&w, Scale::Smoke);
+        assert_eq!(a, b);
+        if let Some(dead) = &dead {
+            fs::remove_file(dead).ok();
+        }
+    }
+
+    #[test]
     fn trace_set_indexes_by_name_and_suite() {
         let set = TraceSet::of(
             vec![
@@ -141,5 +269,26 @@ mod tests {
         assert_eq!(set.suite(Suite::SpecInt95).count(), 1);
         assert_eq!(set.suite(Suite::IbsUltrix).count(), 1);
         assert_eq!(set.scale(), Scale::Smoke);
+    }
+
+    #[test]
+    fn packed_views_mirror_the_traces() {
+        let set = TraceSet::of(
+            vec![
+                Workload::by_name("compress").unwrap(),
+                Workload::by_name("groff").unwrap(),
+            ],
+            Scale::Smoke,
+            Some(2),
+        );
+        let p = set.packed("compress").expect("present");
+        let t = set.trace("compress").expect("present");
+        assert_eq!(p.len() as u64, t.stats().dynamic_conditional);
+        // The lazy cell hands back the same instance on reuse.
+        assert!(std::ptr::eq(p, set.packed("compress").unwrap()));
+        assert!(set.packed("nope").is_none());
+        assert_eq!(set.all_packed().len(), 2);
+        assert_eq!(set.suite_packed(Suite::SpecInt95).len(), 1);
+        assert_eq!(set.packed_entries().len(), 2);
     }
 }

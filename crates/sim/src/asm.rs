@@ -37,7 +37,10 @@ pub struct AsmError {
 
 impl AsmError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        Self { line, message: message.into() }
+        Self {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based source line of the error.
@@ -91,7 +94,11 @@ fn parse_mem(token: &str, line: usize) -> Result<(i64, Reg), AsmError> {
     if !t.ends_with(')') {
         return Err(AsmError::new(line, format!("`{t}` is missing `)`")));
     }
-    let off = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let off = if open == 0 {
+        0
+    } else {
+        parse_imm(&t[..open], line)?
+    };
     let reg = parse_reg(&t[open + 1..t.len() - 1], line)?;
     Ok((off, reg))
 }
@@ -99,8 +106,16 @@ fn parse_mem(token: &str, line: usize) -> Result<(i64, Reg), AsmError> {
 /// Unresolved instruction: branch/jump targets still carry label names.
 enum Draft {
     Ready(Instruction),
-    Branch { cond: Cond, rs: Reg, rt: Reg, label: String },
-    Jal { rd: Reg, label: String },
+    Branch {
+        cond: Cond,
+        rs: Reg,
+        rt: Reg,
+        label: String,
+    },
+    Jal {
+        rd: Reg,
+        label: String,
+    },
 }
 
 /// Assembles source text into a [`Program`].
@@ -127,7 +142,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         while let Some(colon) = line.find(':') {
             let label = line[..colon].trim();
             if label.is_empty()
-                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
             {
                 return Err(AsmError::new(line_no, format!("bad label `{label}`")));
             }
@@ -176,7 +193,11 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }))
         };
         let branch = |cond: Cond, ops: &[&str], swap: bool| -> Result<Draft, AsmError> {
-            let (a, b) = if swap { (ops[1], ops[0]) } else { (ops[0], ops[1]) };
+            let (a, b) = if swap {
+                (ops[1], ops[0])
+            } else {
+                (ops[0], ops[1])
+            };
             Ok(Draft::Branch {
                 cond,
                 rs: parse_reg(a, line_no)?,
@@ -231,12 +252,20 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             "lw" => {
                 expect(2)?;
                 let (imm, rs) = parse_mem(ops[1], line_no)?;
-                Draft::Ready(Instruction::Lw { rd: parse_reg(ops[0], line_no)?, rs, imm })
+                Draft::Ready(Instruction::Lw {
+                    rd: parse_reg(ops[0], line_no)?,
+                    rs,
+                    imm,
+                })
             }
             "sw" => {
                 expect(2)?;
                 let (imm, rs) = parse_mem(ops[1], line_no)?;
-                Draft::Ready(Instruction::Sw { rt: parse_reg(ops[0], line_no)?, rs, imm })
+                Draft::Ready(Instruction::Sw {
+                    rt: parse_reg(ops[0], line_no)?,
+                    rs,
+                    imm,
+                })
             }
             "beq" => {
                 expect(3)?;
@@ -265,10 +294,16 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "j" => {
                 expect(1)?;
-                Draft::Jal { rd: Reg::ZERO, label: ops[0].to_owned() }
+                Draft::Jal {
+                    rd: Reg::ZERO,
+                    label: ops[0].to_owned(),
+                }
             }
             "jal" => match ops.len() {
-                1 => Draft::Jal { rd: Reg::RA, label: ops[0].to_owned() },
+                1 => Draft::Jal {
+                    rd: Reg::RA,
+                    label: ops[0].to_owned(),
+                },
                 2 => Draft::Jal {
                     rd: parse_reg(ops[0], line_no)?,
                     label: ops[1].to_owned(),
@@ -282,7 +317,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             },
             "call" => {
                 expect(1)?;
-                Draft::Jal { rd: Reg::RA, label: ops[0].to_owned() }
+                Draft::Jal {
+                    rd: Reg::RA,
+                    label: ops[0].to_owned(),
+                }
             }
             "jalr" => {
                 expect(2)?;
@@ -300,7 +338,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "ret" => {
                 expect(0)?;
-                Draft::Ready(Instruction::Jalr { rd: Reg::ZERO, rs: Reg::RA })
+                Draft::Ready(Instruction::Jalr {
+                    rd: Reg::ZERO,
+                    rs: Reg::RA,
+                })
             }
             "nop" => {
                 expect(0)?;
@@ -310,7 +351,12 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 expect(0)?;
                 Draft::Ready(Instruction::Halt)
             }
-            other => return Err(AsmError::new(line_no, format!("unknown mnemonic `{other}`"))),
+            other => {
+                return Err(AsmError::new(
+                    line_no,
+                    format!("unknown mnemonic `{other}`"),
+                ))
+            }
         };
         drafts.push((line_no, draft));
     }
@@ -326,10 +372,21 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         };
         let instr = match draft {
             Draft::Ready(i) => i,
-            Draft::Branch { cond, rs, rt, label } => {
-                Instruction::Branch { cond, rs, rt, target: resolve(&label)? }
-            }
-            Draft::Jal { rd, label } => Instruction::Jal { rd, target: resolve(&label)? },
+            Draft::Branch {
+                cond,
+                rs,
+                rt,
+                label,
+            } => Instruction::Branch {
+                cond,
+                rs,
+                rt,
+                target: resolve(&label)?,
+            },
+            Draft::Jal { rd, label } => Instruction::Jal {
+                rd,
+                target: resolve(&label)?,
+            },
         };
         instructions.push(instr);
     }
@@ -393,11 +450,21 @@ mod tests {
         .unwrap();
         assert_eq!(
             p.instructions[0],
-            Instruction::Branch { cond: Cond::Eq, rs: Reg::ZERO, rt: Reg::ZERO, target: 2 }
+            Instruction::Branch {
+                cond: Cond::Eq,
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                target: 2
+            }
         );
         assert_eq!(
             p.instructions[2],
-            Instruction::Branch { cond: Cond::Eq, rs: Reg::ZERO, rt: Reg::ZERO, target: 0 }
+            Instruction::Branch {
+                cond: Cond::Eq,
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                target: 0
+            }
         );
     }
 
@@ -436,7 +503,11 @@ mod tests {
         let p = assemble("addi ra, zero, 1").unwrap();
         assert_eq!(
             p.instructions[0],
-            Instruction::Addi { rd: Reg::RA, rs: Reg::ZERO, imm: 1 }
+            Instruction::Addi {
+                rd: Reg::RA,
+                rs: Reg::ZERO,
+                imm: 1
+            }
         );
     }
 
@@ -471,6 +542,13 @@ mod tests {
     #[test]
     fn negative_hex_immediates() {
         let p = assemble("li r1, -0x10").unwrap();
-        assert_eq!(p.instructions[0], Instruction::Addi { rd: Reg::new(1), rs: Reg::ZERO, imm: -16 });
+        assert_eq!(
+            p.instructions[0],
+            Instruction::Addi {
+                rd: Reg::new(1),
+                rs: Reg::ZERO,
+                imm: -16
+            }
+        );
     }
 }

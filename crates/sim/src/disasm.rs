@@ -24,7 +24,12 @@ fn render(instr: &Instruction, out: &mut String) {
         Instruction::Sw { rt, rs, imm } => {
             let _ = write!(out, "sw {rt}, {imm}({rs})");
         }
-        Instruction::Branch { cond, rs, rt, target } => {
+        Instruction::Branch {
+            cond,
+            rs,
+            rt,
+            target,
+        } => {
             let _ = write!(out, "{} {rs}, {rt}, L{target}", cond.mnemonic());
         }
         Instruction::Jal { rd, target } => {
@@ -117,7 +122,10 @@ mod tests {
         let text = disassemble(&p);
         assert!(text.contains("L1: nop"), "{text}");
         assert!(text.contains("beq r0, r0, L1"), "{text}");
-        assert!(!text.contains("L0"), "untargeted instruction must not get a label: {text}");
+        assert!(
+            !text.contains("L0"),
+            "untargeted instruction must not get a label: {text}"
+        );
     }
 
     #[test]
@@ -174,14 +182,25 @@ mod proptests {
     /// An arbitrary instruction whose targets stay within `len`.
     fn instruction(len: usize) -> impl Strategy<Value = Instruction> {
         prop_oneof![
-            (alu_op(), reg(), reg(), reg())
-                .prop_map(|(op, rd, rs, rt)| Instruction::Alu { op, rd, rs, rt }),
-            (reg(), reg(), -1000i64..1000)
-                .prop_map(|(rd, rs, imm)| Instruction::Addi { rd, rs, imm }),
+            (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs, rt)| Instruction::Alu {
+                op,
+                rd,
+                rs,
+                rt
+            }),
+            (reg(), reg(), -1000i64..1000).prop_map(|(rd, rs, imm)| Instruction::Addi {
+                rd,
+                rs,
+                imm
+            }),
             (reg(), reg(), -64i64..64).prop_map(|(rd, rs, imm)| Instruction::Lw { rd, rs, imm }),
             (reg(), reg(), -64i64..64).prop_map(|(rt, rs, imm)| Instruction::Sw { rt, rs, imm }),
-            (cond(), reg(), reg(), 0..len)
-                .prop_map(|(cond, rs, rt, target)| Instruction::Branch { cond, rs, rt, target }),
+            (cond(), reg(), reg(), 0..len).prop_map(|(cond, rs, rt, target)| Instruction::Branch {
+                cond,
+                rs,
+                rt,
+                target
+            }),
             (reg(), 0..len).prop_map(|(rd, target)| Instruction::Jal { rd, target }),
             (reg(), reg()).prop_map(|(rd, rs)| Instruction::Jalr { rd, rs }),
             Just(Instruction::Halt),

@@ -258,7 +258,10 @@ mod tests {
 
     #[test]
     fn pc_mapping_roundtrips() {
-        let p = Program { instructions: vec![Instruction::Nop; 4], data: vec![] };
+        let p = Program {
+            instructions: vec![Instruction::Nop; 4],
+            data: vec![],
+        };
         for i in 0..4 {
             assert_eq!(p.index_of(Program::pc_of(i)), Some(i));
         }

@@ -8,8 +8,8 @@ use crate::machine::Machine;
 
 /// Builds and runs a kernel, returning its branch trace.
 fn run_kernel(name: &str, source: &str, memory_words: usize, max_steps: u64) -> Trace {
-    let program = assemble(source)
-        .unwrap_or_else(|e| panic!("kernel `{name}` failed to assemble: {e}"));
+    let program =
+        assemble(source).unwrap_or_else(|e| panic!("kernel `{name}` failed to assemble: {e}"));
     let mut machine = Machine::with_memory(program, memory_words);
     let mut trace = Trace::new(name);
     machine
@@ -28,7 +28,10 @@ fn run_kernel(name: &str, source: &str, memory_words: usize, max_steps: u64) -> 
 /// Panics if `n` is 0 or too large for the kernel's memory (`n > 4000`).
 #[must_use]
 pub fn bubble_sort(n: usize) -> Trace {
-    assert!((1..=4000).contains(&n), "bubble_sort supports 1..=4000 elements, got {n}");
+    assert!(
+        (1..=4000).contains(&n),
+        "bubble_sort supports 1..=4000 elements, got {n}"
+    );
     let source = format!(
         r"
         ; r1 = n, r2 = i, r3 = j, r4/r5 = elements, r6 = addr
@@ -74,7 +77,10 @@ pub fn bubble_sort(n: usize) -> Trace {
 /// Panics if `n < 2` or `n > 100_000`.
 #[must_use]
 pub fn binary_search(n: usize, queries: usize) -> Trace {
-    assert!((2..=100_000).contains(&n), "binary_search needs 2..=100000 elements, got {n}");
+    assert!(
+        (2..=100_000).contains(&n),
+        "binary_search needs 2..=100000 elements, got {n}"
+    );
     let source = format!(
         r"
         ; a[i] = 2*i ; probe odd and even keys pseudo-randomly
@@ -142,7 +148,10 @@ pub fn binary_search(n: usize, queries: usize) -> Trace {
 /// Panics if `n < 4` or `n > 500_000`.
 #[must_use]
 pub fn sieve(n: usize) -> Trace {
-    assert!((4..=500_000).contains(&n), "sieve supports 4..=500000, got {n}");
+    assert!(
+        (4..=500_000).contains(&n),
+        "sieve supports 4..=500000, got {n}"
+    );
     let source = format!(
         r"
         ; mem[i] = 1 if composite
@@ -245,7 +254,10 @@ pub fn string_search(text_len: usize) -> Trace {
 /// Panics if `n < 4` or `n > 50_000`.
 #[must_use]
 pub fn quicksort(n: usize) -> Trace {
-    assert!((4..=50_000).contains(&n), "quicksort supports 4..=50000 elements, got {n}");
+    assert!(
+        (4..=50_000).contains(&n),
+        "quicksort supports 4..=50000 elements, got {n}"
+    );
     // Memory layout: a[0..n] data; stack of (lo, hi) pairs after it.
     let source = format!(
         r"
@@ -479,11 +491,15 @@ mod tests {
         let trace = quicksort(n);
         assert!(trace.conditional().count() > 1000);
         assert!(
-            trace.iter().any(|r| r.kind == bpred_trace::BranchKind::Call),
+            trace
+                .iter()
+                .any(|r| r.kind == bpred_trace::BranchKind::Call),
             "partition calls must be traced"
         );
         assert!(
-            trace.iter().any(|r| r.kind == bpred_trace::BranchKind::Return),
+            trace
+                .iter()
+                .any(|r| r.kind == bpred_trace::BranchKind::Return),
             "partition returns must be traced"
         );
         // The partition compare must be roughly balanced on random data.
@@ -501,7 +517,11 @@ mod tests {
         let stats = t.stats();
         // Counted loops: almost all conditional branches are the
         // backward loop tests, strongly taken.
-        assert!(stats.strongly_biased_fraction() > 0.9, "{}", stats.strongly_biased_fraction());
+        assert!(
+            stats.strongly_biased_fraction() > 0.9,
+            "{}",
+            stats.strongly_biased_fraction()
+        );
         assert!(stats.dynamic_conditional > 1_000);
     }
 

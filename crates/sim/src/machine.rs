@@ -88,7 +88,13 @@ impl Machine {
         );
         let mut memory = vec![0i64; words];
         memory[..program.data.len()].copy_from_slice(&program.data);
-        Self { program, regs: [0; 32], memory, pc_index: 0, steps: 0 }
+        Self {
+            program,
+            regs: [0; 32],
+            memory,
+            pc_index: 0,
+            steps: 0,
+        }
     }
 
     /// Reads a register (r0 always reads 0).
@@ -133,7 +139,9 @@ impl Machine {
                 return Err(RunError::StepLimit { limit: max_steps });
             }
             let Some(&instr) = self.program.instructions.get(self.pc_index) else {
-                return Err(RunError::BadPc { pc: Program::pc_of(self.pc_index) });
+                return Err(RunError::BadPc {
+                    pc: Program::pc_of(self.pc_index),
+                });
             };
             let pc = Program::pc_of(self.pc_index);
             self.steps += 1;
@@ -186,7 +194,12 @@ impl Machine {
                         .ok_or(RunError::BadAddress { address: addr, pc })?;
                     self.memory[slot] = self.reg(rt);
                 }
-                Instruction::Branch { cond, rs, rt, target } => {
+                Instruction::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    target,
+                } => {
                     let taken = cond.eval(self.reg(rs), self.reg(rt));
                     trace.push(BranchRecord::conditional(pc, Program::pc_of(target), taken));
                     if taken {
@@ -215,7 +228,12 @@ impl Machine {
                     } else {
                         BranchKind::Indirect
                     };
-                    trace.push(BranchRecord { pc, target: target_pc, taken: true, kind });
+                    trace.push(BranchRecord {
+                        pc,
+                        target: target_pc,
+                        taken: true,
+                        kind,
+                    });
                     self.set_reg(rd, pc as i64 + INSTRUCTION_BYTES as i64);
                     next = self
                         .program
@@ -257,8 +275,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_registers() {
-        let (m, _) = run(
-            r"
+        let (m, _) = run(r"
             li r1, 6
             li r2, 7
             mul r3, r1, r2
@@ -266,8 +283,7 @@ mod tests {
             div r5, r3, r2
             rem r6, r3, r4
             halt
-            ",
-        );
+            ");
         assert_eq!(m.reg(Reg::new(3)), 42);
         assert_eq!(m.reg(Reg::new(4)), 36);
         assert_eq!(m.reg(Reg::new(5)), 6);
@@ -282,15 +298,13 @@ mod tests {
 
     #[test]
     fn loads_and_stores_roundtrip() {
-        let (m, _) = run(
-            r"
+        let (m, _) = run(r"
             li r1, 10       ; base address
             li r2, 1234
             sw r2, 5(r1)
             lw r3, 5(r1)
             halt
-            ",
-        );
+            ");
         assert_eq!(m.reg(Reg::new(3)), 1234);
         assert_eq!(m.memory_word(15), Some(1234));
     }
@@ -303,14 +317,12 @@ mod tests {
 
     #[test]
     fn loop_emits_expected_branch_outcomes() {
-        let (_, t) = run(
-            r"
+        let (_, t) = run(r"
                   li r1, 4
             loop: addi r1, r1, -1
                   bne r1, r0, loop
                   halt
-            ",
-        );
+            ");
         let conds: Vec<bool> = t.conditional().map(|r| r.taken).collect();
         assert_eq!(conds, [true, true, true, false]);
         // All from the same static branch, with a backward target.
@@ -321,13 +333,11 @@ mod tests {
 
     #[test]
     fn call_and_return_are_classified() {
-        let (_, t) = run(
-            r"
+        let (_, t) = run(r"
                   call fn
                   halt
             fn:   ret
-            ",
-        );
+            ");
         let kinds: Vec<BranchKind> = t.iter().map(|r| r.kind).collect();
         assert_eq!(kinds, [BranchKind::Call, BranchKind::Return]);
     }
@@ -373,14 +383,12 @@ mod tests {
 
     #[test]
     fn branch_pcs_are_word_aligned_in_text_segment() {
-        let (_, t) = run(
-            r"
+        let (_, t) = run(r"
                   li r1, 3
             loop: addi r1, r1, -1
                   bne r1, r0, loop
                   halt
-            ",
-        );
+            ");
         for r in t.iter() {
             assert_eq!(r.pc % 4, 0);
             assert!(r.pc >= TEXT_BASE);
@@ -389,8 +397,7 @@ mod tests {
 
     #[test]
     fn shifts_are_logical() {
-        let (m, _) = run(
-            r"
+        let (m, _) = run(r"
             li r1, -1
             li r2, 60
             srl r3, r1, r2   ; logical shift of all-ones
@@ -398,8 +405,7 @@ mod tests {
             li r5, 3
             sll r6, r4, r5
             halt
-            ",
-        );
+            ");
         assert_eq!(m.reg(Reg::new(3)), 15);
         assert_eq!(m.reg(Reg::new(6)), 8);
     }

@@ -127,7 +127,12 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, CodecError> {
         let taken = flags & 1 == 1;
         let kind = BranchKind::from_tag(flags >> 1)
             .ok_or_else(|| malformed(format!("bad kind tag {}", flags >> 1)))?;
-        trace.push(BranchRecord { pc, target, taken, kind });
+        trace.push(BranchRecord {
+            pc,
+            target,
+            taken,
+            kind,
+        });
     }
     Ok(trace)
 }
@@ -180,9 +185,8 @@ pub fn read_text<R: BufRead>(reader: R) -> Result<Trace, CodecError> {
         let err = |what: &str| malformed(format!("line {}: {what}", lineno + 1));
         let pc = u64::from_str_radix(parts.next().ok_or_else(|| err("missing pc"))?, 16)
             .map_err(|_| err("bad pc"))?;
-        let target =
-            u64::from_str_radix(parts.next().ok_or_else(|| err("missing target"))?, 16)
-                .map_err(|_| err("bad target"))?;
+        let target = u64::from_str_radix(parts.next().ok_or_else(|| err("missing target"))?, 16)
+            .map_err(|_| err("bad target"))?;
         let taken = match parts.next().ok_or_else(|| err("missing direction"))? {
             "T" => true,
             "N" => false,
@@ -196,11 +200,15 @@ pub fn read_text<R: BufRead>(reader: R) -> Result<Trace, CodecError> {
             "ijmp" => BranchKind::Indirect,
             other => return Err(err(&format!("bad kind `{other}`"))),
         };
-        trace.push(BranchRecord { pc, target, taken, kind });
+        trace.push(BranchRecord {
+            pc,
+            target,
+            taken,
+            kind,
+        });
     }
     Ok(trace)
 }
-
 
 /// A streaming reader over a binary trace: yields records one at a
 /// time without materialising the whole trace in memory — the way to
@@ -265,7 +273,13 @@ pub fn stream_binary<R: Read>(mut reader: R) -> Result<BinaryStream<R>, CodecErr
     let mut len8 = [0u8; 8];
     reader.read_exact(&mut len8)?;
     let remaining = u64::from_le_bytes(len8);
-    Ok(BinaryStream { reader, name, remaining, index: 0, failed: false })
+    Ok(BinaryStream {
+        reader,
+        name,
+        remaining,
+        index: 0,
+        failed: false,
+    })
 }
 
 impl<R: Read> Iterator for BinaryStream<R> {
@@ -278,7 +292,10 @@ impl<R: Read> Iterator for BinaryStream<R> {
         let mut rec = [0u8; 17];
         if let Err(e) = self.reader.read_exact(&mut rec) {
             self.failed = true;
-            return Some(Err(malformed(format!("truncated at record {}: {e}", self.index))));
+            return Some(Err(malformed(format!(
+                "truncated at record {}: {e}",
+                self.index
+            ))));
         }
         self.remaining -= 1;
         self.index += 1;
@@ -287,7 +304,12 @@ impl<R: Read> Iterator for BinaryStream<R> {
         let flags = rec[16];
         let taken = flags & 1 == 1;
         match BranchKind::from_tag(flags >> 1) {
-            Some(kind) => Some(Ok(BranchRecord { pc, target, taken, kind })),
+            Some(kind) => Some(Ok(BranchRecord {
+                pc,
+                target,
+                taken,
+                kind,
+            })),
             None => {
                 self.failed = true;
                 Some(Err(malformed(format!("bad kind tag {}", flags >> 1))))
@@ -315,9 +337,24 @@ mod tests {
         t.push(BranchRecord::conditional(0x1000, 0x1040, true));
         t.push(BranchRecord::conditional(0x1008, 0x0FF0, false));
         t.push(BranchRecord::unconditional(0x1010, 0x2000));
-        t.push(BranchRecord { pc: 0x2000, target: 0x3000, taken: true, kind: BranchKind::Call });
-        t.push(BranchRecord { pc: 0x3010, target: 0x2004, taken: true, kind: BranchKind::Return });
-        t.push(BranchRecord { pc: 0x2008, target: 0x4000, taken: true, kind: BranchKind::Indirect });
+        t.push(BranchRecord {
+            pc: 0x2000,
+            target: 0x3000,
+            taken: true,
+            kind: BranchKind::Call,
+        });
+        t.push(BranchRecord {
+            pc: 0x3010,
+            target: 0x2004,
+            taken: true,
+            kind: BranchKind::Return,
+        });
+        t.push(BranchRecord {
+            pc: 0x2008,
+            target: 0x4000,
+            taken: true,
+            kind: BranchKind::Indirect,
+        });
         t
     }
 
@@ -329,8 +366,7 @@ mod tests {
         let stream = stream_binary(Cursor::new(&buf)).unwrap();
         assert_eq!(stream.name(), "roundtrip");
         assert_eq!(stream.remaining(), t.len() as u64);
-        let records: Vec<BranchRecord> =
-            stream.map(|r| r.expect("valid record")).collect();
+        let records: Vec<BranchRecord> = stream.map(|r| r.expect("valid record")).collect();
         assert_eq!(records, t.records());
     }
 

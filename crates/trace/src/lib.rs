@@ -27,11 +27,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
+pub mod packed;
 pub mod record;
 pub mod stats;
 pub mod trace;
 
-pub use codec::{read_binary, read_text, stream_binary, write_binary, write_text, BinaryStream, CodecError};
+pub use codec::{
+    read_binary, read_text, stream_binary, write_binary, write_text, BinaryStream, CodecError,
+};
+pub use packed::{PackError, PackedRecord, PackedTrace};
 pub use record::{BranchKind, BranchRecord};
 pub use stats::{BiasBucket, TraceStats};
 pub use trace::Trace;

@@ -83,13 +83,23 @@ impl BranchRecord {
     /// A conditional branch event.
     #[must_use]
     pub fn conditional(pc: u64, target: u64, taken: bool) -> Self {
-        Self { pc, target, taken, kind: BranchKind::Conditional }
+        Self {
+            pc,
+            target,
+            taken,
+            kind: BranchKind::Conditional,
+        }
     }
 
     /// An unconditional jump event (always taken).
     #[must_use]
     pub fn unconditional(pc: u64, target: u64) -> Self {
-        Self { pc, target, taken: true, kind: BranchKind::Unconditional }
+        Self {
+            pc,
+            target,
+            taken: true,
+            kind: BranchKind::Unconditional,
+        }
     }
 
     /// Whether this branch jumps backwards (target below the branch),

@@ -60,7 +60,10 @@ impl TraceStats {
     #[must_use]
     pub fn measure(trace: &Trace) -> Self {
         let mut per_branch: HashMap<u64, (u64, u64)> = HashMap::new();
-        let mut stats = TraceStats { dynamic_total: trace.len() as u64, ..Self::default() };
+        let mut stats = TraceStats {
+            dynamic_total: trace.len() as u64,
+            ..Self::default()
+        };
         for r in trace.iter() {
             if r.kind != BranchKind::Conditional {
                 continue;

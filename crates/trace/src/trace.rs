@@ -24,13 +24,19 @@ impl Trace {
     /// Creates an empty trace with a provenance name (workload name).
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), records: Vec::new() }
+        Self {
+            name: name.into(),
+            records: Vec::new(),
+        }
     }
 
     /// Creates a trace from existing records.
     #[must_use]
     pub fn from_records(name: impl Into<String>, records: Vec<BranchRecord>) -> Self {
-        Self { name: name.into(), records }
+        Self {
+            name: name.into(),
+            records,
+        }
     }
 
     /// The workload name this trace came from.
@@ -75,7 +81,9 @@ impl Trace {
     /// Iterates over the conditional branches only — the stream
     /// predictors train on.
     pub fn conditional(&self) -> impl Iterator<Item = &BranchRecord> + '_ {
-        self.records.iter().filter(|r| r.kind == BranchKind::Conditional)
+        self.records
+            .iter()
+            .filter(|r| r.kind == BranchKind::Conditional)
     }
 
     /// A new trace holding only the conditional branches.
@@ -106,7 +114,10 @@ impl Trace {
 
 impl FromIterator<BranchRecord> for Trace {
     fn from_iter<I: IntoIterator<Item = BranchRecord>>(iter: I) -> Self {
-        Trace { name: String::new(), records: iter.into_iter().collect() }
+        Trace {
+            name: String::new(),
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -175,8 +186,9 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut t: Trace =
-            (0..5).map(|i| BranchRecord::conditional(i * 4, 0, true)).collect();
+        let mut t: Trace = (0..5)
+            .map(|i| BranchRecord::conditional(i * 4, 0, true))
+            .collect();
         t.extend((0..3).map(|i| BranchRecord::conditional(i * 4, 0, false)));
         assert_eq!(t.len(), 8);
     }

@@ -132,7 +132,10 @@ pub fn trace(scale: Scale) -> Trace {
         let mut codes = Vec::new();
         compress(&mut t, input, &mut codes);
         // Compression must actually compress structured text.
-        assert!(codes.len() < input.len(), "LZW failed to compress structured text");
+        assert!(
+            codes.len() < input.len(),
+            "LZW failed to compress structured text"
+        );
         let roundtrip = decompress(&mut t, &codes);
         assert_eq!(roundtrip, input, "LZW round-trip mismatch");
     }
@@ -181,7 +184,11 @@ mod tests {
         assert_eq!(a, b);
         let stats = a.stats();
         // Few static branches, like the original's 482.
-        assert!(stats.static_conditional < 60, "{}", stats.static_conditional);
+        assert!(
+            stats.static_conditional < 60,
+            "{}",
+            stats.static_conditional
+        );
         assert!(stats.dynamic_conditional > 10_000);
         // The dictionary-probe branch dominates and is biased.
         assert!(stats.strongly_biased_fraction() > 0.3);

@@ -78,8 +78,7 @@ fn lex(t: &mut Tracer, src: &str) -> Vec<Token> {
                 let start = i;
                 while t.branch(
                     site!(),
-                    i < bytes.len()
-                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_'),
+                    i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_'),
                 ) {
                     i += 1;
                 }
@@ -99,7 +98,11 @@ fn lex(t: &mut Tracer, src: &str) -> Vec<Token> {
                 tokens.push(tok);
             }
             _ => {
-                let two = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { &bytes[i..] };
+                let two = if i + 1 < bytes.len() {
+                    &bytes[i..i + 2]
+                } else {
+                    &bytes[i..]
+                };
                 if t.branch(site!(), two == b"==") {
                     tokens.push(Token::EqEq);
                     i += 2;
@@ -242,7 +245,11 @@ impl Parser<'_> {
             }
             self.pos += 1;
             let rhs = self.additive();
-            lhs = Expr::Binary(Box::new(lhs), op.expect("checked via branch"), Box::new(rhs));
+            lhs = Expr::Binary(
+                Box::new(lhs),
+                op.expect("checked via branch"),
+                Box::new(rhs),
+            );
         }
     }
 
@@ -259,7 +266,11 @@ impl Parser<'_> {
             }
             self.pos += 1;
             let rhs = self.term();
-            lhs = Expr::Binary(Box::new(lhs), op.expect("checked via branch"), Box::new(rhs));
+            lhs = Expr::Binary(
+                Box::new(lhs),
+                op.expect("checked via branch"),
+                Box::new(rhs),
+            );
         }
     }
 
@@ -277,7 +288,11 @@ impl Parser<'_> {
             }
             self.pos += 1;
             let rhs = self.factor();
-            lhs = Expr::Binary(Box::new(lhs), op.expect("checked via branch"), Box::new(rhs));
+            lhs = Expr::Binary(
+                Box::new(lhs),
+                op.expect("checked via branch"),
+                Box::new(rhs),
+            );
         }
     }
 
@@ -373,7 +388,9 @@ fn fold_stmts(t: &mut Tracer, stmts: Vec<Stmt>, unit: u32) -> Vec<Stmt> {
                 // Branch elimination on constant conditions.
                 let is_const = matches!(c, Expr::Num(_));
                 if t.branch(site!(), is_const) {
-                    let Expr::Num(v) = c else { unreachable!("checked via branch") };
+                    let Expr::Num(v) = c else {
+                        unreachable!("checked via branch")
+                    };
                     let chosen = if v != 0 { a } else { b };
                     out.extend(fold_stmts(t, chosen, unit));
                 } else {
@@ -504,7 +521,6 @@ impl Codegen {
         }
     }
 }
-
 
 // ------------------------------------------------- dead-store elimination
 
@@ -651,7 +667,9 @@ fn peephole(t: &mut Tracer, code: &mut Vec<Op>) {
     // Only run the pair-removal when no jump targets the middle; for
     // simplicity (and to keep targets valid) the pass only fires when
     // the code has no jumps at all — common for straight-line functions.
-    let has_jumps = code.iter().any(|op| matches!(op, Op::Jump(_) | Op::JumpIfZero(_)));
+    let has_jumps = code
+        .iter()
+        .any(|op| matches!(op, Op::Jump(_) | Op::JumpIfZero(_)));
     if t.branch(site!(), has_jumps) {
         return;
     }
@@ -817,7 +835,10 @@ pub(crate) fn compile_and_run(t: &mut Tracer, src: &str, unit: u32) -> Vec<i64> 
     let mut fresh = 0;
     let program = cse_stmts(t, program, &mut fresh);
     let program = eliminate_dead_stores(t, program);
-    let mut cg = Codegen { unit, ..Codegen::default() };
+    let mut cg = Codegen {
+        unit,
+        ..Codegen::default()
+    };
     cg.stmts(t, &program);
     let mut code = cg.code;
     peephole(t, &mut code);
@@ -868,8 +889,14 @@ mod tests {
 
     #[test]
     fn comparisons_and_if() {
-        assert_eq!(run_src("if (1 < 2) { print 1; } else { print 0; }"), vec![1]);
-        assert_eq!(run_src("if (2 < 1) { print 1; } else { print 0; }"), vec![0]);
+        assert_eq!(
+            run_src("if (1 < 2) { print 1; } else { print 0; }"),
+            vec![1]
+        );
+        assert_eq!(
+            run_src("if (2 < 1) { print 1; } else { print 0; }"),
+            vec![0]
+        );
         assert_eq!(run_src("a = 5; if (a == 5) { print 42; }"), vec![42]);
     }
 
@@ -887,7 +914,10 @@ mod tests {
         // 2*3+4 folds to 10 at compile time; result must match.
         assert_eq!(run_src("print 2 * 3 + 4;"), vec![10]);
         // Dead branch elimination: condition folds to 0.
-        assert_eq!(run_src("if (1 > 2) { print 111; } else { print 222; }"), vec![222]);
+        assert_eq!(
+            run_src("if (1 > 2) { print 111; } else { print 222; }"),
+            vec![222]
+        );
         // x * 0 => 0 with a variable operand.
         assert_eq!(run_src("a = 7; print a * 0;"), vec![0]);
         // x + 0 identity.
@@ -922,7 +952,10 @@ mod tests {
         // A read in between keeps both stores live.
         assert_eq!(run_src("b = 1; a = b; b = 2; print a + b;"), vec![3]);
         // Control flow conservatively keeps stores alive.
-        assert_eq!(run_src("b = 1; if (1 < 2) { print b; } b = 2; print b;"), vec![1, 2]);
+        assert_eq!(
+            run_src("b = 1; if (1 < 2) { print b; } b = 2; print b;"),
+            vec![1, 2]
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ struct Board {
 
 impl Board {
     fn new() -> Self {
-        Self { points: [Point::Empty; POINTS] }
+        Self {
+            points: [Point::Empty; POINTS],
+        }
     }
 
     fn neighbours(idx: usize) -> impl Iterator<Item = usize> {
@@ -80,7 +82,11 @@ impl Board {
             return false;
         }
         self.points[idx] = colour;
-        let enemy = if colour == Point::Black { Point::White } else { Point::Black };
+        let enemy = if colour == Point::Black {
+            Point::White
+        } else {
+            Point::Black
+        };
         // Capture adjacent enemy groups with no liberties.
         let mut captured_any = false;
         for n in Self::neighbours(idx) {
@@ -199,7 +205,11 @@ fn run_playout(t: &mut Tracer, rng: &mut Rng, max_moves: usize) -> i32 {
         if t.branch(site!(), stood) {
             played += 1;
             std::hint::black_box(match_patterns(t, &board, idx));
-            colour = if colour == Point::Black { Point::White } else { Point::Black };
+            colour = if colour == Point::Black {
+                Point::White
+            } else {
+                Point::Black
+            };
         }
     }
     board.score_black(t)
@@ -233,7 +243,11 @@ mod tests {
         for idx in [1, SIZE, SIZE + 2, 2 * SIZE + 1] {
             assert!(b.play(&mut t, idx, Point::Black));
         }
-        assert_eq!(b.points[SIZE + 1], Point::Empty, "white stone must be captured");
+        assert_eq!(
+            b.points[SIZE + 1],
+            Point::Empty,
+            "white stone must be captured"
+        );
     }
 
     #[test]
@@ -291,7 +305,10 @@ mod tests {
         // biased. Require a substantially higher WB share than the
         // loop-dominated workloads exhibit.
         let wb = stats.from_weakly_biased as f64 / stats.dynamic_conditional as f64;
-        assert!(wb > 0.3, "go must be weakly biased, got WB fraction {wb:.2}");
+        assert!(
+            wb > 0.3,
+            "go must be weakly biased, got WB fraction {wb:.2}"
+        );
     }
 
     #[test]

@@ -69,28 +69,35 @@ fn justify_line(t: &mut Tracer, words: &[String], width: usize) -> String {
 
 /// Formats the document, returning the output lines.
 fn format(t: &mut Tracer, input: &str) -> Vec<String> {
-    let mut state = State { width: 64, indent: 0, justify: true };
+    let mut state = State {
+        width: 64,
+        indent: 0,
+        justify: true,
+    };
     let mut out = Vec::new();
     let mut line_words: Vec<String> = Vec::new();
     let mut line_len = 0usize;
 
-    let flush =
-        |t: &mut Tracer, out: &mut Vec<String>, words: &mut Vec<String>, len: &mut usize,
-         state: &State, justify: bool| {
-            if t.branch(site!(), words.is_empty()) {
-                return;
-            }
-            let body = if t.branch(site!(), justify && state.justify) {
-                justify_line(t, words, state.width - state.indent)
-            } else {
-                words.join(" ")
-            };
-            let mut line = " ".repeat(state.indent);
-            line.push_str(&body);
-            out.push(line);
-            words.clear();
-            *len = 0;
+    let flush = |t: &mut Tracer,
+                 out: &mut Vec<String>,
+                 words: &mut Vec<String>,
+                 len: &mut usize,
+                 state: &State,
+                 justify: bool| {
+        if t.branch(site!(), words.is_empty()) {
+            return;
+        }
+        let body = if t.branch(site!(), justify && state.justify) {
+            justify_line(t, words, state.width - state.indent)
+        } else {
+            words.join(" ")
         };
+        let mut line = " ".repeat(state.indent);
+        line.push_str(&body);
+        out.push(line);
+        words.clear();
+        *len = 0;
+    };
 
     for raw_line in input.lines() {
         // Request lines start with '.'
@@ -218,7 +225,10 @@ mod tests {
     #[test]
     fn spacing_request_emits_blank_lines() {
         let lines = fmt("a\n.sp 2\nb");
-        assert_eq!(lines, vec!["a".to_owned(), String::new(), String::new(), "b".to_owned()]);
+        assert_eq!(
+            lines,
+            vec!["a".to_owned(), String::new(), String::new(), "b".to_owned()]
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ struct Canvas {
 
 impl Canvas {
     fn new() -> Self {
-        Self { pixels: vec![0; (WIDTH * HEIGHT) as usize] }
+        Self {
+            pixels: vec![0; (WIDTH * HEIGHT) as usize],
+        }
     }
 
     fn plot(&mut self, t: &mut Tracer, x: i32, y: i32, colour: u8) {
@@ -40,7 +42,15 @@ impl Canvas {
 }
 
 /// Bresenham line rasterisation.
-fn draw_line(t: &mut Tracer, c: &mut Canvas, mut x0: i32, mut y0: i32, x1: i32, y1: i32, colour: u8) {
+fn draw_line(
+    t: &mut Tracer,
+    c: &mut Canvas,
+    mut x0: i32,
+    mut y0: i32,
+    x1: i32,
+    y1: i32,
+    colour: u8,
+) {
     let dx = (x1 - x0).abs();
     let dy = -(y1 - y0).abs();
     let sx = if x0 < x1 { 1 } else { -1 };
@@ -99,7 +109,12 @@ fn fill_polygon(t: &mut Tracer, c: &mut Canvas, points: &[(i32, i32)], colour: u
         });
     }
     let y_lo = edges.iter().map(|e| e.y_min).min().unwrap_or(0).max(0);
-    let y_hi = edges.iter().map(|e| e.y_max).max().unwrap_or(0).min(HEIGHT - 1);
+    let y_hi = edges
+        .iter()
+        .map(|e| e.y_max)
+        .max()
+        .unwrap_or(0)
+        .min(HEIGHT - 1);
 
     let mut y = y_lo;
     while t.branch(site!(), y <= y_hi) {
@@ -252,8 +267,16 @@ mod tests {
         let mut t = Tracer::new("t");
         let mut c = Canvas::new();
         fill_polygon(&mut t, &mut c, &[(10, 10), (50, 10), (10, 50)], 3);
-        assert_eq!(c.pixels[(12 * WIDTH + 12) as usize], 3, "near the right angle");
-        assert_eq!(c.pixels[(45 * WIDTH + 45) as usize], 0, "beyond the hypotenuse");
+        assert_eq!(
+            c.pixels[(12 * WIDTH + 12) as usize],
+            3,
+            "near the right angle"
+        );
+        assert_eq!(
+            c.pixels[(45 * WIDTH + 45) as usize],
+            0,
+            "beyond the hypotenuse"
+        );
     }
 
     #[test]
@@ -268,7 +291,10 @@ mod tests {
     fn trivial_rejection_matches_geometry() {
         let mut t = Tracer::new("t");
         assert!(trivially_rejected(&mut t, -10, 5, -2, 8), "fully left");
-        assert!(!trivially_rejected(&mut t, -10, 5, 10, 8), "crosses the boundary");
+        assert!(
+            !trivially_rejected(&mut t, -10, 5, 10, 8),
+            "crosses the boundary"
+        );
         assert!(!trivially_rejected(&mut t, 5, 5, 20, 20), "fully inside");
     }
 

@@ -148,7 +148,11 @@ struct Frame {
 
 impl Frame {
     fn new(width: usize, height: usize) -> Self {
-        Self { width, height, pixels: vec![128; width * height] }
+        Self {
+            width,
+            height,
+            pixels: vec![128; width * height],
+        }
     }
 
     /// Clamped fetch: the edge-handling branch pair of every decoder.
@@ -326,7 +330,9 @@ mod tests {
     fn rle_roundtrip_places_levels() {
         let mut t = Tracer::new("t");
         let z = zigzag_order();
-        let block = RleBlock { pairs: vec![(0, 100), (1, -7)] };
+        let block = RleBlock {
+            pairs: vec![(0, 100), (1, -7)],
+        };
         let c = rle_decode(&mut t, &block, &z);
         assert_eq!(c[z[0]], 100);
         assert_eq!(c[z[2]], -7);
@@ -337,7 +343,9 @@ mod tests {
     fn corrupted_rle_is_truncated_safely() {
         let mut t = Tracer::new("t");
         let z = zigzag_order();
-        let block = RleBlock { pairs: vec![(5, 1); 30] };
+        let block = RleBlock {
+            pairs: vec![(5, 1); 30],
+        };
         let _ = rle_decode(&mut t, &block, &z); // must not panic
     }
 
@@ -349,7 +357,10 @@ mod tests {
         let out = idct_2d(&mut t, &coeffs);
         let first = out[0];
         assert!(first > 0);
-        assert!(out.iter().all(|v| *v == first), "DC-only must be flat: {out:?}");
+        assert!(
+            out.iter().all(|v| *v == first),
+            "DC-only must be flat: {out:?}"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ struct Output {
 
 impl Output {
     fn new() -> Self {
-        Self { lines: Vec::new(), line_on_page: 0, page: 1 }
+        Self {
+            lines: Vec::new(),
+            line_on_page: 0,
+            page: 1,
+        }
     }
 
     fn emit(&mut self, t: &mut Tracer, line: String) {
@@ -62,7 +66,9 @@ fn expand_tabs(t: &mut Tracer, line: &str) -> String {
 
 /// Underlines a text by emitting a dash line of matching width.
 fn underline(line: &str) -> String {
-    line.chars().map(|c| if c.is_whitespace() { ' ' } else { '-' }).collect()
+    line.chars()
+        .map(|c| if c.is_whitespace() { ' ' } else { '-' })
+        .collect()
 }
 
 fn format(t: &mut Tracer, input: &str, width: usize) -> Vec<String> {
@@ -73,11 +79,11 @@ fn format(t: &mut Tracer, input: &str, width: usize) -> Vec<String> {
     let mut underline_next = 0usize;
 
     let flush = |t: &mut Tracer,
-                     out: &mut Output,
-                     words: &mut Vec<String>,
-                     len: &mut usize,
-                     center: &mut usize,
-                     ul: &mut usize| {
+                 out: &mut Output,
+                 words: &mut Vec<String>,
+                 len: &mut usize,
+                 center: &mut usize,
+                 ul: &mut usize| {
         if t.branch(site!(), words.is_empty()) {
             return;
         }
@@ -108,14 +114,35 @@ fn format(t: &mut Tracer, input: &str, width: usize) -> Vec<String> {
             let req = parts.next().unwrap_or("").to_owned();
             let arg: usize = parts.next().and_then(|a| a.parse().ok()).unwrap_or(1);
             if t.branch(site!(), req == "ce") {
-                flush(t, &mut out, &mut words, &mut len, &mut center_next, &mut underline_next);
+                flush(
+                    t,
+                    &mut out,
+                    &mut words,
+                    &mut len,
+                    &mut center_next,
+                    &mut underline_next,
+                );
                 center_next = arg;
             } else if t.branch(site!(), req == "ul") {
                 underline_next = arg;
             } else if t.branch(site!(), req == "br") {
-                flush(t, &mut out, &mut words, &mut len, &mut center_next, &mut underline_next);
+                flush(
+                    t,
+                    &mut out,
+                    &mut words,
+                    &mut len,
+                    &mut center_next,
+                    &mut underline_next,
+                );
             } else if t.branch(site!(), req == "bp") {
-                flush(t, &mut out, &mut words, &mut len, &mut center_next, &mut underline_next);
+                flush(
+                    t,
+                    &mut out,
+                    &mut words,
+                    &mut len,
+                    &mut center_next,
+                    &mut underline_next,
+                );
                 while t.branch(site!(), out.line_on_page != 0) {
                     out.emit(t, String::new());
                 }
@@ -125,15 +152,33 @@ fn format(t: &mut Tracer, input: &str, width: usize) -> Vec<String> {
         for word in raw.split_whitespace() {
             let needed = len + usize::from(len > 0) + word.len();
             // Centered lines break eagerly at 2/3 width for shape.
-            let limit = if t.branch(site!(), center_next > 0) { width * 2 / 3 } else { width };
+            let limit = if t.branch(site!(), center_next > 0) {
+                width * 2 / 3
+            } else {
+                width
+            };
             if t.branch(site!(), needed > limit) {
-                flush(t, &mut out, &mut words, &mut len, &mut center_next, &mut underline_next);
+                flush(
+                    t,
+                    &mut out,
+                    &mut words,
+                    &mut len,
+                    &mut center_next,
+                    &mut underline_next,
+                );
             }
             len += usize::from(len > 0) + word.len();
             words.push(word.to_owned());
         }
     }
-    flush(t, &mut out, &mut words, &mut len, &mut center_next, &mut underline_next);
+    flush(
+        t,
+        &mut out,
+        &mut words,
+        &mut len,
+        &mut center_next,
+        &mut underline_next,
+    );
     out.lines
 }
 
@@ -209,7 +254,10 @@ mod tests {
         let mut t = Tracer::new("t");
         let lines = format(&mut t, "a\n.bp\nb", 30);
         // After .bp, "b" must start on page 2.
-        let page2 = lines.iter().position(|l| l == "-- page 2 --").expect("page 2 exists");
+        let page2 = lines
+            .iter()
+            .position(|l| l == "-- page 2 --")
+            .expect("page 2 exists");
         assert_eq!(lines[page2 + 1], "b");
         assert_eq!(lines[page2 - 1], "");
     }

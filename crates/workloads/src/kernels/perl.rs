@@ -219,7 +219,15 @@ fn word_frequencies(t: &mut Tracer, text: &str) -> Vec<(String, u32)> {
 pub fn trace(scale: Scale) -> Trace {
     let mut t = Tracer::new("perl");
     let mut rng = Rng::new(0x9E71);
-    let patterns = ["ka[rv]o*", "so*l", "t.n", "qua.*m", "[aeiou][aeiou]", "pre.*ex", "dak*"];
+    let patterns = [
+        "ka[rv]o*",
+        "so*l",
+        "t.n",
+        "qua.*m",
+        "[aeiou][aeiou]",
+        "pre.*ex",
+        "dak*",
+    ];
     for _ in 0..scale.factor() {
         let text = textgen::generate(&mut rng, 7_000);
         let mut matches = 0u32;
@@ -284,7 +292,10 @@ mod tests {
         let mut t = Tracer::new("t");
         let atoms = compile(&mut t, "abc");
         assert!(match_here(&mut t, &atoms, b"abc"));
-        assert!(!match_here(&mut t, &atoms, b"abcd"), "match_here is fully anchored");
+        assert!(
+            !match_here(&mut t, &atoms, b"abcd"),
+            "match_here is fully anchored"
+        );
     }
 
     #[test]

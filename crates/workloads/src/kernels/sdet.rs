@@ -62,12 +62,16 @@ impl RunQueue {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut best = i;
-            if t.branch(site!(), l < self.heap.len() && Self::before(self.heap[l], self.heap[best]))
-            {
+            if t.branch(
+                site!(),
+                l < self.heap.len() && Self::before(self.heap[l], self.heap[best]),
+            ) {
                 best = l;
             }
-            if t.branch(site!(), r < self.heap.len() && Self::before(self.heap[r], self.heap[best]))
-            {
+            if t.branch(
+                site!(),
+                r < self.heap.len() && Self::before(self.heap[r], self.heap[best]),
+            ) {
                 best = r;
             }
             if t.branch(site!(), best == i) {
@@ -108,7 +112,11 @@ enum FsError {
 
 impl Fs {
     fn new() -> Self {
-        Self { root: Node::Dir { entries: BTreeMap::new() } }
+        Self {
+            root: Node::Dir {
+                entries: BTreeMap::new(),
+            },
+        }
     }
 
     /// Walks all but the last path component, returning the parent dir.
@@ -125,9 +133,10 @@ impl Fs {
             // The existence test is fanned out by a name-hash bucket:
             // kernel namei code specialised per directory-entry chain.
             let name = components[i];
-            let bucket =
-                name.bytes().fold(0u32, |h, b| h.wrapping_mul(31).wrapping_add(u32::from(b)))
-                    % 48;
+            let bucket = name
+                .bytes()
+                .fold(0u32, |h, b| h.wrapping_mul(31).wrapping_add(u32::from(b)))
+                % 48;
             let next = entries.get_mut(name);
             if t.branch(site!().with_index(bucket), next.is_none()) {
                 return Err(FsError::NotFound);
@@ -153,7 +162,9 @@ impl Fs {
             return Err(FsError::Exists);
         }
         let node = if t.branch(site!(), dir) {
-            Node::Dir { entries: BTreeMap::new() }
+            Node::Dir {
+                entries: BTreeMap::new(),
+            }
         } else {
             Node::File { size: 0, mode }
         };
@@ -224,7 +235,8 @@ pub fn trace(scale: Scale) -> Trace {
 
     // Seed a directory tree.
     for d in 0..8 {
-        fs.create(&mut t, &format!("/d{d}"), true, 7).expect("seed dir");
+        fs.create(&mut t, &format!("/d{d}"), true, 7)
+            .expect("seed dir");
         for f in 0..6 {
             let p = format!("/d{d}/f{f}");
             fs.create(&mut t, &p, false, if (d + f) % 5 == 0 { 4 } else { 6 })
@@ -235,7 +247,11 @@ pub fn trace(scale: Scale) -> Trace {
     for _ in 0..10 {
         queue.push(
             &mut t,
-            Task { pid: next_pid, priority: rng.below(8) as u8, remaining: 3 },
+            Task {
+                pid: next_pid,
+                priority: rng.below(8) as u8,
+                remaining: 3,
+            },
         );
         next_pid += 1;
     }
@@ -266,7 +282,11 @@ pub fn trace(scale: Scale) -> Trace {
             0 => {
                 queue.push(
                     &mut t,
-                    Task { pid: next_pid, priority: rng.below(8) as u8, remaining: 1 + rng.below(4) as u32 },
+                    Task {
+                        pid: next_pid,
+                        priority: rng.below(8) as u8,
+                        remaining: 1 + rng.below(4) as u32,
+                    },
                 );
                 next_pid += 1;
             }
@@ -286,7 +306,11 @@ pub fn trace(scale: Scale) -> Trace {
                 if t.branch(site!(), queue.len() < 4) {
                     queue.push(
                         &mut t,
-                        Task { pid: next_pid, priority: rng.below(8) as u8, remaining: 2 },
+                        Task {
+                            pid: next_pid,
+                            priority: rng.below(8) as u8,
+                            remaining: 2,
+                        },
                     );
                     next_pid += 1;
                 }
@@ -310,7 +334,10 @@ pub fn trace(scale: Scale) -> Trace {
             }
             // stat on a missing path (error path exercised)
             9 => {
-                let _ = fs.stat(&mut t, &format!("/d{}/missing{}", rng.below(8), rng.below(100)));
+                let _ = fs.stat(
+                    &mut t,
+                    &format!("/d{}/missing{}", rng.below(8), rng.below(100)),
+                );
             }
             // unlink
             10 => {
@@ -339,11 +366,43 @@ mod tests {
     fn heap_orders_by_priority_then_pid() {
         let mut t = Tracer::new("t");
         let mut q = RunQueue::default();
-        q.push(&mut t, Task { pid: 1, priority: 2, remaining: 1 });
-        q.push(&mut t, Task { pid: 2, priority: 7, remaining: 1 });
-        q.push(&mut t, Task { pid: 3, priority: 7, remaining: 1 });
-        q.push(&mut t, Task { pid: 4, priority: 0, remaining: 1 });
-        assert_eq!(q.pop(&mut t).unwrap().pid, 2, "highest priority, earliest pid");
+        q.push(
+            &mut t,
+            Task {
+                pid: 1,
+                priority: 2,
+                remaining: 1,
+            },
+        );
+        q.push(
+            &mut t,
+            Task {
+                pid: 2,
+                priority: 7,
+                remaining: 1,
+            },
+        );
+        q.push(
+            &mut t,
+            Task {
+                pid: 3,
+                priority: 7,
+                remaining: 1,
+            },
+        );
+        q.push(
+            &mut t,
+            Task {
+                pid: 4,
+                priority: 0,
+                remaining: 1,
+            },
+        );
+        assert_eq!(
+            q.pop(&mut t).unwrap().pid,
+            2,
+            "highest priority, earliest pid"
+        );
         assert_eq!(q.pop(&mut t).unwrap().pid, 3);
         assert_eq!(q.pop(&mut t).unwrap().pid, 1);
         assert_eq!(q.pop(&mut t).unwrap().pid, 4);
@@ -372,7 +431,10 @@ mod tests {
         assert_eq!(fs.stat(&mut t, "/a/nope"), Err(FsError::NotFound));
         assert_eq!(fs.create(&mut t, "/a/ro", false, 6), Err(FsError::Exists));
         assert_eq!(fs.write(&mut t, "/a", 1), Err(FsError::IsADirectory));
-        assert_eq!(fs.create(&mut t, "/a/ro/x", false, 6), Err(FsError::NotADirectory));
+        assert_eq!(
+            fs.create(&mut t, "/a/ro/x", false, 6),
+            Err(FsError::NotADirectory)
+        );
     }
 
     #[test]
@@ -394,7 +456,11 @@ mod tests {
         let stats = trace.stats();
         assert!(stats.dynamic_conditional > 50_000);
         // Dispatch fan-out gives sdet a wide-ish static footprint.
-        assert!(stats.static_conditional > 30, "{}", stats.static_conditional);
+        assert!(
+            stats.static_conditional > 30,
+            "{}",
+            stats.static_conditional
+        );
         assert_eq!(trace, super::trace(Scale::Smoke));
     }
 }

@@ -11,8 +11,8 @@ use crate::rng::Rng;
 #[must_use]
 pub fn vocabulary(rng: &mut Rng, n: usize) -> Vec<String> {
     const SYLLABLES: [&str; 16] = [
-        "ka", "ro", "mi", "ten", "sol", "ar", "ve", "lu", "qua", "bis", "ner", "tol", "ex",
-        "ium", "pre", "dak",
+        "ka", "ro", "mi", "ten", "sol", "ar", "ve", "lu", "qua", "bis", "ner", "tol", "ex", "ium",
+        "pre", "dak",
     ];
     (0..n)
         .map(|_| {

@@ -78,7 +78,11 @@ impl Circuit {
                 .collect();
             let output = n_nets;
             n_nets += 1;
-            gates.push(Gate { kind, inputs, output });
+            gates.push(Gate {
+                kind,
+                inputs,
+                output,
+            });
         }
         let mut fanout = vec![Vec::new(); n_nets];
         for (gi, g) in gates.iter().enumerate() {
@@ -86,7 +90,11 @@ impl Circuit {
                 fanout[i].push(gi);
             }
         }
-        Self { n_primary, gates, fanout }
+        Self {
+            n_primary,
+            gates,
+            fanout,
+        }
     }
 
     fn n_nets(&self) -> usize {
@@ -118,7 +126,10 @@ impl<'c> Simulator<'c> {
     fn eval_gate(t: &mut Tracer, kind: GateKind, inputs: &[bool]) -> bool {
         // Gate-type dispatch: one site per kind.
         let dispatch = site!();
-        let kind_idx = KINDS.iter().position(|k| *k == kind).expect("kind in table") as u32;
+        let kind_idx = KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in table") as u32;
         for k in 0..KINDS.len() as u32 {
             t.branch(dispatch.with_index(k), kind_idx == k);
         }
@@ -212,14 +223,26 @@ mod tests {
     fn tiny_circuit() -> Circuit {
         // nets: 0,1 primary; gate0: AND(0,1)->2; gate1: NOT(2)->3
         let gates = vec![
-            Gate { kind: GateKind::And, inputs: vec![0, 1], output: 2 },
-            Gate { kind: GateKind::Not, inputs: vec![2], output: 3 },
+            Gate {
+                kind: GateKind::And,
+                inputs: vec![0, 1],
+                output: 2,
+            },
+            Gate {
+                kind: GateKind::Not,
+                inputs: vec![2],
+                output: 3,
+            },
         ];
         let mut fanout = vec![Vec::new(); 4];
         fanout[0].push(0);
         fanout[1].push(0);
         fanout[2].push(1);
-        Circuit { n_primary: 2, gates, fanout }
+        Circuit {
+            n_primary: 2,
+            gates,
+            fanout,
+        }
     }
 
     #[test]

@@ -158,7 +158,10 @@ impl Database {
         let (idx, live) = self.find_slot(t, id);
         if t.branch(site!(), live) {
             // Tombstone: keep the chain intact for probing.
-            self.slots[idx].as_mut().expect("live slot is occupied").live = false;
+            self.slots[idx]
+                .as_mut()
+                .expect("live slot is occupied")
+                .live = false;
             self.live -= 1;
             true
         } else {
@@ -235,10 +238,7 @@ pub fn trace(scale: Scale) -> Trace {
                 3 | 8 | 13 => 1,
                 6 | 16 => 2,
                 11 => 3,
-                19
-                    if i == 99 => {
-                        4
-                    }
+                19 if i == 99 => 4,
                 _ => 0,
             };
             i += 1;
@@ -264,7 +264,11 @@ pub fn trace(scale: Scale) -> Trace {
         } else if op == 1 {
             let id = issued[rng.zipf(issued.len())];
             // Field references are occasionally (3%) out of schema.
-            let field = if rng.chance(0.03) { 4 } else { rng.below(4) as usize };
+            let field = if rng.chance(0.03) {
+                4
+            } else {
+                rng.below(4) as usize
+            };
             db.update(&mut t, id, field, rng.next_u64() as u32);
         } else if op == 2 {
             let obj = Object {
@@ -292,7 +296,12 @@ mod tests {
     use super::*;
 
     fn obj(id: u64) -> Object {
-        Object { id, kind: (id % 7) as u8, payload: [id as u32; 4], live: true }
+        Object {
+            id,
+            kind: (id % 7) as u8,
+            payload: [id as u32; 4],
+            live: true,
+        }
     }
 
     #[test]

@@ -71,8 +71,14 @@ fn parse(t: &mut Tracer, tokens: &[String], pos: &mut usize) -> Expr {
         }
         *pos += 1; // consume ')'
         Expr::List(items.into())
-    } else if t.branch(site!(), tok.bytes().next().is_some_and(|b| b.is_ascii_digit() || b == b'-') && tok.len() < 19 && tok.parse::<i64>().is_ok())
-    {
+    } else if t.branch(
+        site!(),
+        tok.bytes()
+            .next()
+            .is_some_and(|b| b.is_ascii_digit() || b == b'-')
+            && tok.len() < 19
+            && tok.parse::<i64>().is_ok(),
+    ) {
         Expr::Num(tok.parse().expect("checked above"))
     } else {
         Expr::Sym(tok.as_str().into())
@@ -141,8 +147,12 @@ impl Interp<'_> {
                 }
             }
             "defun" => {
-                let Expr::Sym(name) = &items[1] else { panic!("defun needs a name") };
-                let Expr::List(params) = &items[2] else { panic!("defun needs params") };
+                let Expr::Sym(name) = &items[1] else {
+                    panic!("defun needs a name")
+                };
+                let Expr::List(params) = &items[2] else {
+                    panic!("defun needs params")
+                };
                 let params = params
                     .iter()
                     .map(|p| match p {
@@ -152,7 +162,10 @@ impl Interp<'_> {
                     .collect();
                 t.functions.insert(
                     Rc::clone(name),
-                    Rc::new(Defun { params, body: items[3].clone() }),
+                    Rc::new(Defun {
+                        params,
+                        body: items[3].clone(),
+                    }),
                 );
                 Value::Nil
             }
@@ -259,7 +272,11 @@ const PROGRAM: &str = r"
 
 fn run_program(t: &mut Tracer, source: &str) -> Vec<Value> {
     let tokens = tokenize(t, source);
-    let mut interp = Interp { t, functions: HashMap::new(), steps: 0 };
+    let mut interp = Interp {
+        t,
+        functions: HashMap::new(),
+        steps: 0,
+    };
     let mut results = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
@@ -362,7 +379,11 @@ mod tests {
     fn workload_shape_matches_the_original() {
         let trace = trace(Scale::Smoke);
         let stats = trace.stats();
-        assert!(stats.static_conditional < 80, "{}", stats.static_conditional);
+        assert!(
+            stats.static_conditional < 80,
+            "{}",
+            stats.static_conditional
+        );
         assert!(stats.dynamic_conditional > 20_000);
         assert_eq!(trace, super::trace(Scale::Smoke), "determinism");
     }

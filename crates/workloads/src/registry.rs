@@ -132,7 +132,11 @@ impl Workload {
     /// The workloads of one suite.
     #[must_use]
     pub fn suite_workloads(suite: Suite) -> Vec<Workload> {
-        REGISTRY.iter().filter(|w| w.suite == suite).copied().collect()
+        REGISTRY
+            .iter()
+            .filter(|w| w.suite == suite)
+            .copied()
+            .collect()
     }
 
     /// Looks a workload up by name.
@@ -306,14 +310,27 @@ mod tests {
 
     #[test]
     fn registry_matches_the_papers_benchmark_lists() {
-        let spec: Vec<&str> =
-            Workload::suite_workloads(Suite::SpecInt95).iter().map(|w| w.name()).collect();
+        let spec: Vec<&str> = Workload::suite_workloads(Suite::SpecInt95)
+            .iter()
+            .map(|w| w.name())
+            .collect();
         assert_eq!(spec, ["compress", "gcc", "go", "xlisp", "perl", "vortex"]);
-        let ibs: Vec<&str> =
-            Workload::suite_workloads(Suite::IbsUltrix).iter().map(|w| w.name()).collect();
+        let ibs: Vec<&str> = Workload::suite_workloads(Suite::IbsUltrix)
+            .iter()
+            .map(|w| w.name())
+            .collect();
         assert_eq!(
             ibs,
-            ["groff", "gs", "mpeg_play", "nroff", "real_gcc", "sdet", "verilog", "video_play"]
+            [
+                "groff",
+                "gs",
+                "mpeg_play",
+                "nroff",
+                "real_gcc",
+                "sdet",
+                "verilog",
+                "video_play"
+            ]
         );
     }
 
@@ -330,7 +347,12 @@ mod tests {
                 continue; // sim kernels carry their own sim-* names
             }
             let trace = w.trace(Scale::Smoke);
-            assert_eq!(trace.name(), w.name(), "trace name mismatch for {}", w.name());
+            assert_eq!(
+                trace.name(),
+                w.name(),
+                "trace name mismatch for {}",
+                w.name()
+            );
         }
     }
 

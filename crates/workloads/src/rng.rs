@@ -32,7 +32,9 @@ impl Rng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        Self { state: [next(), next(), next(), next()] }
+        Self {
+            state: [next(), next(), next(), next()],
+        }
     }
 
     /// The next 64 uniformly distributed bits (xoshiro256**).

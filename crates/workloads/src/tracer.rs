@@ -139,7 +139,9 @@ impl Tracer {
     /// Creates a tracer whose trace carries the workload name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self { trace: Trace::new(name) }
+        Self {
+            trace: Trace::new(name),
+        }
     }
 
     /// Records a conditional branch outcome and returns it, so the call
@@ -229,7 +231,10 @@ mod tests {
         let mut dedup = family.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert!(dedup.len() >= 49, "index family should be essentially collision-free");
+        assert!(
+            dedup.len() >= 49,
+            "index family should be essentially collision-free"
+        );
         // And it is reproducible.
         assert_eq!(base.with_index(7), base.with_index(7));
     }
@@ -242,8 +247,14 @@ mod tests {
                 s.target() < s.pc()
             })
             .count();
-        assert!(backward > 50, "expected a loop-like share of backward sites, got {backward}");
-        assert!(backward < 250, "not everything should be backward, got {backward}");
+        assert!(
+            backward > 50,
+            "expected a loop-like share of backward sites, got {backward}"
+        );
+        assert!(
+            backward < 250,
+            "not everything should be backward, got {backward}"
+        );
     }
 
     #[test]
@@ -274,6 +285,9 @@ mod tests {
         }
         let trace = t.into_trace();
         let outcomes: Vec<bool> = trace.iter().map(|r| r.taken).collect();
-        assert_eq!(outcomes, [true, false, true, false, true, false, true, false, true, false]);
+        assert_eq!(
+            outcomes,
+            [true, false, true, false, true, false, true, false, true, false]
+        );
     }
 }

@@ -59,7 +59,9 @@ fn gcd_trace() -> Trace {
     .expect("program assembles");
     let mut machine = Machine::with_memory(program, 4096);
     let mut trace = Trace::new("gcd");
-    machine.run_into(10_000_000, &mut trace).expect("program halts");
+    machine
+        .run_into(10_000_000, &mut trace)
+        .expect("program halts");
     assert_eq!(machine.memory_word(0), Some(21), "gcd(252, 105)");
     assert_eq!(machine.memory_word(1), Some(1), "gcd(269, 118)");
     trace

@@ -6,24 +6,35 @@
 
 use bpred_harness::search::best_gshare;
 use bpred_harness::sweep::{sweep_all, Scheme};
+use bpred_trace::PackedTrace;
 use bpred_workloads::{Scale, Workload};
 
 fn main() {
-    let trace = Workload::by_name("vortex").expect("registered").trace(Scale::Smoke);
-    let traces = [&trace];
+    let trace = Workload::by_name("vortex")
+        .expect("registered")
+        .trace(Scale::Smoke);
+    let packed = PackedTrace::build(&trace).expect("one workload's sites fit");
+    let traces = [&packed];
 
     // 1. The exhaustive search at one size: the whole m-curve.
     let best = best_gshare(&traces, 10, None);
     println!("gshare search at 2^10 counters on `vortex`:");
     println!("  {:>3}  {:>12}", "m", "mispredict %");
     for (m, rate) in &best.curve {
-        let marker = if *m == best.history_bits { "  <- best" } else { "" };
+        let marker = if *m == best.history_bits {
+            "  <- best"
+        } else {
+            ""
+        };
         println!("  {:>3}  {:>12.2}{marker}", m, 100.0 * rate);
     }
 
     // 2. The three Figure-2 curves on this workload.
     println!("\nsize sweep (misprediction %):");
-    println!("  {:<14} {:>8} {:>22}", "scheme", "KB", "config -> mispredict");
+    println!(
+        "  {:<14} {:>8} {:>22}",
+        "scheme", "KB", "config -> mispredict"
+    );
     for p in sweep_all(&traces, None) {
         println!(
             "  {:<14} {:>8} {:>16} {:>6.2}",

@@ -33,8 +33,14 @@ fn main() {
     let g = measure(&trace, &mut gshare);
     let b = measure(&trace, &mut bimode);
     println!("two opposite-biased branches aliased onto one counter:");
-    println!("  gshare(s=6):           {:>6.2}% mispredicted", g.misprediction_percent());
-    println!("  bi-mode(d=6,c=8):      {:>6.2}% mispredicted", b.misprediction_percent());
+    println!(
+        "  gshare(s=6):           {:>6.2}% mispredicted",
+        g.misprediction_percent()
+    );
+    println!(
+        "  bi-mode(d=6,c=8):      {:>6.2}% mispredicted",
+        b.misprediction_percent()
+    );
 
     // Show *why* through the paper's Section 4 analysis: the gshare
     // counter is contested by an ST and an SNT substream, the bi-mode
@@ -42,7 +48,10 @@ fn main() {
     let ga = Analysis::run(&trace, || Gshare::new(6, 0));
     let ba = Analysis::run(&trace, || BiMode::new(BiModeConfig::new(6, 8, 0)));
     let contested = |a: &Analysis| {
-        a.per_counter.iter().filter(|c| c.st > 10 && c.snt > 10).count()
+        a.per_counter
+            .iter()
+            .filter(|c| c.st > 10 && c.snt > 10)
+            .count()
     };
     println!("\ncounters contested by both strong classes:");
     println!("  gshare:  {}", contested(&ga));

@@ -29,7 +29,10 @@ fn main() {
     ];
 
     // 3. Trace-driven simulation: predict, then update, per branch.
-    println!("\n{:<24} {:>9} {:>14}", "predictor", "size KB", "mispredict %");
+    println!(
+        "\n{:<24} {:>9} {:>14}",
+        "predictor", "size KB", "mispredict %"
+    );
     for p in &mut predictors {
         let result = measure(&trace, p.as_mut());
         println!(

@@ -3,7 +3,7 @@
 //! experiments running end to end at smoke scale.
 
 use bimode_repro::analysis::{measure, Analysis};
-use bimode_repro::core::{Gshare, TwoLevel, HistorySource, Predictor};
+use bimode_repro::core::{Gshare, HistorySource, Predictor, TwoLevel};
 use bimode_repro::harness::experiments;
 use bimode_repro::harness::TraceSet;
 use bimode_repro::sim::{assemble, Machine};
@@ -47,8 +47,16 @@ fn tracer_workloads_drive_two_level_predictors() {
     // cannot.
     let gag = measure(&trace, &mut TwoLevel::new(HistorySource::Global, 0, 4));
     let flat = measure(&trace, &mut TwoLevel::new(HistorySource::Global, 4, 0));
-    assert!(gag.misprediction_rate() < 0.02, "GAg: {:.3}", gag.misprediction_rate());
-    assert!(flat.misprediction_rate() > 0.45, "flat: {:.3}", flat.misprediction_rate());
+    assert!(
+        gag.misprediction_rate() < 0.02,
+        "GAg: {:.3}",
+        gag.misprediction_rate()
+    );
+    assert!(
+        flat.misprediction_rate() > 0.45,
+        "flat: {:.3}",
+        flat.misprediction_rate()
+    );
 }
 
 #[test]
@@ -77,7 +85,11 @@ fn harness_experiments_run_at_smoke_scale() {
 
 #[test]
 fn suite_average_pipeline_matches_manual_computation() {
-    let set = TraceSet::of(Workload::suite_workloads(Suite::SpecInt95), Scale::Smoke, None);
+    let set = TraceSet::of(
+        Workload::suite_workloads(Suite::SpecInt95),
+        Scale::Smoke,
+        None,
+    );
     let traces: Vec<_> = set.suite(Suite::SpecInt95).map(|(_, t)| t).collect();
     assert_eq!(traces.len(), 6);
     // Manual average with a fixed predictor.
@@ -88,7 +100,10 @@ fn suite_average_pipeline_matches_manual_computation() {
         sum += measure(t, &mut p).misprediction_rate();
     }
     let manual = sum / traces.len() as f64;
-    assert!(manual > 0.0 && manual < 0.3, "suite average out of band: {manual}");
+    assert!(
+        manual > 0.0 && manual < 0.3,
+        "suite average out of band: {manual}"
+    );
 }
 
 #[test]
@@ -103,8 +118,8 @@ fn sim_kernel_workloads_are_registered_and_analysable() {
 
 #[test]
 fn btfnt_exploits_backward_loop_branches_on_isa_traces() {
-    use bimode_repro::core::Btfnt;
     use bimode_repro::core::AlwaysNotTaken;
+    use bimode_repro::core::Btfnt;
     // The sieve is loop-dominated with backward loop branches: BTFNT
     // must beat static not-taken by a wide margin.
     let trace = bimode_repro::sim::kernels::sieve(20_000);
@@ -123,7 +138,10 @@ fn alias_taxonomy_runs_on_real_workloads() {
     use bimode_repro::analysis::AliasReport;
     let trace = Workload::by_name("gcc").unwrap().trace(Scale::Smoke);
     let gshare = AliasReport::measure(&trace, || Gshare::new(8, 8));
-    assert!(gshare.counters_shared > 0, "a 256-counter table must alias on gcc");
+    assert!(
+        gshare.counters_shared > 0,
+        "a 256-counter table must alias on gcc"
+    );
     // Streams and pair counts must be self-consistent.
     assert!(gshare.streams >= gshare.counters_used);
     assert!(gshare.total_pairs() >= u64::from(gshare.counters_shared > 0));

@@ -19,7 +19,11 @@ fn every_workload_generates_and_simulates() {
             w.name(),
             stats.dynamic_conditional
         );
-        assert!(stats.static_conditional > 3, "{} has too few static branches", w.name());
+        assert!(
+            stats.static_conditional > 3,
+            "{} has too few static branches",
+            w.name()
+        );
 
         // Every workload must be predictable to a sane degree by a
         // large gshare (sanity bound: better than random).
@@ -44,7 +48,10 @@ fn binary_codec_roundtrips_real_workload_traces() {
 
 #[test]
 fn text_codec_roundtrips_a_real_trace_prefix() {
-    let trace = Workload::by_name("compress").unwrap().trace(Scale::Smoke).truncated(5_000);
+    let trace = Workload::by_name("compress")
+        .unwrap()
+        .trace(Scale::Smoke)
+        .truncated(5_000);
     let mut buf = Vec::new();
     write_text(&trace, &mut buf).expect("write");
     let back = read_text(Cursor::new(&buf)).expect("read");
@@ -61,14 +68,20 @@ fn analysis_pass_agrees_with_plain_measurement_on_workloads() {
         ] {
             let analysis = Analysis::run(&trace, make);
             let plain = measure(&trace, &mut make());
-            assert_eq!(analysis.run, plain, "{name}: attribution must not perturb results");
+            assert_eq!(
+                analysis.run, plain,
+                "{name}: attribution must not perturb results"
+            );
             assert_eq!(
                 analysis.run.mispredictions,
                 analysis.breakdown.st + analysis.breakdown.snt + analysis.breakdown.wb,
                 "{name}: misprediction attribution must be exhaustive"
             );
             let accesses: u64 = analysis.per_counter.iter().map(|c| c.total()).sum();
-            assert_eq!(accesses, analysis.run.branches, "{name}: every access attributed");
+            assert_eq!(
+                accesses, analysis.run.branches,
+                "{name}: every access attributed"
+            );
         }
     }
 }
@@ -77,7 +90,12 @@ fn analysis_pass_agrees_with_plain_measurement_on_workloads() {
 fn spec_strings_drive_the_full_pipeline() {
     let trace = Workload::by_name("perl").unwrap().trace(Scale::Smoke);
     let mut results = Vec::new();
-    for spec in ["bimodal:s=10", "gshare:s=10,h=10", "bimode:d=9", "yags:c=9,e=8,h=8,t=6"] {
+    for spec in [
+        "bimodal:s=10",
+        "gshare:s=10,h=10",
+        "bimode:d=9",
+        "yags:c=9,e=8,h=8,t=6",
+    ] {
         let spec: PredictorSpec = spec.parse().expect("valid spec");
         let mut p = spec.build();
         let r = measure(&trace, p.as_mut());
@@ -104,6 +122,10 @@ fn workload_traces_are_stable_across_generations() {
     // disk cache and EXPERIMENTS.md numbers rely on.
     for name in ["xlisp", "sdet"] {
         let w = Workload::by_name(name).unwrap();
-        assert_eq!(w.trace(Scale::Smoke), w.trace(Scale::Smoke), "{name} is not deterministic");
+        assert_eq!(
+            w.trace(Scale::Smoke),
+            w.trace(Scale::Smoke),
+            "{name} is not deterministic"
+        );
     }
 }

@@ -5,7 +5,7 @@
 use bimode_repro::analysis::{measure, Analysis};
 use bimode_repro::core::{BiMode, BiModeConfig, Gshare, Predictor};
 use bimode_repro::harness::search::best_gshare;
-use bimode_repro::trace::Trace;
+use bimode_repro::trace::{PackedTrace, Trace};
 use bimode_repro::workloads::{Scale, Suite, Workload};
 
 fn suite_traces(suite: Suite) -> Vec<Trace> {
@@ -33,7 +33,11 @@ fn average_rate(traces: &[Trace], mut p: impl Predictor) -> f64 {
 #[test]
 fn bimode_beats_next_smaller_best_gshare_on_spec_average() {
     let traces = suite_traces(Suite::SpecInt95);
-    let refs: Vec<&Trace> = traces.iter().collect();
+    let packed: Vec<PackedTrace> = traces
+        .iter()
+        .map(|t| PackedTrace::build(t).unwrap())
+        .collect();
+    let refs: Vec<&PackedTrace> = packed.iter().collect();
     for d in [9u32, 10, 11, 12] {
         let bimode = average_rate(&traces, BiMode::new(BiModeConfig::paper_default(d)));
         let best = best_gshare(&refs, d + 1, None);
@@ -56,10 +60,17 @@ fn go_is_the_hardest_spec_benchmark() {
         let r = measure(&t, &mut Gshare::new(12, 10)).misprediction_rate();
         rates.push((w.name(), r));
     }
-    let go = rates.iter().find(|(n, _)| *n == "go").expect("go present").1;
+    let go = rates
+        .iter()
+        .find(|(n, _)| *n == "go")
+        .expect("go present")
+        .1;
     for (name, rate) in &rates {
         if *name != "go" {
-            assert!(go > *rate, "go ({go:.3}) should be harder than {name} ({rate:.3})");
+            assert!(
+                go > *rate,
+                "go ({go:.3}) should be harder than {name} ({rate:.3})"
+            );
         }
     }
 }
@@ -104,8 +115,15 @@ fn compress_and_xlisp_have_the_fewest_statics() {
         "expected compress and xlisp, got {smallest_two:?} from {counts:?}"
     );
     // And gcc/real_gcc-style workloads sit at the top end.
-    let gcc = counts.iter().find(|(n, _)| *n == "gcc").expect("gcc present").1;
-    assert!(gcc > 10 * counts[0].1, "gcc must have a far wider static spread");
+    let gcc = counts
+        .iter()
+        .find(|(n, _)| *n == "gcc")
+        .expect("gcc present")
+        .1;
+    assert!(
+        gcc > 10 * counts[0].1,
+        "gcc must have a far wider static spread"
+    );
 }
 
 /// Section 4.2 / Figure 6: bi-mode enlarges the dominant area over the
@@ -117,8 +135,14 @@ fn bimode_enlarges_dominant_area_on_gcc() {
     let bimode = Analysis::run(&t, || BiMode::new(BiModeConfig::paper_default(7)));
     let (dom_g, _, wb_g) = gshare.area_fractions();
     let (dom_b, _, wb_b) = bimode.area_fractions();
-    assert!(dom_b > dom_g, "dominant area: bi-mode {dom_b:.3} vs gshare {dom_g:.3}");
-    assert!(wb_b < wb_g + 0.05, "WB area must stay comparable: {wb_b:.3} vs {wb_g:.3}");
+    assert!(
+        dom_b > dom_g,
+        "dominant area: bi-mode {dom_b:.3} vs gshare {dom_g:.3}"
+    );
+    assert!(
+        wb_b < wb_g + 0.05,
+        "WB area must stay comparable: {wb_b:.3} vs {wb_g:.3}"
+    );
 }
 
 /// Table 4: bi-mode has fewer bias-class changes than the
@@ -153,7 +177,11 @@ fn bimode_cost_is_1_5x_next_smaller_gshare_everywhere() {
 #[test]
 fn bimode_is_competitive_on_ibs_average() {
     let traces = suite_traces(Suite::IbsUltrix);
-    let refs: Vec<&Trace> = traces.iter().collect();
+    let packed: Vec<PackedTrace> = traces
+        .iter()
+        .map(|t| PackedTrace::build(t).unwrap())
+        .collect();
+    let refs: Vec<&PackedTrace> = packed.iter().collect();
     let bimode = average_rate(&traces, BiMode::new(BiModeConfig::paper_default(11)));
     let best = best_gshare(&refs, 12, None);
     assert!(

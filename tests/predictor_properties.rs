@@ -3,7 +3,7 @@
 
 use std::io::Cursor;
 
-use bimode_repro::core::index::{fold_xor, gshare_index, gselect_index, low_bits, skew_index};
+use bimode_repro::core::index::{fold_xor, gselect_index, gshare_index, low_bits, skew_index};
 use bimode_repro::core::{
     BiMode, BiModeConfig, Bimodal, Counter2, GlobalHistory, Gshare, Predictor, PredictorSpec,
     SatCounter,

@@ -1,0 +1,537 @@
+//! A self-contained, offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no access to
+//! crates.io, so the real `proptest` cannot be vendored as source.
+//! This shim implements the subset of its API that the repository's
+//! property tests use — strategies, combinators, `proptest!`,
+//! `prop_assert*!` and `prop_oneof!` — on top of a deterministic
+//! splitmix64 generator. Semantics differ from upstream in two
+//! deliberate ways:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim instead of a minimised counterexample.
+//! * **Fixed seeding.** Cases are seeded from the test's module path
+//!   and case index, so failures reproduce exactly across runs.
+//!
+//! The number of cases per property defaults to 64 and can be raised
+//! with the `PROPTEST_CASES` environment variable, mirroring upstream.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Number of cases to run per property.
+#[must_use]
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic splitmix64 generator used for all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator for one (test, case) pair.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant for test-input generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A generator of test values; the shim's version of proptest's core
+/// trait (generation only, no shrink tree).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, retrying (upstream
+    /// rejects whole cases; for test generation the difference does
+    /// not matter).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies over one
+    /// value type can be unioned (see [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive values: {}",
+            self.whence
+        )
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                (lo + rng.below((hi - lo + 1) as u64) as i128) as $t
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for an [`Arbitrary`] type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.bool()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String generation from a small regex subset (see [`string::pattern`]).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::pattern(self).generate(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for `Vec`s whose length is drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// A strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses uniformly from `options` (clones the picked element).
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// String-pattern strategies: a tiny generator for the regex subset the
+/// repository's tests use (`[a-z]{m,n}` character classes, `\PC`
+/// printable-char escapes, literals, `{m,n}` repetition).
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// Inclusive character ranges, e.g. `[a-z0-9_]`.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any printable, non-control character.
+        Printable,
+        /// A literal character.
+        Lit(char),
+    }
+
+    /// One parsed pattern: a sequence of (atom, min, max) repetitions.
+    #[derive(Debug, Clone)]
+    pub struct PatternStrategy {
+        parts: Vec<(Atom, usize, usize)>,
+    }
+
+    /// Parses `pattern` into a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset, so an unsupported
+    /// test pattern fails loudly instead of generating garbage.
+    #[must_use]
+    pub fn pattern(pattern: &str) -> PatternStrategy {
+        let mut chars = pattern.chars().peekable();
+        let mut parts = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().expect("unterminated character class");
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().expect("unterminated range");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        assert_eq!(chars.next(), Some('C'), "only \\PC escapes are supported");
+                        Atom::Printable
+                    }
+                    Some(other) => Atom::Lit(other),
+                    None => panic!("dangling backslash in pattern"),
+                },
+                other => Atom::Lit(other),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().expect("bad repetition min"),
+                        n.parse().expect("bad repetition max"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            parts.push((atom, min, max));
+        }
+        PatternStrategy { parts }
+    }
+
+    impl Strategy for PatternStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (atom, min, max) in &self.parts {
+                let n = min + rng.below((max - min + 1) as u64) as usize;
+                for _ in 0..n {
+                    match atom {
+                        Atom::Lit(c) => out.push(*c),
+                        Atom::Printable => {
+                            // Mostly ASCII with occasional wider code
+                            // points, never control characters.
+                            let c = if rng.below(8) == 0 {
+                                char::from_u32(0xA1 + rng.below(0x500) as u32).unwrap_or('§')
+                            } else {
+                                (b' ' + rng.below(95) as u8) as char
+                            };
+                            out.push(c);
+                        }
+                        Atom::Class(ranges) => {
+                            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                            let span = (hi as u32).saturating_sub(lo as u32) + 1;
+                            out.push(
+                                char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                                    .unwrap_or(lo),
+                            );
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Mirror of proptest's `prop` facade module.
+pub mod prop {
+    pub use super::collection;
+    pub use super::sample;
+    pub use super::string;
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use super::{any, prop, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Unions strategies over one value type, choosing uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOfOptions(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Internal support type for [`prop_oneof!`]: picks one of the boxed
+/// strategies per generation. Public only for macro visibility.
+#[derive(Debug, Clone)]
+pub struct OneOfOptions<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T: Debug> Strategy for OneOfOptions<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// Defines property tests: each function body runs for [`cases()`]
+/// generated inputs. Failing cases print the generated inputs (no
+/// shrinking) and re-raise the panic.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            for case in 0..$crate::cases() {
+                let mut rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let snapshot = rng.clone();
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    $body
+                }));
+                if let Err(panic) = outcome {
+                    let mut rng = snapshot;
+                    eprintln!("proptest: case {case} of {} failed with inputs:", stringify!($name));
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strategy, &mut rng);
+                        eprintln!("  {} = {:?}", stringify!($arg), $arg);
+                    )+
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )+};
+}
