@@ -73,7 +73,7 @@ impl AliasReport {
         for record in trace.conditional() {
             let counter = predictor
                 .counter_id(record.pc)
-                .expect("num_counters > 0 implies counter_id is Some");
+                .expect("num_counters > 0 implies counter_id is Some"); // panic-audited: num_counters() > 0 guard at entry implies table-backed counter_id
             by_counter
                 .entry(counter)
                 .or_default()

@@ -177,7 +177,7 @@ impl Analysis {
         for record in trace.conditional() {
             let counter = predictor
                 .counter_id(record.pc)
-                .expect("num_counters > 0 implies counter_id is Some");
+                .expect("num_counters > 0 implies counter_id is Some"); // panic-audited: num_counters() > 0 guard at entry implies table-backed counter_id
             streams
                 .entry((record.pc, counter))
                 .or_default()
@@ -197,14 +197,14 @@ impl Analysis {
         for record in trace.conditional() {
             let counter = predictor
                 .counter_id(record.pc)
-                .expect("num_counters > 0 implies counter_id is Some");
+                .expect("num_counters > 0 implies counter_id is Some"); // panic-audited: num_counters() > 0 guard at entry implies table-backed counter_id
             assert!(
                 counter < num_counters,
                 "pass 2 diverged: counter {counter} out of range"
             );
             let class = streams
                 .get(&(record.pc, counter))
-                .expect("pass 2 diverged: unseen substream")
+                .expect("pass 2 diverged: unseen substream") // panic-audited: pass 1 visited every (pc, counter) pass 2 can see
                 .class();
 
             let bucket = &mut per_counter[counter];
@@ -283,8 +283,8 @@ impl Analysis {
             let (_, na, wa) = a.1.normalized();
             let (_, nb, wb) = b.1.normalized();
             wb.partial_cmp(&wa)
-                .expect("fractions are finite")
-                .then(nb.partial_cmp(&na).expect("fractions are finite"))
+                .expect("fractions are finite") // panic-audited: normalized() fractions are ratios of finite counts, never NaN
+                .then(nb.partial_cmp(&na).expect("fractions are finite")) // panic-audited: normalized() fractions are ratios of finite counts, never NaN
                 .then(a.0.cmp(&b.0))
         });
         rows

@@ -1,0 +1,199 @@
+//! Equivalence checking of the execution engines.
+//!
+//! PR 1 introduced a packed single-pass engine (`bpred_analysis::batch`)
+//! whose results must be bit-identical to the scalar reference loop
+//! (`bpred_analysis::measure`) for every predictor. This module
+//! model-checks that claim the same way the state checker works:
+//! instead of sampling traces, it *enumerates* every micro-trace up to a
+//! bounded length over a small (pc × outcome) alphabet and compares all
+//! three paths — scalar, packed single-predictor, and packed batched —
+//! on every one of them, then adds one long pseudo-random trace that
+//! straddles the engine's block boundary.
+
+use bpred_analysis::{measure, measure_batch, measure_packed};
+use bpred_core::{Predictor, PredictorSpec};
+use bpred_trace::{BranchRecord, PackedTrace, Trace};
+
+/// Outcome of the engine-equivalence check.
+#[derive(Debug, Clone)]
+pub struct EngineCheck {
+    /// Micro-traces enumerated (plus the long boundary trace).
+    pub traces: usize,
+    /// (trace, predictor) comparisons performed.
+    pub comparisons: usize,
+    /// Mismatches found (empty on success).
+    pub violations: Vec<String>,
+}
+
+impl EngineCheck {
+    /// Whether every comparison agreed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line coverage summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!("{} traces, {} comparisons", self.traces, self.comparisons)
+    }
+}
+
+/// The micro-trace alphabet: two branch sites (one forward, one
+/// backward target, so static heuristics are exercised too) times both
+/// outcomes.
+const SYMBOLS: [(u64, u64, bool); 4] = [
+    (0x1000, 0x1040, false),
+    (0x1000, 0x1040, true),
+    (0x2000, 0x1f00, false),
+    (0x2000, 0x1f00, true),
+];
+
+fn trace_from_digits(name: &str, digits: &[usize]) -> Trace {
+    let records: Vec<BranchRecord> = digits
+        .iter()
+        .map(|&d| {
+            let (pc, target, taken) = SYMBOLS[d];
+            BranchRecord::conditional(pc, target, taken)
+        })
+        .collect();
+    Trace::from_records(name, records)
+}
+
+/// A deterministic pseudo-random trace long enough to straddle the
+/// packed engine's internal block size (4096 records per block).
+fn boundary_trace(records: usize, sites: u64) -> Trace {
+    let mut t = Trace::new("boundary");
+    let mut lcg: u64 = 0x9e37_79b9_7f4a_7c15;
+    for _ in 0..records {
+        lcg = lcg
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let site = (lcg >> 33) % sites;
+        let pc = 0x4000 + site * 4;
+        let taken = (lcg >> 17) & 0b11 != 0; // ~75% taken, like real code
+        let target = if (lcg >> 13) & 1 == 0 {
+            pc - 0x80
+        } else {
+            pc + 0x80
+        };
+        t.push(BranchRecord::conditional(pc, target, taken));
+    }
+    t
+}
+
+fn compare_on(trace: &Trace, specs: &[PredictorSpec], check: &mut EngineCheck) {
+    check.traces += 1;
+    let packed = match PackedTrace::build(trace) {
+        Ok(p) => p,
+        Err(e) => {
+            check
+                .violations
+                .push(format!("{}: packing failed: {e}", trace.name()));
+            return;
+        }
+    };
+
+    let mut fleet: Vec<Box<dyn Predictor>> = specs.iter().map(PredictorSpec::build).collect();
+    let batched = measure_batch(&packed, &mut fleet);
+
+    for (spec, batch_result) in specs.iter().zip(&batched) {
+        check.comparisons += 1;
+        let scalar = measure(trace, &mut *spec.build());
+        let packed_single = measure_packed(&packed, &mut *spec.build());
+        if scalar != packed_single {
+            check.violations.push(format!(
+                "{} on {}: scalar {scalar:?} != packed {packed_single:?}",
+                spec,
+                trace.name()
+            ));
+        }
+        if scalar != *batch_result {
+            check.violations.push(format!(
+                "{} on {}: scalar {scalar:?} != batched {batch_result:?}",
+                spec,
+                trace.name()
+            ));
+        }
+        if check.violations.len() >= 5 {
+            return;
+        }
+    }
+}
+
+/// Enumerates every micro-trace of length `1..=max_len` over the
+/// 4-symbol alphabet and compares the three engines on each, for every
+/// spec in `specs`; then repeats the comparison on one long
+/// block-straddling trace.
+#[must_use]
+pub fn check_engines(
+    specs: &[PredictorSpec],
+    max_len: usize,
+    boundary_records: usize,
+) -> EngineCheck {
+    let mut check = EngineCheck {
+        traces: 0,
+        comparisons: 0,
+        violations: Vec::new(),
+    };
+
+    // Odometer enumeration of all symbol sequences of each length.
+    for len in 1..=max_len {
+        let mut digits = vec![0usize; len];
+        loop {
+            if check.violations.len() >= 5 {
+                return check;
+            }
+            let name = format!(
+                "micro-{}",
+                digits.iter().map(ToString::to_string).collect::<String>()
+            );
+            compare_on(&trace_from_digits(&name, &digits), specs, &mut check);
+            // Advance the odometer; stop when it wraps.
+            let mut pos = 0;
+            loop {
+                if pos == len {
+                    break;
+                }
+                digits[pos] += 1;
+                if digits[pos] < SYMBOLS.len() {
+                    break;
+                }
+                digits[pos] = 0;
+                pos += 1;
+            }
+            if pos == len {
+                break;
+            }
+        }
+    }
+
+    compare_on(&boundary_trace(boundary_records, 37), specs, &mut check);
+    check
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(list: &[&str]) -> Vec<PredictorSpec> {
+        list.iter()
+            .map(|s| s.parse().expect("valid spec"))
+            .collect()
+    }
+
+    #[test]
+    fn enumeration_counts_are_exact() {
+        // 4 + 16 + 64 micro-traces plus the boundary trace.
+        let c = check_engines(&specs(&["bimodal:s=2"]), 3, 64);
+        assert!(c.passed(), "{:?}", c.violations);
+        assert_eq!(c.traces, 4 + 16 + 64 + 1);
+        assert_eq!(c.comparisons, c.traces);
+    }
+
+    #[test]
+    fn engines_agree_for_the_paper_pair_across_the_block_boundary() {
+        let c = check_engines(&specs(&["gshare:s=4,h=4", "bimode:d=3,c=3,h=3"]), 2, 9000);
+        assert!(c.passed(), "{:?}", c.violations);
+    }
+}

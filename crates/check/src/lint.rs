@@ -1,0 +1,380 @@
+//! The repo lint pass: deny-by-default source rules the compiler cannot
+//! enforce.
+//!
+//! Three rules, scanned line-by-line over the workspace's library
+//! sources (test modules and `src/bin/` binaries are exempt):
+//!
+//! 1. **`cast`** — no truncating `as` casts (`as u8`/`u16`/`u32`/`i8`/
+//!    `i16`/`i32`/`usize`) in the index-computation hot paths
+//!    (`core/src/index.rs`, `core/src/history.rs`,
+//!    `trace/src/packed.rs`). A truncation that is provably masked may
+//!    stay if the line carries a `cast-audited:` comment explaining why.
+//! 2. **`panic`** — no `.unwrap()` anywhere in library code, and no
+//!    `.expect(...)` unless the line — or an adjacent comment-only line,
+//!    where rustfmt pushes overlong trailing comments — carries a
+//!    `panic-audited:` comment: a reviewed claim that the panic is an
+//!    unreachable internal invariant, not a reachable error path.
+//! 3. **`unsafe`** — every crate root (`crates/*/src/lib.rs`) must carry
+//!    `#![forbid(unsafe_code)]`.
+//!
+//! The scanner is deliberately simple (line-based, brace-counted test
+//! module tracking) so it has no parser dependency; it errs on the side
+//! of flagging, and the two audit markers are the only escape hatches.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct LintViolation {
+    /// Path relative to the repo root.
+    pub file: String,
+    /// 1-based line number (0 for whole-file rules).
+    pub line: usize,
+    /// The rule that fired: `cast`, `panic`, or `unsafe`.
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of linting the repository.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Library source files scanned.
+    pub files_scanned: usize,
+    /// Sites allowed through an audit marker (`cast-audited:` or
+    /// `panic-audited:`), counted so the audit surface stays visible.
+    pub audited_sites: usize,
+    /// Rule violations found.
+    pub violations: Vec<LintViolation>,
+}
+
+impl LintReport {
+    /// Whether the repo is clean.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} files, {} audited sites, {} violations",
+            self.files_scanned,
+            self.audited_sites,
+            self.violations.len()
+        )
+    }
+}
+
+/// Hot-path files where truncating casts are denied.
+const CAST_SCOPED: &[&str] = &[
+    "crates/core/src/index.rs",
+    "crates/core/src/history.rs",
+    "crates/trace/src/packed.rs",
+];
+
+/// Narrowing cast targets. ` as u64` is excluded: widening from the
+/// repo's index/word types is lossless on every supported target.
+const NARROWING: &[&str] = &[
+    " as u8",
+    " as u16",
+    " as u32",
+    " as i8",
+    " as i16",
+    " as i32",
+    " as usize",
+];
+
+/// The panic-rule needles, assembled so the scanner's own source does
+/// not match them.
+const UNWRAP_NEEDLE: &str = concat!(".unwrap", "()");
+const EXPECT_NEEDLE: &str = concat!(".expect", "(");
+
+fn is_comment_only(trimmed: &str) -> bool {
+    trimmed.starts_with("//")
+}
+
+/// Whether line `index` (0-based) or a comment-only neighbour carries a
+/// `panic-audited:` marker. rustfmt moves an overlong trailing comment
+/// onto the following line, so the marker is honoured on the `expect`
+/// line itself and on an adjacent line that is nothing but a comment.
+fn panic_audited(lines: &[&str], index: usize) -> bool {
+    if lines[index].contains("panic-audited:") {
+        return true;
+    }
+    let neighbour_audited = |i: usize| {
+        let trimmed = lines[i].trim();
+        is_comment_only(trimmed) && trimmed.contains("panic-audited:")
+    };
+    (index > 0 && neighbour_audited(index - 1))
+        || (index + 1 < lines.len() && neighbour_audited(index + 1))
+}
+
+/// Scans one library source file. `relative` is the repo-relative path
+/// used both for reporting and for the cast-rule scope test.
+pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
+    report.files_scanned += 1;
+    let cast_scoped = CAST_SCOPED.contains(&relative);
+    let lines: Vec<&str> = source.lines().collect();
+
+    // Brace-counted tracking of `#[cfg(test)] mod ...` regions.
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut skip_above: Option<i64> = None;
+
+    for (index, &line) in lines.iter().enumerate() {
+        let number = index + 1;
+        let trimmed = line.trim();
+        let braces = line.matches('{').count() as i64 - line.matches('}').count() as i64;
+
+        if let Some(limit) = skip_above {
+            depth += braces;
+            if depth <= limit {
+                skip_above = None;
+            }
+            continue;
+        }
+
+        if trimmed == "#[cfg(test)]" {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            pending_cfg_test = false;
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                skip_above = Some(depth);
+                depth += braces;
+                continue;
+            }
+        }
+        depth += braces;
+
+        if is_comment_only(trimmed) {
+            continue;
+        }
+
+        if cast_scoped {
+            if line.contains("cast-audited:") {
+                report.audited_sites += 1;
+            } else if let Some(hit) = NARROWING.iter().find(|n| line.contains(*n)) {
+                report.violations.push(LintViolation {
+                    file: relative.to_owned(),
+                    line: number,
+                    rule: "cast",
+                    message: format!(
+                        "truncating `{}` cast in an index hot path (mask and mark `cast-audited:` if provably lossless)",
+                        hit.trim()
+                    ),
+                });
+            }
+        }
+
+        if line.contains(UNWRAP_NEEDLE) {
+            report.violations.push(LintViolation {
+                file: relative.to_owned(),
+                line: number,
+                rule: "panic",
+                message:
+                    "`unwrap` in library code: handle the case or use a panic-audited `expect`"
+                        .to_owned(),
+            });
+        } else if line.contains(EXPECT_NEEDLE) {
+            if panic_audited(&lines, index) {
+                report.audited_sites += 1;
+            } else {
+                report.violations.push(LintViolation {
+                    file: relative.to_owned(),
+                    line: number,
+                    rule: "panic",
+                    message: "`expect` without a `panic-audited:` justification".to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Checks one crate root for `#![forbid(unsafe_code)]`.
+fn check_crate_root(relative: &str, source: &str, report: &mut LintReport) {
+    if !source.contains("#![forbid(unsafe_code)]") {
+        report.violations.push(LintViolation {
+            file: relative.to_owned(),
+            line: 0,
+            rule: "unsafe",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+        });
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            // Binaries may use unwrap/expect for CLI-surface errors.
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole repository rooted at `root` (the directory holding
+/// the workspace `Cargo.toml`). Scans `crates/*/src/**.rs`, skipping
+/// `src/bin/` trees; `vendor/` stand-ins and integration tests are out
+/// of scope by construction.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking the source tree: an unreadable
+/// workspace must fail the verify run, not pass it silently.
+pub fn lint_repo(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let relative = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = fs::read_to_string(&path)?;
+            if path.file_name().is_some_and(|n| n == "lib.rs")
+                && path.parent() == Some(src.as_path())
+            {
+                check_crate_root(&relative, &source, &mut report);
+            }
+            scan_source(&relative, &source, &mut report);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(relative: &str, source: &str) -> LintReport {
+        let mut r = LintReport::default();
+        scan_source(relative, source, &mut r);
+        r
+    }
+
+    #[test]
+    fn unwrap_is_denied_and_test_modules_are_exempt() {
+        let src =
+            "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        let r = scan("crates/demo/src/lib.rs", src);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].line, 1);
+        assert_eq!(r.violations[0].rule, "panic");
+    }
+
+    #[test]
+    fn expect_requires_a_panic_audit_marker() {
+        let denied = scan("crates/demo/src/a.rs", "let v = o.expect(\"set above\");\n");
+        assert_eq!(denied.violations.len(), 1);
+        let audited = scan(
+            "crates/demo/src/a.rs",
+            "let v = o.expect(\"set above\"); // panic-audited: checked two lines up\n",
+        );
+        assert!(audited.passed(), "{:?}", audited.violations);
+        assert_eq!(audited.audited_sites, 1);
+    }
+
+    #[test]
+    fn audit_marker_is_honoured_on_an_adjacent_comment_line() {
+        // rustfmt pushes an overlong trailing comment onto its own line,
+        // before or after the `expect` — both must keep the site audited.
+        let after = scan(
+            "crates/demo/src/a.rs",
+            "let v = chain().expect(\"finite\");\n// panic-audited: the chain is total\n",
+        );
+        assert!(after.passed(), "{:?}", after.violations);
+        assert_eq!(after.audited_sites, 1);
+        let before = scan(
+            "crates/demo/src/a.rs",
+            "// panic-audited: the chain is total\nlet v = chain().expect(\"finite\");\n",
+        );
+        assert!(before.passed(), "{:?}", before.violations);
+        let unrelated = scan(
+            "crates/demo/src/a.rs",
+            "let w = 1;\nlet v = chain().expect(\"finite\");\nlet x = 2;\n",
+        );
+        assert_eq!(unrelated.violations.len(), 1, "code neighbours never audit");
+    }
+
+    #[test]
+    fn narrowing_casts_fire_only_in_scoped_files() {
+        let hot = scan("crates/core/src/index.rs", "let i = x as usize;\n");
+        assert_eq!(hot.violations.len(), 1);
+        assert_eq!(hot.violations[0].rule, "cast");
+        let audited = scan(
+            "crates/core/src/index.rs",
+            "let i = x as usize; // cast-audited: masked to s bits above\n",
+        );
+        assert!(audited.passed());
+        let elsewhere = scan("crates/core/src/table.rs", "let i = x as usize;\n");
+        assert!(elsewhere.passed(), "cast rule is scoped to hot paths");
+        let widening = scan("crates/core/src/index.rs", "let w = x as u64;\n");
+        assert!(widening.passed(), "widening casts are allowed");
+    }
+
+    #[test]
+    fn comment_lines_do_not_fire() {
+        let r = scan(
+            "crates/core/src/index.rs",
+            "// example: v as usize then .unwrap()\n/// doc: .expect(\"x\")\n",
+        );
+        assert!(r.passed(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn the_repository_itself_is_clean() {
+        // The check crate lives at crates/check, so the workspace root is
+        // two levels up from the manifest dir.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/check has a workspace root"); // panic-audited: compile-time constant layout
+        let report = lint_repo(root).expect("workspace sources are readable"); // panic-audited: test environment owns the tree
+        let listing: Vec<String> = report.violations.iter().map(ToString::to_string).collect();
+        assert!(report.passed(), "lint violations:\n{}", listing.join("\n"));
+        assert!(
+            report.files_scanned > 40,
+            "scanned {}",
+            report.files_scanned
+        );
+    }
+}

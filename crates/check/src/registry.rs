@@ -1,0 +1,420 @@
+//! The verification registry: which configurations get model-checked,
+//! the spec-grammar audit, and the structural cost audit.
+//!
+//! The registry is deliberately *textual* — every target is a spec
+//! string fed through the same `FromStr` grammar the harness CLI uses —
+//! so the grammar itself is exercised by every verify run, and a
+//! predictor that silently falls out of the grammar fails the
+//! completeness audit below.
+
+use bpred_core::cost::Cost;
+use bpred_core::spec::GRAMMAR;
+use bpred_core::PredictorSpec;
+
+/// One model-checking target: a down-scaled configuration plus the
+/// driving alphabet and state cap for its BFS walk.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelTarget {
+    /// The spec string (parsed through the public grammar).
+    pub spec: &'static str,
+    /// Branch addresses driving the exploration.
+    pub pcs: &'static [u64],
+    /// Maximum distinct states to enumerate before reporting `capped`.
+    pub cap: usize,
+}
+
+/// Two word-aligned branch sites mapping to distinct table rows.
+pub const PCS2: &[u64] = &[0x0, 0x4];
+/// Three sites, the third aliasing the first in a 1-bit table.
+pub const PCS3: &[u64] = &[0x0, 0x4, 0x8];
+
+/// Every model-checking target: each `PredictorSpec` variant at two or
+/// more down-scaled configurations (the parameterless static predictors
+/// have a singleton config space and are run under two alphabets
+/// instead).
+pub const MODEL_TARGETS: &[ModelTarget] = &[
+    ModelTarget {
+        spec: "always-taken",
+        pcs: PCS2,
+        cap: 100,
+    },
+    ModelTarget {
+        spec: "always-taken",
+        pcs: PCS3,
+        cap: 100,
+    },
+    ModelTarget {
+        spec: "always-not-taken",
+        pcs: PCS2,
+        cap: 100,
+    },
+    ModelTarget {
+        spec: "always-not-taken",
+        pcs: PCS3,
+        cap: 100,
+    },
+    ModelTarget {
+        spec: "btfnt",
+        pcs: PCS2,
+        cap: 100,
+    },
+    ModelTarget {
+        spec: "btfnt",
+        pcs: PCS3,
+        cap: 100,
+    },
+    ModelTarget {
+        spec: "bimodal:s=1",
+        pcs: PCS2,
+        cap: 50,
+    },
+    ModelTarget {
+        spec: "bimodal:s=2",
+        pcs: PCS3,
+        cap: 200,
+    },
+    ModelTarget {
+        spec: "gshare:s=2,h=2",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "gshare:s=3,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "gselect:a=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "gselect:a=2,h=1",
+        pcs: PCS3,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "gag:h=2",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "gag:h=3",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "gas:a=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "gas:a=1,h=2",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "pag:i=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "pag:i=1,h=2",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "pas:i=1,a=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "pas:i=1,a=1,h=2",
+        pcs: PCS3,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "sag:i=1,k=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "sag:i=2,k=1,h=1",
+        pcs: PCS3,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "sas:i=1,k=1,a=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "sas:i=1,k=1,a=1,h=2",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "bimode:d=1,c=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "bimode:d=2,c=2,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "bimode:d=2,c=1,h=2,choice=always",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "bimode:d=2,c=2,h=2,init=uniform,index=skewed",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "agree:s=2,h=1,b=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "agree:s=2,h=2,b=2",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "gskew:s=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "gskew:s=2,h=1,update=total",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "yags:c=1,e=1,h=1,t=2",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "yags:c=2,e=1,h=1,t=3",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "tournament:s=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "tournament:s=2",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "trimode:d=1,c=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "trimode:d=2,c=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "2bcgskew:s=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "2bcgskew:s=2,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+];
+
+/// Paper-scale configurations whose reported cost is audited against the
+/// structural formulas (the sizes behind Figures 2–4 and Table 5).
+pub const COST_TARGETS: &[&str] = &[
+    "bimodal:s=12",
+    "gshare:s=14,h=14",
+    "gselect:a=6,h=6",
+    "gag:h=12",
+    "pas:i=6,a=4,h=6",
+    "bimode:d=13,c=13,h=13",
+    "bimode:d=10,c=10,h=10",
+    "agree:s=12,h=10,b=12",
+    "gskew:s=12,h=10",
+    "yags:c=12,e=10,h=10,t=6",
+    "tournament:s=12",
+    "trimode:d=12,c=12,h=12",
+    "2bcgskew:s=12,h=12",
+];
+
+/// The prediction-state bits a configuration must cost, derived
+/// structurally from its parameters (2 bits per counter, 1 bit per
+/// agree bias entry, 3 bits per tri-mode conflict entry) — independent
+/// of the `cost()` implementations it audits.
+#[must_use]
+pub fn structural_state_bits(spec: &PredictorSpec) -> u64 {
+    let pow = |bits: u32| 1u64 << bits;
+    match *spec {
+        PredictorSpec::AlwaysTaken | PredictorSpec::AlwaysNotTaken | PredictorSpec::Btfnt => 0,
+        PredictorSpec::Bimodal { table_bits } => 2 * pow(table_bits),
+        PredictorSpec::Gshare { table_bits, .. } => 2 * pow(table_bits),
+        PredictorSpec::Gselect {
+            address_bits,
+            history_bits,
+        } => 2 * pow(address_bits + history_bits),
+        PredictorSpec::TwoLevel {
+            address_bits,
+            history_bits,
+            ..
+        } => 2 * pow(address_bits + history_bits),
+        PredictorSpec::BiMode(c) => 2 * pow(c.choice_bits) + 2 * 2 * pow(c.direction_bits),
+        PredictorSpec::Agree {
+            table_bits,
+            bias_bits,
+            ..
+        } => 2 * pow(table_bits) + pow(bias_bits),
+        PredictorSpec::Gskew { bank_bits, .. } => 3 * 2 * pow(bank_bits),
+        PredictorSpec::Yags {
+            choice_bits,
+            cache_bits,
+            ..
+        } => 2 * pow(choice_bits) + 2 * 2 * pow(cache_bits),
+        PredictorSpec::Tournament { table_bits } => 3 * 2 * pow(table_bits),
+        PredictorSpec::TriMode {
+            direction_bits,
+            choice_bits,
+            ..
+        } => 2 * pow(choice_bits) + 3 * pow(choice_bits) + 3 * 2 * pow(direction_bits),
+        PredictorSpec::TwoBcGskew { bank_bits, .. } => 4 * 2 * pow(bank_bits),
+    }
+}
+
+/// Audits that every registry and paper-scale config reports exactly the
+/// structurally-derived state bits through [`bpred_core::Predictor::cost`].
+#[must_use]
+pub fn cost_audit() -> Vec<String> {
+    let mut violations = Vec::new();
+    let all = MODEL_TARGETS
+        .iter()
+        .map(|t| t.spec)
+        .chain(COST_TARGETS.iter().copied());
+    for s in all {
+        let spec: PredictorSpec = match s.parse() {
+            Ok(spec) => spec,
+            Err(e) => {
+                violations.push(format!("`{s}` does not parse: {e}"));
+                continue;
+            }
+        };
+        let reported: Cost = spec.build().cost();
+        let expected = structural_state_bits(&spec);
+        if reported.state_bits != expected {
+            violations.push(format!(
+                "`{s}` reports {} state bits, structure derives {expected}",
+                reported.state_bits
+            ));
+        }
+    }
+    violations
+}
+
+/// Audits the spec grammar: every grammar name must be covered by a
+/// model target, every model target must use a grammar name, unknown
+/// names/keys must be rejected, and every target must round-trip
+/// `parse → Display → parse` losslessly with a stable rendering.
+#[must_use]
+pub fn grammar_audit() -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // Name completeness, both directions.
+    for (name, _) in GRAMMAR {
+        if !MODEL_TARGETS
+            .iter()
+            .any(|t| t.spec == *name || t.spec.starts_with(&format!("{name}:")))
+        {
+            violations.push(format!("grammar name `{name}` has no model target"));
+        }
+    }
+    for t in MODEL_TARGETS {
+        let name = t.spec.split(':').next().unwrap_or(t.spec);
+        if !GRAMMAR.iter().any(|(n, _)| *n == name) {
+            violations.push(format!("target `{}` uses unlisted name `{name}`", t.spec));
+        }
+    }
+
+    // Rejection of unknown names and keys.
+    if "marsaglia:s=4".parse::<PredictorSpec>().is_ok() {
+        violations.push("unknown predictor name was accepted".to_owned());
+    }
+    if "gshare:s=4,h=2,z=9".parse::<PredictorSpec>().is_ok() {
+        violations.push("unknown key `z` was accepted for gshare".to_owned());
+    }
+
+    // Lossless round-trip through Display.
+    for t in MODEL_TARGETS {
+        let parsed: PredictorSpec = match t.spec.parse() {
+            Ok(p) => p,
+            Err(e) => {
+                violations.push(format!("`{}` does not parse: {e}", t.spec));
+                continue;
+            }
+        };
+        let rendered = parsed.to_string();
+        match rendered.parse::<PredictorSpec>() {
+            Ok(again) => {
+                if again != parsed {
+                    violations.push(format!("`{}` -> `{rendered}` -> different spec", t.spec));
+                } else if again.to_string() != rendered {
+                    violations.push(format!("`{rendered}` does not render stably"));
+                }
+            }
+            Err(e) => violations.push(format!(
+                "`{}` renders as unparseable `{rendered}`: {e}",
+                t.spec
+            )),
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_at_least_two_targets() {
+        for (name, _) in GRAMMAR {
+            let n = MODEL_TARGETS
+                .iter()
+                .filter(|t| t.spec == *name || t.spec.starts_with(&format!("{name}:")))
+                .count();
+            assert!(n >= 2, "`{name}` has {n} model targets, needs >= 2");
+        }
+    }
+
+    #[test]
+    fn grammar_audit_is_clean() {
+        assert_eq!(grammar_audit(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn cost_audit_is_clean() {
+        assert_eq!(cost_audit(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn structural_formula_matches_the_paper_ratio() {
+        // Bi-mode must cost 1.5x the next-smaller gshare (paper §3.3).
+        let bimode: PredictorSpec = "bimode:d=10,c=10,h=10".parse().expect("valid");
+        let gshare: PredictorSpec = "gshare:s=11,h=11".parse().expect("valid");
+        let ratio = structural_state_bits(&bimode) as f64 / structural_state_bits(&gshare) as f64;
+        assert!((ratio - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Result types shared by every verification pass.
+
+use std::fmt;
+
+/// The outcome of one named check.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Short hierarchical name, e.g. `model/bimode:d=2,c=2,h=1`.
+    pub name: String,
+    /// Whether the check passed.
+    pub passed: bool,
+    /// One line of supporting detail: coverage numbers on success, the
+    /// first violation on failure.
+    pub detail: String,
+}
+
+/// The aggregate report of a full `verify` run.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Every check executed, in execution order.
+    pub checks: Vec<CheckResult>,
+}
+
+impl VerifyReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a passing check.
+    pub fn pass(&mut self, name: impl Into<String>, detail: impl Into<String>) {
+        self.checks.push(CheckResult {
+            name: name.into(),
+            passed: true,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records a failing check.
+    pub fn fail(&mut self, name: impl Into<String>, detail: impl Into<String>) {
+        self.checks.push(CheckResult {
+            name: name.into(),
+            passed: false,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records an already-judged check.
+    pub fn record(&mut self, name: impl Into<String>, passed: bool, detail: impl Into<String>) {
+        if passed {
+            self.pass(name, detail);
+        } else {
+            self.fail(name, detail);
+        }
+    }
+
+    /// Appends every check of `other`.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.checks.extend(other.checks);
+    }
+
+    /// Whether every check passed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The failing checks.
+    pub fn failures(&self) -> impl Iterator<Item = &CheckResult> {
+        self.checks.iter().filter(|c| !c.passed)
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.checks {
+            let tag = if c.passed { "PASS" } else { "FAIL" };
+            writeln!(f, "{tag}  {:<44} {}", c.name, c.detail)?;
+        }
+        let failed = self.failures().count();
+        if failed == 0 {
+            write!(f, "verify: all {} checks passed", self.checks.len())
+        } else {
+            write!(f, "verify: {failed} of {} checks FAILED", self.checks.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates_and_formats() {
+        let mut r = VerifyReport::new();
+        r.pass("a/one", "42 states");
+        assert!(r.all_passed());
+        r.fail("b/two", "index out of range");
+        assert!(!r.all_passed());
+        assert_eq!(r.failures().count(), 1);
+        let text = r.to_string();
+        assert!(text.contains("PASS  a/one"));
+        assert!(text.contains("FAIL  b/two"));
+        assert!(text.contains("1 of 2 checks FAILED"));
+    }
+}

@@ -94,6 +94,10 @@ impl GlobalHistory {
             return;
         }
         self.value = ((self.value << 1) | u64::from(taken)) & ((1u64 << self.bits) - 1);
+        debug_assert!(
+            self.bits >= 63 || self.value < (1u64 << self.bits),
+            "history register holds bits beyond its configured length"
+        );
     }
 
     /// Takes a checkpoint for later [`repair`](Self::repair), then shifts in
@@ -198,7 +202,9 @@ impl PerAddressHistories {
     }
 
     fn slot(&self, pc: u64) -> usize {
-        (crate::index::pc_word(pc) & self.index_mask) as usize
+        let slot = crate::index::to_index(crate::index::pc_word(pc) & self.index_mask);
+        debug_assert!(slot < self.entries.len(), "history slot escaped the table");
+        slot
     }
 }
 

@@ -25,6 +25,27 @@ pub fn pc_word(pc: u64) -> u64 {
     pc >> 2
 }
 
+/// The single audited `u64 -> usize` truncation site for table indices.
+///
+/// Every index function funnels through here after masking its result to
+/// at most 30 bits, so the conversion is provably lossless; the repo
+/// lint pass (`bpred-check`) denies any other narrowing `as` cast in
+/// this module's hot paths.
+///
+/// # Panics
+///
+/// Debug builds panic if `value` does not fit the 30-bit index budget
+/// (which would indicate a masking bug upstream, not a caller error).
+#[inline]
+#[must_use]
+pub fn to_index(value: u64) -> usize {
+    debug_assert!(
+        value < (1 << 30),
+        "table index {value:#x} exceeds the 30-bit index budget"
+    );
+    value as usize // cast-audited: masked to <= 30 bits by every caller
+}
+
 /// Masks a value to its low `bits` bits (`bits == 0` yields `0`).
 ///
 /// # Panics
@@ -91,7 +112,9 @@ pub fn gshare_index(pc: u64, history: u64, s: u32, m: u32) -> usize {
         m <= s,
         "history bits ({m}) must not exceed table index bits ({s})"
     );
-    (low_bits(pc_word(pc), s) ^ low_bits(history, m)) as usize
+    let index = to_index(low_bits(pc_word(pc), s) ^ low_bits(history, m));
+    debug_assert!(index < (1usize << s), "gshare index escaped its table");
+    index
 }
 
 /// The gselect index: `a` address bits concatenated above `m` history
@@ -108,7 +131,12 @@ pub fn gselect_index(pc: u64, history: u64, a: u32, m: u32) -> usize {
         "gselect index must be <= 30 bits, got {}",
         a + m
     );
-    ((low_bits(pc_word(pc), a) << m) | low_bits(history, m)) as usize
+    let index = to_index((low_bits(pc_word(pc), a) << m) | low_bits(history, m));
+    debug_assert!(
+        index < (1usize << (a + m)),
+        "gselect index escaped its table"
+    );
+    index
 }
 
 /// Per-bank skewing hash for the gskew predictor.
@@ -136,12 +164,32 @@ pub fn skew_index(pc: u64, history: u64, s: u32, m: u32, bank: usize) -> usize {
     ];
     let key = (pc_word(pc) << 32) ^ low_bits(history, m);
     let mixed = key.wrapping_mul(MULTIPLIERS[bank]);
-    fold_xor(mixed.rotate_left(bank as u32 * 7), s) as usize
+    let rotation = match bank {
+        0 => 0,
+        1 => 7,
+        _ => 14,
+    };
+    let index = to_index(fold_xor(mixed.rotate_left(rotation), s));
+    debug_assert!(index < (1usize << s), "skew index escaped its bank");
+    index
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn to_index_is_identity_within_budget() {
+        assert_eq!(to_index(0), 0);
+        assert_eq!(to_index((1 << 30) - 1), (1 << 30) - 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "30-bit index budget")]
+    fn to_index_rejects_oversized_values_in_debug() {
+        let _ = to_index(1 << 30);
+    }
 
     #[test]
     fn pc_word_drops_alignment_bits() {

@@ -56,14 +56,16 @@ pub use history::{GlobalHistory, PerAddressHistories};
 pub use predictor::{CounterId, Predictor};
 pub use predictors::agree::Agree;
 pub use predictors::bimodal::Bimodal;
-pub use predictors::bimode::{BankInit, BiMode, BiModeConfig, ChoiceUpdate, IndexShare};
+pub use predictors::bimode::{
+    BankInit, BiMode, BiModeConfig, BiModeProbe, ChoiceUpdate, IndexShare,
+};
 pub use predictors::delayed::DelayedUpdate;
 pub use predictors::gselect::Gselect;
 pub use predictors::gshare::Gshare;
 pub use predictors::gskew::Gskew;
 pub use predictors::statics::{AlwaysNotTaken, AlwaysTaken, Btfnt};
 pub use predictors::tournament::Tournament;
-pub use predictors::trimode::{TriMode, TriModeConfig};
+pub use predictors::trimode::{TriMode, TriModeConfig, TriModeProbe};
 pub use predictors::two_level::{HistorySource, TwoLevel, TwoLevelKind};
 pub use predictors::twobcgskew::TwoBcGskew;
 pub use predictors::yags::Yags;

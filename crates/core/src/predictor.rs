@@ -2,6 +2,8 @@
 //! implements, plus the counter-identification hook the bias-class
 //! analysis of Section 4 relies on.
 
+use std::fmt;
+
 use crate::cost::Cost;
 
 /// Identifies one final-direction two-bit counter inside a predictor.
@@ -24,7 +26,13 @@ pub type CounterId = usize;
 ///
 /// Implementations are deterministic: the same branch stream always
 /// produces the same predictions.
-pub trait Predictor {
+///
+/// The `Debug` supertrait must render the *complete* mutable state
+/// (tables, histories, in-flight queues): the model checker in
+/// `bpred-check` uses the debug rendering as a state digest when it
+/// enumerates the reachable state space, so two states may format
+/// equally only if they are behaviourally identical.
+pub trait Predictor: fmt::Debug {
     /// A human-readable configuration name, e.g. `gshare(s=10,h=8)`.
     fn name(&self) -> String;
 
@@ -67,6 +75,19 @@ pub trait Predictor {
     fn num_counters(&self) -> usize {
         0
     }
+
+    /// Clones the predictor (state included) behind a fresh box.
+    ///
+    /// This is the object-safe surface behind `Clone for Box<dyn
+    /// Predictor>`; sweeps and the model checker use it to fork
+    /// predictor states without knowing the concrete type.
+    fn clone_box(&self) -> Box<dyn Predictor>;
+}
+
+impl Clone for Box<dyn Predictor> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 impl Predictor for Box<dyn Predictor> {
@@ -100,6 +121,10 @@ impl Predictor for Box<dyn Predictor> {
 
     fn num_counters(&self) -> usize {
         (**self).num_counters()
+    }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        (**self).clone_box()
     }
 }
 

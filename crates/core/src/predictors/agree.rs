@@ -70,6 +70,10 @@ impl Agree {
 }
 
 impl Predictor for Agree {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!(
             "agree(s={},h={},b={})",

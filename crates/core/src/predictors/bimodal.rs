@@ -63,6 +63,10 @@ impl Bimodal {
 }
 
 impl Predictor for Bimodal {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!("bimodal(s={})", self.table.index_bits())
     }

@@ -222,9 +222,78 @@ impl BiMode {
     pub fn selected_bank(&self, pc: u64) -> usize {
         self.lookup(pc).bank
     }
+
+    /// White-box snapshot of exactly the state one prediction consults,
+    /// for the `bpred-check` policy oracle: the oracle records a probe
+    /// before `update`, applies the paper's Section 2 update rules to it
+    /// symbolically, and compares against the post-update state.
+    #[must_use]
+    pub fn probe(&self, pc: u64) -> BiModeProbe {
+        let l = self.lookup(pc);
+        BiModeProbe {
+            choice_index: l.choice_index,
+            choice_state: self.choice.counter(l.choice_index).state(),
+            bank: l.bank,
+            direction_index: l.direction_index,
+            direction_state: self.banks[l.bank].counter(l.direction_index).state(),
+            prediction: l.prediction,
+            history: self.history.value(),
+        }
+    }
+
+    /// The choice counter at `index` (oracle hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the choice table.
+    #[must_use]
+    pub fn choice_counter(&self, index: usize) -> Counter2 {
+        self.choice.counter(index)
+    }
+
+    /// The direction counter at (`bank`, `index`) (oracle hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank > 1` or `index` is out of range for the bank.
+    #[must_use]
+    pub fn direction_counter(&self, bank: usize, index: usize) -> Counter2 {
+        self.banks[bank].counter(index)
+    }
+
+    /// The current global history pattern (oracle hook).
+    #[must_use]
+    pub fn history_value(&self) -> u64 {
+        self.history.value()
+    }
+}
+
+/// A white-box view of one bi-mode lookup, exposed so an external
+/// policy oracle can verify the paper's update rules transition by
+/// transition. See [`BiMode::probe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiModeProbe {
+    /// Index consulted in the choice table.
+    pub choice_index: usize,
+    /// Raw state (`0..=3`) of that choice counter.
+    pub choice_state: u8,
+    /// Selected direction bank (0 = not-taken mode, 1 = taken mode).
+    pub bank: usize,
+    /// Index consulted in the selected bank.
+    pub direction_index: usize,
+    /// Raw state (`0..=3`) of the selected direction counter.
+    pub direction_state: u8,
+    /// The final prediction the lookup produces.
+    pub prediction: bool,
+    /// Global history value at lookup time.
+    pub history: u64,
 }
 
 impl Predictor for BiMode {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         let mut name = format!(
             "bi-mode(d={},c={},h={})",

@@ -45,7 +45,11 @@ impl<P: Predictor> DelayedUpdate<P> {
     }
 }
 
-impl<P: Predictor> Predictor for DelayedUpdate<P> {
+impl<P: Predictor + Clone + 'static> Predictor for DelayedUpdate<P> {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!("{}+delay={}", self.inner.name(), self.delay)
     }
@@ -61,9 +65,9 @@ impl<P: Predictor> Predictor for DelayedUpdate<P> {
     fn update(&mut self, pc: u64, taken: bool) {
         self.in_flight.push_back((pc, taken));
         if self.in_flight.len() > self.delay {
-            let (resolved_pc, resolved_taken) =
-                self.in_flight.pop_front().expect("length checked above");
-            self.inner.update(resolved_pc, resolved_taken);
+            if let Some((resolved_pc, resolved_taken)) = self.in_flight.pop_front() {
+                self.inner.update(resolved_pc, resolved_taken);
+            }
         }
     }
 

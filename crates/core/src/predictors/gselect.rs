@@ -48,6 +48,10 @@ impl Gselect {
 }
 
 impl Predictor for Gselect {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!("gselect(a={},h={})", self.address_bits, self.history_bits)
     }

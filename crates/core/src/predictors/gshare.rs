@@ -91,6 +91,10 @@ impl Gshare {
 }
 
 impl Predictor for Gshare {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!("gshare(s={},h={})", self.table_bits, self.history_bits)
     }

@@ -80,6 +80,10 @@ impl Gskew {
 }
 
 impl Predictor for Gskew {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!("gskew(s={},h={})", self.bank_bits, self.history_bits)
     }

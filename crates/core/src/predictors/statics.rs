@@ -9,6 +9,10 @@ use crate::predictor::Predictor;
 pub struct AlwaysTaken;
 
 impl Predictor for AlwaysTaken {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> String {
         "always-taken".to_owned()
     }
@@ -31,6 +35,10 @@ impl Predictor for AlwaysTaken {
 pub struct AlwaysNotTaken;
 
 impl Predictor for AlwaysNotTaken {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> String {
         "always-not-taken".to_owned()
     }
@@ -58,6 +66,10 @@ impl Predictor for AlwaysNotTaken {
 pub struct Btfnt;
 
 impl Predictor for Btfnt {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> String {
         "btfnt".to_owned()
     }

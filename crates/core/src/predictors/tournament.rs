@@ -26,21 +26,12 @@ use crate::table::CounterTable;
 /// );
 /// assert!(p.name().starts_with("tournament("));
 /// ```
+#[derive(Debug, Clone)]
 pub struct Tournament {
     a: Box<dyn Predictor>,
     b: Box<dyn Predictor>,
     meta: CounterTable,
     meta_bits: u32,
-}
-
-impl std::fmt::Debug for Tournament {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tournament")
-            .field("a", &self.a.name())
-            .field("b", &self.b.name())
-            .field("meta_bits", &self.meta_bits)
-            .finish()
-    }
 }
 
 impl Tournament {
@@ -72,6 +63,10 @@ impl Tournament {
 }
 
 impl Predictor for Tournament {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!(
             "tournament({}|{},m={})",

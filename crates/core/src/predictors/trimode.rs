@@ -149,9 +149,92 @@ impl TriMode {
     pub fn selected_bank(&self, pc: u64) -> usize {
         self.lookup(pc).mode as usize
     }
+
+    /// White-box snapshot of exactly the state one prediction consults,
+    /// for the `bpred-check` policy oracle (the tri-mode analogue of
+    /// [`BiMode::probe`](crate::BiMode::probe)).
+    #[must_use]
+    pub fn probe(&self, pc: u64) -> TriModeProbe {
+        let l = self.lookup(pc);
+        TriModeProbe {
+            choice_index: l.choice_index,
+            choice_state: self.choice.counter(l.choice_index).state(),
+            conflict_value: self.conflict[l.choice_index].value(),
+            bank: l.mode as usize,
+            direction_index: l.direction_index,
+            direction_state: self.banks[l.mode as usize]
+                .counter(l.direction_index)
+                .state(),
+            prediction: l.prediction,
+            history: self.history.value(),
+        }
+    }
+
+    /// The choice counter at `index` (oracle hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the choice table.
+    #[must_use]
+    pub fn choice_counter(&self, index: usize) -> Counter2 {
+        self.choice.counter(index)
+    }
+
+    /// The conflict counter value at `index` (oracle hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the conflict table.
+    #[must_use]
+    pub fn conflict_value(&self, index: usize) -> u16 {
+        self.conflict[index].value()
+    }
+
+    /// The direction counter at (`bank`, `index`) (oracle hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank > 2` or `index` is out of range for the bank.
+    #[must_use]
+    pub fn direction_counter(&self, bank: usize, index: usize) -> Counter2 {
+        self.banks[bank].counter(index)
+    }
+
+    /// The current global history pattern (oracle hook).
+    #[must_use]
+    pub fn history_value(&self) -> u64 {
+        self.history.value()
+    }
+}
+
+/// A white-box view of one tri-mode lookup, exposed so an external
+/// policy oracle can verify the update rules transition by transition.
+/// See [`TriMode::probe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriModeProbe {
+    /// Index consulted in the choice and conflict tables.
+    pub choice_index: usize,
+    /// Raw state (`0..=3`) of that choice counter.
+    pub choice_state: u8,
+    /// Value of the three-bit conflict counter.
+    pub conflict_value: u16,
+    /// Selected bank (0 = not-taken, 1 = taken, 2 = weak).
+    pub bank: usize,
+    /// Index consulted in the selected bank.
+    pub direction_index: usize,
+    /// Raw state (`0..=3`) of the selected direction counter.
+    pub direction_state: u8,
+    /// The final prediction the lookup produces.
+    pub prediction: bool,
+    /// Global history value at lookup time.
+    pub history: u64,
 }
 
 impl Predictor for TriMode {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!(
             "tri-mode(d={},c={},h={})",

@@ -165,6 +165,10 @@ impl TwoLevel {
 }
 
 impl Predictor for TwoLevel {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!(
             "{}(a={},h={})",

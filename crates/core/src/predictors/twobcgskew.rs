@@ -103,6 +103,10 @@ impl TwoBcGskew {
 }
 
 impl Predictor for TwoBcGskew {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!("2bc-gskew(s={},h={})", self.bank_bits, self.long_history)
     }

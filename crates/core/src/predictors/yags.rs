@@ -142,6 +142,10 @@ impl Yags {
 }
 
 impl Predictor for Yags {
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!(
             "yags(c={},e={},h={},t={})",

@@ -217,24 +217,54 @@ impl fmt::Display for ParseSpecError {
 
 impl std::error::Error for ParseSpecError {}
 
-/// Key=value parameter list parsed from the part after `:`.
+/// Key=value parameter list parsed from the part after `:`, carrying
+/// the predictor name and its valid keys so every error can say which
+/// key offended and what the grammar accepts there.
 struct Params<'a> {
+    name: &'a str,
+    valid_keys: &'static [&'static str],
     pairs: Vec<(&'a str, &'a str)>,
 }
 
+/// Renders a valid-key list for error messages.
+fn keys_desc(valid_keys: &[&str]) -> String {
+    if valid_keys.is_empty() {
+        "takes no parameters".to_owned()
+    } else {
+        format!("valid keys: {}", valid_keys.join(", "))
+    }
+}
+
 impl<'a> Params<'a> {
-    fn parse(s: &'a str) -> Result<Self, ParseSpecError> {
+    fn parse(
+        name: &'a str,
+        valid_keys: &'static [&'static str],
+        s: &'a str,
+    ) -> Result<Self, ParseSpecError> {
         let mut pairs = Vec::new();
-        if s.is_empty() {
-            return Ok(Self { pairs });
+        if !s.is_empty() {
+            for item in s.split(',') {
+                let (k, v) = item.split_once('=').ok_or_else(|| {
+                    ParseSpecError::new(format!(
+                        "`{name}`: expected key=value, got `{item}` ({})",
+                        keys_desc(valid_keys)
+                    ))
+                })?;
+                pairs.push((k.trim(), v.trim()));
+            }
         }
-        for item in s.split(',') {
-            let (k, v) = item
-                .split_once('=')
-                .ok_or_else(|| ParseSpecError::new(format!("expected key=value, got `{item}`")))?;
-            pairs.push((k.trim(), v.trim()));
+        let params = Self {
+            name,
+            valid_keys,
+            pairs,
+        };
+        if let Some((k, _)) = params.pairs.iter().find(|(k, _)| !valid_keys.contains(k)) {
+            return Err(ParseSpecError::new(format!(
+                "unknown key `{k}` for `{name}` ({})",
+                keys_desc(valid_keys)
+            )));
         }
-        Ok(Self { pairs })
+        Ok(params)
     }
 
     fn get(&self, key: &str) -> Option<&'a str> {
@@ -242,21 +272,67 @@ impl<'a> Params<'a> {
     }
 
     fn num(&self, key: &str) -> Result<u32, ParseSpecError> {
-        let v = self
-            .get(key)
-            .ok_or_else(|| ParseSpecError::new(format!("missing parameter `{key}`")))?;
-        v.parse()
-            .map_err(|_| ParseSpecError::new(format!("parameter `{key}`: `{v}` is not a number")))
+        let v = self.get(key).ok_or_else(|| {
+            ParseSpecError::new(format!(
+                "missing parameter `{key}` for `{}` ({})",
+                self.name,
+                keys_desc(self.valid_keys)
+            ))
+        })?;
+        v.parse().map_err(|_| {
+            ParseSpecError::new(format!(
+                "`{}`: parameter `{key}`: `{v}` is not a number",
+                self.name
+            ))
+        })
     }
 
     fn num_or(&self, key: &str, default: u32) -> Result<u32, ParseSpecError> {
         match self.get(key) {
             Some(v) => v.parse().map_err(|_| {
-                ParseSpecError::new(format!("parameter `{key}`: `{v}` is not a number"))
+                ParseSpecError::new(format!(
+                    "`{}`: parameter `{key}`: `{v}` is not a number",
+                    self.name
+                ))
             }),
             None => Ok(default),
         }
     }
+}
+
+/// The spec grammar: every recognised predictor name paired with the
+/// keys its parameter list accepts, in registry order.
+///
+/// This is the single source of truth the parser validates against and
+/// the `bpred-check` registry audit cross-checks for completeness.
+pub const GRAMMAR: &[(&str, &[&str])] = &[
+    ("always-taken", &[]),
+    ("always-not-taken", &[]),
+    ("btfnt", &[]),
+    ("bimodal", &["s"]),
+    ("gshare", &["s", "h"]),
+    ("gselect", &["a", "h"]),
+    ("gag", &["h"]),
+    ("gas", &["a", "h"]),
+    ("pag", &["i", "h"]),
+    ("pas", &["i", "a", "h"]),
+    ("sag", &["i", "k", "h"]),
+    ("sas", &["i", "k", "a", "h"]),
+    ("bimode", &["d", "c", "h", "choice", "init", "index"]),
+    ("agree", &["s", "h", "b"]),
+    ("gskew", &["s", "h", "update"]),
+    ("yags", &["c", "e", "h", "t"]),
+    ("tournament", &["s"]),
+    ("2bcgskew", &["s", "h"]),
+    ("trimode", &["d", "c", "h"]),
+];
+
+/// The valid keys for a grammar name, if the name is recognised.
+fn grammar_keys(name: &str) -> Option<&'static [&'static str]> {
+    GRAMMAR
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, keys)| *keys)
 }
 
 impl FromStr for PredictorSpec {
@@ -267,7 +343,17 @@ impl FromStr for PredictorSpec {
             Some((n, r)) => (n.trim(), r.trim()),
             None => (s.trim(), ""),
         };
-        let p = Params::parse(rest)?;
+        let keys = grammar_keys(name).ok_or_else(|| {
+            ParseSpecError::new(format!(
+                "unknown predictor `{name}` (known: {})",
+                GRAMMAR
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        let p = Params::parse(name, keys, rest)?;
         match name {
             "always-taken" => Ok(PredictorSpec::AlwaysTaken),
             "always-not-taken" => Ok(PredictorSpec::AlwaysNotTaken),
@@ -571,14 +657,73 @@ mod tests {
     fn parse_errors_are_descriptive() {
         let err = PredictorSpec::from_str("nonsense:x=1").unwrap_err();
         assert!(err.to_string().contains("unknown predictor"));
+        assert!(
+            err.to_string().contains("bimode"),
+            "unknown-name errors list the known names: {err}"
+        );
         let err = PredictorSpec::from_str("gshare:s=10").unwrap_err();
         assert!(err.to_string().contains("missing parameter `h`"));
+        assert!(
+            err.to_string().contains("valid keys: s, h"),
+            "missing-key errors list the valid keys: {err}"
+        );
         let err = PredictorSpec::from_str("gshare:s=ten,h=2").unwrap_err();
         assert!(err.to_string().contains("not a number"));
         let err = PredictorSpec::from_str("gshare:s").unwrap_err();
         assert!(err.to_string().contains("key=value"));
         let err = PredictorSpec::from_str("bimode:d=8,choice=sometimes").unwrap_err();
         assert!(err.to_string().contains("partial|always"));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_naming_key_and_valid_set() {
+        // One misspelled or foreign key per variant: each error must name
+        // the offending key, the predictor, and that predictor's keys.
+        let cases = [
+            ("bimodal:s=8,z=1", "z", "valid keys: s"),
+            ("gshare:s=8,h=8,size=4", "size", "valid keys: s, h"),
+            ("gselect:a=3,h=5,s=2", "s", "valid keys: a, h"),
+            ("gag:h=4,a=1", "a", "valid keys: h"),
+            ("gas:a=2,h=4,i=3", "i", "valid keys: a, h"),
+            ("pag:i=4,h=6,a=2", "a", "valid keys: i, h"),
+            ("pas:i=4,a=2,h=6,k=1", "k", "valid keys: i, a, h"),
+            ("sag:i=4,k=5,h=6,t=2", "t", "valid keys: i, k, h"),
+            ("sas:i=4,k=5,a=2,h=6,b=1", "b", "valid keys: i, k, a, h"),
+            (
+                "bimode:d=8,dir=skewed",
+                "dir",
+                "valid keys: d, c, h, choice, init, index",
+            ),
+            ("agree:s=8,h=8,bias=8", "bias", "valid keys: s, h, b"),
+            (
+                "gskew:s=8,h=8,mode=total",
+                "mode",
+                "valid keys: s, h, update",
+            ),
+            ("yags:c=8,e=6,h=6,tag=4", "tag", "valid keys: c, e, h, t"),
+            ("tournament:s=8,m=8", "m", "valid keys: s"),
+            ("2bcgskew:s=8,h=8,g=2", "g", "valid keys: s, h"),
+            ("trimode:d=8,w=2", "w", "valid keys: d, c, h"),
+        ];
+        for (input, bad_key, valid) in cases {
+            let err = PredictorSpec::from_str(input).unwrap_err().to_string();
+            assert!(
+                err.contains(&format!("unknown key `{bad_key}`")),
+                "{input}: error must name the offending key: {err}"
+            );
+            assert!(
+                err.contains(valid),
+                "{input}: error must list the valid keys: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_predictors_reject_any_parameters() {
+        for input in ["always-taken:s=1", "always-not-taken:x=2", "btfnt:h=3"] {
+            let err = PredictorSpec::from_str(input).unwrap_err().to_string();
+            assert!(err.contains("unknown key"), "{input}: {err}");
+        }
     }
 
     #[test]

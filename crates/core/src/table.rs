@@ -66,23 +66,57 @@ impl CounterTable {
         self.counters.len() as u64 * 2
     }
 
+    /// Panics at the *caller's* location with a message naming both the
+    /// offending index and the table geometry, so an index-construction
+    /// bug reports the predictor that computed the index rather than
+    /// this module.
+    #[inline]
+    #[track_caller]
+    fn check_index(&self, index: usize) {
+        assert!(
+            index < self.counters.len(),
+            "counter index {index} out of range for table of {len} entries ({bits} index bits)",
+            len = self.counters.len(),
+            bits = self.index_bits(),
+        );
+    }
+
     /// The counter at `index`.
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
+    /// Panics (at the caller) if `index` is out of range, naming the
+    /// index and the table length.
     #[must_use]
+    #[track_caller]
     pub fn counter(&self, index: usize) -> Counter2 {
+        self.check_index(index);
         self.counters[index]
+    }
+
+    /// Mutable access to the counter at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at the caller) if `index` is out of range, naming the
+    /// index and the table length.
+    #[must_use]
+    #[track_caller]
+    pub fn counter_mut(&mut self, index: usize) -> &mut Counter2 {
+        self.check_index(index);
+        &mut self.counters[index]
     }
 
     /// The predicted direction of the counter at `index`.
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
+    /// Panics (at the caller) if `index` is out of range, naming the
+    /// index and the table length.
     #[must_use]
+    #[track_caller]
     pub fn predict(&self, index: usize) -> bool {
+        self.check_index(index);
         self.counters[index].predict()
     }
 
@@ -90,9 +124,16 @@ impl CounterTable {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
+    /// Panics (at the caller) if `index` is out of range, naming the
+    /// index and the table length.
+    #[track_caller]
     pub fn update(&mut self, index: usize, taken: bool) {
+        self.check_index(index);
         self.counters[index].update(taken);
+        debug_assert!(
+            self.counters[index].state() <= 3,
+            "two-bit counter left its state range after an update"
+        );
     }
 
     /// Restores every counter to the initialisation state.
@@ -164,10 +205,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "counter index 4 out of range for table of 4 entries")]
     fn out_of_range_index_panics() {
         let t = CounterTable::new(2, Counter2::WEAKLY_TAKEN);
         let _ = t.counter(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter index 9 out of range for table of 8 entries (3 index bits)")]
+    fn out_of_range_mut_index_panics_with_geometry() {
+        let mut t = CounterTable::new(3, Counter2::WEAKLY_TAKEN);
+        let _ = t.counter_mut(9);
+    }
+
+    #[test]
+    fn counter_mut_edits_in_place() {
+        let mut t = CounterTable::new(2, Counter2::WEAKLY_TAKEN);
+        *t.counter_mut(2) = Counter2::STRONGLY_NOT_TAKEN;
+        assert_eq!(t.counter(2), Counter2::STRONGLY_NOT_TAKEN);
+        assert!(!t.predict(2));
     }
 
     #[test]

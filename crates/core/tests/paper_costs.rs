@@ -1,0 +1,82 @@
+//! Regression test: `cost().state_kib()` for the paper's table and
+//! figure configurations, against hand-computed sizes.
+//!
+//! Every comparison in Figures 2–4 is an equal-cost comparison, so a
+//! drifting cost model would silently shift which predictors get
+//! compared at each budget. The expected values below are worked by
+//! hand from the structures (2 bits per counter, 1 bit per agree bias
+//! entry, 3 bits per tri-mode conflict entry) and are all exact binary
+//! fractions, so `assert_eq!` on the `f64` is exact.
+
+use bpred_core::PredictorSpec;
+
+#[test]
+fn paper_configuration_costs_match_hand_computed_kib() {
+    // (spec, hand-computed KiB of prediction state)
+    let expected = [
+        // Bimodal: 2^12 counters x 2 bits = 8192 bits.
+        ("bimodal:s=12", 1.0),
+        // gshare: 2^14 counters x 2 bits = 32768 bits.
+        ("gshare:s=14,h=14", 4.0),
+        ("gshare:s=11,h=11", 0.5),
+        // gselect 6/6: one 2^(6+6)-counter table.
+        ("gselect:a=6,h=6", 1.0),
+        // GAg: a single 2^12-entry PHT.
+        ("gag:h=12", 1.0),
+        // PAs 6/4/6: 2^(4+6) counters (history registers are not
+        // prediction state in the paper's size accounting).
+        ("pas:i=6,a=4,h=6", 0.25),
+        // Bi-mode: choice 2^13 + two banks of 2^13, x 2 bits = 49152.
+        ("bimode:d=13,c=13,h=13", 6.0),
+        // The doc-example size: 3K counters = 768 bytes.
+        ("bimode:d=10,c=10,h=10", 0.75),
+        // Agree: 2^12 counters x 2 bits + 2^12 bias bits = 12288.
+        ("agree:s=12,h=10,b=12", 1.5),
+        // gskew: three 2^12-counter banks = 24576 bits.
+        ("gskew:s=12,h=10", 3.0),
+        // YAGS: 2^12-counter choice + two 2^10-counter caches = 12288.
+        ("yags:c=12,e=10,h=10,t=6", 1.5),
+        // Tournament: three 2^12-counter tables = 24576 bits.
+        ("tournament:s=12", 3.0),
+        // Tri-mode: 2 bits choice + 3 bits conflict per 2^12 entries,
+        // plus three 2^12-counter banks = (2+3+6) x 2^12 = 45056 bits.
+        ("trimode:d=12,c=12,h=12", 5.5),
+        // 2bc-gskew: four 2^12-counter banks = 32768 bits.
+        ("2bcgskew:s=12,h=12", 4.0),
+        // Statics carry no prediction state at all.
+        ("always-taken", 0.0),
+        ("btfnt", 0.0),
+    ];
+    for (s, kib) in expected {
+        let spec: PredictorSpec = s.parse().unwrap_or_else(|e| panic!("`{s}`: {e}"));
+        let cost = spec.build().cost();
+        assert_eq!(
+            cost.state_kib(),
+            kib,
+            "`{s}` reports {} state bits = {} KiB, hand computation says {} KiB",
+            cost.state_bits,
+            cost.state_kib(),
+            kib
+        );
+    }
+}
+
+#[test]
+fn bimode_costs_1_5x_the_same_index_width_gshare() {
+    // Section 3.3: bi-mode at index width d is three same-size tables
+    // (choice + two banks), so it costs 3x the d-bit gshare and 1.5x
+    // the (d+1)-bit gshare — the ratio behind the equal-cost x-axis of
+    // Figures 2-4. Pin both so the sweep grids stay honest.
+    for d in [8u32, 10, 12] {
+        let bimode: PredictorSpec = format!("bimode:d={d},c={d},h={d}")
+            .parse()
+            .expect("valid spec");
+        let same: PredictorSpec = format!("gshare:s={d},h={d}").parse().expect("valid spec");
+        let next: PredictorSpec = format!("gshare:s={},h={}", d + 1, d + 1)
+            .parse()
+            .expect("valid spec");
+        let b = bimode.build().cost().state_bits;
+        assert_eq!(b, 3 * same.build().cost().state_bits);
+        assert_eq!(2 * b, 3 * next.build().cost().state_bits);
+    }
+}

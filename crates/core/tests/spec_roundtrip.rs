@@ -1,0 +1,135 @@
+//! Property test: every [`PredictorSpec`] variant round-trips
+//! `parse → Display → parse` losslessly, for arbitrary parameter
+//! values, not just the hand-picked configs the unit tests cover.
+//!
+//! The spec grammar is the only interface between the harness CLI, the
+//! sweep registry, and the predictors themselves; a variant whose
+//! rendering drops a parameter (or renders one unparseably) would make
+//! sweep results unreproducible from their own labels.
+
+use bpred_core::{BankInit, BiModeConfig, ChoiceUpdate, HistorySource, IndexShare, PredictorSpec};
+use proptest::prelude::*;
+
+/// Table/history sizing bits: `1..=14` spans smoke scale to beyond the
+/// paper's largest (8K-entry) configurations.
+fn bits() -> impl Strategy<Value = u32> {
+    1u32..15
+}
+
+/// A strategy generating every `PredictorSpec` variant, with each
+/// enum-valued knob (choice update, bank init, index sharing, history
+/// source, total-update flag) drawn independently.
+fn spec() -> impl Strategy<Value = PredictorSpec> {
+    let two_level = (
+        prop_oneof![
+            Just(HistorySource::Global),
+            bits().prop_map(|index_bits| HistorySource::PerAddress { index_bits }),
+            (bits(), 0u32..7)
+                .prop_map(|(index_bits, shift)| HistorySource::PerSet { index_bits, shift }),
+        ],
+        0u32..7,
+        bits(),
+    )
+        .prop_map(
+            |(source, address_bits, history_bits)| PredictorSpec::TwoLevel {
+                source,
+                address_bits,
+                history_bits,
+            },
+        );
+    let bimode = (bits(), bits(), bits(), 0u8..2, 0u8..2, 0u8..2).prop_map(
+        |(direction_bits, choice_bits, history_bits, update, init, share)| {
+            let mut config = BiModeConfig::new(direction_bits, choice_bits, history_bits);
+            if update == 1 {
+                config.choice_update = ChoiceUpdate::Always;
+            }
+            if init == 1 {
+                config.bank_init = BankInit::UniformWeaklyTaken;
+            }
+            if share == 1 {
+                config.index_share = IndexShare::SkewedPerBank;
+            }
+            PredictorSpec::BiMode(config)
+        },
+    );
+    prop_oneof![
+        Just(PredictorSpec::AlwaysTaken),
+        Just(PredictorSpec::AlwaysNotTaken),
+        Just(PredictorSpec::Btfnt),
+        bits().prop_map(|table_bits| PredictorSpec::Bimodal { table_bits }),
+        (bits(), bits()).prop_map(|(table_bits, history_bits)| PredictorSpec::Gshare {
+            table_bits,
+            history_bits
+        }),
+        (bits(), bits()).prop_map(|(address_bits, history_bits)| PredictorSpec::Gselect {
+            address_bits,
+            history_bits
+        }),
+        two_level,
+        bimode,
+        (bits(), bits(), bits()).prop_map(|(table_bits, history_bits, bias_bits)| {
+            PredictorSpec::Agree {
+                table_bits,
+                history_bits,
+                bias_bits,
+            }
+        }),
+        (bits(), bits(), 0u8..2).prop_map(|(bank_bits, history_bits, total)| {
+            PredictorSpec::Gskew {
+                bank_bits,
+                history_bits,
+                total_update: total == 1,
+            }
+        }),
+        (bits(), bits(), bits(), 1u32..9).prop_map(
+            |(choice_bits, cache_bits, history_bits, tag_bits)| PredictorSpec::Yags {
+                choice_bits,
+                cache_bits,
+                history_bits,
+                tag_bits,
+            }
+        ),
+        bits().prop_map(|table_bits| PredictorSpec::Tournament { table_bits }),
+        (bits(), bits(), bits()).prop_map(|(direction_bits, choice_bits, history_bits)| {
+            PredictorSpec::TriMode {
+                direction_bits,
+                choice_bits,
+                history_bits,
+            }
+        }),
+        (bits(), bits()).prop_map(|(bank_bits, history_bits)| PredictorSpec::TwoBcGskew {
+            bank_bits,
+            history_bits
+        }),
+    ]
+}
+
+proptest! {
+    /// `Display` must render every generated spec to a string the
+    /// grammar parses back to an equal spec, and the rendering must be
+    /// a fixed point (render → parse → render is stable).
+    #[test]
+    fn every_variant_roundtrips_losslessly(generated in spec()) {
+        let rendered = generated.to_string();
+        let reparsed: PredictorSpec = rendered
+            .parse()
+            .unwrap_or_else(|e| panic!("`{rendered}` does not re-parse: {e}"));
+        prop_assert_eq!(&reparsed, &generated, "round-trip through `{}`", rendered);
+        prop_assert_eq!(reparsed.to_string(), rendered, "rendering must be stable");
+    }
+
+    /// The grammar ignores incidental whitespace around names, keys,
+    /// and values, so hand-written sweep files stay robust.
+    #[test]
+    fn rendered_specs_survive_added_whitespace(generated in spec()) {
+        let spaced: String = generated
+            .to_string()
+            .replace(':', " : ")
+            .replace(',', " , ")
+            .replace('=', " = ");
+        let reparsed: PredictorSpec = spaced
+            .parse()
+            .unwrap_or_else(|e| panic!("`{spaced}` does not parse: {e}"));
+        prop_assert_eq!(reparsed, generated);
+    }
+}

@@ -21,6 +21,18 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if options.command == "verify" {
+        let started = std::time::Instant::now();
+        let (report, passed) = cli::run_verify();
+        println!("{report}");
+        eprintln!("[verify in {:.1}s]", started.elapsed().as_secs_f64());
+        return if passed {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     let names: Vec<&str> = if options.command == "all" {
         EXPERIMENTS.iter().map(|(n, _)| *n).collect()
     } else if EXPERIMENTS.iter().any(|(n, _)| *n == options.command) {

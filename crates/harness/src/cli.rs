@@ -73,12 +73,37 @@ pub struct Options {
 #[must_use]
 pub fn usage() -> String {
     let mut s = String::from(
-        "usage: repro <experiment|all|list> [--scale smoke|paper|full] [--jobs N] [--out DIR]\n\nexperiments:\n",
+        "usage: repro <experiment|all|list|verify> [--scale smoke|paper|full] [--jobs N] [--out DIR]\n\nexperiments:\n",
     );
     for (name, desc) in EXPERIMENTS {
         s.push_str(&format!("  {name:<24} {desc}\n"));
     }
+    s.push_str(
+        "\nother commands:\n  \
+         verify                   static verification: model-check every predictor,\n  \
+                                  audit grammar/cost, prove engine equivalence, lint sources\n",
+    );
     s
+}
+
+/// Runs the static verification suite (no traces involved): the
+/// `bpred-check` model checker, policy oracles, grammar/cost audits,
+/// engine-equivalence enumeration, and the repo lint pass. Returns the
+/// rendered report and whether everything passed.
+#[must_use]
+pub fn run_verify() -> (String, bool) {
+    let root = bpred_check::workspace_root();
+    let report = bpred_check::verify(&root);
+    let mut text = report.to_string();
+    if !cfg!(debug_assertions) {
+        text.push_str(
+            "\nnote: built without debug assertions; the counter-range and \
+             index-bounds contracts in bpred-core were not exercised. \
+             Run `cargo run -p bpred-harness --bin repro -- verify` (dev \
+             profile) for full coverage.",
+        );
+    }
+    (text, report.all_passed())
 }
 
 /// Parses command-line arguments (without the program name).

@@ -341,7 +341,7 @@ pub fn future_trimode(set: &TraceSet, jobs: Option<usize>) -> Report {
 /// (same strong bias) or neutral (weakly biased), on gcc.
 #[must_use]
 pub fn aliasing_taxonomy(set: &TraceSet) -> Report {
-    let trace = set.trace("gcc").expect("the taxonomy uses the gcc trace");
+    let trace = set.trace("gcc").expect("the taxonomy uses the gcc trace"); // panic-audited: paper trace sets always include gcc; documented panic
     let mut report = Report::new(
         "aliasing",
         "Alias taxonomy on gcc: destructive vs harmless vs neutral",
@@ -459,7 +459,7 @@ pub fn ablation_flush(set: &TraceSet, jobs: Option<usize>) -> Report {
 /// ablation).
 #[must_use]
 pub fn warmup_curves(set: &TraceSet) -> Report {
-    let trace = set.trace("gcc").expect("warm-up uses the gcc trace");
+    let trace = set.trace("gcc").expect("warm-up uses the gcc trace"); // panic-audited: paper trace sets always include gcc; documented panic
     let mut report = Report::new("warmup", "Warm-up: windowed misprediction over time (gcc)");
     let window = (trace.conditional().count() as u64 / 40).max(1_000);
     report.note(format!("Window: {window} conditional branches."));

@@ -66,6 +66,7 @@ fn verdict_bimode_wins(points: &[SweepPoint]) -> String {
             .iter()
             .filter(|g| g.kib >= bm.kib - 1e-9)
             .min_by(|a, b| a.kib.partial_cmp(&b.kib).expect("finite"))
+        // panic-audited: state_kib() is a finite structural size, never NaN
         {
             comparisons += 1;
             if bm.average_rate() <= g.average_rate() {
@@ -142,7 +143,7 @@ fn per_counter_sections(report: &mut Report, caption: &str, analysis: &Analysis)
 /// Panics if the trace set lacks the `gcc` workload.
 #[must_use]
 pub fn fig5(set: &TraceSet) -> Report {
-    let trace = set.trace("gcc").expect("figure 5 needs the gcc trace");
+    let trace = set.trace("gcc").expect("figure 5 needs the gcc trace"); // panic-audited: paper trace sets always include gcc; documented panic
     let mut report = Report::new(
         "fig5",
         "Figure 5: bias breakdown for gshare on gcc (256 counters)",
@@ -188,7 +189,7 @@ pub fn fig5(set: &TraceSet) -> Report {
 /// Panics if the trace set lacks the `gcc` workload.
 #[must_use]
 pub fn fig6(set: &TraceSet) -> Report {
-    let trace = set.trace("gcc").expect("figure 6 needs the gcc trace");
+    let trace = set.trace("gcc").expect("figure 6 needs the gcc trace"); // panic-audited: paper trace sets always include gcc; documented panic
     let mut report = Report::new(
         "fig6",
         "Figure 6: bias breakdown for bi-mode on gcc (2x128 + 128)",

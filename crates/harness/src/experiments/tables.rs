@@ -133,7 +133,7 @@ pub fn table3() -> Report {
 /// Panics if the trace set lacks the `gcc` workload.
 #[must_use]
 pub fn table4(set: &TraceSet) -> Report {
-    let trace = set.trace("gcc").expect("table 4 needs the gcc trace");
+    let trace = set.trace("gcc").expect("table 4 needs the gcc trace"); // panic-audited: paper trace sets always include gcc; documented panic
     let mut report = Report::new("table4", "Table 4: bias-class changes (gcc)");
     report.note(
         "A change is counted when consecutive accesses to one counter come \

@@ -39,12 +39,13 @@ where
                 }
                 let r = f(&items[i]);
                 **slots[i].lock().expect("slot mutex is never poisoned") = Some(r);
+                // panic-audited: a poisoning panic in f already aborted the scoped join
             });
         }
     });
     results
         .into_iter()
-        .map(|r| r.expect("every index was processed"))
+        .map(|r| r.expect("every index was processed")) // panic-audited: the worker loop wrote every index before the scope joined
         .collect()
 }
 

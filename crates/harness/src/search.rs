@@ -68,8 +68,8 @@ pub fn best_gshare(traces: &[&PackedTrace], table_bits: u32, jobs: Option<usize>
     let curve: Vec<(u32, f64)> = results.iter().map(|(m, avg, _)| (*m, *avg)).collect();
     let (history_bits, average_rate, per_workload) = results
         .into_iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"))
-        .expect("at least one candidate");
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite")) // panic-audited: misprediction rates are finite ratios, never NaN
+        .expect("at least one candidate"); // panic-audited: the history-length candidate range is non-empty by construction
     BestGshare {
         table_bits,
         history_bits,

@@ -133,9 +133,9 @@ pub fn sweep_scheme_with_throughput(
                         .min_by(|a, b| {
                             engine::average(a.1)
                                 .partial_cmp(&engine::average(b.1))
-                                .expect("rates are finite")
+                                .expect("rates are finite") // panic-audited: misprediction rates are finite ratios, never NaN
                         })
-                        .expect("every ladder size has candidates");
+                        .expect("every ladder size has candidates"); // panic-audited: every ladder size carries at least the m = s candidate
                     point(scheme, &Gshare::new(s, m), rates.clone())
                 })
                 .collect();

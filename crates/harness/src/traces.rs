@@ -141,6 +141,7 @@ impl TraceSet {
     fn packed_at(&self, index: usize) -> &PackedTrace {
         self.packed[index].get_or_init(|| {
             PackedTrace::build(&self.entries[index].1).expect("workload site tables fit 32-bit ids")
+            // panic-audited: synthetic workloads have far fewer than 2^32 branch sites
         })
     }
 

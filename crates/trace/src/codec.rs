@@ -121,8 +121,8 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, CodecError> {
         reader
             .read_exact(&mut rec)
             .map_err(|e| malformed(format!("truncated at record {i}: {e}")))?;
-        let pc = u64::from_le_bytes(rec[0..8].try_into().expect("slice is 8 bytes"));
-        let target = u64::from_le_bytes(rec[8..16].try_into().expect("slice is 8 bytes"));
+        let pc = u64::from_le_bytes(rec[0..8].try_into().expect("slice is 8 bytes")); // panic-audited: try_into of a fixed 8-byte subslice cannot fail
+        let target = u64::from_le_bytes(rec[8..16].try_into().expect("slice is 8 bytes")); // panic-audited: try_into of a fixed 8-byte subslice cannot fail
         let flags = rec[16];
         let taken = flags & 1 == 1;
         let kind = BranchKind::from_tag(flags >> 1)
@@ -299,8 +299,8 @@ impl<R: Read> Iterator for BinaryStream<R> {
         }
         self.remaining -= 1;
         self.index += 1;
-        let pc = u64::from_le_bytes(rec[0..8].try_into().expect("slice is 8 bytes"));
-        let target = u64::from_le_bytes(rec[8..16].try_into().expect("slice is 8 bytes"));
+        let pc = u64::from_le_bytes(rec[0..8].try_into().expect("slice is 8 bytes")); // panic-audited: try_into of a fixed 8-byte subslice cannot fail
+        let target = u64::from_le_bytes(rec[8..16].try_into().expect("slice is 8 bytes")); // panic-audited: try_into of a fixed 8-byte subslice cannot fail
         let flags = rec[16];
         let taken = flags & 1 == 1;
         match BranchKind::from_tag(flags >> 1) {

@@ -108,7 +108,7 @@ impl BitColumn {
             self.words.push(0);
         }
         if bit {
-            *self.words.last_mut().expect("word pushed above") |= 1u64 << (index % WORD_BITS);
+            self.words[index / WORD_BITS] |= 1u64 << (index % WORD_BITS);
         }
     }
 
@@ -241,7 +241,7 @@ impl PackedTrace {
     pub fn record(&self, index: usize) -> PackedRecord {
         let site = self.sites[index];
         PackedRecord {
-            pc: self.site_pcs[site as usize],
+            pc: self.site_pcs[site as usize], // cast-audited: u32 id widens losslessly
             site,
             taken: self.outcomes.get(index),
             backward: self.backward.get(index),

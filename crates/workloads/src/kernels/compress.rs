@@ -63,7 +63,7 @@ fn compress(t: &mut Tracer, input: &[u8], output: &mut Vec<u32>) {
     }
     // Flush check: taken whenever any input was consumed.
     if t.branch(site!(), prefix.is_some()) {
-        output.push(prefix.expect("checked via branch"));
+        output.push(prefix.expect("checked via branch")); // panic-audited: the traced branch condition is prefix.is_some()
     }
 }
 
@@ -80,7 +80,7 @@ fn decompress(t: &mut Tracer, codes: &[u32]) -> Vec<u8> {
             entries[code].clone()
         } else {
             // The KwKwK special case.
-            let mut e = entries[prev.expect("KwKwK cannot be first") as usize].clone();
+            let mut e = entries[prev.expect("KwKwK cannot be first") as usize].clone(); // panic-audited: first iteration always hits the known-code arm, setting prev
             e.push(e[0]);
             e
         };

@@ -247,7 +247,7 @@ impl Parser<'_> {
             let rhs = self.additive();
             lhs = Expr::Binary(
                 Box::new(lhs),
-                op.expect("checked via branch"),
+                op.expect("checked via branch"), // panic-audited: the traced branch condition is op.is_some()
                 Box::new(rhs),
             );
         }
@@ -268,7 +268,7 @@ impl Parser<'_> {
             let rhs = self.term();
             lhs = Expr::Binary(
                 Box::new(lhs),
-                op.expect("checked via branch"),
+                op.expect("checked via branch"), // panic-audited: the traced branch condition is op.is_some()
                 Box::new(rhs),
             );
         }
@@ -290,7 +290,7 @@ impl Parser<'_> {
             let rhs = self.factor();
             lhs = Expr::Binary(
                 Box::new(lhs),
-                op.expect("checked via branch"),
+                op.expect("checked via branch"), // panic-audited: the traced branch condition is op.is_some()
                 Box::new(rhs),
             );
         }
@@ -442,7 +442,7 @@ impl Codegen {
     fn slot(&mut self, t: &mut Tracer, name: &str) -> u16 {
         let known = self.vars.get(name).copied();
         if t.branch(site!(), known.is_some()) {
-            known.expect("checked via branch")
+            known.expect("checked via branch") // panic-audited: the traced branch condition is known.is_some()
         } else {
             let s = self.vars.len() as u16;
             self.vars.insert(name.to_owned(), s);
@@ -613,7 +613,7 @@ fn cse_statement(t: &mut Tracer, stmt: Stmt, fresh: &mut u32) -> Vec<Stmt> {
     /// How to rebuild the statement around its (rewritten) expression.
     type Rebuild = fn(Option<String>, Expr) -> Stmt;
     let (name, e, rebuild): (Option<String>, Expr, Rebuild) = match stmt {
-        Stmt::Assign(n, e) => (Some(n), e, |n, e| Stmt::Assign(n.expect("assign"), e)),
+        Stmt::Assign(n, e) => (Some(n), e, |n, e| Stmt::Assign(n.expect("assign"), e)), // panic-audited: the Assign arm always passes Some(name) to its rebuild fn
         Stmt::Print(e) => (None, e, |_, e| Stmt::Print(e)),
         control => return vec![control],
     };
@@ -715,18 +715,18 @@ fn execute(t: &mut Tracer, code: &[Op], unit: u32, max_steps: u64) -> Vec<i64> {
         match op {
             Op::Push(v) => stack.push(v),
             Op::Load(s) => stack.push(vars[s as usize]),
-            Op::Store(s) => vars[s as usize] = stack.pop().expect("stack underflow"),
-            Op::Print => printed.push(stack.pop().expect("stack underflow")),
+            Op::Store(s) => vars[s as usize] = stack.pop().expect("stack underflow"), // panic-audited: own compiler emits stack-balanced bytecode
+            Op::Print => printed.push(stack.pop().expect("stack underflow")), // panic-audited: own compiler emits stack-balanced bytecode
             Op::Jump(target) => pc = target,
             Op::JumpIfZero(target) => {
-                let v = stack.pop().expect("stack underflow");
+                let v = stack.pop().expect("stack underflow"); // panic-audited: own compiler emits stack-balanced bytecode
                 if t.branch(site!(), v == 0) {
                     pc = target;
                 }
             }
             binary => {
-                let b = stack.pop().expect("stack underflow");
-                let a = stack.pop().expect("stack underflow");
+                let b = stack.pop().expect("stack underflow"); // panic-audited: own compiler emits stack-balanced bytecode
+                let a = stack.pop().expect("stack underflow"); // panic-audited: own compiler emits stack-balanced bytecode
                 let v = match binary {
                     Op::Add => a.wrapping_add(b),
                     Op::Sub => a.wrapping_sub(b),

@@ -61,7 +61,7 @@ impl Board {
         let mut group = Vec::new();
         let mut has_liberty = false;
         while t.branch(site!(), !stack.is_empty()) {
-            let p = stack.pop().expect("loop guard ensures non-empty");
+            let p = stack.pop().expect("loop guard ensures non-empty"); // panic-audited: the traced loop guard is !stack.is_empty()
             group.push(p);
             for n in Self::neighbours(p) {
                 if t.branch(site!(), self.points[n] == Point::Empty) {

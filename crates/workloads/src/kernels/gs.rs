@@ -133,8 +133,8 @@ fn fill_polygon(t: &mut Tracer, c: &mut Canvas, points: &[(i32, i32)], colour: u
                 xs.push(e.x_at_y_min + e.inv_slope * f64::from(y - e.y_min));
             }
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("crossings are finite"));
-        // Fill between crossing pairs.
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("crossings are finite")); // panic-audited: edge crossings are finite coordinate arithmetic, never NaN
+                                                                            // Fill between crossing pairs.
         let mut i = 0;
         while t.branch(site!(), i + 1 < xs.len()) {
             let start = xs[i].ceil() as i32;

@@ -141,7 +141,7 @@ impl Fs {
             if t.branch(site!().with_index(bucket), next.is_none()) {
                 return Err(FsError::NotFound);
             }
-            node = next.expect("checked above");
+            node = next.expect("checked above"); // panic-audited: the traced branch above returned on next.is_none()
             i += 1;
         }
         Ok(node)
@@ -236,11 +236,11 @@ pub fn trace(scale: Scale) -> Trace {
     // Seed a directory tree.
     for d in 0..8 {
         fs.create(&mut t, &format!("/d{d}"), true, 7)
-            .expect("seed dir");
+            .expect("seed dir"); // panic-audited: seeding distinct paths into a fresh fs cannot collide
         for f in 0..6 {
             let p = format!("/d{d}/f{f}");
             fs.create(&mut t, &p, false, if (d + f) % 5 == 0 { 4 } else { 6 })
-                .expect("seed file");
+                .expect("seed file"); // panic-audited: seeding distinct paths into a fresh fs cannot collide
             live_paths.push(p);
         }
     }

@@ -129,7 +129,7 @@ impl<'c> Simulator<'c> {
         let kind_idx = KINDS
             .iter()
             .position(|k| *k == kind)
-            .expect("kind in table") as u32;
+            .expect("kind in table") as u32; // panic-audited: gate kinds come from the same KINDS table being searched
         for k in 0..KINDS.len() as u32 {
             t.branch(dispatch.with_index(k), kind_idx == k);
         }
@@ -171,7 +171,7 @@ impl<'c> Simulator<'c> {
             }
         }
         while t.branch(site!(), !self.queue.is_empty()) {
-            let gi = self.queue.pop_front().expect("loop guard");
+            let gi = self.queue.pop_front().expect("loop guard"); // panic-audited: the traced loop guard is !self.queue.is_empty()
             self.queued[gi] = false;
             self.evaluations += 1;
             assert!(self.evaluations < 1_000_000_000, "runaway simulation");

@@ -60,7 +60,7 @@ impl Database {
             if t.branch(site!(), empty) {
                 return (idx, false);
             }
-            let obj = self.slots[idx].as_ref().expect("checked via branch");
+            let obj = self.slots[idx].as_ref().expect("checked via branch"); // panic-audited: the traced branch above returned on empty slots
             if t.branch(site!(), obj.id == id) {
                 return (idx, obj.live);
             }
@@ -144,8 +144,8 @@ impl Database {
     fn update(&mut self, t: &mut Tracer, id: u64, field: usize, value: u32) -> bool {
         let (idx, live) = self.find_slot(t, id);
         if t.branch(site!(), live) {
-            let obj = self.slots[idx].as_mut().expect("live slot is occupied");
-            // Field-validity check, biased taken.
+            let obj = self.slots[idx].as_mut().expect("live slot is occupied"); // panic-audited: find_slot returned live, so the slot is occupied
+                                                                                // Field-validity check, biased taken.
             if t.branch(site!(), field < obj.payload.len()) {
                 obj.payload[field] = value;
                 return true;
@@ -160,7 +160,7 @@ impl Database {
             // Tombstone: keep the chain intact for probing.
             self.slots[idx]
                 .as_mut()
-                .expect("live slot is occupied")
+                .expect("live slot is occupied") // panic-audited: find_slot returned live, so the slot is occupied
                 .live = false;
             self.live -= 1;
             true

@@ -79,7 +79,7 @@ fn parse(t: &mut Tracer, tokens: &[String], pos: &mut usize) -> Expr {
             && tok.len() < 19
             && tok.parse::<i64>().is_ok(),
     ) {
-        Expr::Num(tok.parse().expect("checked above"))
+        Expr::Num(tok.parse().expect("checked above")) // panic-audited: the traced branch condition included parse::<i64>().is_ok()
     } else {
         Expr::Sym(tok.as_str().into())
     }
