@@ -70,7 +70,9 @@ impl AliasReport {
         );
         // counter -> (branch pc -> stream stats)
         let mut by_counter: HashMap<usize, HashMap<u64, StreamStats>> = HashMap::new();
+        let mut branches = 0u64;
         for record in trace.conditional() {
+            branches += 1;
             let counter = predictor
                 .counter_id(record.pc)
                 .expect("num_counters > 0 implies counter_id is Some"); // panic-audited: num_counters() > 0 guard at entry implies table-backed counter_id
@@ -82,6 +84,9 @@ impl AliasReport {
                 .record(record.taken);
             predictor.update(record.pc, record.taken);
         }
+
+        // One pass over every conditional branch with one config.
+        crate::metrics::record_drive(branches, 1);
 
         let mut report = AliasReport {
             counters_used: by_counter.len(),

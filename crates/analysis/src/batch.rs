@@ -39,6 +39,7 @@ pub fn measure_packed<P: Predictor + ?Sized>(packed: &PackedTrace, predictor: &m
         result.mispredictions += u64::from(predicted != r.taken);
         predictor.update(r.pc, r.taken);
     }
+    crate::metrics::record_drive(result.branches, 1);
     result
 }
 
@@ -65,6 +66,7 @@ pub fn measure_packed_with_flushes<P: Predictor + ?Sized>(
         result.mispredictions += u64::from(predicted != r.taken);
         predictor.update(r.pc, r.taken);
     }
+    crate::metrics::record_drive(result.branches, 1);
     result
 }
 
@@ -105,6 +107,10 @@ pub fn measure_batch<P: Predictor>(packed: &PackedTrace, predictors: &mut [P]) -
         }
         block_start = block_end;
     }
+    crate::metrics::record_drive(
+        len as u64 * predictors.len() as u64,
+        predictors.len() as u64,
+    );
     mispredictions
         .into_iter()
         .map(|missed| RunResult {

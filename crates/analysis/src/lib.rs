@@ -35,6 +35,7 @@
 pub mod aliasing;
 pub mod batch;
 pub mod bias;
+pub mod metrics;
 pub mod simulate;
 pub mod twopass;
 pub mod warmup;
@@ -42,6 +43,7 @@ pub mod warmup;
 pub use aliasing::AliasReport;
 pub use batch::{measure_batch, measure_packed, measure_packed_with_flushes};
 pub use bias::{BiasClass, StreamStats};
+pub use metrics::DriveSnapshot;
 pub use simulate::{measure, measure_with_flushes, RunResult};
 pub use twopass::{Analysis, ClassChanges, CounterBias, MispredictionBreakdown};
 pub use warmup::{warmup_windows, windowed_rates};

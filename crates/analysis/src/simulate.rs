@@ -42,6 +42,7 @@ pub fn measure<P: Predictor + ?Sized>(trace: &Trace, predictor: &mut P) -> RunRe
         result.mispredictions += u64::from(predicted != record.taken);
         predictor.update(record.pc, record.taken);
     }
+    crate::metrics::record_drive(result.branches, 1);
     result
 }
 
@@ -69,6 +70,7 @@ pub fn measure_with_flushes<P: Predictor + ?Sized>(
         result.mispredictions += u64::from(predicted != record.taken);
         predictor.update(record.pc, record.taken);
     }
+    crate::metrics::record_drive(result.branches, 1);
     result
 }
 

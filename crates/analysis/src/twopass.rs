@@ -264,6 +264,9 @@ impl Analysis {
             }
         }
 
+        // Both passes walk every conditional branch with one config.
+        crate::metrics::record_drive(2 * run.branches, 1);
+
         Analysis {
             per_counter,
             class_changes,

@@ -22,7 +22,9 @@ pub fn windowed_rates<P: Predictor + ?Sized>(
     let mut rates = Vec::new();
     let mut in_window = 0u64;
     let mut misses = 0u64;
+    let mut branches = 0u64;
     for record in trace.conditional() {
+        branches += 1;
         let predicted = predictor.predict_with_target(record.pc, record.target);
         misses += u64::from(predicted != record.taken);
         predictor.update(record.pc, record.taken);
@@ -36,6 +38,7 @@ pub fn windowed_rates<P: Predictor + ?Sized>(
     if in_window >= window / 2 && in_window > 0 {
         rates.push(misses as f64 / in_window as f64);
     }
+    crate::metrics::record_drive(branches, 1);
     rates
 }
 

@@ -1,0 +1,141 @@
+//! Registry-vs-DESIGN.md completeness audit.
+//!
+//! DESIGN.md §4 is the human-readable experiment index: every paper
+//! artefact with its `repro <name>` target. The harness carries the
+//! machine-readable registry. This module parses the document side and
+//! compares the two in both directions, so an experiment can neither
+//! be documented without being runnable nor registered without being
+//! documented. The harness calls [`registry_audit`] from `repro
+//! verify` with its registry's names (this crate cannot depend on the
+//! harness — the dependency points the other way).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parses the `repro <name>` targets out of DESIGN.md's experiment
+/// index (the section between the `## 4.` and `## 5.` headings), in
+/// document order, deduplicated.
+///
+/// Targets are recognised as backtick spans starting with `repro `;
+/// non-experiment subcommands (`list`, `verify`, `run`, `all`,
+/// `manifest-check`) are excluded.
+///
+/// # Errors
+///
+/// Returns an I/O error if DESIGN.md is unreadable, or
+/// [`io::ErrorKind::InvalidData`] if the index section is missing or
+/// names no targets.
+pub fn design_experiment_index(root: &Path) -> io::Result<Vec<String>> {
+    let text = fs::read_to_string(root.join("DESIGN.md"))?;
+    let section: Vec<&str> = text
+        .lines()
+        .skip_while(|l| !l.starts_with("## 4."))
+        .take_while(|l| !l.starts_with("## 5."))
+        .collect();
+    if section.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "DESIGN.md has no `## 4.` experiment-index section",
+        ));
+    }
+    const NOT_EXPERIMENTS: &[&str] = &["list", "verify", "run", "all", "manifest-check"];
+    let mut names = Vec::new();
+    for line in section {
+        // Backtick spans are the odd-numbered fragments of a split.
+        for (i, span) in line.split('`').enumerate() {
+            if i % 2 == 1 {
+                if let Some(rest) = span.strip_prefix("repro ") {
+                    let name = rest.split_whitespace().next().unwrap_or("");
+                    if !name.is_empty()
+                        && !NOT_EXPERIMENTS.contains(&name)
+                        && !names.iter().any(|n| n == name)
+                    {
+                        names.push(name.to_owned());
+                    }
+                }
+            }
+        }
+    }
+    if names.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "DESIGN.md experiment index names no `repro <name>` targets",
+        ));
+    }
+    Ok(names)
+}
+
+/// Compares the document index against the registered names, in both
+/// directions. Returns one violation string per discrepancy; empty
+/// means the registry and DESIGN.md agree exactly.
+#[must_use]
+pub fn registry_audit(design: &[String], registered: &[&str]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for name in design {
+        if !registered.contains(&name.as_str()) {
+            violations.push(format!(
+                "DESIGN.md documents `repro {name}` but the registry has no such experiment"
+            ));
+        }
+    }
+    for name in registered {
+        if !design.iter().any(|d| d == name) {
+            violations.push(format!(
+                "experiment `{name}` is registered but absent from DESIGN.md's index"
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned(v: &[&str]) -> Vec<String> {
+        v.iter().map(|&s| s.to_owned()).collect()
+    }
+
+    #[test]
+    fn audit_passes_when_sets_agree() {
+        let design = owned(&["fig2", "table1"]);
+        assert!(registry_audit(&design, &["fig2", "table1"]).is_empty());
+    }
+
+    #[test]
+    fn audit_reports_both_directions() {
+        let design = owned(&["fig2", "ghost"]);
+        let violations = registry_audit(&design, &["fig2", "orphan"]);
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("ghost") && violations[0].contains("no such"));
+        assert!(violations[1].contains("orphan") && violations[1].contains("absent"));
+    }
+
+    #[test]
+    fn index_parser_reads_the_real_design_doc() {
+        let names = design_experiment_index(&crate::workspace_root()).expect("DESIGN.md parses");
+        assert!(
+            names.len() >= 20,
+            "expected the full experiment index, got {names:?}"
+        );
+        assert!(names.contains(&"fig2".to_owned()));
+        assert!(names.contains(&"summary".to_owned()));
+        for skip in ["verify", "all", "list"] {
+            assert!(
+                !names.contains(&skip.to_owned()),
+                "`{skip}` is not an experiment"
+            );
+        }
+    }
+
+    #[test]
+    fn index_parser_rejects_docs_without_an_index() {
+        let dir = std::env::temp_dir().join(format!("bpred-audit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::fs::write(dir.join("DESIGN.md"), "# no index here\n").expect("write");
+        let err = design_experiment_index(&dir).expect_err("no section");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

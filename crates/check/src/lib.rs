@@ -19,7 +19,10 @@
 //! * [`engine`] — equivalence of the scalar, packed, and batched
 //!   execution paths on exhaustively enumerated micro-traces;
 //! * [`lint`] — the deny-by-default repo source rules (truncating
-//!   casts, unaudited panics, `forbid(unsafe_code)`).
+//!   casts, unaudited panics, `forbid(unsafe_code)`);
+//! * [`experiments`] — the registry-vs-DESIGN.md completeness audit
+//!   (the harness supplies its registry names from `repro verify`;
+//!   this crate only parses the document side).
 //!
 //! [`verify`] runs every pass and aggregates a [`VerifyReport`]; the
 //! harness exposes it as `repro verify`, and CI runs it as a required
@@ -32,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod experiments;
 pub mod lint;
 pub mod model;
 pub mod oracle;

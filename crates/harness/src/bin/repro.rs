@@ -1,10 +1,16 @@
 //! `repro` — regenerates the tables and figures of *The Bi-Mode Branch
 //! Predictor* (MICRO-30, 1997). See `repro list` or `--help`.
+//!
+//! Every run resolves through the orchestrator: one plan, one shared
+//! trace pool, per-stage observability, and a structured manifest
+//! written to `<out>/run-<name>.json`.
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use bpred_harness::cli::{self, EXPERIMENTS};
-use bpred_harness::traces::TraceSet;
+use bpred_harness::cli::{self, Command};
+use bpred_harness::manifest::Manifest;
+use bpred_harness::{orchestrate, registry};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,71 +22,146 @@ fn main() -> ExitCode {
         }
     };
 
-    if options.command == "list" {
-        print!("{}", cli::usage());
-        return ExitCode::SUCCESS;
-    }
-
-    if options.command == "verify" {
-        let started = std::time::Instant::now();
-        let (report, passed) = cli::run_verify();
-        println!("{report}");
-        eprintln!("[verify in {:.1}s]", started.elapsed().as_secs_f64());
-        return if passed {
+    let cli::Options {
+        command,
+        scale,
+        jobs,
+        out,
+    } = options;
+    match command {
+        Command::List => {
+            print!("{}", cli::usage());
             ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        };
-    }
-
-    let names: Vec<&str> = if options.command == "all" {
-        EXPERIMENTS.iter().map(|(n, _)| *n).collect()
-    } else if EXPERIMENTS.iter().any(|(n, _)| *n == options.command) {
-        vec![options.command.as_str()]
-    } else {
-        eprintln!(
-            "unknown experiment `{}`\n\n{}",
-            options.command,
-            cli::usage()
-        );
-        return ExitCode::FAILURE;
-    };
-
-    eprintln!(
-        "generating traces (scale {}, both paper suites) ...",
-        options.scale
-    );
-    let started = std::time::Instant::now();
-    let set = TraceSet::paper_suites(options.scale, options.jobs);
-    eprintln!("traces ready in {:.1}s", started.elapsed().as_secs_f64());
-
-    for name in names {
-        let started = std::time::Instant::now();
-        let report = cli::run_experiment(name, &set, options.jobs)
-            .expect("names were validated against the experiment list");
-        println!("{report}");
-        eprintln!("[{name} in {:.1}s]", started.elapsed().as_secs_f64());
-        if let Some(dir) = &options.out {
-            match report.write_csv(dir) {
-                Ok(files) => {
-                    for f in files {
-                        eprintln!("wrote {}", f.display());
-                    }
-                    match bpred_harness::plot::write_plots(&report, dir) {
-                        Ok(scripts) => {
-                            for s in scripts {
-                                eprintln!("wrote {}", s.display());
-                            }
-                        }
-                        Err(e) => eprintln!("plot scripts for {name} not written: {e}"),
-                    }
-                }
+        }
+        Command::Verify => {
+            let started = std::time::Instant::now();
+            let (report, passed) = cli::run_verify();
+            println!("{report}");
+            eprintln!("[verify in {:.1}s]", started.elapsed().as_secs_f64());
+            if passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Command::ManifestCheck(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
                 Err(e) => {
-                    eprintln!("failed to write CSVs for {name}: {e}");
+                    eprintln!("cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            // The manifest's own run name decides its expected
+            // coverage: `all` means the whole registry, otherwise the
+            // `+`-joined experiment names.
+            let expected: Vec<String> = match Manifest::run_of(&text) {
+                Ok(run) if run == "all" => {
+                    registry::names().iter().map(|&n| n.to_owned()).collect()
+                }
+                Ok(run) => run.split('+').map(str::to_owned).collect(),
+                Err(e) => {
+                    eprintln!("{}: INVALID: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            for name in &expected {
+                if registry::find(name).is_none() {
+                    eprintln!(
+                        "{}: INVALID: run names unregistered experiment `{name}`",
+                        path.display()
+                    );
                     return ExitCode::FAILURE;
                 }
             }
+            let expected: Vec<&str> = expected.iter().map(String::as_str).collect();
+            match Manifest::validate(&text, &expected) {
+                Ok(summary) => {
+                    println!("{}: {summary}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{}: INVALID: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Command::Run(names) => run(&names, scale, jobs, out.as_deref()),
+    }
+}
+
+fn run(
+    names: &[String],
+    scale: bpred_workloads::Scale,
+    jobs: Option<usize>,
+    out: Option<&Path>,
+) -> ExitCode {
+    let plan = match orchestrate::plan(names, scale, jobs) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "plan `{}`: {} experiment(s), {} workload trace(s), scale {} ...",
+        plan.run_name,
+        plan.experiments.len(),
+        plan.workloads.len(),
+        plan.scale
+    );
+
+    let mut io_failed = false;
+    let outcome = orchestrate::execute(&plan, |def, report, stats| {
+        println!("{report}");
+        eprintln!("[{} in {:.1}s]", def.name, stats.wall.as_secs_f64());
+        if let Some(dir) = out {
+            if !write_outputs(def.name, report, dir) {
+                io_failed = true;
+            }
+        }
+    });
+
+    let out_dir = out.map_or_else(|| Path::new("results").to_path_buf(), Path::to_path_buf);
+    match outcome.manifest.write(&out_dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write run manifest: {e}");
+            io_failed = true;
         }
     }
-    ExitCode::SUCCESS
+    let total = &outcome.manifest.total;
+    eprintln!("{}", total.note());
+    eprintln!("{}", total.cache_note());
+
+    if io_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Writes one report's CSVs and plot scripts; returns false on I/O
+/// failure.
+fn write_outputs(name: &str, report: &bpred_harness::Report, dir: &Path) -> bool {
+    match report.write_csv(dir) {
+        Ok(files) => {
+            for f in files {
+                eprintln!("wrote {}", f.display());
+            }
+            match bpred_harness::plot::write_plots(report, dir) {
+                Ok(scripts) => {
+                    for s in scripts {
+                        eprintln!("wrote {}", s.display());
+                    }
+                }
+                Err(e) => eprintln!("plot scripts for {name} not written: {e}"),
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("failed to write CSVs for {name}: {e}");
+            false
+        }
+    }
 }

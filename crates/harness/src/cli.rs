@@ -1,99 +1,134 @@
 //! Command-line surface of the `repro` binary, kept in the library so
-//! argument parsing and experiment dispatch are unit-testable.
+//! argument parsing and dispatch are unit-testable.
+//!
+//! The CLI is a thin shell over the typed [`crate::registry`]: names
+//! are validated against it, help text is rendered from it, and every
+//! run — single experiment, `run a b c`, or `all` — resolves through
+//! [`crate::orchestrate::plan`] so trace generation is shared and a
+//! manifest is written.
 
 use std::path::PathBuf;
 
-use bpred_workloads::{Scale, Suite};
+use bpred_workloads::{Scale, Workload};
 
-use crate::experiments;
-use crate::format::Report;
+use crate::registry;
 use crate::traces::TraceSet;
 
-/// The experiment registry: `(subcommand, description)` in paper order.
-pub const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table1", "workload inputs (paper Table 1)"),
-    ("table2", "static/dynamic branch counts (paper Table 2)"),
-    ("table3", "normalized-count worked example (paper Table 3)"),
-    ("table4", "bias-class change counts on gcc (paper Table 4)"),
-    (
-        "fig2",
-        "suite-average misprediction vs size (paper Figure 2)",
-    ),
-    ("fig3", "per-benchmark curves, SPEC CINT95 (paper Figure 3)"),
-    ("fig4", "per-benchmark curves, IBS-Ultrix (paper Figure 4)"),
-    ("fig5", "gshare bias breakdown on gcc (paper Figure 5)"),
-    ("fig6", "bi-mode bias breakdown on gcc (paper Figure 6)"),
-    ("fig7", "misprediction by bias class, gcc (paper Figure 7)"),
-    ("fig8", "misprediction by bias class, go (paper Figure 8)"),
-    ("ablation-choice-update", "partial vs always choice update"),
-    ("ablation-init", "direction-bank initialisation"),
-    ("ablation-choice-size", "choice predictor sizing"),
-    ("ablation-index", "shared vs skewed bank index"),
-    (
-        "ablation-delay",
-        "update-delay (resolution latency) sensitivity",
-    ),
-    (
-        "ablation-flush",
-        "context-switch flush-interval sensitivity",
-    ),
-    (
-        "aliasing",
-        "destructive/harmless/neutral alias taxonomy on gcc",
-    ),
-    ("compare-dealias", "bi-mode vs agree/gskew/yags/tournament"),
-    (
-        "future-trimode",
-        "the paper's future-work direction: a weak third bank",
-    ),
-    (
-        "warmup",
-        "windowed misprediction over time (convergence curves)",
-    ),
-    (
-        "summary",
-        "reproduction scoreboard: every headline claim, judged live",
-    ),
-];
+/// What the user asked the binary to do.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Print the experiment index.
+    List,
+    /// Run the static verification suite (including the registry
+    /// audit).
+    Verify,
+    /// Validate an existing run manifest at the given path.
+    ManifestCheck(PathBuf),
+    /// Run the named experiments (already validated against the
+    /// registry) as one orchestrated plan.
+    Run(Vec<String>),
+}
 
 /// Parsed command-line options.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Options {
-    /// The experiment name, `all`, or `list`.
-    pub command: String,
+    /// The resolved command.
+    pub command: Command,
     /// Trace scale (default: paper).
     pub scale: Scale,
     /// Worker-thread bound (default: machine parallelism).
     pub jobs: Option<usize>,
-    /// Directory to write per-section CSVs into.
+    /// Directory for per-section CSVs, plots, and the run manifest.
     pub out: Option<PathBuf>,
 }
 
-/// The help text.
+/// The help text, rendered from the registry.
 #[must_use]
 pub fn usage() -> String {
     let mut s = String::from(
-        "usage: repro <experiment|all|list|verify> [--scale smoke|paper|full] [--jobs N] [--out DIR]\n\nexperiments:\n",
+        "usage: repro <command> [--scale smoke|paper|full] [--jobs N] [--out DIR]\n\n\
+         commands:\n  \
+         <experiment>             run one experiment\n  \
+         run <experiments...>     run several experiments as one plan (shared traces)\n  \
+         all                      run every registered experiment\n  \
+         list                     print this index\n  \
+         verify                   static verification: model-check every predictor,\n  \
+                                  audit grammar/cost/registry, prove engine equivalence,\n  \
+                                  lint sources, smoke-run every registered experiment\n  \
+         manifest-check <FILE>    validate a run manifest written by a previous run\n\n\
+         experiments:\n",
     );
-    for (name, desc) in EXPERIMENTS {
-        s.push_str(&format!("  {name:<24} {desc}\n"));
+    for e in registry::all() {
+        s.push_str(&format!("  {:<24} {}\n", e.name, e.doc));
     }
     s.push_str(
-        "\nother commands:\n  \
-         verify                   static verification: model-check every predictor,\n  \
-                                  audit grammar/cost, prove engine equivalence, lint sources\n",
+        "\nevery run writes a structured manifest to <out>/run-<name>.json \
+         (default out: results/).\n",
     );
     s
 }
 
-/// Runs the static verification suite (no traces involved): the
-/// `bpred-check` model checker, policy oracles, grammar/cost audits,
-/// engine-equivalence enumeration, and the repo lint pass. Returns the
-/// rendered report and whether everything passed.
+/// Runs the static verification suite: the `bpred-check` model
+/// checker, policy oracles, grammar/cost audits, engine-equivalence
+/// enumeration, the repo lint pass, and the experiment-registry audit
+/// (DESIGN.md coverage both ways, plus a smoke-scale run of every
+/// registered experiment). Returns the rendered report and whether
+/// everything passed.
 #[must_use]
 pub fn run_verify() -> (String, bool) {
     let root = bpred_check::workspace_root();
-    let report = bpred_check::verify(&root);
+    let mut report = bpred_check::verify(&root);
+
+    // Registry vs DESIGN.md, both directions.
+    let registered = registry::names();
+    match bpred_check::experiments::design_experiment_index(&root) {
+        Ok(design) => {
+            let violations = bpred_check::experiments::registry_audit(&design, &registered);
+            match violations.first() {
+                None => report.pass(
+                    "registry/design-coverage",
+                    format!("{} experiments match DESIGN.md's index", registered.len()),
+                ),
+                Some(v) => report.fail(
+                    "registry/design-coverage",
+                    format!("{v} (+{} more)", violations.len() - 1),
+                ),
+            }
+        }
+        Err(e) => report.fail(
+            "registry/design-coverage",
+            format!("cannot read index: {e}"),
+        ),
+    }
+
+    // Every registered experiment must actually run at the smallest
+    // scale. A minimal trace pool keeps this fast: gcc/go/compress
+    // cover the SPEC-specific experiments, groff keeps the IBS suite
+    // non-empty for the suite-iterating ones.
+    let pool: Vec<Workload> = ["gcc", "go", "compress", "groff"]
+        .iter()
+        .filter_map(|n| Workload::by_name(n))
+        .collect();
+    let set = TraceSet::of(pool, Scale::Smoke, None);
+    for def in registry::all() {
+        let name = format!("registry/smoke/{}", def.name);
+        let r = (def.runner)(&set, None);
+        let produced = r.sections.len() + r.notes.len();
+        report.record(
+            name,
+            r.id == def.name && produced > 0,
+            if r.id == def.name {
+                format!(
+                    "{} sections, {} notes at smoke scale",
+                    r.sections.len(),
+                    r.notes.len()
+                )
+            } else {
+                format!("report id `{}` does not match registry name", r.id)
+            },
+        );
+    }
+
     let mut text = report.to_string();
     if !cfg!(debug_assertions) {
         text.push_str(
@@ -106,14 +141,22 @@ pub fn run_verify() -> (String, bool) {
     (text, report.all_passed())
 }
 
+fn unknown_experiment(name: &str) -> String {
+    format!(
+        "unknown experiment `{name}`; valid experiments: {}",
+        registry::names().join(", ")
+    )
+}
+
 /// Parses command-line arguments (without the program name).
 ///
 /// # Errors
 ///
 /// Returns a user-facing message (which may be the usage text) on any
-/// malformed input.
+/// malformed input, including experiment names missing from the
+/// registry.
 pub fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut command = None;
+    let mut positionals: Vec<&str> = Vec::new();
     let mut scale = Scale::Paper;
     let mut jobs = None;
     let mut out = None;
@@ -122,64 +165,70 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
-                scale = Scale::parse(v).ok_or_else(|| format!("unknown scale `{v}`"))?;
+                scale = Scale::parse(v)
+                    .ok_or_else(|| format!("unknown scale `{v}` (use smoke, paper, or full)"))?;
             }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
-                jobs = Some(
-                    v.parse::<usize>()
-                        .map_err(|_| format!("bad job count `{v}`"))?,
-                );
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad job count `{v}`"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                jobs = Some(n);
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a directory")?;
                 out = Some(PathBuf::from(v));
             }
             "-h" | "--help" => return Err(usage()),
-            other if command.is_none() && !other.starts_with('-') => {
-                command = Some(other.to_owned());
-            }
+            other if !other.starts_with('-') => positionals.push(other),
             other => return Err(format!("unexpected argument `{other}`\n\n{}", usage())),
         }
     }
+    let command = match positionals.split_first() {
+        None => return Err(usage()),
+        Some((&"list", [])) => Command::List,
+        Some((&"verify", [])) => Command::Verify,
+        Some((&"manifest-check", [path])) => Command::ManifestCheck(PathBuf::from(path)),
+        Some((&"manifest-check", [])) => {
+            return Err("manifest-check needs a manifest file path".to_owned())
+        }
+        Some((&"all", [])) => {
+            Command::Run(registry::names().iter().map(|&n| n.to_owned()).collect())
+        }
+        Some((&"run", rest)) => {
+            if rest.is_empty() {
+                return Err(format!(
+                    "run needs at least one experiment name; valid experiments: {}",
+                    registry::names().join(", ")
+                ));
+            }
+            for name in rest {
+                if registry::find(name).is_none() {
+                    return Err(unknown_experiment(name));
+                }
+            }
+            Command::Run(rest.iter().map(|&n| n.to_owned()).collect())
+        }
+        Some((&name, [])) => {
+            if registry::find(name).is_none() {
+                return Err(unknown_experiment(name));
+            }
+            Command::Run(vec![name.to_owned()])
+        }
+        Some((&first, rest)) => return Err(format!(
+            "`{first}` takes no further names (got {}); use `run {first} ...` to batch experiments",
+            rest.len()
+        )),
+    };
     Ok(Options {
-        command: command.ok_or_else(usage)?,
+        command,
         scale,
         jobs,
         out,
     })
-}
-
-/// Runs one experiment by registry name. Returns `None` for unknown
-/// names.
-#[must_use]
-pub fn run_experiment(name: &str, set: &TraceSet, jobs: Option<usize>) -> Option<Report> {
-    let report = match name {
-        "table1" => experiments::table1(set.scale()),
-        "table2" => experiments::table2(set),
-        "table3" => experiments::table3(),
-        "table4" => experiments::table4(set),
-        "fig2" => experiments::fig2(set, jobs),
-        "fig3" => experiments::fig34(set, Suite::SpecInt95, jobs),
-        "fig4" => experiments::fig34(set, Suite::IbsUltrix, jobs),
-        "fig5" => experiments::fig5(set),
-        "fig6" => experiments::fig6(set),
-        "fig7" => experiments::fig78(set, "gcc"),
-        "fig8" => experiments::fig78(set, "go"),
-        "ablation-choice-update" => experiments::ablation_choice_update(set, jobs),
-        "ablation-init" => experiments::ablation_init(set, jobs),
-        "ablation-choice-size" => experiments::ablation_choice_size(set, jobs),
-        "ablation-index" => experiments::ablation_index(set, jobs),
-        "ablation-delay" => experiments::ablation_delay(set, jobs),
-        "ablation-flush" => experiments::ablation_flush(set, jobs),
-        "aliasing" => experiments::aliasing_taxonomy(set),
-        "compare-dealias" => experiments::compare_dealias(set, jobs),
-        "future-trimode" => experiments::future_trimode(set, jobs),
-        "warmup" => experiments::warmup_curves(set),
-        "summary" => experiments::summary(set, jobs),
-        _ => return None,
-    };
-    Some(report)
 }
 
 #[cfg(test)]
@@ -196,7 +245,7 @@ mod tests {
             "fig2", "--scale", "smoke", "--jobs", "3", "--out", "r",
         ]))
         .expect("valid arguments");
-        assert_eq!(o.command, "fig2");
+        assert_eq!(o.command, Command::Run(vec!["fig2".to_owned()]));
         assert_eq!(o.scale, Scale::Smoke);
         assert_eq!(o.jobs, Some(3));
         assert_eq!(o.out, Some(PathBuf::from("r")));
@@ -211,42 +260,107 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_inputs_with_messages() {
-        assert!(parse_args(&args(&["fig2", "--scale", "huge"]))
-            .unwrap_err()
-            .contains("unknown scale"));
-        assert!(parse_args(&args(&["fig2", "--jobs", "many"]))
-            .unwrap_err()
-            .contains("bad job count"));
-        assert!(parse_args(&args(&["fig2", "--scale"]))
-            .unwrap_err()
-            .contains("needs a value"));
-        assert!(parse_args(&args(&[])).unwrap_err().starts_with("usage:"));
-        assert!(parse_args(&args(&["--bogus"]))
-            .unwrap_err()
-            .contains("unexpected argument"));
-        assert!(parse_args(&args(&["-h"]))
-            .unwrap_err()
-            .starts_with("usage:"));
-    }
-
-    #[test]
-    fn usage_lists_every_experiment() {
-        let u = usage();
-        for (name, _) in EXPERIMENTS {
-            assert!(u.contains(name), "usage is missing `{name}`");
+    fn all_expands_to_every_registered_experiment() {
+        let o = parse_args(&args(&["all", "--scale", "smoke"])).expect("valid");
+        match o.command {
+            Command::Run(names) => {
+                assert_eq!(names.len(), registry::all().len());
+                assert_eq!(names.first().map(String::as_str), Some("table1"));
+            }
+            other => panic!("expected Run, got {other:?}"),
         }
     }
 
     #[test]
-    fn unknown_experiment_yields_none() {
-        use bpred_workloads::Workload;
-        let set = crate::traces::TraceSet::of(
-            vec![Workload::by_name("compress").expect("registered")],
-            Scale::Smoke,
-            Some(1),
+    fn run_collects_multiple_validated_names() {
+        let o = parse_args(&args(&["run", "fig2", "table4"])).expect("valid");
+        assert_eq!(
+            o.command,
+            Command::Run(vec!["fig2".to_owned(), "table4".to_owned()])
         );
-        assert!(run_experiment("figZZ", &set, None).is_none());
-        assert!(run_experiment("table3", &set, None).is_some());
+    }
+
+    #[test]
+    fn run_without_names_errors_listing_choices() {
+        let err = parse_args(&args(&["run"])).expect_err("no names");
+        assert!(err.contains("at least one experiment"), "{err}");
+        assert!(err.contains("fig2") && err.contains("summary"), "{err}");
+    }
+
+    #[test]
+    fn unknown_experiment_errors_name_the_valid_choices() {
+        for cmd in [&["figZZ"][..], &["run", "fig2", "figZZ"][..]] {
+            let err = parse_args(&args(cmd)).expect_err("unknown name");
+            assert!(err.contains("unknown experiment `figZZ`"), "{err}");
+            assert!(
+                err.contains("fig2") && err.contains("ablation-flush"),
+                "error must list valid choices: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_rejected() {
+        let err = parse_args(&args(&["fig2", "--jobs", "0"])).expect_err("0 workers");
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn manifest_check_needs_exactly_one_path() {
+        let o = parse_args(&args(&["manifest-check", "results/run-all.json"])).expect("valid");
+        assert_eq!(
+            o.command,
+            Command::ManifestCheck(PathBuf::from("results/run-all.json"))
+        );
+        let err = parse_args(&args(&["manifest-check"])).expect_err("missing path");
+        assert!(err.contains("file path"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs_with_messages() {
+        assert!(parse_args(&args(&["fig2", "--scale", "huge"]))
+            .expect_err("bad scale")
+            .contains("unknown scale"));
+        assert!(parse_args(&args(&["fig2", "--jobs", "many"]))
+            .expect_err("bad jobs")
+            .contains("bad job count"));
+        assert!(parse_args(&args(&["fig2", "--scale"]))
+            .expect_err("missing value")
+            .contains("needs a value"));
+        assert!(parse_args(&args(&[]))
+            .expect_err("empty")
+            .starts_with("usage:"));
+        assert!(parse_args(&args(&["--bogus"]))
+            .expect_err("bad flag")
+            .contains("unexpected argument"));
+        assert!(parse_args(&args(&["-h"]))
+            .expect_err("help")
+            .starts_with("usage:"));
+        assert!(parse_args(&args(&["fig2", "fig3"]))
+            .expect_err("bare names do not batch")
+            .contains("use `run"));
+    }
+
+    #[test]
+    fn usage_lists_every_experiment_and_the_orchestrator_commands() {
+        let u = usage();
+        for e in registry::all() {
+            assert!(u.contains(e.name), "usage is missing `{}`", e.name);
+        }
+        for cmd in ["run ", "all", "manifest-check", "verify", "list"] {
+            assert!(u.contains(cmd), "usage is missing `{cmd}`");
+        }
+    }
+
+    #[test]
+    fn registry_matches_design_doc_index() {
+        let root = bpred_check::workspace_root();
+        let design = bpred_check::experiments::design_experiment_index(&root)
+            .expect("DESIGN.md index parses");
+        let violations = bpred_check::experiments::registry_audit(&design, &registry::names());
+        assert!(
+            violations.is_empty(),
+            "registry/DESIGN.md drift: {violations:?}"
+        );
     }
 }

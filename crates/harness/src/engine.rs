@@ -1,7 +1,6 @@
 //! The harness side of the packed execution engine: fan a batch of
 //! predictor configurations over packed traces in a single pass each,
-//! parallelising over traces, with work and wall-clock accounting for
-//! the per-experiment throughput reports.
+//! parallelising over traces.
 //!
 //! The sweeps and ablations all reduce to the same shape: N
 //! configurations measured over T traces. The scalar path costs N
@@ -9,58 +8,17 @@
 //! through [`bpred_analysis::measure_batch`], so each trace is streamed
 //! once and its cache-resident blocks are reused across all N
 //! configurations.
-
-use std::time::{Duration, Instant};
+//!
+//! Work accounting (branches simulated, configurations driven) is
+//! recorded process-wide by the measurement loops themselves (see
+//! [`bpred_analysis::metrics`]) and attributed to stages by
+//! [`crate::observe::Observer`]; the engine carries no throughput
+//! plumbing of its own.
 
 use bpred_core::Predictor;
 use bpred_trace::PackedTrace;
 
 use crate::parallel;
-
-/// Work and wall-clock accounting for one (or several, folded) batched
-/// fan-outs.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct EngineThroughput {
-    /// Total (configuration, branch) pairs simulated.
-    pub branches: u64,
-    /// Configurations driven.
-    pub configs: usize,
-    /// Wall time of the fan-out.
-    pub wall: Duration,
-}
-
-impl EngineThroughput {
-    /// Simulated branches per second, in millions.
-    #[must_use]
-    pub fn mbranches_per_sec(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.branches as f64 / secs / 1e6
-        } else {
-            0.0
-        }
-    }
-
-    /// Folds another (sequentially run) phase's accounting into this
-    /// one: work adds up, wall times add up.
-    pub fn absorb(&mut self, other: &EngineThroughput) {
-        self.branches += other.branches;
-        self.configs += other.configs;
-        self.wall += other.wall;
-    }
-
-    /// The one-line throughput report emitted under each experiment.
-    #[must_use]
-    pub fn note(&self) -> String {
-        format!(
-            "Throughput: {} branches simulated ({} configs) in {:.3}s = {:.1} Mbranches/s.",
-            self.branches,
-            self.configs,
-            self.wall.as_secs_f64(),
-            self.mbranches_per_sec()
-        )
-    }
-}
 
 /// The average of one configuration's per-trace rates (0 for none).
 #[must_use]
@@ -75,8 +33,12 @@ pub fn average(rates: &[f64]) -> f64 {
 /// Drives a freshly built predictor batch over every packed trace in a
 /// single pass each — traces in parallel (bounded by `jobs`),
 /// configurations batched within each pass — and returns
-/// `rates[config][trace]` misprediction rates plus the throughput of
-/// the whole fan-out.
+/// `rates[config][trace]` misprediction rates.
+///
+/// `configs` is the size of the batch `build` returns; the caller
+/// always knows it (it is the length of the config grid being swept),
+/// and carrying it explicitly means an empty trace list costs nothing —
+/// no throwaway batch is constructed just to count it.
 ///
 /// `build` is called once per trace, so every trace sees power-on-fresh
 /// predictor state, exactly like the scalar per-(config, trace) loops
@@ -86,36 +48,32 @@ pub fn average(rates: &[f64]) -> f64 {
 pub fn batch_rates<P, F>(
     traces: &[&PackedTrace],
     jobs: Option<usize>,
+    configs: usize,
     build: F,
-) -> (Vec<Vec<f64>>, EngineThroughput)
+) -> Vec<Vec<f64>>
 where
     P: Predictor,
     F: Fn() -> Vec<P> + Sync,
 {
-    let started = Instant::now();
     let per_trace: Vec<Vec<f64>> = parallel::map(traces.to_vec(), jobs, |t| {
         let mut batch = build();
+        debug_assert_eq!(
+            batch.len(),
+            configs,
+            "declared config count must match the built batch"
+        );
         bpred_analysis::measure_batch(t, &mut batch)
             .into_iter()
             .map(|r| r.misprediction_rate())
             .collect()
     });
-    let configs = per_trace.first().map_or_else(|| build().len(), Vec::len);
     let mut rates = vec![Vec::with_capacity(traces.len()); configs];
     for trace_rates in &per_trace {
         for (config, rate) in trace_rates.iter().enumerate() {
             rates[config].push(*rate);
         }
     }
-    let branches = traces.iter().map(|t| t.len() as u64).sum::<u64>() * configs as u64;
-    (
-        rates,
-        EngineThroughput {
-            branches,
-            configs,
-            wall: started.elapsed(),
-        },
-    )
+    rates
 }
 
 #[cfg(test)]
@@ -155,7 +113,7 @@ mod tests {
             PackedTrace::build(&a).unwrap(),
             PackedTrace::build(&b).unwrap(),
         );
-        let (rates, tp) = batch_rates(&[&pa, &pb], Some(2), batch);
+        let rates = batch_rates(&[&pa, &pb], Some(2), 3, batch);
         assert_eq!(rates.len(), 3);
         for (config, mut p) in batch().into_iter().enumerate() {
             for (i, t) in [&a, &b].into_iter().enumerate() {
@@ -167,36 +125,27 @@ mod tests {
                 );
             }
         }
-        assert_eq!(tp.branches, 8000 * 3);
-        assert_eq!(tp.configs, 3);
     }
 
     #[test]
-    fn empty_trace_list_still_reports_config_count() {
-        let (rates, tp) = batch_rates(&[], None, batch);
+    fn empty_trace_list_never_builds_a_batch() {
+        // The declared count shapes the result; `build` must not run.
+        let rates = batch_rates::<Box<dyn Predictor>, _>(&[], None, 3, || {
+            unreachable!("no traces, no batch construction")
+        });
         assert_eq!(rates.len(), 3);
         assert!(rates.iter().all(Vec::is_empty));
-        assert_eq!(tp.branches, 0);
     }
 
     #[test]
-    fn absorb_accumulates_work_and_wall() {
-        let mut total = EngineThroughput::default();
-        total.absorb(&EngineThroughput {
-            branches: 100,
-            configs: 2,
-            wall: Duration::from_millis(10),
-        });
-        total.absorb(&EngineThroughput {
-            branches: 50,
-            configs: 1,
-            wall: Duration::from_millis(5),
-        });
-        assert_eq!(total.branches, 150);
-        assert_eq!(total.configs, 3);
-        assert_eq!(total.wall, Duration::from_millis(15));
-        assert!(total.mbranches_per_sec() > 0.0);
-        assert!(total.note().contains("Mbranches/s"));
+    fn drives_are_recorded_for_the_observer() {
+        let t = trace(7, 3000);
+        let p = PackedTrace::build(&t).unwrap();
+        let before = bpred_analysis::metrics::snapshot();
+        let _ = batch_rates(&[&p], Some(1), 3, batch);
+        let delta = bpred_analysis::metrics::snapshot().since(&before);
+        assert!(delta.branches >= 3000 * 3, "got {delta:?}");
+        assert!(delta.configs >= 3, "got {delta:?}");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! Every configuration grid here is fused into one predictor batch and
 //! driven over a single pass of each packed trace by
 //! [`engine::batch_rates`] (traces in parallel, configurations
-//! batched), with the fan-out's throughput reported under each table.
+//! batched). Work accounting is recorded process-wide and reported per
+//! stage by the orchestrator (see [`crate::observe`]).
 
 use bpred_core::predictors::bimodal::Bimodal;
 use bpred_core::{
@@ -14,7 +15,7 @@ use bpred_core::{
 };
 use bpred_trace::PackedTrace;
 
-use crate::engine::{self, EngineThroughput};
+use crate::engine;
 use crate::experiments::{kib, pct};
 use crate::format::{Report, Table};
 use crate::parallel;
@@ -42,7 +43,7 @@ pub fn ablation_choice_update(set: &TraceSet, jobs: Option<usize>) -> Report {
             [partial, always]
         })
         .collect();
-    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+    let rates = engine::batch_rates(&traces, jobs, configs.len(), || {
         configs.iter().map(|&c| BiMode::new(c)).collect::<Vec<_>>()
     });
     let mut small_budget_gain = 0.0;
@@ -65,7 +66,6 @@ pub fn ablation_choice_update(set: &TraceSet, jobs: Option<usize>) -> Report {
         "Smallest budget (d=8) gain from partial update: {} percentage points.",
         pct(small_budget_gain)
     ));
-    report.note(tp.note());
     report
 }
 
@@ -86,7 +86,7 @@ pub fn ablation_init(set: &TraceSet, jobs: Option<usize>) -> Report {
             [split, uniform]
         })
         .collect();
-    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+    let rates = engine::batch_rates(&traces, jobs, configs.len(), || {
         configs.iter().map(|&c| BiMode::new(c)).collect::<Vec<_>>()
     });
     for (i, &d) in ds.iter().enumerate() {
@@ -97,7 +97,6 @@ pub fn ablation_init(set: &TraceSet, jobs: Option<usize>) -> Report {
         ]);
     }
     report.section("suite-average misprediction", t);
-    report.note(tp.note());
     report
 }
 
@@ -115,7 +114,7 @@ pub fn ablation_choice_size(set: &TraceSet, jobs: Option<usize>) -> Report {
     );
     let d = 10u32;
     let cs = [d - 4, d - 2, d - 1, d, d + 1];
-    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+    let rates = engine::batch_rates(&traces, jobs, cs.len(), || {
         cs.iter()
             .map(|&c| BiMode::new(BiModeConfig::new(d, c, d)))
             .collect::<Vec<_>>()
@@ -126,7 +125,6 @@ pub fn ablation_choice_size(set: &TraceSet, jobs: Option<usize>) -> Report {
         t.push_row([c.to_string(), kib(size), pct(engine::average(&rates[i]))]);
     }
     report.section("suite-average misprediction", t);
-    report.note(tp.note());
     report
 }
 
@@ -150,7 +148,7 @@ pub fn ablation_index(set: &TraceSet, jobs: Option<usize>) -> Report {
             [shared, skewed]
         })
         .collect();
-    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+    let rates = engine::batch_rates(&traces, jobs, configs.len(), || {
         configs.iter().map(|&c| BiMode::new(c)).collect::<Vec<_>>()
     });
     for (i, &d) in ds.iter().enumerate() {
@@ -161,13 +159,16 @@ pub fn ablation_index(set: &TraceSet, jobs: Option<usize>) -> Report {
         ]);
     }
     report.section("suite-average misprediction", t);
-    report.note(tp.note());
     report
 }
+
+/// Contenders per budget in [`compare_dealias`]'s grid.
+const DEALIAS_CONTENDERS: usize = 10;
 
 /// The ten de-aliasing contenders at one gshare-equivalent budget `s`.
 fn dealias_configs(s: u32) -> Vec<Box<dyn Predictor>> {
     let d = s - 1;
+    debug_assert_eq!(DEALIAS_CONTENDERS, 10);
     vec![
         Box::new(Bimodal::new(s)),
         Box::new(Gshare::new(s, s)),
@@ -203,7 +204,7 @@ pub fn compare_dealias(set: &TraceSet, jobs: Option<usize>) -> Report {
     // to the same state budget; exact KB is printed. All three budgets'
     // contenders share one batched pass.
     let budgets = [("~0.75-1 KB", 12u32), ("~3-4 KB", 14), ("~12-16 KB", 16)];
-    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+    let rates = engine::batch_rates(&traces, jobs, budgets.len() * DEALIAS_CONTENDERS, || {
         budgets
             .iter()
             .flat_map(|&(_, s)| dealias_configs(s))
@@ -221,7 +222,6 @@ pub fn compare_dealias(set: &TraceSet, jobs: Option<usize>) -> Report {
         }
         report.section(format!("budget {label}"), t);
     }
-    report.note(tp.note());
     report
 }
 
@@ -241,7 +241,7 @@ pub fn ablation_delay(set: &TraceSet, jobs: Option<usize>) -> Report {
          resolution. Rates are suite averages.",
     );
     let delays = [0usize, 1, 2, 4, 8, 16, 32];
-    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+    let rates = engine::batch_rates(&traces, jobs, 2 * delays.len(), || {
         delays
             .iter()
             .flat_map(|&delay| {
@@ -264,7 +264,6 @@ pub fn ablation_delay(set: &TraceSet, jobs: Option<usize>) -> Report {
         ]);
     }
     report.section("suite-average misprediction vs update delay", t);
-    report.note(tp.note());
     report
 }
 
@@ -287,7 +286,7 @@ pub fn future_trimode(set: &TraceSet, jobs: Option<usize>) -> Report {
     let names: Vec<&str> = set.entries().iter().map(|(w, _)| w.name()).collect();
     let traces = set.all_packed();
     let ds = [9u32, 11, 13];
-    let (rates, tp) = engine::batch_rates(&traces, jobs, || {
+    let rates = engine::batch_rates(&traces, jobs, 2 * ds.len(), || {
         ds.iter()
             .flat_map(|&d| {
                 [
@@ -332,7 +331,6 @@ pub fn future_trimode(set: &TraceSet, jobs: Option<usize>) -> Report {
             t,
         );
     }
-    report.note(tp.note());
     report
 }
 
@@ -424,7 +422,6 @@ pub fn ablation_flush(set: &TraceSet, jobs: Option<usize>) -> Report {
         "ablation-flush",
         "Ablation: predictor flush interval (context-switch model)",
     );
-    let started = std::time::Instant::now();
     let intervals = [10_000u64, 50_000, 250_000, u64::MAX];
     let mut t = Table::new(["flush interval", "gshare(s=12) %", "bi-mode(d=11) %"]);
     for interval in intervals {
@@ -444,12 +441,6 @@ pub fn ablation_flush(set: &TraceSet, jobs: Option<usize>) -> Report {
         ]);
     }
     report.section("suite-average misprediction vs flush interval", t);
-    let tp = EngineThroughput {
-        branches: traces.iter().map(|t| t.len() as u64).sum::<u64>() * 2 * intervals.len() as u64,
-        configs: 2 * intervals.len(),
-        wall: started.elapsed(),
-    };
-    report.note(tp.note());
     report
 }
 
@@ -503,7 +494,7 @@ mod tests {
     fn choice_update_ablation_has_all_sizes() {
         let r = ablation_choice_update(&small_set(), Some(2));
         assert_eq!(r.sections[0].1.len(), 5);
-        assert!(r.notes.iter().any(|n| n.starts_with("Throughput:")));
+        assert!(r.notes.iter().any(|n| n.contains("partial update")));
     }
 
     #[test]

@@ -36,13 +36,12 @@ pub fn fig2(set: &TraceSet, jobs: Option<usize>) -> Report {
         (Suite::IbsUltrix, "IBS-AVERAGE"),
     ] {
         let traces = set.suite_packed(suite);
-        let (points, tp) = sweep::sweep_all_with_throughput(&traces, jobs);
+        let points = sweep::sweep_all(&traces, jobs);
         report.section(label, curve_table(&points));
 
         // The paper's headline: bi-mode under the gshare curves.
         let verdict = verdict_bimode_wins(&points);
         report.note(format!("{label}: {verdict}"));
-        report.note(format!("{label}: {}", tp.note()));
     }
     report
 }
@@ -92,7 +91,7 @@ pub fn fig34(set: &TraceSet, suite: Suite, jobs: Option<usize>) -> Report {
     );
     let names: Vec<&str> = set.suite(suite).map(|(w, _)| w.name()).collect();
     let traces = set.suite_packed(suite);
-    let (points, tp) = sweep::sweep_all_with_throughput(&traces, jobs);
+    let points = sweep::sweep_all(&traces, jobs);
     for (i, name) in names.iter().enumerate() {
         let mut t = Table::new(["scheme", "config", "size KB", "misprediction %"]);
         for p in &points {
@@ -105,7 +104,6 @@ pub fn fig34(set: &TraceSet, suite: Suite, jobs: Option<usize>) -> Report {
         }
         report.section((*name).to_owned(), t);
     }
-    report.note(tp.note());
     report
 }
 

@@ -8,7 +8,13 @@
 //!
 //! ```text
 //! repro fig2 --scale paper --out results/
+//! repro all --scale smoke --out results/
 //! ```
+//!
+//! Experiments are declared in the typed [`registry`]; multi-target
+//! runs flow through [`orchestrate`] (one deduped trace pool, one
+//! thread budget), are observed per stage by [`observe`], and leave a
+//! structured [`manifest`] behind in `results/run-<name>.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,8 +24,12 @@ pub mod cli;
 pub mod engine;
 pub mod experiments;
 pub mod format;
+pub mod manifest;
+pub mod observe;
+pub mod orchestrate;
 pub mod parallel;
 pub mod plot;
+pub mod registry;
 pub mod search;
 pub mod sweep;
 pub mod traces;

@@ -1,0 +1,738 @@
+//! Structured run manifests: the machine-readable record of one
+//! orchestrated run.
+//!
+//! After [`crate::orchestrate::execute`] finishes, the harness writes
+//! `results/run-<name>.json` describing everything that happened:
+//! per-experiment wall time and throughput, branches simulated and
+//! configurations driven, trace-cache provenance, the scale and job
+//! budget, and the crate version. CI parses the manifest back with
+//! [`Manifest::validate`] to prove a run actually covered every
+//! registered experiment with real work behind it.
+//!
+//! The workspace has no serde (offline, no new dependencies), so this
+//! module carries its own tiny JSON value type with an emitter and a
+//! recursive-descent parser — enough for the manifest schema and
+//! nothing more.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use bpred_workloads::Scale;
+
+use crate::observe::StageStats;
+
+/// Manifest schema version; bump on breaking layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A JSON value: the minimal tree the manifest needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a non-negative integer, if exact.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialises the value as compact JSON.
+    #[must_use]
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out, 0);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&emit_number(*n)),
+            Json::Str(s) => emit_string(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.emit_into(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    emit_string(k, out);
+                    out.push_str(": ");
+                    v.emit_into(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Formats a number as JSON: integral values print without a fraction,
+/// non-finite values (which JSON cannot express) degrade to `null`.
+fn emit_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_owned();
+    }
+    if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:?}")
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|()| Json::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogate pairs are outside the manifest's
+                            // character repertoire; degrade gracefully.
+                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_owned())?;
+                    let c = rest.chars().next().ok_or_else(|| "empty".to_owned())?;
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// One experiment's row in the manifest.
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord {
+    /// Registry name.
+    pub name: String,
+    /// Paper artefact reproduced.
+    pub artefact: String,
+    /// Configuration-grid summary from the registry.
+    pub grid: String,
+    /// Observed wall time and work counters for the stage.
+    pub stats: StageStats,
+    /// Number of report sections (tables) produced.
+    pub sections: usize,
+    /// Number of prose notes produced.
+    pub notes: usize,
+}
+
+/// The structured record of one orchestrated run.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Run name: `all`, or the experiment names joined with `+`.
+    pub run: String,
+    /// Scale the run executed at.
+    pub scale: Scale,
+    /// Explicit job budget, if one was given.
+    pub jobs: Option<usize>,
+    /// On-disk trace cache directory, if caching was enabled.
+    pub cache_dir: Option<PathBuf>,
+    /// The shared trace-generation stage.
+    pub trace_stage: StageStats,
+    /// One record per executed experiment, in run order.
+    pub experiments: Vec<ExperimentRecord>,
+    /// Whole-run totals (trace stage plus every experiment).
+    pub total: StageStats,
+}
+
+fn stage_json(stats: &StageStats) -> Json {
+    Json::Obj(vec![
+        ("wall_s".to_owned(), Json::Num(stats.wall.as_secs_f64())),
+        ("branches".to_owned(), Json::Num(stats.branches as f64)),
+        ("configs".to_owned(), Json::Num(stats.configs as f64)),
+        (
+            "mbranches_per_sec".to_owned(),
+            Json::Num(stats.mbranches_per_sec()),
+        ),
+        ("cache_hits".to_owned(), Json::Num(stats.cache.hits as f64)),
+        (
+            "cache_misses".to_owned(),
+            Json::Num(stats.cache.misses as f64),
+        ),
+        (
+            "packs_built".to_owned(),
+            Json::Num(stats.cache.packs_built as f64),
+        ),
+    ])
+}
+
+impl Manifest {
+    /// The manifest's file name: `run-<name>.json`.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("run-{}.json", self.run)
+    }
+
+    /// The manifest as a JSON tree.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let experiments = self
+            .experiments
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("name".to_owned(), Json::Str(e.name.clone())),
+                    ("artefact".to_owned(), Json::Str(e.artefact.clone())),
+                    ("grid".to_owned(), Json::Str(e.grid.clone())),
+                ];
+                if let Json::Obj(stage) = stage_json(&e.stats) {
+                    fields.extend(stage);
+                }
+                fields.push(("sections".to_owned(), Json::Num(e.sections as f64)));
+                fields.push(("notes".to_owned(), Json::Num(e.notes as f64)));
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_owned(), Json::Num(SCHEMA_VERSION as f64)),
+            (
+                "crate_version".to_owned(),
+                Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
+            ),
+            ("run".to_owned(), Json::Str(self.run.clone())),
+            ("scale".to_owned(), Json::Str(self.scale.to_string())),
+            (
+                "jobs".to_owned(),
+                self.jobs.map_or(Json::Null, |j| Json::Num(j as f64)),
+            ),
+            (
+                "trace_cache".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "dir".to_owned(),
+                        self.cache_dir
+                            .as_ref()
+                            .map_or(Json::Null, |d| Json::Str(d.display().to_string())),
+                    ),
+                    ("hits".to_owned(), Json::Num(self.total.cache.hits as f64)),
+                    (
+                        "misses".to_owned(),
+                        Json::Num(self.total.cache.misses as f64),
+                    ),
+                    (
+                        "packs_built".to_owned(),
+                        Json::Num(self.total.cache.packs_built as f64),
+                    ),
+                ]),
+            ),
+            (
+                "stages".to_owned(),
+                Json::Obj(vec![("traces".to_owned(), stage_json(&self.trace_stage))]),
+            ),
+            ("experiments".to_owned(), Json::Arr(experiments)),
+            ("totals".to_owned(), stage_json(&self.total)),
+        ])
+    }
+
+    /// Writes the manifest to `dir/run-<name>.json`, creating `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let mut text = self.to_json().emit();
+        text.push('\n');
+        fs::write(&path, text)?;
+        Ok(path)
+    }
+
+    /// Reads the `run` field of a serialised manifest — the name that
+    /// decides which experiments the manifest should cover (`all`, or
+    /// experiment names joined with `+`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error or a message if the field is missing.
+    pub fn run_of(text: &str) -> Result<String, String> {
+        Json::parse(text)?
+            .get("run")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| "missing `run`".to_owned())
+    }
+
+    /// Validates a serialised manifest against the expected experiment
+    /// set: schema version, every expected experiment present exactly
+    /// once (and nothing extra), finite non-negative wall times, real
+    /// work (branches > 0 wherever configs > 0), and positive run
+    /// totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, as a human-readable message.
+    pub fn validate(text: &str, expected: &[&str]) -> Result<String, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("missing `schema`")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "schema version {schema}, expected {SCHEMA_VERSION}"
+            ));
+        }
+        let experiments = doc
+            .get("experiments")
+            .and_then(Json::as_array)
+            .ok_or("missing `experiments` array")?;
+        let mut seen: Vec<&str> = Vec::new();
+        for (i, e) in experiments.iter().enumerate() {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("experiment #{i}: missing `name`"))?;
+            if seen.contains(&name) {
+                return Err(format!("experiment `{name}` appears more than once"));
+            }
+            if !expected.contains(&name) {
+                return Err(format!("unexpected experiment `{name}`"));
+            }
+            seen.push(name);
+            let wall = e
+                .get("wall_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`{name}`: missing `wall_s`"))?;
+            if !wall.is_finite() || wall < 0.0 {
+                return Err(format!("`{name}`: wall_s {wall} is not a finite time"));
+            }
+            let branches = e
+                .get("branches")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{name}`: missing `branches`"))?;
+            let configs = e
+                .get("configs")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{name}`: missing `configs`"))?;
+            if configs > 0 && branches == 0 {
+                return Err(format!(
+                    "`{name}`: drove {configs} configs but simulated no branches"
+                ));
+            }
+            let tp = e
+                .get("mbranches_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`{name}`: missing `mbranches_per_sec`"))?;
+            if !tp.is_finite() || tp < 0.0 {
+                return Err(format!("`{name}`: throughput {tp} is not finite"));
+            }
+        }
+        for want in expected {
+            if !seen.contains(want) {
+                return Err(format!("experiment `{want}` missing from manifest"));
+            }
+        }
+        let totals = doc.get("totals").ok_or("missing `totals`")?;
+        let total_branches = totals
+            .get("branches")
+            .and_then(Json::as_u64)
+            .ok_or("totals: missing `branches`")?;
+        let total_configs = totals
+            .get("configs")
+            .and_then(Json::as_u64)
+            .ok_or("totals: missing `configs`")?;
+        if total_configs > 0 && total_branches == 0 {
+            return Err(format!(
+                "totals: drove {total_configs} configs but simulated no branches"
+            ));
+        }
+        Ok(format!(
+            "manifest OK: {} experiments, {total_branches} branches simulated",
+            seen.len()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::CacheCounters;
+    use std::time::Duration;
+
+    fn stats(name: &str, branches: u64, configs: u64) -> StageStats {
+        StageStats {
+            name: name.to_owned(),
+            wall: Duration::from_millis(125),
+            branches,
+            configs,
+            cache: CacheCounters {
+                hits: 1,
+                misses: 2,
+                packs_built: 3,
+            },
+        }
+    }
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            run: "fig2+table4".to_owned(),
+            scale: Scale::Smoke,
+            jobs: Some(4),
+            cache_dir: Some(PathBuf::from("/tmp/cache")),
+            trace_stage: stats("traces", 0, 0),
+            experiments: vec![
+                ExperimentRecord {
+                    name: "fig2".to_owned(),
+                    artefact: "Figure 2".to_owned(),
+                    grid: "3 schemes x 8 sizes".to_owned(),
+                    stats: stats("fig2", 52_800_000, 132),
+                    sections: 2,
+                    notes: 3,
+                },
+                ExperimentRecord {
+                    name: "table4".to_owned(),
+                    artefact: "Table 4".to_owned(),
+                    grid: "2 schemes".to_owned(),
+                    stats: stats("table4", 400_000, 2),
+                    sections: 1,
+                    notes: 1,
+                },
+            ],
+            total: stats("total", 53_200_000, 134),
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let original = sample_manifest().to_json();
+        let parsed = Json::parse(&original.emit()).expect("own output parses");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc =
+            Json::parse(r#"{"a": [1, -2.5, "x\n\"yA"], "b": {"c": null}}"#).expect("valid json");
+        let arr = doc.get("a").and_then(Json::as_array).expect("array");
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].as_str(), Some("x\n\"yA"));
+        assert_eq!(doc.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("true false").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_a_real_manifest() {
+        let text = sample_manifest().to_json().emit();
+        let summary = Manifest::validate(&text, &["fig2", "table4"]).expect("manifest is valid");
+        assert!(summary.contains("2 experiments"), "{summary}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_unexpected_experiments() {
+        let text = sample_manifest().to_json().emit();
+        let err =
+            Manifest::validate(&text, &["fig2", "table4", "fig5"]).expect_err("fig5 is missing");
+        assert!(err.contains("fig5"), "{err}");
+        let err = Manifest::validate(&text, &["fig2"]).expect_err("table4 is unexpected");
+        assert!(err.contains("table4"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_configs_without_branches() {
+        let mut m = sample_manifest();
+        m.experiments[0].stats.branches = 0;
+        let err = Manifest::validate(&m.to_json().emit(), &["fig2", "table4"])
+            .expect_err("no branches behind 132 configs");
+        assert!(err.contains("no branches"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema() {
+        let text = sample_manifest()
+            .to_json()
+            .emit()
+            .replace("\"schema\": 1", "\"schema\": 99");
+        let err = Manifest::validate(&text, &["fig2", "table4"]).expect_err("wrong schema");
+        assert!(err.contains("99"), "{err}");
+    }
+
+    #[test]
+    fn write_creates_the_named_file() {
+        let dir = std::env::temp_dir().join(format!("bpred-manifest-{}", std::process::id()));
+        let m = sample_manifest();
+        let path = m.write(&dir).expect("manifest written");
+        assert!(path.ends_with("run-fig2+table4.json"));
+        let text = fs::read_to_string(&path).expect("readable");
+        assert!(Manifest::validate(&text, &["fig2", "table4"]).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

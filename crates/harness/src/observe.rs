@@ -1,0 +1,221 @@
+//! The observability layer: per-stage wall time and work counters.
+//!
+//! An [`Observer`] wraps each pipeline stage (trace generation, one
+//! experiment, ...) in a closure, snapshots the process-wide counters
+//! — branches simulated and configurations driven from
+//! [`bpred_analysis::metrics`], trace-cache hits/misses and packs
+//! built from [`crate::traces`] — on either side, and attributes the
+//! delta plus the measured wall time to that stage as a
+//! [`StageStats`]. Stages run sequentially within one orchestrated
+//! run, so snapshot differencing is a sound attribution.
+//!
+//! The stats feed both the terminal notes under each experiment report
+//! and the structured run manifest (see [`crate::manifest`]).
+
+use std::time::{Duration, Instant};
+
+use bpred_analysis::metrics::{self, DriveSnapshot};
+
+use crate::traces::{self, CacheCounters};
+
+/// A combined reading of every process-wide counter the harness
+/// observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    /// Branches-simulated / configs-driven counters.
+    pub drive: DriveSnapshot,
+    /// Trace-cache hit/miss/pack counters.
+    pub cache: CacheCounters,
+}
+
+/// Reads all observable counters at once.
+#[must_use]
+pub fn counters() -> Counters {
+    Counters {
+        drive: metrics::snapshot(),
+        cache: traces::cache_counters(),
+    }
+}
+
+/// Wall time and attributed work of one named pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage name (an experiment name, or `traces`).
+    pub name: String,
+    /// Wall time of the stage.
+    pub wall: Duration,
+    /// (Configuration, branch) pairs simulated during the stage.
+    pub branches: u64,
+    /// Predictor configurations driven during the stage.
+    pub configs: u64,
+    /// Trace-cache activity during the stage.
+    pub cache: CacheCounters,
+}
+
+impl StageStats {
+    /// Simulated branches per second, in millions (0 for a zero-wall
+    /// stage).
+    #[must_use]
+    pub fn mbranches_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.branches as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    }
+
+    /// The one-line report emitted under each stage.
+    #[must_use]
+    pub fn note(&self) -> String {
+        format!(
+            "Stage {}: {} branches simulated ({} configs) in {:.3}s = {:.1} Mbranches/s.",
+            self.name,
+            self.branches,
+            self.configs,
+            self.wall.as_secs_f64(),
+            self.mbranches_per_sec()
+        )
+    }
+
+    /// The one-line trace-cache summary for the stage.
+    #[must_use]
+    pub fn cache_note(&self) -> String {
+        format!(
+            "Trace cache: {} hits, {} misses, {} packs built.",
+            self.cache.hits, self.cache.misses, self.cache.packs_built
+        )
+    }
+}
+
+/// Records a sequence of named stages by snapshot-differencing the
+/// process-wide counters around each one.
+#[derive(Debug, Default)]
+pub struct Observer {
+    stages: Vec<StageStats>,
+}
+
+impl Observer {
+    /// Creates an observer with no recorded stages.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` as the stage called `name`, recording its wall time
+    /// and counter deltas, and passes its return value through.
+    pub fn stage<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let before = counters();
+        let started = Instant::now();
+        let result = f();
+        let wall = started.elapsed();
+        let after = counters();
+        let drive = after.drive.since(&before.drive);
+        self.stages.push(StageStats {
+            name: name.to_owned(),
+            wall,
+            branches: drive.branches,
+            configs: drive.configs,
+            cache: after.cache.since(&before.cache),
+        });
+        result
+    }
+
+    /// Every recorded stage, in execution order.
+    #[must_use]
+    pub fn stages(&self) -> &[StageStats] {
+        &self.stages
+    }
+
+    /// The most recently recorded stage.
+    #[must_use]
+    pub fn last(&self) -> Option<&StageStats> {
+        self.stages.last()
+    }
+
+    /// Aggregates every recorded stage into one `total` line: work and
+    /// wall times add up (stages run sequentially).
+    #[must_use]
+    pub fn total(&self) -> StageStats {
+        let mut total = StageStats {
+            name: "total".to_owned(),
+            wall: Duration::ZERO,
+            branches: 0,
+            configs: 0,
+            cache: CacheCounters::default(),
+        };
+        for s in &self.stages {
+            total.wall += s.wall;
+            total.branches += s.branches;
+            total.configs += s.configs;
+            total.cache.hits += s.cache.hits;
+            total.cache.misses += s.cache.misses;
+            total.cache.packs_built += s.cache.packs_built;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_workloads::{Scale, Workload};
+
+    // The underlying counters are process-global and other tests drive
+    // them in parallel, so stage attributions here are lower bounds.
+
+    #[test]
+    fn stage_attributes_drive_work_and_passes_results_through() {
+        let mut obs = Observer::new();
+        let set = obs.stage("traces", || {
+            crate::traces::TraceSet::of(
+                vec![Workload::by_name("compress").expect("registered")],
+                Scale::Smoke,
+                Some(1),
+            )
+        });
+        let rates = obs.stage("drive", || {
+            crate::engine::batch_rates(&set.all_packed(), Some(1), 2, || {
+                vec![bpred_core::Gshare::new(6, 6), bpred_core::Gshare::new(6, 0)]
+            })
+        });
+        assert_eq!(rates.len(), 2);
+        assert_eq!(obs.stages().len(), 2);
+        let traces = &obs.stages()[0];
+        assert_eq!(traces.name, "traces");
+        assert!(traces.cache.hits + traces.cache.misses >= 1);
+        let drive = obs.last().expect("two stages recorded");
+        assert_eq!(drive.name, "drive");
+        assert!(drive.configs >= 2, "batch drive must record: {drive:?}");
+        assert!(drive.branches > 0);
+        assert!(drive.note().contains("Mbranches/s"));
+        assert!(drive.cache_note().starts_with("Trace cache:"));
+    }
+
+    #[test]
+    fn total_sums_the_stages() {
+        let mut obs = Observer::new();
+        obs.stage("a", || bpred_analysis::metrics::record_drive(100, 1));
+        obs.stage("b", || bpred_analysis::metrics::record_drive(50, 2));
+        let total = obs.total();
+        assert_eq!(total.name, "total");
+        assert!(total.branches >= 150);
+        assert!(total.configs >= 3);
+        assert_eq!(
+            total.wall,
+            obs.stages().iter().map(|s| s.wall).sum::<Duration>()
+        );
+    }
+
+    #[test]
+    fn zero_wall_stage_reports_zero_throughput() {
+        let s = StageStats {
+            name: "x".to_owned(),
+            wall: Duration::ZERO,
+            branches: 10,
+            configs: 1,
+            cache: CacheCounters::default(),
+        };
+        assert_eq!(s.mbranches_per_sec(), 0.0);
+    }
+}

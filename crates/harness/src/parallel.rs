@@ -26,26 +26,39 @@ where
         return items.iter().map(&f).collect();
     }
 
+    // Lock-free merge: each worker claims indices from a shared atomic
+    // counter, computes its results locally as (index, value) pairs,
+    // and the merge happens single-threaded after the scoped join — no
+    // per-slot mutexes, no shared mutable output during the fan-out.
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot mutex is never poisoned") = Some(r);
-                // panic-audited: a poisoning panic in f already aborted the scoped join
-            });
-        }
+    let chunks: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panics propagate at join")) // panic-audited: a panic in f is re-raised here, matching the scoped-join behaviour
+            .collect()
     });
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in chunks.into_iter().flatten() {
+        results[i] = Some(r);
+    }
     results
         .into_iter()
-        .map(|r| r.expect("every index was processed")) // panic-audited: the worker loop wrote every index before the scope joined
+        .map(|r| r.expect("every index was claimed exactly once")) // panic-audited: the atomic counter hands each index to exactly one worker
         .collect()
 }
 

@@ -54,7 +54,7 @@ pub fn gshare_rates(traces: &[&PackedTrace], table_bits: u32, history_bits: u32)
 pub fn best_gshare(traces: &[&PackedTrace], table_bits: u32, jobs: Option<usize>) -> BestGshare {
     assert!(!traces.is_empty(), "the search needs at least one trace");
     let candidates: Vec<u32> = (0..=table_bits).collect();
-    let (rates, _) = engine::batch_rates(traces, jobs, || {
+    let rates = engine::batch_rates(traces, jobs, candidates.len(), || {
         candidates
             .iter()
             .map(|&m| Gshare::new(table_bits, m))

@@ -10,12 +10,13 @@
 //! candidate of every ladder size at once — is fused into one predictor
 //! batch and driven over each packed trace in a single pass by
 //! [`engine::batch_rates`], instead of re-walking the trace once per
-//! configuration.
+//! configuration. Work accounting is global (see
+//! [`crate::observe`]); the sweeps return points only.
 
 use bpred_core::{BiMode, BiModeConfig, Gshare, Predictor};
 use bpred_trace::PackedTrace;
 
-use crate::engine::{self, EngineThroughput};
+use crate::engine;
 
 /// The schemes compared in Figures 2–4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,31 +86,20 @@ pub fn sweep_scheme(
     scheme: Scheme,
     jobs: Option<usize>,
 ) -> Vec<SweepPoint> {
-    sweep_scheme_with_throughput(traces, scheme, jobs).0
-}
-
-/// Like [`sweep_scheme`], also reporting the fan-out's throughput.
-#[must_use]
-pub fn sweep_scheme_with_throughput(
-    traces: &[&PackedTrace],
-    scheme: Scheme,
-    jobs: Option<usize>,
-) -> (Vec<SweepPoint>, EngineThroughput) {
     match scheme {
         Scheme::GshareSinglePht => {
             let sizes: Vec<u32> = GSHARE_SIZES.collect();
-            let (rates, tp) = engine::batch_rates(traces, jobs, || {
+            let rates = engine::batch_rates(traces, jobs, sizes.len(), || {
                 sizes
                     .iter()
                     .map(|&s| Gshare::single_pht(s))
                     .collect::<Vec<_>>()
             });
-            let points = sizes
+            sizes
                 .iter()
                 .zip(rates)
                 .map(|(&s, rates)| point(scheme, &Gshare::single_pht(s), rates))
-                .collect();
-            (points, tp)
+                .collect()
         }
         Scheme::GshareBest => {
             // Every (s, m <= s) candidate of every ladder size, fused
@@ -118,13 +108,13 @@ pub fn sweep_scheme_with_throughput(
             let pairs: Vec<(u32, u32)> = GSHARE_SIZES
                 .flat_map(|s| (0..=s).map(move |m| (s, m)))
                 .collect();
-            let (rates, tp) = engine::batch_rates(traces, jobs, || {
+            let rates = engine::batch_rates(traces, jobs, pairs.len(), || {
                 pairs
                     .iter()
                     .map(|&(s, m)| Gshare::new(s, m))
                     .collect::<Vec<_>>()
             });
-            let points = GSHARE_SIZES
+            GSHARE_SIZES
                 .map(|s| {
                     let (&(_, m), rates) = pairs
                         .iter()
@@ -138,25 +128,23 @@ pub fn sweep_scheme_with_throughput(
                         .expect("every ladder size has candidates"); // panic-audited: every ladder size carries at least the m = s candidate
                     point(scheme, &Gshare::new(s, m), rates.clone())
                 })
-                .collect();
-            (points, tp)
+                .collect()
         }
         Scheme::BiMode => {
             let sizes: Vec<u32> = BIMODE_SIZES.collect();
-            let (rates, tp) = engine::batch_rates(traces, jobs, || {
+            let rates = engine::batch_rates(traces, jobs, sizes.len(), || {
                 sizes
                     .iter()
                     .map(|&d| BiMode::new(BiModeConfig::paper_default(d)))
                     .collect::<Vec<_>>()
             });
-            let points = sizes
+            sizes
                 .iter()
                 .zip(rates)
                 .map(|(&d, rates)| {
                     point(scheme, &BiMode::new(BiModeConfig::paper_default(d)), rates)
                 })
-                .collect();
-            (points, tp)
+                .collect()
         }
     }
 }
@@ -164,23 +152,11 @@ pub fn sweep_scheme_with_throughput(
 /// Sweeps all three schemes (the full Figure 2/3/4 data set).
 #[must_use]
 pub fn sweep_all(traces: &[&PackedTrace], jobs: Option<usize>) -> Vec<SweepPoint> {
-    sweep_all_with_throughput(traces, jobs).0
-}
-
-/// Like [`sweep_all`], also reporting the combined throughput.
-#[must_use]
-pub fn sweep_all_with_throughput(
-    traces: &[&PackedTrace],
-    jobs: Option<usize>,
-) -> (Vec<SweepPoint>, EngineThroughput) {
     let mut points = Vec::new();
-    let mut throughput = EngineThroughput::default();
     for scheme in [Scheme::GshareSinglePht, Scheme::GshareBest, Scheme::BiMode] {
-        let (p, tp) = sweep_scheme_with_throughput(traces, scheme, jobs);
-        points.extend(p);
-        throughput.absorb(&tp);
+        points.extend(sweep_scheme(traces, scheme, jobs));
     }
-    (points, throughput)
+    points
 }
 
 #[cfg(test)]
@@ -243,16 +219,19 @@ mod tests {
     }
 
     #[test]
-    fn sweep_all_produces_three_curves_and_throughput() {
+    fn sweep_all_produces_three_curves_and_records_drives() {
         let t = packed();
-        let (all, tp) = sweep_all_with_throughput(&[&t], Some(2));
+        let before = bpred_analysis::metrics::snapshot();
+        let all = sweep_all(&[&t], Some(2));
         assert_eq!(all.len(), 24);
         for scheme in [Scheme::GshareSinglePht, Scheme::GshareBest, Scheme::BiMode] {
             assert_eq!(all.iter().filter(|p| p.scheme == scheme).count(), 8);
         }
-        // 8 single-PHT + 116 best candidates + 8 bi-mode configurations.
-        assert_eq!(tp.configs, 8 + 116 + 8);
-        assert_eq!(tp.branches, t.len() as u64 * 132);
+        // 8 single-PHT + 116 best candidates + 8 bi-mode configurations
+        // driven over one trace; other tests may add more concurrently.
+        let delta = bpred_analysis::metrics::snapshot().since(&before);
+        assert!(delta.configs >= 8 + 116 + 8, "got {delta:?}");
+        assert!(delta.branches >= t.len() as u64 * 132, "got {delta:?}");
     }
 
     #[test]

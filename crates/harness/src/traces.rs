@@ -10,7 +10,7 @@
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use bpred_trace::{PackedTrace, Trace};
@@ -21,6 +21,49 @@ use crate::parallel;
 /// Cache-format version; bump when workload generators change so stale
 /// traces on disk are ignored.
 const CACHE_VERSION: u32 = 5;
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static PACKS_BUILT: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the process-wide trace-cache counters.
+///
+/// A *hit* is a trace served from the on-disk cache; a *miss* is a
+/// trace generated from its workload kernel (whether or not a cache
+/// write followed); a *pack* is one SoA packed view built from a
+/// trace. Counters are monotone; attribute work to a stage by
+/// differencing two snapshots with [`CacheCounters::since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Traces loaded from the on-disk cache.
+    pub hits: u64,
+    /// Traces regenerated from their workload kernels.
+    pub misses: u64,
+    /// Packed (SoA) trace views built.
+    pub packs_built: u64,
+}
+
+impl CacheCounters {
+    /// The activity recorded between `earlier` and `self`.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            packs_built: self.packs_built.saturating_sub(earlier.packs_built),
+        }
+    }
+}
+
+/// Reads the current trace-cache counters.
+#[must_use]
+pub fn cache_counters() -> CacheCounters {
+    CacheCounters {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        packs_built: PACKS_BUILT.load(Ordering::Relaxed),
+    }
+}
 
 /// The traces of a set of workloads at one scale.
 #[derive(Debug)]
@@ -43,6 +86,14 @@ fn cache_dir() -> Option<PathBuf> {
         fs::create_dir_all(&base).ok().map(|()| base)
     })
     .clone()
+}
+
+/// The on-disk trace cache directory, or `None` when caching is
+/// disabled (`BPRED_NO_TRACE_CACHE`) or the directory can't be made.
+/// Exposed so run manifests can record cache provenance.
+#[must_use]
+pub fn cache_location() -> Option<PathBuf> {
+    cache_dir()
 }
 
 fn cached_path(workload: &Workload, scale: Scale) -> Option<PathBuf> {
@@ -78,15 +129,18 @@ pub fn load_trace(workload: &Workload, scale: Scale) -> Trace {
     if let Some(path) = cached_path(workload, scale) {
         if let Ok(file) = File::open(&path) {
             if let Ok(trace) = bpred_trace::read_binary(BufReader::new(file)) {
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
                 return trace;
             }
             // Corrupt cache entry: fall through and regenerate.
             fs::remove_file(&path).ok();
         }
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
         let trace = workload.trace(scale);
         write_cache_atomically(&trace, &path);
         return trace;
     }
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     workload.trace(scale)
 }
 
@@ -140,6 +194,7 @@ impl TraceSet {
 
     fn packed_at(&self, index: usize) -> &PackedTrace {
         self.packed[index].get_or_init(|| {
+            PACKS_BUILT.fetch_add(1, Ordering::Relaxed);
             PackedTrace::build(&self.entries[index].1).expect("workload site tables fit 32-bit ids")
             // panic-audited: synthetic workloads have far fewer than 2^32 branch sites
         })
@@ -253,6 +308,23 @@ mod tests {
         if let Some(dead) = &dead {
             fs::remove_file(dead).ok();
         }
+    }
+
+    #[test]
+    fn cache_counters_track_loads_and_packs() {
+        let w = Workload::by_name("compress").expect("registered");
+        let before = cache_counters();
+        let _ = load_trace(&w, Scale::Smoke);
+        let set = TraceSet::of(vec![w], Scale::Smoke, Some(1));
+        let _ = set.packed("compress");
+        let _ = set.packed("compress"); // lazy: second use builds nothing
+        let delta = cache_counters().since(&before);
+        // Other tests share the process-wide counters, so assert floors.
+        assert!(
+            delta.hits + delta.misses >= 2,
+            "two loads must be counted: {delta:?}"
+        );
+        assert!(delta.packs_built >= 1, "one pack built: {delta:?}");
     }
 
     #[test]
