@@ -40,6 +40,19 @@ pub mod simulate;
 pub mod twopass;
 pub mod warmup;
 
+/// Version of the measurement semantics implemented by this crate.
+///
+/// The harness folds this constant into every result-store job key, so
+/// cached results are only ever replayed against the engine revision
+/// that produced them. **Bump it whenever a change alters what any
+/// measurement returns** — the drive loops in [`simulate`]/[`batch`],
+/// the two-pass attribution in [`twopass`], the alias taxonomy in
+/// [`aliasing`], the warmup windowing in [`warmup`], or predictor
+/// update semantics in `bpred-core`. Pure performance work (blocking,
+/// parallelism, packing) that keeps results bit-identical must NOT bump
+/// it; that is what keeps warm caches valid across refactors.
+pub const ENGINE_EPOCH: u64 = 1;
+
 pub use aliasing::AliasReport;
 pub use batch::{measure_batch, measure_packed, measure_packed_with_flushes};
 pub use bias::{BiasClass, StreamStats};

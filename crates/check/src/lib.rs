@@ -147,6 +147,15 @@ pub fn verify(root: &Path) -> VerifyReport {
     );
     report.record("cost/audit", ok, detail);
 
+    // Result-store keys: deterministic, collision-free, sensitive to
+    // every cost-bearing field, pinned across releases.
+    let keys = registry::key_audit();
+    let (ok, detail) = first_or(
+        &keys,
+        "fingerprints stable, collision-free, and field-sensitive".to_owned(),
+    );
+    report.record("keys/audit", ok, detail);
+
     // Exhaustive state-space exploration per spec variant.
     for target in registry::MODEL_TARGETS {
         let name = format!("model/{}@{}pcs", target.spec, target.pcs.len());

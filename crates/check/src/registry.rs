@@ -9,7 +9,7 @@
 
 use bpred_core::cost::Cost;
 use bpred_core::spec::GRAMMAR;
-use bpred_core::PredictorSpec;
+use bpred_core::{BankInit, ChoiceUpdate, HistorySource, IndexShare, PredictorSpec};
 
 /// One model-checking target: a down-scaled configuration plus the
 /// driving alphabet and state cap for its BFS walk.
@@ -384,6 +384,404 @@ pub fn grammar_audit() -> Vec<String> {
     violations
 }
 
+/// Every single-field variation of `spec`, labelled by the field
+/// changed. Fingerprints never build predictors, so the mutated values
+/// need not satisfy constructor constraints — only differ.
+#[must_use]
+pub fn spec_perturbations(spec: &PredictorSpec) -> Vec<(&'static str, PredictorSpec)> {
+    use PredictorSpec as P;
+    match *spec {
+        P::AlwaysTaken | P::AlwaysNotTaken | P::Btfnt => Vec::new(),
+        P::Bimodal { table_bits } => vec![(
+            "table_bits",
+            P::Bimodal {
+                table_bits: table_bits + 1,
+            },
+        )],
+        P::Gshare {
+            table_bits,
+            history_bits,
+        } => vec![
+            (
+                "table_bits",
+                P::Gshare {
+                    table_bits: table_bits + 1,
+                    history_bits,
+                },
+            ),
+            (
+                "history_bits",
+                P::Gshare {
+                    table_bits,
+                    history_bits: history_bits + 1,
+                },
+            ),
+        ],
+        P::Gselect {
+            address_bits,
+            history_bits,
+        } => vec![
+            (
+                "address_bits",
+                P::Gselect {
+                    address_bits: address_bits + 1,
+                    history_bits,
+                },
+            ),
+            (
+                "history_bits",
+                P::Gselect {
+                    address_bits,
+                    history_bits: history_bits + 1,
+                },
+            ),
+        ],
+        P::TwoLevel {
+            source,
+            address_bits,
+            history_bits,
+        } => {
+            let mut out = vec![
+                (
+                    "address_bits",
+                    P::TwoLevel {
+                        source,
+                        address_bits: address_bits + 1,
+                        history_bits,
+                    },
+                ),
+                (
+                    "history_bits",
+                    P::TwoLevel {
+                        source,
+                        address_bits,
+                        history_bits: history_bits + 1,
+                    },
+                ),
+            ];
+            let other_sources: Vec<(&'static str, HistorySource)> = match source {
+                HistorySource::Global => {
+                    vec![("source", HistorySource::PerAddress { index_bits: 1 })]
+                }
+                HistorySource::PerAddress { index_bits } => vec![
+                    (
+                        "source.index_bits",
+                        HistorySource::PerAddress {
+                            index_bits: index_bits + 1,
+                        },
+                    ),
+                    ("source", HistorySource::Global),
+                ],
+                HistorySource::PerSet { index_bits, shift } => vec![
+                    (
+                        "source.index_bits",
+                        HistorySource::PerSet {
+                            index_bits: index_bits + 1,
+                            shift,
+                        },
+                    ),
+                    (
+                        "source.shift",
+                        HistorySource::PerSet {
+                            index_bits,
+                            shift: shift + 1,
+                        },
+                    ),
+                ],
+            };
+            for (field, s) in other_sources {
+                out.push((
+                    field,
+                    P::TwoLevel {
+                        source: s,
+                        address_bits,
+                        history_bits,
+                    },
+                ));
+            }
+            out
+        }
+        P::BiMode(c) => {
+            let mut variants = Vec::new();
+            let mut v = c;
+            v.direction_bits += 1;
+            variants.push(("direction_bits", v));
+            let mut v = c;
+            v.choice_bits += 1;
+            variants.push(("choice_bits", v));
+            let mut v = c;
+            v.history_bits += 1;
+            variants.push(("history_bits", v));
+            let mut v = c;
+            v.choice_update = match c.choice_update {
+                ChoiceUpdate::Partial => ChoiceUpdate::Always,
+                ChoiceUpdate::Always => ChoiceUpdate::Partial,
+            };
+            variants.push(("choice_update", v));
+            let mut v = c;
+            v.bank_init = match c.bank_init {
+                BankInit::Split => BankInit::UniformWeaklyTaken,
+                BankInit::UniformWeaklyTaken => BankInit::Split,
+            };
+            variants.push(("bank_init", v));
+            let mut v = c;
+            v.index_share = match c.index_share {
+                IndexShare::Shared => IndexShare::SkewedPerBank,
+                IndexShare::SkewedPerBank => IndexShare::Shared,
+            };
+            variants.push(("index_share", v));
+            variants
+                .into_iter()
+                .map(|(field, v)| (field, P::BiMode(v)))
+                .collect()
+        }
+        P::Agree {
+            table_bits,
+            history_bits,
+            bias_bits,
+        } => vec![
+            (
+                "table_bits",
+                P::Agree {
+                    table_bits: table_bits + 1,
+                    history_bits,
+                    bias_bits,
+                },
+            ),
+            (
+                "history_bits",
+                P::Agree {
+                    table_bits,
+                    history_bits: history_bits + 1,
+                    bias_bits,
+                },
+            ),
+            (
+                "bias_bits",
+                P::Agree {
+                    table_bits,
+                    history_bits,
+                    bias_bits: bias_bits + 1,
+                },
+            ),
+        ],
+        P::Gskew {
+            bank_bits,
+            history_bits,
+            total_update,
+        } => vec![
+            (
+                "bank_bits",
+                P::Gskew {
+                    bank_bits: bank_bits + 1,
+                    history_bits,
+                    total_update,
+                },
+            ),
+            (
+                "history_bits",
+                P::Gskew {
+                    bank_bits,
+                    history_bits: history_bits + 1,
+                    total_update,
+                },
+            ),
+            (
+                "total_update",
+                P::Gskew {
+                    bank_bits,
+                    history_bits,
+                    total_update: !total_update,
+                },
+            ),
+        ],
+        P::Yags {
+            choice_bits,
+            cache_bits,
+            history_bits,
+            tag_bits,
+        } => vec![
+            (
+                "choice_bits",
+                P::Yags {
+                    choice_bits: choice_bits + 1,
+                    cache_bits,
+                    history_bits,
+                    tag_bits,
+                },
+            ),
+            (
+                "cache_bits",
+                P::Yags {
+                    choice_bits,
+                    cache_bits: cache_bits + 1,
+                    history_bits,
+                    tag_bits,
+                },
+            ),
+            (
+                "history_bits",
+                P::Yags {
+                    choice_bits,
+                    cache_bits,
+                    history_bits: history_bits + 1,
+                    tag_bits,
+                },
+            ),
+            (
+                "tag_bits",
+                P::Yags {
+                    choice_bits,
+                    cache_bits,
+                    history_bits,
+                    tag_bits: tag_bits + 1,
+                },
+            ),
+        ],
+        P::Tournament { table_bits } => vec![(
+            "table_bits",
+            P::Tournament {
+                table_bits: table_bits + 1,
+            },
+        )],
+        P::TriMode {
+            direction_bits,
+            choice_bits,
+            history_bits,
+        } => vec![
+            (
+                "direction_bits",
+                P::TriMode {
+                    direction_bits: direction_bits + 1,
+                    choice_bits,
+                    history_bits,
+                },
+            ),
+            (
+                "choice_bits",
+                P::TriMode {
+                    direction_bits,
+                    choice_bits: choice_bits + 1,
+                    history_bits,
+                },
+            ),
+            (
+                "history_bits",
+                P::TriMode {
+                    direction_bits,
+                    choice_bits,
+                    history_bits: history_bits + 1,
+                },
+            ),
+        ],
+        P::TwoBcGskew {
+            bank_bits,
+            history_bits,
+        } => vec![
+            (
+                "bank_bits",
+                P::TwoBcGskew {
+                    bank_bits: bank_bits + 1,
+                    history_bits,
+                },
+            ),
+            (
+                "history_bits",
+                P::TwoBcGskew {
+                    bank_bits,
+                    history_bits: history_bits + 1,
+                },
+            ),
+        ],
+    }
+}
+
+/// Fingerprints whose exact values are pinned: a silent change to the
+/// spec rendering or the hash would re-key (or worse, mis-serve) every
+/// stored result, so drift here must fail verification loudly and force
+/// a deliberate engine-epoch decision.
+pub const PINNED_FINGERPRINTS: &[(&str, u64)] = &[
+    ("gshare:s=8,h=8", 0xe48e_b26c_0780_b396),
+    ("bimode:d=7,c=7,h=7", 0xcb1d_a322_72f6_48b8),
+];
+
+/// Audits result-store key stability: every registry spec's
+/// [`PredictorSpec::fingerprint`] must be deterministic across a
+/// render round-trip, collision-free across the whole registry,
+/// sensitive to every cost-bearing field, and equal to the pinned
+/// values above.
+#[must_use]
+pub fn key_audit() -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut specs: Vec<PredictorSpec> = Vec::new();
+    for s in MODEL_TARGETS
+        .iter()
+        .map(|t| t.spec)
+        .chain(COST_TARGETS.iter().copied())
+    {
+        match s.parse::<PredictorSpec>() {
+            Ok(spec) => {
+                if !specs.contains(&spec) {
+                    specs.push(spec);
+                }
+            }
+            Err(e) => violations.push(format!("`{s}` does not parse: {e}")),
+        }
+    }
+
+    // Deterministic across the parse → Display → parse round-trip.
+    for spec in &specs {
+        let fp = spec.fingerprint();
+        match spec.to_string().parse::<PredictorSpec>() {
+            Ok(again) if again.fingerprint() != fp => violations.push(format!(
+                "`{spec}`: fingerprint changes across a render round-trip"
+            )),
+            Ok(_) => {}
+            Err(e) => violations.push(format!("`{spec}` renders unparseably: {e}")),
+        }
+    }
+
+    // Collision-free across every distinct registry spec.
+    for (i, a) in specs.iter().enumerate() {
+        for b in &specs[i + 1..] {
+            if a.fingerprint() == b.fingerprint() {
+                violations.push(format!("`{a}` and `{b}` share a fingerprint"));
+            }
+        }
+    }
+
+    // Sensitive to every cost-bearing field: flipping any one field of
+    // any registry spec must move the key.
+    for spec in &specs {
+        let fp = spec.fingerprint();
+        for (field, mutated) in spec_perturbations(spec) {
+            if mutated.fingerprint() == fp {
+                violations.push(format!(
+                    "`{spec}`: changing `{field}` does not change the fingerprint"
+                ));
+            }
+        }
+    }
+
+    // Pinned values: cross-release stability.
+    for &(s, want) in PINNED_FINGERPRINTS {
+        match s.parse::<PredictorSpec>() {
+            Ok(spec) => {
+                let got = spec.fingerprint();
+                if got != want {
+                    violations.push(format!(
+                        "`{s}` fingerprints as {got:#018x}, pinned {want:#018x} \
+                         (rendering or hash drift: stored results would go stale)"
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("pinned `{s}` does not parse: {e}")),
+        }
+    }
+
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +805,35 @@ mod tests {
     #[test]
     fn cost_audit_is_clean() {
         assert_eq!(cost_audit(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn key_audit_is_clean() {
+        assert_eq!(key_audit(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn every_parameterised_variant_has_perturbations() {
+        // Every registry spec with parameters must expose at least one
+        // single-field mutation, or the sensitivity audit is vacuous.
+        for t in MODEL_TARGETS {
+            let spec: PredictorSpec = t.spec.parse().expect("registry specs parse");
+            let perturbed = spec_perturbations(&spec);
+            if t.spec.contains(':') {
+                assert!(!perturbed.is_empty(), "`{}` has no perturbations", t.spec);
+            }
+            for (field, mutated) in &perturbed {
+                assert_ne!(&spec, mutated, "`{}`: `{field}` mutation is a no-op", t.spec);
+            }
+        }
+    }
+
+    #[test]
+    fn key_audit_detects_a_broken_pin() {
+        // The audit must actually compare against the pinned constants.
+        let (s, want) = PINNED_FINGERPRINTS[0];
+        let spec: PredictorSpec = s.parse().expect("pinned specs parse");
+        assert_eq!(spec.fingerprint(), want, "pin drifted — bump deliberately");
     }
 
     #[test]

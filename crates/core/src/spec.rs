@@ -193,6 +193,26 @@ impl PredictorSpec {
             } => Box::new(TwoBcGskew::new(bank_bits, history_bits)),
         }
     }
+
+    /// Stable content fingerprint of this spec: FNV-1a-64 over the
+    /// canonical grammar string ([`fmt::Display`]). Because `Display`
+    /// round-trips through [`FromStr`] (property-tested below and in
+    /// `bpred-check`'s grammar audit), the fingerprint covers every
+    /// cost-bearing field — two specs hash alike exactly when they
+    /// describe the same predictor — and stays stable across processes
+    /// and compiler versions, unlike `std::hash::Hash`. The harness
+    /// uses it as the configuration half of a result-store job key.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        for b in self.to_string().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 /// Error returned when a predictor spec string cannot be parsed.
@@ -736,5 +756,47 @@ mod tests {
                 history_bits: 4
             }
         );
+    }
+
+    #[test]
+    fn fingerprint_is_canonical_not_textual() {
+        // Spelling variants of the same spec agree; the canonical
+        // string is what gets hashed, not the user's input.
+        let a: PredictorSpec = "gshare:s=10,h=4".parse().unwrap();
+        let b: PredictorSpec = " gshare : h=4 , s=10 ".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // And it round-trips: re-parsing the canonical string preserves
+        // the fingerprint.
+        let reparsed: PredictorSpec = a.to_string().parse().unwrap();
+        assert_eq!(reparsed.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_every_cost_bearing_field() {
+        // Pairwise-distinct fingerprints across parameter tweaks of one
+        // family and across families.
+        let specs = [
+            "gshare:s=10,h=4",
+            "gshare:s=10,h=5",
+            "gshare:s=11,h=4",
+            "bimodal:s=10",
+            "bimode:d=10",
+            "bimode:d=10,choice=always",
+            "bimode:d=10,init=uniform",
+            "bimode:d=10,index=skewed",
+            "bimode:d=10,c=9",
+            "bimode:d=10,h=9",
+            "trimode:d=10",
+            "gskew:s=10,h=10",
+            "gskew:s=10,h=10,update=total",
+        ];
+        let mut seen = std::collections::HashMap::new();
+        for s in specs {
+            let spec: PredictorSpec = s.parse().unwrap();
+            if let Some(prev) = seen.insert(spec.fingerprint(), s) {
+                panic!("fingerprint collision: `{prev}` vs `{s}`");
+            }
+        }
     }
 }

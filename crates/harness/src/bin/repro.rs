@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 use bpred_harness::cli::{self, Command};
 use bpred_harness::manifest::Manifest;
-use bpred_harness::{orchestrate, registry};
+use bpred_harness::{orchestrate, registry, store};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +27,11 @@ fn main() -> ExitCode {
         scale,
         jobs,
         out,
+        store_mode,
     } = options;
+    if let Some(mode) = store_mode {
+        store::set_mode(mode);
+    }
     match command {
         Command::List => {
             print!("{}", cli::usage());
@@ -86,6 +90,27 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Command::CacheStats => {
+            match store::location() {
+                Some(dir) => {
+                    let stats = store::disk_stats();
+                    println!(
+                        "result store: {} ({} files, {} bytes, mode {})",
+                        dir.display(),
+                        stats.files,
+                        stats.bytes,
+                        store::mode()
+                    );
+                }
+                None => println!("result store: unavailable (trace cache disabled)"),
+            }
+            ExitCode::SUCCESS
+        }
+        Command::CacheClear => {
+            let removed = store::clear();
+            println!("result store: removed {removed} file(s)");
+            ExitCode::SUCCESS
+        }
         Command::Run(names) => run(&names, scale, jobs, out.as_deref()),
     }
 }
@@ -133,6 +158,7 @@ fn run(
     let total = &outcome.manifest.total;
     eprintln!("{}", total.note());
     eprintln!("{}", total.cache_note());
+    eprintln!("{}", total.store_note());
 
     if io_failed {
         ExitCode::FAILURE

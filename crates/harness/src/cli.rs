@@ -12,6 +12,7 @@ use std::path::PathBuf;
 use bpred_workloads::{Scale, Workload};
 
 use crate::registry;
+use crate::store;
 use crate::traces::TraceSet;
 
 /// What the user asked the binary to do.
@@ -24,6 +25,10 @@ pub enum Command {
     Verify,
     /// Validate an existing run manifest at the given path.
     ManifestCheck(PathBuf),
+    /// Print result-store location and footprint (`cache stats`).
+    CacheStats,
+    /// Delete every persisted result (`cache clear`).
+    CacheClear,
     /// Run the named experiments (already validated against the
     /// registry) as one orchestrated plan.
     Run(Vec<String>),
@@ -40,13 +45,18 @@ pub struct Options {
     pub jobs: Option<usize>,
     /// Directory for per-section CSVs, plots, and the run manifest.
     pub out: Option<PathBuf>,
+    /// Result-store mode override (`--no-cache` / `--refresh`); `None`
+    /// leaves the [`crate::store::mode`] default (environment) in
+    /// effect.
+    pub store_mode: Option<store::Mode>,
 }
 
 /// The help text, rendered from the registry.
 #[must_use]
 pub fn usage() -> String {
     let mut s = String::from(
-        "usage: repro <command> [--scale smoke|paper|full] [--jobs N] [--out DIR]\n\n\
+        "usage: repro <command> [--scale smoke|paper|full] [--jobs N] [--out DIR]\n       \
+         [--no-cache] [--refresh]\n\n\
          commands:\n  \
          <experiment>             run one experiment\n  \
          run <experiments...>     run several experiments as one plan (shared traces)\n  \
@@ -55,7 +65,12 @@ pub fn usage() -> String {
          verify                   static verification: model-check every predictor,\n  \
                                   audit grammar/cost/registry, prove engine equivalence,\n  \
                                   lint sources, smoke-run every registered experiment\n  \
-         manifest-check <FILE>    validate a run manifest written by a previous run\n\n\
+         manifest-check <FILE>    validate a run manifest written by a previous run\n  \
+         cache stats              print the result store's location and footprint\n  \
+         cache clear              delete every persisted result\n\n\
+         flags:\n  \
+         --no-cache               neither read nor write the result store\n  \
+         --refresh                recompute every job, overwriting stored results\n\n\
          experiments:\n",
     );
     for e in registry::all() {
@@ -63,7 +78,8 @@ pub fn usage() -> String {
     }
     s.push_str(
         "\nevery run writes a structured manifest to <out>/run-<name>.json \
-         (default out: results/).\n",
+         (default out: results/); completed jobs persist under the result \
+         store, so a repeated run is served from it.\n",
     );
     s
 }
@@ -160,9 +176,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut scale = Scale::Paper;
     let mut jobs = None;
     let mut out = None;
+    let mut store_mode = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--no-cache" | "--refresh" => {
+                let mode = if arg == "--no-cache" {
+                    store::Mode::Disabled
+                } else {
+                    store::Mode::Refresh
+                };
+                if store_mode.is_some_and(|m| m != mode) {
+                    return Err("--no-cache and --refresh are mutually exclusive".to_owned());
+                }
+                store_mode = Some(mode);
+            }
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 scale = Scale::parse(v)
@@ -194,6 +222,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         Some((&"manifest-check", [path])) => Command::ManifestCheck(PathBuf::from(path)),
         Some((&"manifest-check", [])) => {
             return Err("manifest-check needs a manifest file path".to_owned())
+        }
+        Some((&"cache", [sub])) => match *sub {
+            "stats" => Command::CacheStats,
+            "clear" => Command::CacheClear,
+            other => return Err(format!("unknown cache action `{other}` (use stats or clear)")),
+        },
+        Some((&"cache", _)) => {
+            return Err("cache needs exactly one action: stats or clear".to_owned())
         }
         Some((&"all", [])) => {
             Command::Run(registry::names().iter().map(|&n| n.to_owned()).collect())
@@ -228,6 +264,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         scale,
         jobs,
         out,
+        store_mode,
     })
 }
 
@@ -300,6 +337,34 @@ mod tests {
     }
 
     #[test]
+    fn store_flags_parse_and_conflict() {
+        let o = parse_args(&args(&["fig2", "--no-cache"])).expect("valid");
+        assert_eq!(o.store_mode, Some(store::Mode::Disabled));
+        let o = parse_args(&args(&["fig2", "--refresh"])).expect("valid");
+        assert_eq!(o.store_mode, Some(store::Mode::Refresh));
+        let o = parse_args(&args(&["fig2"])).expect("valid");
+        assert_eq!(o.store_mode, None, "default leaves the env policy");
+        // Repeating one flag is harmless; mixing the two is an error.
+        let o = parse_args(&args(&["fig2", "--refresh", "--refresh"])).expect("valid");
+        assert_eq!(o.store_mode, Some(store::Mode::Refresh));
+        let err = parse_args(&args(&["fig2", "--no-cache", "--refresh"]))
+            .expect_err("conflicting modes");
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn cache_subcommand_parses_and_validates_actions() {
+        let o = parse_args(&args(&["cache", "stats"])).expect("valid");
+        assert_eq!(o.command, Command::CacheStats);
+        let o = parse_args(&args(&["cache", "clear"])).expect("valid");
+        assert_eq!(o.command, Command::CacheClear);
+        let err = parse_args(&args(&["cache", "wipe"])).expect_err("unknown action");
+        assert!(err.contains("stats or clear"), "{err}");
+        let err = parse_args(&args(&["cache"])).expect_err("missing action");
+        assert!(err.contains("stats or clear"), "{err}");
+    }
+
+    #[test]
     fn zero_jobs_is_rejected() {
         let err = parse_args(&args(&["fig2", "--jobs", "0"])).expect_err("0 workers");
         assert!(err.contains("at least 1"), "{err}");
@@ -347,7 +412,17 @@ mod tests {
         for e in registry::all() {
             assert!(u.contains(e.name), "usage is missing `{}`", e.name);
         }
-        for cmd in ["run ", "all", "manifest-check", "verify", "list"] {
+        for cmd in [
+            "run ",
+            "all",
+            "manifest-check",
+            "verify",
+            "list",
+            "cache stats",
+            "cache clear",
+            "--no-cache",
+            "--refresh",
+        ] {
             assert!(u.contains(cmd), "usage is missing `{cmd}`");
         }
     }

@@ -19,6 +19,7 @@ use bpred_core::Predictor;
 use bpred_trace::PackedTrace;
 
 use crate::parallel;
+use crate::store::{self, JobSpec};
 
 /// The average of one configuration's per-trace rates (0 for none).
 #[must_use]
@@ -68,6 +69,69 @@ where
             .collect()
     });
     let mut rates = vec![Vec::with_capacity(traces.len()); configs];
+    for trace_rates in &per_trace {
+        for (config, rate) in trace_rates.iter().enumerate() {
+            rates[config].push(*rate);
+        }
+    }
+    rates
+}
+
+/// Store-aware [`batch_rates`]: plans one [`crate::store::Job`] per
+/// (configuration, trace) point, serves hits from the result store,
+/// and fans only the cache-missing configurations of each trace into
+/// one batched pass. Returns `rates[config][trace]`, bit-identical to
+/// an uncached run — hits replay stored branch/misprediction counts
+/// through the same rate expression the live path evaluates.
+///
+/// `specs[i]` is the store identity of configuration `i`; `build`
+/// receives the *indices* of the configurations that missed for the
+/// trace at hand (in ascending order) and must return exactly those
+/// predictors, power-on fresh, in that order. On a warm store `build`
+/// is never called and the traces are never streamed.
+pub fn cached_batch_rates<P, F>(
+    traces: &[&PackedTrace],
+    jobs: Option<usize>,
+    specs: &[JobSpec],
+    build: F,
+) -> Vec<Vec<f64>>
+where
+    P: Predictor,
+    F: Fn(&[usize]) -> Vec<P> + Sync,
+{
+    let per_trace: Vec<Vec<f64>> = parallel::map(traces.to_vec(), jobs, |t| {
+        let digest = t.digest();
+        let mut trace_rates: Vec<Option<f64>> = specs
+            .iter()
+            .map(|s| {
+                store::lookup_run(s.job(digest)).map(|r| r.misprediction_rate())
+            })
+            .collect();
+        let missing: Vec<usize> = trace_rates
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if !missing.is_empty() {
+            let mut batch = build(&missing);
+            debug_assert_eq!(
+                batch.len(),
+                missing.len(),
+                "builder must produce exactly the missing configurations"
+            );
+            let results = bpred_analysis::measure_batch(t, &mut batch);
+            for (&i, r) in missing.iter().zip(&results) {
+                store::insert_run(specs[i].job(digest), r);
+                trace_rates[i] = Some(r.misprediction_rate());
+            }
+        }
+        trace_rates
+            .into_iter()
+            .map(|r| r.expect("every configuration is either a hit or freshly measured")) // panic-audited: the missing set is exactly the None slots, all filled above
+            .collect()
+    });
+    let mut rates = vec![Vec::with_capacity(traces.len()); specs.len()];
     for trace_rates in &per_trace {
         for (config, rate) in trace_rates.iter().enumerate() {
             rates[config].push(*rate);
@@ -152,5 +216,34 @@ mod tests {
     fn average_handles_empty_and_values() {
         assert_eq!(average(&[]), 0.0);
         assert!((average(&[0.1, 0.3]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_rates_match_uncached_and_hit_on_rerun() {
+        use bpred_core::PredictorSpec;
+        // A trace no other test shares, so first-run miss accounting
+        // and second-run hits are attributable to this test alone.
+        let t = trace(0xC0FFEE ^ u64::from(std::process::id()), 4000);
+        let p = PackedTrace::build(&t).unwrap();
+        let specs: Vec<PredictorSpec> = ["gshare:s=7,h=7", "gshare:s=7,h=3", "bimode:d=6"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let job_specs: Vec<JobSpec> = specs.iter().map(JobSpec::rate).collect();
+        let build = |idx: &[usize]| -> Vec<Box<dyn Predictor>> {
+            idx.iter().map(|&i| specs[i].build()).collect()
+        };
+        let plain = batch_rates(&[&p], Some(1), 3, || build(&[0, 1, 2]));
+        let first = cached_batch_rates(&[&p], Some(1), &job_specs, build);
+        assert_eq!(first, plain, "cached path must be bit-identical");
+        let before = store::counters();
+        let second = cached_batch_rates(&[&p], Some(1), &job_specs, |_: &[usize]| -> Vec<
+            Box<dyn Predictor>,
+        > {
+            panic!("warm store must not rebuild")
+        });
+        assert_eq!(second, plain);
+        let delta = store::counters().since(&before);
+        assert!(delta.hits >= 3, "all three configs must hit: {delta:?}");
     }
 }

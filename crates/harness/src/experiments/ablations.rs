@@ -2,16 +2,16 @@
 //! the de-aliasing-scheme comparison from the related-work lineage
 //! (\[Lee97\]'s comparative study).
 //!
-//! Every configuration grid here is fused into one predictor batch and
-//! driven over a single pass of each packed trace by
-//! [`engine::batch_rates`] (traces in parallel, configurations
-//! batched). Work accounting is recorded process-wide and reported per
-//! stage by the orchestrator (see [`crate::observe`]).
+//! Every configuration grid here is planned as store jobs and fused
+//! into one predictor batch per trace by
+//! [`engine::cached_batch_rates`] (traces in parallel, configurations
+//! batched, warm points served from the result store). Work accounting
+//! is recorded process-wide and reported per stage by the orchestrator
+//! (see [`crate::observe`]).
 
-use bpred_core::predictors::bimodal::Bimodal;
 use bpred_core::{
-    Agree, BankInit, BiMode, BiModeConfig, ChoiceUpdate, DelayedUpdate, Gselect, Gshare, Gskew,
-    IndexShare, Predictor, Tournament, TriMode, TriModeConfig, TwoBcGskew, Yags,
+    BankInit, BiMode, BiModeConfig, ChoiceUpdate, DelayedUpdate, IndexShare, Predictor,
+    PredictorSpec, TriMode, TriModeConfig,
 };
 use bpred_trace::PackedTrace;
 
@@ -19,7 +19,26 @@ use crate::engine;
 use crate::experiments::{kib, pct};
 use crate::format::{Report, Table};
 use crate::parallel;
+use crate::store::{self, JobSpec};
 use crate::traces::TraceSet;
+
+/// `rates[config][trace]` for a grid of bi-mode configurations, each
+/// point planned as a store job.
+fn bimode_grid_rates(
+    traces: &[&PackedTrace],
+    jobs: Option<usize>,
+    configs: &[BiModeConfig],
+) -> Vec<Vec<f64>> {
+    let specs: Vec<JobSpec> = configs
+        .iter()
+        .map(|&c| JobSpec::rate(&PredictorSpec::BiMode(c)))
+        .collect();
+    engine::cached_batch_rates(traces, jobs, &specs, |idx| {
+        idx.iter()
+            .map(|&i| BiMode::new(configs[i]))
+            .collect::<Vec<_>>()
+    })
+}
 
 /// Ablation: the partial choice-update rule vs always updating the
 /// choice predictor. The paper: partial update is "particularly
@@ -43,9 +62,7 @@ pub fn ablation_choice_update(set: &TraceSet, jobs: Option<usize>) -> Report {
             [partial, always]
         })
         .collect();
-    let rates = engine::batch_rates(&traces, jobs, configs.len(), || {
-        configs.iter().map(|&c| BiMode::new(c)).collect::<Vec<_>>()
-    });
+    let rates = bimode_grid_rates(&traces, jobs, &configs);
     let mut small_budget_gain = 0.0;
     for (i, &d) in ds.iter().enumerate() {
         let partial = engine::average(&rates[2 * i]);
@@ -86,9 +103,7 @@ pub fn ablation_init(set: &TraceSet, jobs: Option<usize>) -> Report {
             [split, uniform]
         })
         .collect();
-    let rates = engine::batch_rates(&traces, jobs, configs.len(), || {
-        configs.iter().map(|&c| BiMode::new(c)).collect::<Vec<_>>()
-    });
+    let rates = bimode_grid_rates(&traces, jobs, &configs);
     for (i, &d) in ds.iter().enumerate() {
         t.push_row([
             d.to_string(),
@@ -114,11 +129,8 @@ pub fn ablation_choice_size(set: &TraceSet, jobs: Option<usize>) -> Report {
     );
     let d = 10u32;
     let cs = [d - 4, d - 2, d - 1, d, d + 1];
-    let rates = engine::batch_rates(&traces, jobs, cs.len(), || {
-        cs.iter()
-            .map(|&c| BiMode::new(BiModeConfig::new(d, c, d)))
-            .collect::<Vec<_>>()
-    });
+    let configs: Vec<BiModeConfig> = cs.iter().map(|&c| BiModeConfig::new(d, c, d)).collect();
+    let rates = bimode_grid_rates(&traces, jobs, &configs);
     let mut t = Table::new(["choice bits", "total size KB", "misprediction %"]);
     for (i, &c) in cs.iter().enumerate() {
         let size = BiMode::new(BiModeConfig::new(d, c, d)).cost().state_kib();
@@ -148,9 +160,7 @@ pub fn ablation_index(set: &TraceSet, jobs: Option<usize>) -> Report {
             [shared, skewed]
         })
         .collect();
-    let rates = engine::batch_rates(&traces, jobs, configs.len(), || {
-        configs.iter().map(|&c| BiMode::new(c)).collect::<Vec<_>>()
-    });
+    let rates = bimode_grid_rates(&traces, jobs, &configs);
     for (i, &d) in ds.iter().enumerate() {
         t.push_row([
             d.to_string(),
@@ -165,25 +175,48 @@ pub fn ablation_index(set: &TraceSet, jobs: Option<usize>) -> Report {
 /// Contenders per budget in [`compare_dealias`]'s grid.
 const DEALIAS_CONTENDERS: usize = 10;
 
-/// The ten de-aliasing contenders at one gshare-equivalent budget `s`.
-fn dealias_configs(s: u32) -> Vec<Box<dyn Predictor>> {
+/// The ten de-aliasing contenders at one gshare-equivalent budget `s`,
+/// as grammar specs (each carries its own store fingerprint and builds
+/// the exact predictor the scalar constructors produced).
+fn dealias_specs(s: u32) -> Vec<PredictorSpec> {
     let d = s - 1;
     debug_assert_eq!(DEALIAS_CONTENDERS, 10);
     vec![
-        Box::new(Bimodal::new(s)),
-        Box::new(Gshare::new(s, s)),
-        Box::new(Gshare::new(s, s - 4)),
-        Box::new(Gselect::new(4, s - 4)),
-        Box::new(BiMode::new(BiModeConfig::paper_default(d))),
-        Box::new(Agree::new(s, s, s - 1)),
-        Box::new(Gskew::new(s - 1, s - 1)),
-        Box::new(TwoBcGskew::new(s - 1, s - 1)),
-        Box::new(Yags::new(s - 1, s - 2, s - 2, 6)),
-        Box::new(Tournament::new(
-            Box::new(Bimodal::new(s - 1)),
-            Box::new(Gshare::new(s - 1, s - 1)),
-            s - 1,
-        )),
+        PredictorSpec::Bimodal { table_bits: s },
+        PredictorSpec::Gshare {
+            table_bits: s,
+            history_bits: s,
+        },
+        PredictorSpec::Gshare {
+            table_bits: s,
+            history_bits: s - 4,
+        },
+        PredictorSpec::Gselect {
+            address_bits: 4,
+            history_bits: s - 4,
+        },
+        PredictorSpec::BiMode(BiModeConfig::paper_default(d)),
+        PredictorSpec::Agree {
+            table_bits: s,
+            history_bits: s,
+            bias_bits: s - 1,
+        },
+        PredictorSpec::Gskew {
+            bank_bits: s - 1,
+            history_bits: s - 1,
+            total_update: false,
+        },
+        PredictorSpec::TwoBcGskew {
+            bank_bits: s - 1,
+            history_bits: s - 1,
+        },
+        PredictorSpec::Yags {
+            choice_bits: s - 1,
+            cache_bits: s - 2,
+            history_bits: s - 2,
+            tag_bits: 6,
+        },
+        PredictorSpec::Tournament { table_bits: s - 1 },
     ]
 }
 
@@ -204,20 +237,24 @@ pub fn compare_dealias(set: &TraceSet, jobs: Option<usize>) -> Report {
     // to the same state budget; exact KB is printed. All three budgets'
     // contenders share one batched pass.
     let budgets = [("~0.75-1 KB", 12u32), ("~3-4 KB", 14), ("~12-16 KB", 16)];
-    let rates = engine::batch_rates(&traces, jobs, budgets.len() * DEALIAS_CONTENDERS, || {
-        budgets
-            .iter()
-            .flat_map(|&(_, s)| dealias_configs(s))
-            .collect()
+    let grid: Vec<PredictorSpec> = budgets
+        .iter()
+        .flat_map(|&(_, s)| dealias_specs(s))
+        .collect();
+    let job_specs: Vec<JobSpec> = grid.iter().map(JobSpec::rate).collect();
+    let rates = engine::cached_batch_rates(&traces, jobs, &job_specs, |idx| {
+        idx.iter()
+            .map(|&i| grid[i].build())
+            .collect::<Vec<Box<dyn Predictor>>>()
     });
-    for (bi, &(label, s)) in budgets.iter().enumerate() {
-        let contenders = dealias_configs(s);
+    for (bi, &(label, _)) in budgets.iter().enumerate() {
         let mut t = Table::new(["scheme", "size KB", "misprediction %"]);
-        for (ci, p) in contenders.iter().enumerate() {
+        for ci in 0..DEALIAS_CONTENDERS {
+            let p = grid[bi * DEALIAS_CONTENDERS + ci].build();
             t.push_row([
                 p.name(),
                 kib(p.cost().state_kib()),
-                pct(engine::average(&rates[bi * contenders.len() + ci])),
+                pct(engine::average(&rates[bi * DEALIAS_CONTENDERS + ci])),
             ]);
         }
         report.section(format!("budget {label}"), t);
@@ -241,19 +278,30 @@ pub fn ablation_delay(set: &TraceSet, jobs: Option<usize>) -> Report {
          resolution. Rates are suite averages.",
     );
     let delays = [0usize, 1, 2, 4, 8, 16, 32];
-    let rates = engine::batch_rates(&traces, jobs, 2 * delays.len(), || {
-        delays
-            .iter()
-            .flat_map(|&delay| {
-                [
-                    Box::new(DelayedUpdate::new(Gshare::new(12, 12), delay)) as Box<dyn Predictor>,
-                    Box::new(DelayedUpdate::new(
-                        BiMode::new(BiModeConfig::paper_default(11)),
-                        delay,
-                    )),
-                ]
+    // The `DelayedUpdate` wrapper has no grammar spec of its own; the
+    // inner spec plus the FIFO depth keys the job.
+    let inners = [
+        PredictorSpec::Gshare {
+            table_bits: 12,
+            history_bits: 12,
+        },
+        PredictorSpec::BiMode(BiModeConfig::paper_default(11)),
+    ];
+    let grid: Vec<(usize, &PredictorSpec)> = delays
+        .iter()
+        .flat_map(|&delay| inners.iter().map(move |inner| (delay, inner)))
+        .collect();
+    let specs: Vec<JobSpec> = grid
+        .iter()
+        .map(|&(delay, inner)| JobSpec::delayed_rate(inner, delay as u64))
+        .collect();
+    let rates = engine::cached_batch_rates(&traces, jobs, &specs, |idx| {
+        idx.iter()
+            .map(|&i| {
+                let (delay, inner) = grid[i];
+                Box::new(DelayedUpdate::new(inner.build(), delay)) as Box<dyn Predictor>
             })
-            .collect()
+            .collect::<Vec<_>>()
     });
     let mut t = Table::new(["delay (branches)", "gshare(s=12) %", "bi-mode(d=11) %"]);
     for (i, &delay) in delays.iter().enumerate() {
@@ -286,15 +334,24 @@ pub fn future_trimode(set: &TraceSet, jobs: Option<usize>) -> Report {
     let names: Vec<&str> = set.entries().iter().map(|(w, _)| w.name()).collect();
     let traces = set.all_packed();
     let ds = [9u32, 11, 13];
-    let rates = engine::batch_rates(&traces, jobs, 2 * ds.len(), || {
-        ds.iter()
-            .flat_map(|&d| {
-                [
-                    Box::new(BiMode::new(BiModeConfig::paper_default(d))) as Box<dyn Predictor>,
-                    Box::new(TriMode::new(TriModeConfig::new(d, d, d))),
-                ]
-            })
-            .collect()
+    let grid: Vec<PredictorSpec> = ds
+        .iter()
+        .flat_map(|&d| {
+            [
+                PredictorSpec::BiMode(BiModeConfig::paper_default(d)),
+                PredictorSpec::TriMode {
+                    direction_bits: d,
+                    choice_bits: d,
+                    history_bits: d,
+                },
+            ]
+        })
+        .collect();
+    let specs: Vec<JobSpec> = grid.iter().map(JobSpec::rate).collect();
+    let rates = engine::cached_batch_rates(&traces, jobs, &specs, |idx| {
+        idx.iter()
+            .map(|&i| grid[i].build())
+            .collect::<Vec<Box<dyn Predictor>>>()
     });
     for (di, &d) in ds.iter().enumerate() {
         let (bi_rates, tri_rates) = (&rates[2 * di], &rates[2 * di + 1]);
@@ -359,20 +416,29 @@ pub fn aliasing_taxonomy(set: &TraceSet) -> Report {
             "destructive traffic %",
         ]);
         let d = s - 1;
+        let alias_of = |spec: &PredictorSpec| {
+            store::cached_alias(JobSpec::alias(spec).job(trace.digest()), || {
+                bpred_analysis::AliasReport::measure(trace, || spec.build())
+            })
+        };
         let schemes: Vec<(String, bpred_analysis::AliasReport)> = vec![
             (
                 format!("gshare(s={s},h={s})"),
-                bpred_analysis::AliasReport::measure(trace, || Gshare::new(s, s)),
+                alias_of(&PredictorSpec::Gshare {
+                    table_bits: s,
+                    history_bits: s,
+                }),
             ),
             (
                 format!("gshare(s={s},h=2)"),
-                bpred_analysis::AliasReport::measure(trace, || Gshare::new(s, 2)),
+                alias_of(&PredictorSpec::Gshare {
+                    table_bits: s,
+                    history_bits: 2,
+                }),
             ),
             (
                 format!("bi-mode(d={d})"),
-                bpred_analysis::AliasReport::measure(trace, || {
-                    BiMode::new(BiModeConfig::paper_default(d))
-                }),
+                alias_of(&PredictorSpec::BiMode(BiModeConfig::paper_default(d))),
             ),
         ];
         for (name, r) in schemes {
@@ -391,23 +457,30 @@ pub fn aliasing_taxonomy(set: &TraceSet) -> Report {
 }
 
 /// Suite average of one flushed configuration, traces in parallel.
-fn flushed_average<P, F>(
+/// `u64::MAX` means "never flush" and is the same measurement as a
+/// plain rate drive, so it shares the rate job family; finite
+/// intervals key as flushed-rate jobs parameterised by the interval.
+fn flushed_average(
     traces: &[&PackedTrace],
     jobs: Option<usize>,
     interval: u64,
-    build: F,
-) -> f64
-where
-    P: Predictor,
-    F: Fn() -> P + Sync,
-{
+    spec: &PredictorSpec,
+) -> f64 {
+    let job_spec = if interval == u64::MAX {
+        JobSpec::rate(spec)
+    } else {
+        JobSpec::flushed_rate(spec, interval)
+    };
     let rates = parallel::map(traces.to_vec(), jobs, |t| {
-        let mut p = build();
-        if interval == u64::MAX {
-            bpred_analysis::measure_packed(t, &mut p).misprediction_rate()
-        } else {
-            bpred_analysis::measure_packed_with_flushes(t, &mut p, interval).misprediction_rate()
-        }
+        store::cached_run(job_spec.job(t.digest()), || {
+            let mut p = spec.build();
+            if interval == u64::MAX {
+                bpred_analysis::measure_packed(t, &mut p)
+            } else {
+                bpred_analysis::measure_packed_with_flushes(t, &mut p, interval)
+            }
+        })
+        .misprediction_rate()
     });
     engine::average(&rates)
 }
@@ -432,12 +505,21 @@ pub fn ablation_flush(set: &TraceSet, jobs: Option<usize>) -> Report {
         };
         t.push_row([
             label,
-            pct(flushed_average(&traces, jobs, interval, || {
-                Gshare::new(12, 12)
-            })),
-            pct(flushed_average(&traces, jobs, interval, || {
-                BiMode::new(BiModeConfig::paper_default(11))
-            })),
+            pct(flushed_average(
+                &traces,
+                jobs,
+                interval,
+                &PredictorSpec::Gshare {
+                    table_bits: 12,
+                    history_bits: 12,
+                },
+            )),
+            pct(flushed_average(
+                &traces,
+                jobs,
+                interval,
+                &PredictorSpec::BiMode(BiModeConfig::paper_default(11)),
+            )),
         ]);
     }
     report.section("suite-average misprediction vs flush interval", t);
@@ -454,12 +536,17 @@ pub fn warmup_curves(set: &TraceSet) -> Report {
     let mut report = Report::new("warmup", "Warm-up: windowed misprediction over time (gcc)");
     let window = (trace.conditional().count() as u64 / 40).max(1_000);
     report.note(format!("Window: {window} conditional branches."));
-    let mut gshare = Gshare::new(12, 12);
-    let mut bimode = BiMode::new(BiModeConfig::paper_default(11));
-    let mut bimodal = Bimodal::new(12);
-    let g = bpred_analysis::windowed_rates(trace, &mut gshare, window);
-    let b = bpred_analysis::windowed_rates(trace, &mut bimode, window);
-    let s = bpred_analysis::windowed_rates(trace, &mut bimodal, window);
+    let curve_of = |spec: &PredictorSpec| {
+        store::cached_f64s(JobSpec::warmup(spec, window).job(trace.digest()), || {
+            bpred_analysis::windowed_rates(trace, spec.build().as_mut(), window)
+        })
+    };
+    let g = curve_of(&PredictorSpec::Gshare {
+        table_bits: 12,
+        history_bits: 12,
+    });
+    let b = curve_of(&PredictorSpec::BiMode(BiModeConfig::paper_default(11)));
+    let s = curve_of(&PredictorSpec::Bimodal { table_bits: 12 });
     let mut t = Table::new(["window", "bimodal %", "gshare(12,12) %", "bi-mode(d=11) %"]);
     for (i, ((gr, br), sr)) in g.iter().zip(&b).zip(&s).enumerate() {
         t.push_row([(i + 1).to_string(), pct(*sr), pct(*gr), pct(*br)]);

@@ -1,13 +1,36 @@
 //! Figures 2–8 of the paper.
 
 use bpred_analysis::Analysis;
-use bpred_core::{BiMode, BiModeConfig, Gshare};
+use bpred_core::{BiMode, BiModeConfig, Gshare, PredictorSpec};
+use bpred_trace::Trace;
 use bpred_workloads::Suite;
 
 use crate::experiments::{kib, pct};
 use crate::format::{Report, Table};
+use crate::store::{self, JobSpec};
 use crate::sweep::{self, Scheme, SweepPoint};
 use crate::traces::TraceSet;
+
+/// A two-pass gshare(`s`, `m`) analysis, served from the result store
+/// when the (spec, trace) job is warm.
+fn gshare_analysis(trace: &Trace, table_bits: u32, history_bits: u32) -> Analysis {
+    let spec = PredictorSpec::Gshare {
+        table_bits,
+        history_bits,
+    };
+    store::cached_analysis(JobSpec::twopass(&spec).job(trace.digest()), || {
+        Analysis::run(trace, || Gshare::new(table_bits, history_bits))
+    })
+}
+
+/// A two-pass paper-default bi-mode analysis, store-served when warm.
+fn bimode_analysis(trace: &Trace, direction_bits: u32) -> Analysis {
+    let config = BiModeConfig::paper_default(direction_bits);
+    let spec = PredictorSpec::BiMode(config);
+    store::cached_analysis(JobSpec::twopass(&spec).job(trace.digest()), || {
+        Analysis::run(trace, || BiMode::new(config))
+    })
+}
 
 fn curve_table(points: &[SweepPoint]) -> Table {
     let mut t = Table::new(["scheme", "config", "size KB", "misprediction %"]);
@@ -146,8 +169,8 @@ pub fn fig5(set: &TraceSet) -> Report {
         "fig5",
         "Figure 5: bias breakdown for gshare on gcc (256 counters)",
     );
-    let history = Analysis::run(trace, || Gshare::new(8, 8));
-    let address = Analysis::run(trace, || Gshare::new(8, 2));
+    let history = gshare_analysis(trace, 8, 8);
+    let address = gshare_analysis(trace, 8, 2);
     per_counter_sections(&mut report, "history-indexed gshare(8,8)", &history);
     per_counter_sections(&mut report, "address-indexed gshare(8,2)", &address);
 
@@ -192,11 +215,11 @@ pub fn fig6(set: &TraceSet) -> Report {
         "fig6",
         "Figure 6: bias breakdown for bi-mode on gcc (2x128 + 128)",
     );
-    let bimode = Analysis::run(trace, || BiMode::new(BiModeConfig::paper_default(7)));
+    let bimode = bimode_analysis(trace, 7);
     per_counter_sections(&mut report, "bi-mode(d=7,c=7,h=7)", &bimode);
 
     // Compare against the same-order gshare from Figure 5.
-    let history = Analysis::run(trace, || Gshare::new(8, 8));
+    let history = gshare_analysis(trace, 8, 8);
     let (dom_b, _, wb_b) = bimode.area_fractions();
     let (dom_g, _, wb_g) = history.area_fractions();
     report.note(format!(
@@ -250,9 +273,9 @@ pub fn fig78(set: &TraceSet, workload: &str) -> Report {
             10 => "1K",
             _ => "32K",
         };
-        let addr = Analysis::run(trace, || Gshare::new(s, m_addr));
-        let hist = Analysis::run(trace, || Gshare::new(s, m_hist));
-        let bimode = Analysis::run(trace, || BiMode::new(BiModeConfig::paper_default(d)));
+        let addr = gshare_analysis(trace, s, m_addr);
+        let hist = gshare_analysis(trace, s, m_hist);
+        let bimode = bimode_analysis(trace, d);
         for (name, a) in [
             (format!("gshare({m_addr})"), &addr),
             (format!("gshare({m_hist})"), &hist),

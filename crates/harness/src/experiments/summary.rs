@@ -4,24 +4,42 @@
 //! table.
 
 use bpred_analysis::{AliasReport, Analysis};
-use bpred_core::{BiMode, BiModeConfig, Gshare, Predictor, TriMode, TriModeConfig};
-use bpred_trace::PackedTrace;
+use bpred_core::{BiModeConfig, PredictorSpec};
+use bpred_trace::{PackedTrace, Trace};
 use bpred_workloads::Suite;
 
 use crate::experiments::pct;
 use crate::format::{Report, Table};
 use crate::search::best_gshare;
+use crate::store::{self, JobSpec};
 use crate::traces::TraceSet;
 
-fn average_rate(traces: &[&PackedTrace], mut p: impl Predictor) -> f64 {
-    let sum: f64 = traces
-        .iter()
-        .map(|t| {
-            p.reset();
-            bpred_analysis::measure_packed(t, &mut p).misprediction_rate()
-        })
-        .sum();
+/// One store-planned rate job per trace; fresh predictor state per
+/// trace, exactly like the scalar loop this replaces.
+fn rate_of(trace: &PackedTrace, spec: &PredictorSpec) -> f64 {
+    store::cached_run(JobSpec::rate(spec).job(trace.digest()), || {
+        bpred_analysis::measure_packed(trace, spec.build().as_mut())
+    })
+    .misprediction_rate()
+}
+
+fn average_rate(traces: &[&PackedTrace], spec: &PredictorSpec) -> f64 {
+    let sum: f64 = traces.iter().map(|t| rate_of(t, spec)).sum();
     sum / traces.len() as f64
+}
+
+/// A two-pass analysis job, served from the result store when warm.
+fn analysis_of(trace: &Trace, spec: &PredictorSpec) -> Analysis {
+    store::cached_analysis(JobSpec::twopass(spec).job(trace.digest()), || {
+        Analysis::run(trace, || spec.build())
+    })
+}
+
+/// An alias-taxonomy job, served from the result store when warm.
+fn alias_of(trace: &Trace, spec: &PredictorSpec) -> AliasReport {
+    store::cached_alias(JobSpec::alias(spec).job(trace.digest()), || {
+        AliasReport::measure(trace, || spec.build())
+    })
 }
 
 struct Scoreboard {
@@ -81,7 +99,10 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
         let mut detail = Vec::new();
         let ds = [9u32, 11, 13];
         for &d in &ds {
-            let bm = average_rate(traces, BiMode::new(BiModeConfig::paper_default(d)));
+            let bm = average_rate(
+                traces,
+                &PredictorSpec::BiMode(BiModeConfig::paper_default(d)),
+            );
             let gs = best_gshare(traces, d + 1, jobs).average_rate;
             wins += usize::from(bm <= gs * 1.01);
             detail.push(format!("d={d}: {} vs {}", pct(bm), pct(gs)));
@@ -95,7 +116,10 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
 
     // -- Figure 2: the half-the-size-at-4KB+ claim --
     for (suite_name, traces) in [("SPEC", &spec), ("IBS", &ibs)] {
-        let bm12 = average_rate(traces, BiMode::new(BiModeConfig::paper_default(14)));
+        let bm12 = average_rate(
+            traces,
+            &PredictorSpec::BiMode(BiModeConfig::paper_default(14)),
+        );
         let gs32 = best_gshare(traces, 17, jobs).average_rate;
         board.check(
             &format!("Fig 2 ({suite_name}): bi-mode@12KB beats gshare.best@32KB"),
@@ -105,17 +129,15 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
     }
 
     // -- Figure 3: go is the hardest SPEC benchmark --
+    let gshare_12_10 = PredictorSpec::Gshare {
+        table_bits: 12,
+        history_bits: 10,
+    };
     let mut rates: Vec<(&str, f64)> = set
         .packed_entries()
         .into_iter()
         .filter(|(w, _)| w.suite() == Suite::SpecInt95)
-        .map(|(w, t)| {
-            let mut p = Gshare::new(12, 10);
-            (
-                w.name(),
-                bpred_analysis::measure_packed(t, &mut p).misprediction_rate(),
-            )
-        })
+        .map(|(w, t)| (w.name(), rate_of(t, &gshare_12_10)))
         .collect();
     rates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite")); // panic-audited: misprediction rates are finite ratios, never NaN
     board.check(
@@ -125,7 +147,13 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
     );
 
     // -- Figure 8: WB dominates go's mispredictions --
-    let go_analysis = Analysis::run(go, || Gshare::new(10, 10));
+    let go_analysis = analysis_of(
+        go,
+        &PredictorSpec::Gshare {
+            table_bits: 10,
+            history_bits: 10,
+        },
+    );
     board.check(
         "Fig 8 (§4.4): WB class dominates go's mispredictions",
         format!(
@@ -151,8 +179,14 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
     );
 
     // -- Table 4: fewer bias-class changes for bi-mode on gcc --
-    let gshare_gcc = Analysis::run(gcc, || Gshare::new(8, 8));
-    let bimode_gcc = Analysis::run(gcc, || BiMode::new(BiModeConfig::paper_default(7)));
+    let gshare_gcc = analysis_of(
+        gcc,
+        &PredictorSpec::Gshare {
+            table_bits: 8,
+            history_bits: 8,
+        },
+    );
+    let bimode_gcc = analysis_of(gcc, &PredictorSpec::BiMode(BiModeConfig::paper_default(7)));
     board.check(
         "Table 4: bi-mode has fewer bias-class changes (gcc)",
         format!(
@@ -164,7 +198,13 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
     );
 
     // -- Figures 5/6: WB and dominant-area contrasts on gcc --
-    let address_gcc = Analysis::run(gcc, || Gshare::new(8, 2));
+    let address_gcc = analysis_of(
+        gcc,
+        &PredictorSpec::Gshare {
+            table_bits: 8,
+            history_bits: 2,
+        },
+    );
     let (dom_h, _, wb_h) = gshare_gcc.area_fractions();
     let (_, _, wb_a) = address_gcc.area_fractions();
     board.check(
@@ -180,8 +220,14 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
     );
 
     // -- §2.2: smaller destructive alias share --
-    let alias_g = AliasReport::measure(gcc, || Gshare::new(8, 8));
-    let alias_b = AliasReport::measure(gcc, || BiMode::new(BiModeConfig::paper_default(7)));
+    let alias_g = alias_of(
+        gcc,
+        &PredictorSpec::Gshare {
+            table_bits: 8,
+            history_bits: 8,
+        },
+    );
+    let alias_b = alias_of(gcc, &PredictorSpec::BiMode(BiModeConfig::paper_default(7)));
     board.check(
         "§2.2: bi-mode carries a smaller destructive alias share (gcc)",
         format!(
@@ -193,8 +239,18 @@ pub fn summary(set: &TraceSet, jobs: Option<usize>) -> Report {
     );
 
     // -- §5 future work: tri-mode helps on go --
-    let bi_go = average_rate(&[go_packed], BiMode::new(BiModeConfig::paper_default(10)));
-    let tri_go = average_rate(&[go_packed], TriMode::new(TriModeConfig::new(10, 10, 10)));
+    let bi_go = average_rate(
+        &[go_packed],
+        &PredictorSpec::BiMode(BiModeConfig::paper_default(10)),
+    );
+    let tri_go = average_rate(
+        &[go_packed],
+        &PredictorSpec::TriMode {
+            direction_bits: 10,
+            choice_bits: 10,
+            history_bits: 10,
+        },
+    );
     board.check(
         "§5 (extension): tri-mode beats bi-mode on go",
         format!("{} vs {}", pct(tri_go), pct(bi_go)),

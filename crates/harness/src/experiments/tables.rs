@@ -1,10 +1,11 @@
 //! Tables 1–4 of the paper.
 
 use bpred_analysis::{Analysis, BiasClass, StreamStats};
-use bpred_core::{BiMode, BiModeConfig, Gshare};
+use bpred_core::{BiModeConfig, PredictorSpec};
 use bpred_workloads::{Scale, Workload};
 
 use crate::format::{Report, Table};
+use crate::store::{self, JobSpec};
 use crate::traces::TraceSet;
 
 /// Table 1: the input data sets. The paper documents the (reduced)
@@ -142,8 +143,16 @@ pub fn table4(set: &TraceSet) -> Report {
          dominant class. 256-counter budgets as in the paper's Section 4.",
     );
     let mut t = Table::new(["scheme", "dominant", "non-dominant", "WB", "total"]);
-    let history = Analysis::run(trace, || Gshare::new(8, 8));
-    let bimode = Analysis::run(trace, || BiMode::new(BiModeConfig::paper_default(7)));
+    let analysis_of = |spec: &PredictorSpec| {
+        store::cached_analysis(JobSpec::twopass(spec).job(trace.digest()), || {
+            Analysis::run(trace, || spec.build())
+        })
+    };
+    let history = analysis_of(&PredictorSpec::Gshare {
+        table_bits: 8,
+        history_bits: 8,
+    });
+    let bimode = analysis_of(&PredictorSpec::BiMode(BiModeConfig::paper_default(7)));
     for (name, a) in [("history-indexed", &history), ("bi-mode", &bimode)] {
         t.push_row([
             name.to_owned(),

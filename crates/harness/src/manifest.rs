@@ -4,10 +4,13 @@
 //! After [`crate::orchestrate::execute`] finishes, the harness writes
 //! `results/run-<name>.json` describing everything that happened:
 //! per-experiment wall time and throughput, branches simulated and
-//! configurations driven, trace-cache provenance, the scale and job
+//! configurations driven, trace-cache and result-store provenance
+//! (jobs planned, served cached, computed fresh), the scale and job
 //! budget, and the crate version. CI parses the manifest back with
 //! [`Manifest::validate`] to prove a run actually covered every
-//! registered experiment with real work behind it.
+//! registered experiment with real work behind it — where "real work"
+//! means every planned job is accounted for as either cached or
+//! computed, and computed configurations simulated branches.
 //!
 //! The workspace has no serde (offline, no new dependencies), so this
 //! module carries its own tiny JSON value type with an emitter and a
@@ -23,7 +26,10 @@ use bpred_workloads::Scale;
 use crate::observe::StageStats;
 
 /// Manifest schema version; bump on breaking layout changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added result-store provenance: per-stage `jobs_cached` /
+/// `jobs_computed` / `results_inserted` and the top-level
+/// `result_store` object.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A JSON value: the minimal tree the manifest needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -261,9 +267,15 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| format!("invalid number at byte {start}"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+        let n = text
+            .parse::<f64>()
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))?;
+        // `1e999` parses to infinity; JSON cannot express non-finite
+        // values, so overflowing literals are malformed, not infinite.
+        if !n.is_finite() {
+            return Err(format!("non-finite number `{text}` at byte {start}"));
+        }
+        Ok(Json::Num(n))
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -396,6 +408,11 @@ pub struct Manifest {
     pub jobs: Option<usize>,
     /// On-disk trace cache directory, if caching was enabled.
     pub cache_dir: Option<PathBuf>,
+    /// On-disk result-store directory, if the store was available.
+    pub store_dir: Option<PathBuf>,
+    /// Result-store mode the run executed under (`normal`, `refresh`,
+    /// or `disabled`).
+    pub store_mode: String,
     /// The shared trace-generation stage.
     pub trace_stage: StageStats,
     /// One record per executed experiment, in run order.
@@ -421,6 +438,22 @@ fn stage_json(stats: &StageStats) -> Json {
         (
             "packs_built".to_owned(),
             Json::Num(stats.cache.packs_built as f64),
+        ),
+        (
+            "jobs_planned".to_owned(),
+            Json::Num(stats.store.total() as f64),
+        ),
+        (
+            "jobs_cached".to_owned(),
+            Json::Num(stats.store.hits as f64),
+        ),
+        (
+            "jobs_computed".to_owned(),
+            Json::Num(stats.store.misses as f64),
+        ),
+        (
+            "results_inserted".to_owned(),
+            Json::Num(stats.store.inserts as f64),
         ),
     ])
 }
@@ -485,6 +518,34 @@ impl Manifest {
                 ]),
             ),
             (
+                "result_store".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "dir".to_owned(),
+                        self.store_dir
+                            .as_ref()
+                            .map_or(Json::Null, |d| Json::Str(d.display().to_string())),
+                    ),
+                    ("mode".to_owned(), Json::Str(self.store_mode.clone())),
+                    (
+                        "jobs_planned".to_owned(),
+                        Json::Num(self.total.store.total() as f64),
+                    ),
+                    (
+                        "jobs_cached".to_owned(),
+                        Json::Num(self.total.store.hits as f64),
+                    ),
+                    (
+                        "jobs_computed".to_owned(),
+                        Json::Num(self.total.store.misses as f64),
+                    ),
+                    (
+                        "results_inserted".to_owned(),
+                        Json::Num(self.total.store.inserts as f64),
+                    ),
+                ]),
+            ),
+            (
                 "stages".to_owned(),
                 Json::Obj(vec![("traces".to_owned(), stage_json(&self.trace_stage))]),
             ),
@@ -525,8 +586,9 @@ impl Manifest {
     /// Validates a serialised manifest against the expected experiment
     /// set: schema version, every expected experiment present exactly
     /// once (and nothing extra), finite non-negative wall times, real
-    /// work (branches > 0 wherever configs > 0), and positive run
-    /// totals.
+    /// work (branches > 0 wherever configs > 0), store provenance that
+    /// adds up (`jobs_cached + jobs_computed == jobs_planned`, per
+    /// experiment and in the totals), and positive run totals.
     ///
     /// # Errors
     ///
@@ -586,6 +648,7 @@ impl Manifest {
             if !tp.is_finite() || tp < 0.0 {
                 return Err(format!("`{name}`: throughput {tp} is not finite"));
             }
+            check_store_provenance(e, name)?;
         }
         for want in expected {
             if !seen.contains(want) {
@@ -606,11 +669,46 @@ impl Manifest {
                 "totals: drove {total_configs} configs but simulated no branches"
             ));
         }
+        let (planned, cached, _) = check_store_provenance(totals, "totals")?;
+        let store = doc.get("result_store").ok_or("missing `result_store`")?;
+        store
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or("result_store: missing `mode`")?;
+        let (s_planned, s_cached, s_computed) = check_store_provenance(store, "result_store")?;
+        if s_planned != planned {
+            return Err(format!(
+                "result_store planned {s_planned} jobs but totals planned {planned}"
+            ));
+        }
+        let _ = (s_cached, s_computed);
         Ok(format!(
-            "manifest OK: {} experiments, {total_branches} branches simulated",
+            "manifest OK: {} experiments, {total_branches} branches simulated, \
+             {cached}/{planned} jobs served from the result store",
             seen.len()
         ))
     }
+}
+
+/// Checks one stage/summary object's result-store accounting: the
+/// three counters are present and `jobs_cached + jobs_computed ==
+/// jobs_planned` (every planned job accounted for exactly once).
+/// Returns `(planned, cached, computed)`.
+fn check_store_provenance(obj: &Json, name: &str) -> Result<(u64, u64, u64), String> {
+    let field = |key: &str| -> Result<u64, String> {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("`{name}`: missing `{key}`"))
+    };
+    let planned = field("jobs_planned")?;
+    let cached = field("jobs_cached")?;
+    let computed = field("jobs_computed")?;
+    if cached + computed != planned {
+        return Err(format!(
+            "`{name}`: {cached} cached + {computed} computed != {planned} planned jobs"
+        ));
+    }
+    Ok((planned, cached, computed))
 }
 
 #[cfg(test)]
@@ -630,6 +728,11 @@ mod tests {
                 misses: 2,
                 packs_built: 3,
             },
+            store: crate::store::StoreCounters {
+                hits: 1,
+                misses: configs,
+                inserts: configs,
+            },
         }
     }
 
@@ -639,6 +742,8 @@ mod tests {
             scale: Scale::Smoke,
             jobs: Some(4),
             cache_dir: Some(PathBuf::from("/tmp/cache")),
+            store_dir: Some(PathBuf::from("/tmp/cache/results")),
+            store_mode: "normal".to_owned(),
             trace_stage: stats("traces", 0, 0),
             experiments: vec![
                 ExperimentRecord {
@@ -720,9 +825,155 @@ mod tests {
         let text = sample_manifest()
             .to_json()
             .emit()
-            .replace("\"schema\": 1", "\"schema\": 99");
+            .replace("\"schema\": 2", "\"schema\": 99");
         let err = Manifest::validate(&text, &["fig2", "table4"]).expect_err("wrong schema");
         assert!(err.contains("99"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_escapes() {
+        // Unknown escape letter.
+        assert!(Json::parse(r#""\x""#).is_err());
+        // Backslash at end of input.
+        assert!(Json::parse(r#""\"#).is_err());
+        // \u with too few hex digits, or non-hex digits.
+        assert!(Json::parse(r#""\u12""#).is_err());
+        assert!(Json::parse(r#""\u""#).is_err());
+        assert!(Json::parse(r#""\u00zz""#).is_err());
+        // A valid \u escape still parses.
+        assert_eq!(
+            Json::parse(r#""A""#).expect("valid escape").as_str(),
+            Some("A")
+        );
+    }
+
+    #[test]
+    fn parser_rejects_every_truncation_of_a_real_manifest() {
+        let text = sample_manifest().to_json().emit();
+        assert!(text.is_ascii(), "prefix slicing assumes ASCII");
+        for cut in 0..text.len() {
+            assert!(
+                Json::parse(&text[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_non_finite_numbers() {
+        // Overflowing literals parse to infinity in Rust; JSON cannot
+        // express them, so they must be rejected.
+        assert!(Json::parse("1e999").expect_err("inf").contains("non-finite"));
+        assert!(Json::parse("-1e999").is_err());
+        assert!(Json::parse("[1, 1e999]").is_err());
+        // The identifiers some emitters produce are not JSON either.
+        assert!(Json::parse("NaN").is_err());
+        assert!(Json::parse("Infinity").is_err());
+        assert!(Json::parse("-Infinity").is_err());
+        // On the emit side, non-finite numbers degrade to null.
+        assert_eq!(Json::Num(f64::NAN).emit(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).emit(), "null");
+        assert_eq!(emit_number(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn validate_rejects_provenance_that_does_not_add_up() {
+        // fig2 planned 133 = 1 cached + 132 computed; breaking the sum
+        // must be the first violation reported.
+        let text = sample_manifest()
+            .to_json()
+            .emit()
+            .replace("\"jobs_planned\": 133", "\"jobs_planned\": 200");
+        let err = Manifest::validate(&text, &["fig2", "table4"]).expect_err("bad sum");
+        assert!(err.contains("cached") && err.contains("200"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_result_store_disagreeing_with_totals() {
+        // Shrink the result_store block (the first occurrence of the
+        // totals' counters in document order) while keeping its own sum
+        // consistent; the cross-check against `totals` must fire.
+        let text = sample_manifest()
+            .to_json()
+            .emit()
+            .replacen("\"jobs_planned\": 135", "\"jobs_planned\": 100", 1)
+            .replacen("\"jobs_computed\": 134", "\"jobs_computed\": 99", 1);
+        let err = Manifest::validate(&text, &["fig2", "table4"]).expect_err("mismatch");
+        assert!(err.contains("100") && err.contains("135"), "{err}");
+    }
+
+    // ---- property tests: the emitter and parser agree on every tree ----
+
+    use proptest::prelude::*;
+
+    /// Strings exercising every escape class the emitter produces:
+    /// quotes, backslashes, named escapes, raw control characters
+    /// (emitted as `\u....`), and multi-byte UTF-8.
+    fn json_string() -> impl Strategy<Value = String> {
+        prop::collection::vec(
+            prop::sample::select(vec![
+                'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\t', '\r', '\u{1}', '\u{1f}', 'é', '☃',
+            ]),
+            0..10,
+        )
+        .prop_map(|cs| cs.into_iter().collect())
+    }
+
+    /// Finite numbers: large exact integers and short fractions (both
+    /// survive the `{:?}` emit / `str::parse` round-trip exactly).
+    fn json_number() -> BoxedStrategy<f64> {
+        prop_oneof![
+            (-1_000_000_000_000i64..1_000_000_000_000).prop_map(|n| n as f64),
+            ((-1_000_000i64..1_000_000), (1u32..1000))
+                .prop_map(|(n, d)| n as f64 / f64::from(d)),
+        ]
+        .boxed()
+    }
+
+    fn json_leaf() -> BoxedStrategy<Json> {
+        prop_oneof![
+            Just(Json::Null),
+            any::<bool>().prop_map(Json::Bool),
+            json_number().prop_map(Json::Num),
+            json_string().prop_map(Json::Str),
+        ]
+        .boxed()
+    }
+
+    /// Trees of bounded depth (the vendored shim has no
+    /// `prop_recursive`, so nesting is unrolled manually).
+    fn json_tree(depth: u32) -> BoxedStrategy<Json> {
+        if depth == 0 {
+            return json_leaf();
+        }
+        let inner = json_tree(depth - 1);
+        prop_oneof![
+            json_leaf(),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            prop::collection::vec((json_string(), inner), 0..4).prop_map(Json::Obj),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_trees_roundtrip_through_emit_and_parse(doc in json_tree(3)) {
+            let text = doc.emit();
+            let parsed = Json::parse(&text).expect("own emit must parse");
+            prop_assert_eq!(parsed, doc);
+        }
+
+        #[test]
+        fn truncating_arbitrary_documents_never_panics(doc in json_tree(2)) {
+            let text = doc.emit();
+            for (cut, _) in text.char_indices() {
+                // A prefix of a scalar document can itself be valid
+                // JSON; the property is that parse always *returns*
+                // (Ok or Err), never panics.
+                let _ = Json::parse(&text[..cut]);
+            }
+        }
     }
 
     #[test]

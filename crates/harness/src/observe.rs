@@ -4,7 +4,8 @@
 //! experiment, ...) in a closure, snapshots the process-wide counters
 //! — branches simulated and configurations driven from
 //! [`bpred_analysis::metrics`], trace-cache hits/misses and packs
-//! built from [`crate::traces`] — on either side, and attributes the
+//! built from [`crate::traces`], result-store job hits/misses/inserts
+//! from [`crate::store`] — on either side, and attributes the
 //! delta plus the measured wall time to that stage as a
 //! [`StageStats`]. Stages run sequentially within one orchestrated
 //! run, so snapshot differencing is a sound attribution.
@@ -16,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use bpred_analysis::metrics::{self, DriveSnapshot};
 
+use crate::store::{self, StoreCounters};
 use crate::traces::{self, CacheCounters};
 
 /// A combined reading of every process-wide counter the harness
@@ -26,6 +28,8 @@ pub struct Counters {
     pub drive: DriveSnapshot,
     /// Trace-cache hit/miss/pack counters.
     pub cache: CacheCounters,
+    /// Result-store job hit/miss/insert counters.
+    pub store: StoreCounters,
 }
 
 /// Reads all observable counters at once.
@@ -34,6 +38,7 @@ pub fn counters() -> Counters {
     Counters {
         drive: metrics::snapshot(),
         cache: traces::cache_counters(),
+        store: store::counters(),
     }
 }
 
@@ -50,6 +55,9 @@ pub struct StageStats {
     pub configs: u64,
     /// Trace-cache activity during the stage.
     pub cache: CacheCounters,
+    /// Result-store activity during the stage: jobs served (hits),
+    /// jobs computed (misses), and results persisted.
+    pub store: StoreCounters,
 }
 
 impl StageStats {
@@ -86,6 +94,19 @@ impl StageStats {
             self.cache.hits, self.cache.misses, self.cache.packs_built
         )
     }
+
+    /// The one-line result-store summary for the stage: of the jobs
+    /// planned, how many were served cached vs computed fresh.
+    #[must_use]
+    pub fn store_note(&self) -> String {
+        format!(
+            "Result store: {} jobs planned, {} cached, {} computed, {} inserted.",
+            self.store.total(),
+            self.store.hits,
+            self.store.misses,
+            self.store.inserts
+        )
+    }
 }
 
 /// Records a sequence of named stages by snapshot-differencing the
@@ -117,6 +138,7 @@ impl Observer {
             branches: drive.branches,
             configs: drive.configs,
             cache: after.cache.since(&before.cache),
+            store: after.store.since(&before.store),
         });
         result
     }
@@ -143,6 +165,7 @@ impl Observer {
             branches: 0,
             configs: 0,
             cache: CacheCounters::default(),
+            store: StoreCounters::default(),
         };
         for s in &self.stages {
             total.wall += s.wall;
@@ -151,6 +174,9 @@ impl Observer {
             total.cache.hits += s.cache.hits;
             total.cache.misses += s.cache.misses;
             total.cache.packs_built += s.cache.packs_built;
+            total.store.hits += s.store.hits;
+            total.store.misses += s.store.misses;
+            total.store.inserts += s.store.inserts;
         }
         total
     }
@@ -215,7 +241,9 @@ mod tests {
             branches: 10,
             configs: 1,
             cache: CacheCounters::default(),
+            store: StoreCounters::default(),
         };
         assert_eq!(s.mbranches_per_sec(), 0.0);
+        assert!(s.store_note().starts_with("Result store: 0 jobs planned"));
     }
 }

@@ -14,6 +14,7 @@ use crate::format::Report;
 use crate::manifest::{ExperimentRecord, Manifest};
 use crate::observe::{Observer, StageStats};
 use crate::registry::{self, Experiment, ExperimentDef};
+use crate::store;
 use crate::traces::{self, TraceSet};
 
 /// A resolved run: which experiments, at what scale, with which
@@ -144,6 +145,7 @@ pub fn execute(
             .cloned()
             .unwrap_or_else(|| unreachable!("the experiment stage was just recorded"));
         report.note(stats.note());
+        report.note(stats.store_note());
         records.push(ExperimentRecord {
             name: def.name.to_owned(),
             artefact: def.artefact.to_owned(),
@@ -160,6 +162,8 @@ pub fn execute(
         scale: plan.scale,
         jobs: plan.jobs,
         cache_dir: traces::cache_location(),
+        store_dir: store::location(),
+        store_mode: store::mode().to_string(),
         trace_stage,
         experiments: records,
         total: observer.total(),
@@ -233,16 +237,34 @@ mod tests {
         assert_eq!(seen, ["table4", "fig7"]);
         assert_eq!(outcome.reports.len(), 2);
         for (report, def) in outcome.reports.iter().zip(&p.experiments) {
-            let last = report.notes.last().expect("stage note appended");
+            let n = report.notes.len();
+            assert!(n >= 2, "stage + store notes appended");
             assert!(
-                last.starts_with(&format!("Stage {}:", def.name)),
-                "missing stage note: {last}"
+                report.notes[n - 2].starts_with(&format!("Stage {}:", def.name)),
+                "missing stage note: {}",
+                report.notes[n - 2]
+            );
+            assert!(
+                report.notes[n - 1].starts_with("Result store:"),
+                "missing store note: {}",
+                report.notes[n - 1]
             );
         }
         let m = &outcome.manifest;
         assert_eq!(m.run, "table4+fig7");
         assert_eq!(m.trace_stage.name, "traces");
-        assert!(m.total.branches > 0, "experiments simulate branches");
+        // On a warm result store every job may be served without a
+        // drive, so either branches were simulated or jobs hit.
+        assert!(
+            m.total.branches > 0 || m.total.store.hits > 0,
+            "experiments simulate branches or hit the store: {:?}",
+            m.total
+        );
+        assert_eq!(
+            m.total.store.total(),
+            m.total.store.hits + m.total.store.misses,
+            "provenance accounting is total"
+        );
         let text = m.to_json().emit();
         let summary = M::validate(&text, &["table4", "fig7"]).expect("valid manifest");
         assert!(summary.contains("2 experiments"), "{summary}");

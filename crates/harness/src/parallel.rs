@@ -7,6 +7,17 @@ use std::thread;
 /// Applies `f` to every item on a pool of scoped threads, preserving
 /// input order in the output.
 ///
+/// # Ordering guarantee
+///
+/// `map(items, jobs, f)[i] == f(&items[i])` for every `i`, regardless
+/// of the job count or of which worker computes which item: workers
+/// tag each result with its input index and the single-threaded merge
+/// after the join places it by that tag. Callers rely on this —
+/// the sweeps zip outputs back to their configuration grids and the
+/// result-store engine pairs rates with planned jobs positionally —
+/// so it is a contract, property-tested below, not an accident of
+/// scheduling.
+///
 /// The thread count is `min(items, jobs)`; pass `None` for the
 /// machine's available parallelism.
 pub fn map<T, R, F>(items: Vec<T>, jobs: Option<usize>, f: F) -> Vec<R>
@@ -88,6 +99,29 @@ mod tests {
     fn more_jobs_than_items() {
         let out = map(vec![10, 20], Some(16), |x| x / 10);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn output_order_matches_input_order_for_any_items_and_jobs(
+            items in prop::collection::vec(0u64..1000, 0..40),
+            jobs in 1usize..9,
+            machine_default in any::<bool>(),
+        ) {
+            let jobs = if machine_default { None } else { Some(jobs) };
+            let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+            let out = map(items, jobs, |x| {
+                // Stagger completions so later indices can finish
+                // first: order must come from the merge, not timing.
+                if x % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                x * 3 + 1
+            });
+            prop_assert_eq!(out, expected);
+        }
     }
 
     #[test]

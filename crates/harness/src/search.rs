@@ -11,10 +11,11 @@
 //! collapses to a sweep over `m` — run as one batch over a single pass
 //! of each packed trace, not one trace walk per candidate.
 
-use bpred_core::Gshare;
+use bpred_core::{Gshare, PredictorSpec};
 use bpred_trace::PackedTrace;
 
 use crate::engine;
+use crate::store::{self, JobSpec};
 
 /// The outcome of the exhaustive search at one table size.
 #[derive(Debug, Clone)]
@@ -32,13 +33,21 @@ pub struct BestGshare {
 }
 
 /// Runs gshare(`s`, `m`) over every trace, returning per-trace rates.
+/// Each (trace, config) point is one store job, served from the result
+/// store when warm.
 #[must_use]
 pub fn gshare_rates(traces: &[&PackedTrace], table_bits: u32, history_bits: u32) -> Vec<f64> {
+    let spec = JobSpec::rate(&PredictorSpec::Gshare {
+        table_bits,
+        history_bits,
+    });
     traces
         .iter()
         .map(|t| {
-            bpred_analysis::measure_packed(t, &mut Gshare::new(table_bits, history_bits))
-                .misprediction_rate()
+            store::cached_run(spec.job(t.digest()), || {
+                bpred_analysis::measure_packed(t, &mut Gshare::new(table_bits, history_bits))
+            })
+            .misprediction_rate()
         })
         .collect()
 }
@@ -54,10 +63,18 @@ pub fn gshare_rates(traces: &[&PackedTrace], table_bits: u32, history_bits: u32)
 pub fn best_gshare(traces: &[&PackedTrace], table_bits: u32, jobs: Option<usize>) -> BestGshare {
     assert!(!traces.is_empty(), "the search needs at least one trace");
     let candidates: Vec<u32> = (0..=table_bits).collect();
-    let rates = engine::batch_rates(traces, jobs, candidates.len(), || {
-        candidates
-            .iter()
-            .map(|&m| Gshare::new(table_bits, m))
+    let specs: Vec<JobSpec> = candidates
+        .iter()
+        .map(|&m| {
+            JobSpec::rate(&PredictorSpec::Gshare {
+                table_bits,
+                history_bits: m,
+            })
+        })
+        .collect();
+    let rates = engine::cached_batch_rates(traces, jobs, &specs, |idx| {
+        idx.iter()
+            .map(|&i| Gshare::new(table_bits, candidates[i]))
             .collect::<Vec<_>>()
     });
     let results: Vec<(u32, f64, Vec<f64>)> = candidates

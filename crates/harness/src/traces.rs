@@ -18,8 +18,11 @@ use bpred_workloads::{Scale, Suite, Workload};
 
 use crate::parallel;
 
-/// Cache-format version; bump when workload generators change so stale
-/// traces on disk are ignored.
+/// Cache-format version; bump on binary-codec changes. Generator
+/// changes need no bump: cache files are also keyed by
+/// [`bpred_workloads::source_digest`], so editing any workload kernel
+/// (or the tracer or scale table) re-keys every cached trace
+/// automatically.
 const CACHE_VERSION: u32 = 5;
 
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
@@ -97,7 +100,13 @@ pub fn cache_location() -> Option<PathBuf> {
 }
 
 fn cached_path(workload: &Workload, scale: Scale) -> Option<PathBuf> {
-    cache_dir().map(|d| d.join(format!("v{CACHE_VERSION}-{}-{scale}.bptr", workload.name())))
+    cache_dir().map(|d| {
+        d.join(format!(
+            "v{CACHE_VERSION}-{:016x}-{}-{scale}.bptr",
+            bpred_workloads::source_digest(),
+            workload.name()
+        ))
+    })
 }
 
 /// Writes `trace` to `path` atomically: serialise into a uniquely named
@@ -253,6 +262,21 @@ mod tests {
         let b = load_trace(&w, Scale::Smoke);
         assert_eq!(a, b, "cache round-trip must be lossless");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_files_are_keyed_by_the_generator_source_digest() {
+        let w = Workload::by_name("compress").expect("registered");
+        let path = cached_path(&w, Scale::Smoke).expect("cache enabled in tests");
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 file name");
+        assert!(
+            name.contains(&format!("{:016x}", bpred_workloads::source_digest())),
+            "editing a workload kernel must re-key the cache: {name}"
+        );
+        assert!(name.contains("compress") && name.contains("smoke"), "{name}");
     }
 
     #[test]

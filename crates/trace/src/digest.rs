@@ -1,0 +1,155 @@
+//! Streaming content digest for traces: the trace half of a result-store
+//! job key.
+//!
+//! The harness caches measurement results under a key derived from the
+//! predictor configuration and the *content* of the trace it was driven
+//! over. Two traces with identical records must therefore hash
+//! identically regardless of their provenance names, and any change to
+//! any record — address, target, direction, or kind — must change the
+//! hash. [`TraceDigest`] is a streaming FNV-1a-64 over the record
+//! stream; [`Trace::digest`](crate::Trace::digest) folds a whole trace,
+//! and [`PackedTrace`](crate::PackedTrace) carries the digest of the
+//! trace it was packed from so the scalar and packed execution paths
+//! agree on job keys.
+//!
+//! FNV-1a is not collision-resistant against adversaries, but the key
+//! space here is a handful of deterministic workload generators — the
+//! same trade the trace cache and the spec fingerprint make, and it
+//! keeps the digest dependency-free.
+
+use crate::record::BranchRecord;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// An incremental FNV-1a-64 digest over branch records.
+///
+/// ```
+/// use bpred_trace::{BranchRecord, Trace, TraceDigest};
+///
+/// let records = [
+///     BranchRecord::conditional(0x40, 0x80, true),
+///     BranchRecord::unconditional(0x44, 0x40),
+/// ];
+/// let mut streaming = TraceDigest::new();
+/// for r in &records {
+///     streaming.update(r);
+/// }
+/// let whole: Trace = records.into_iter().collect();
+/// assert_eq!(streaming.finish(), whole.digest());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceDigest {
+    state: u64,
+    records: u64,
+}
+
+impl Default for TraceDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceDigest {
+    /// A digest over the empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: FNV_OFFSET,
+            records: 0,
+        }
+    }
+
+    /// Folds one record into the digest. Every field that can alter a
+    /// measurement participates: `pc` and `target` feed index and BTFNT
+    /// logic, `taken` is the outcome, and `kind` decides whether
+    /// predictors see the record at all.
+    pub fn update(&mut self, record: &BranchRecord) {
+        self.fold_u64(record.pc);
+        self.fold_u64(record.target);
+        self.fold_byte(u8::from(record.taken));
+        self.fold_byte(record.kind.tag());
+        self.records += 1;
+    }
+
+    /// The digest of everything folded so far. Record count is mixed in
+    /// last so a prefix and its extension never collide trivially.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        let mut d = *self;
+        d.fold_u64(self.records);
+        d.state
+    }
+
+    fn fold_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.fold_byte(b);
+        }
+    }
+
+    fn fold_byte(&mut self, b: u8) {
+        self.state ^= u64::from(b);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("sample");
+        t.push(BranchRecord::conditional(0x100, 0x80, true));
+        t.push(BranchRecord::unconditional(0x104, 0x200));
+        t.push(BranchRecord::conditional(0x200, 0x300, false));
+        t
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_name_independent() {
+        let a = sample();
+        let mut b = sample();
+        b.set_name("renamed");
+        assert_eq!(a.digest(), a.digest());
+        assert_eq!(a.digest(), b.digest(), "name must not affect content");
+    }
+
+    #[test]
+    fn every_record_field_is_load_bearing() {
+        let base = sample();
+        let mutate = |f: &dyn Fn(&mut BranchRecord)| {
+            let mut records = base.records().to_vec();
+            f(&mut records[0]);
+            Trace::from_records("sample", records).digest()
+        };
+        assert_ne!(base.digest(), mutate(&|r| r.pc ^= 4));
+        assert_ne!(base.digest(), mutate(&|r| r.target ^= 4));
+        assert_ne!(base.digest(), mutate(&|r| r.taken = !r.taken));
+        assert_ne!(
+            base.digest(),
+            mutate(&|r| r.kind = crate::record::BranchKind::Call)
+        );
+    }
+
+    #[test]
+    fn prefix_and_extension_differ() {
+        let t = sample();
+        assert_ne!(t.digest(), t.truncated(2).digest());
+        assert_ne!(Trace::new("a").digest(), t.digest());
+        // Empty traces still have a well-defined digest.
+        assert_eq!(Trace::new("a").digest(), Trace::new("b").digest());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut swapped = sample().records().to_vec();
+        swapped.swap(0, 2);
+        assert_ne!(
+            sample().digest(),
+            Trace::from_records("sample", swapped).digest()
+        );
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
+pub mod digest;
 pub mod packed;
 pub mod record;
 pub mod stats;
@@ -35,6 +36,7 @@ pub mod trace;
 pub use codec::{
     read_binary, read_text, stream_binary, write_binary, write_text, BinaryStream, CodecError,
 };
+pub use digest::TraceDigest;
 pub use packed::{PackError, PackedRecord, PackedTrace};
 pub use record::{BranchKind, BranchRecord};
 pub use stats::{BiasBucket, TraceStats};

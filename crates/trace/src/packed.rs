@@ -147,6 +147,10 @@ pub struct PackedTrace {
     site_pcs: Vec<u64>,
     /// Stats of the *original* trace, measured once at build time.
     stats: TraceStats,
+    /// Content digest of the *source* trace (see [`Trace::digest`]),
+    /// captured at build time so packed and scalar measurement paths
+    /// key the result store identically.
+    digest: u64,
 }
 
 impl PackedTrace {
@@ -192,6 +196,7 @@ impl PackedTrace {
             backward,
             site_pcs,
             stats: trace.stats(),
+            digest: trace.digest(),
         })
     }
 
@@ -229,6 +234,13 @@ impl PackedTrace {
     #[must_use]
     pub fn stats(&self) -> &TraceStats {
         &self.stats
+    }
+
+    /// Content digest of the source trace, captured at build time.
+    /// Equal to [`Trace::digest`] of the trace this was packed from.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     /// Reconstructs record `index` (program order over conditionals).
@@ -349,6 +361,19 @@ mod tests {
         let t = sample();
         let p = PackedTrace::build(&t).unwrap();
         assert_eq!(*p.stats(), t.stats());
+    }
+
+    #[test]
+    fn digest_is_the_source_traces() {
+        let t = sample();
+        let p = PackedTrace::build(&t).unwrap();
+        assert_eq!(p.digest(), t.digest());
+        // Conditional-only filtering changes content, hence the digest:
+        // the packed trace carries the *source* identity, not its own.
+        assert_ne!(
+            PackedTrace::build(&t.conditional_only()).unwrap().digest(),
+            p.digest()
+        );
     }
 
     #[test]

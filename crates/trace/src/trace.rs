@@ -110,6 +110,20 @@ impl Trace {
     pub fn stats(&self) -> TraceStats {
         TraceStats::measure(self)
     }
+
+    /// Content digest of the record stream (see
+    /// [`TraceDigest`](crate::TraceDigest)): every record's address,
+    /// target, direction, and kind, in order. The provenance name is
+    /// deliberately excluded — two traces with identical records are
+    /// the same measurement input.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut d = crate::digest::TraceDigest::new();
+        for r in &self.records {
+            d.update(r);
+        }
+        d.finish()
+    }
 }
 
 impl FromIterator<BranchRecord> for Trace {

@@ -37,3 +37,77 @@ mod kernels;
 pub use registry::{Scale, Suite, Workload};
 pub use rng::Rng;
 pub use tracer::{Site, Tracer};
+
+/// Every source file that can change what a generated trace contains:
+/// the kernels themselves plus the tracer, RNG, registry (scale
+/// factors), and this file. Baked in at compile time so the digest
+/// tracks the code that actually ran, not whatever is on disk at run
+/// time.
+const GENERATOR_SOURCES: &[&str] = &[
+    include_str!("lib.rs"),
+    include_str!("registry.rs"),
+    include_str!("rng.rs"),
+    include_str!("tracer.rs"),
+    include_str!("kernels/mod.rs"),
+    include_str!("kernels/compress.rs"),
+    include_str!("kernels/gcc.rs"),
+    include_str!("kernels/go.rs"),
+    include_str!("kernels/groff.rs"),
+    include_str!("kernels/gs.rs"),
+    include_str!("kernels/mpeg.rs"),
+    include_str!("kernels/nroff.rs"),
+    include_str!("kernels/perl.rs"),
+    include_str!("kernels/sdet.rs"),
+    include_str!("kernels/textgen.rs"),
+    include_str!("kernels/verilog.rs"),
+    include_str!("kernels/vortex.rs"),
+    include_str!("kernels/xlisp.rs"),
+];
+
+/// FNV-1a-64 digest of every workload-generator source file.
+///
+/// Trace caches key their files by this digest, so editing any kernel
+/// (or the tracer, RNG, or scale table) automatically invalidates
+/// every cached trace — no manually bumped version to forget.
+#[must_use]
+pub fn source_digest() -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for src in GENERATOR_SOURCES {
+        for b in src.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // Separator: moving bytes across file boundaries must not
+        // produce the same digest.
+        h ^= 0xFF;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod source_digest_tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_nonzero() {
+        assert_eq!(source_digest(), source_digest());
+        assert_ne!(source_digest(), 0);
+    }
+
+    #[test]
+    fn every_kernel_module_is_digested() {
+        // One include per kernel file plus the four support files; a
+        // new kernel must be added to GENERATOR_SOURCES or cached
+        // traces would survive its edits.
+        let this = include_str!("lib.rs");
+        let kernel_count = this.matches("include_str!(\"kernels/").count();
+        assert_eq!(
+            kernel_count,
+            1 + 13,
+            "kernels/mod.rs plus one include per kernel module"
+        );
+    }
+}
