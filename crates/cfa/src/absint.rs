@@ -1,0 +1,486 @@
+//! Bounded abstract interpretation over the constant lattice.
+//!
+//! A forward dataflow pass propagates per-register constant values
+//! (`⊥` → `Const(c)` → `⊤`) to a fixpoint over the reachable CFG, then
+//! a pattern-based pass resolves loop trip counts where constants flow
+//! directly into loop bounds: a single-back-edge loop whose back-edge
+//! branch compares an induction register (one `addi r, r, step` update
+//! per iteration) against a loop-invariant constant bound. Anything
+//! richer deliberately stays unresolved — the point is to discharge the
+//! counted loops of the kernel programs, not to be a general analyzer.
+
+use std::collections::BTreeMap;
+
+use bpred_sim::isa::{AluOp, Cond, Reg};
+use bpred_sim::{Instruction, Program};
+
+use crate::cfg::Cfg;
+use crate::loops::NaturalLoop;
+
+/// One abstract register value in the constant lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// Unreached (bottom).
+    Bottom,
+    /// Known constant.
+    Const(i64),
+    /// Unknown (top).
+    Top,
+}
+
+impl Value {
+    fn join(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Bottom, v) | (v, Value::Bottom) => v,
+            (Value::Const(a), Value::Const(b)) if a == b => Value::Const(a),
+            _ => Value::Top,
+        }
+    }
+}
+
+/// Abstract register file: one lattice value per architectural register.
+pub type RegState = [Value; 32];
+
+const UNREACHED: RegState = [Value::Bottom; 32];
+
+/// Entry state of the program: the machine zero-initialises registers.
+const ENTRY: RegState = [Value::Const(0); 32];
+
+fn read(state: &RegState, r: Reg) -> Value {
+    if r == Reg::ZERO {
+        Value::Const(0)
+    } else {
+        state[r.index()]
+    }
+}
+
+fn write(state: &mut RegState, r: Reg, v: Value) {
+    if r != Reg::ZERO {
+        state[r.index()] = v;
+    }
+}
+
+fn alu(op: AluOp, a: i64, b: i64) -> Value {
+    match op {
+        AluOp::Add => Value::Const(a.wrapping_add(b)),
+        AluOp::Sub => Value::Const(a.wrapping_sub(b)),
+        AluOp::Mul => Value::Const(a.wrapping_mul(b)),
+        AluOp::Div | AluOp::Rem if b == 0 => Value::Top, // faults at run time
+        AluOp::Div => Value::Const(a.wrapping_div(b)),
+        AluOp::Rem => Value::Const(a.wrapping_rem(b)),
+        AluOp::And => Value::Const(a & b),
+        AluOp::Or => Value::Const(a | b),
+        AluOp::Xor => Value::Const(a ^ b),
+        AluOp::Sll => Value::Const(a.wrapping_shl((b & 63) as u32)),
+        AluOp::Srl => Value::Const(((a as u64).wrapping_shr((b & 63) as u32)) as i64),
+        AluOp::Slt => Value::Const(i64::from(a < b)),
+    }
+}
+
+/// Applies one instruction to an abstract state.
+fn transfer(instr: &Instruction, state: &mut RegState) {
+    match instr {
+        Instruction::Alu { op, rd, rs, rt } => {
+            let v = match (read(state, *rs), read(state, *rt)) {
+                (Value::Const(a), Value::Const(b)) => alu(*op, a, b),
+                _ => Value::Top,
+            };
+            write(state, *rd, v);
+        }
+        Instruction::Addi { rd, rs, imm } => {
+            let v = match read(state, *rs) {
+                Value::Const(a) => Value::Const(a.wrapping_add(*imm)),
+                _ => Value::Top,
+            };
+            write(state, *rd, v);
+        }
+        Instruction::Lw { rd, .. } => write(state, *rd, Value::Top),
+        // Link registers hold return addresses — opaque to this lattice.
+        Instruction::Jal { rd, .. } | Instruction::Jalr { rd, .. } => {
+            write(state, *rd, Value::Top);
+        }
+        Instruction::Sw { .. }
+        | Instruction::Branch { .. }
+        | Instruction::Halt
+        | Instruction::Nop => {}
+    }
+}
+
+/// Per-block entry states at the constant-propagation fixpoint.
+#[derive(Debug, Clone)]
+pub struct ConstantFlow {
+    /// Abstract register state on entry to each block.
+    pub entry: Vec<RegState>,
+    /// Abstract register state on exit from each block.
+    pub exit: Vec<RegState>,
+}
+
+impl ConstantFlow {
+    /// Runs the forward constant propagation to a fixpoint.
+    #[must_use]
+    pub fn compute(program: &Program, cfg: &Cfg) -> Self {
+        let n = cfg.blocks.len();
+        let mut entry = vec![UNREACHED; n];
+        let mut exit = vec![UNREACHED; n];
+        if n == 0 {
+            return ConstantFlow { entry, exit };
+        }
+        entry[0] = ENTRY;
+        let preds = cfg.predecessors();
+        // The lattice has height 2 per register, so the fixpoint arrives
+        // within a couple of sweeps; the explicit bound keeps the pass
+        // total even on adversarial graphs.
+        let bound = 4 * n + 8;
+        let mut changed = true;
+        let mut sweeps = 0;
+        while changed && sweeps < bound {
+            changed = false;
+            sweeps += 1;
+            for b in 0..n {
+                if !cfg.reachable[b] {
+                    continue;
+                }
+                let mut state = if b == 0 { ENTRY } else { UNREACHED };
+                for &p in &preds[b] {
+                    if cfg.reachable[p] {
+                        for r in 0..32 {
+                            state[r] = state[r].join(exit[p][r]);
+                        }
+                    }
+                }
+                if state != entry[b] {
+                    entry[b] = state;
+                    changed = true;
+                }
+                let mut out = entry[b];
+                for i in cfg.blocks[b].start..cfg.blocks[b].end {
+                    transfer(&program.instructions[i], &mut out);
+                }
+                if out != exit[b] {
+                    exit[b] = out;
+                    changed = true;
+                }
+            }
+        }
+        ConstantFlow { entry, exit }
+    }
+
+    /// The state on entry to `header` coming only from outside the
+    /// loop — the induction variable's initial value lives here.
+    #[must_use]
+    pub fn preheader_state(&self, cfg: &Cfg, l: &NaturalLoop) -> RegState {
+        if l.header == 0 {
+            return ENTRY;
+        }
+        let preds = cfg.predecessors();
+        let mut state = UNREACHED;
+        for &p in &preds[l.header] {
+            if cfg.reachable[p] && !l.body.contains(&p) {
+                for (r, slot) in state.iter_mut().enumerate() {
+                    *slot = slot.join(self.exit[p][r]);
+                }
+            }
+        }
+        state
+    }
+}
+
+/// Number of executions of a loop's back-edge branch when it is
+/// statically resolvable; see the module docs for the accepted shape.
+///
+/// Returns a map from back-edge branch instruction index to trip count.
+#[must_use]
+pub fn trip_counts(
+    program: &Program,
+    cfg: &Cfg,
+    flow: &ConstantFlow,
+    loops: &[NaturalLoop],
+) -> BTreeMap<usize, u64> {
+    let mut counts = BTreeMap::new();
+    for l in loops {
+        // One back edge, ending in a conditional branch to the header.
+        let &[tail] = l.back_edges.as_slice() else {
+            continue;
+        };
+        let last = cfg.blocks[tail].end - 1;
+        let Some(Instruction::Branch {
+            cond,
+            rs,
+            rt,
+            target,
+        }) = program.instructions.get(last)
+        else {
+            continue;
+        };
+        if cfg.block_of.get(*target) != Some(&l.header) {
+            continue;
+        }
+        let pre = flow.preheader_state(cfg, l);
+        // Try both operand orders: (counter, bound) and (bound, counter).
+        for (counter, bound_reg, counter_is_rs) in [(*rs, *rt, true), (*rt, *rs, false)] {
+            let Some(trips) = resolve(
+                program,
+                cfg,
+                l,
+                &pre,
+                *cond,
+                counter,
+                bound_reg,
+                counter_is_rs,
+            ) else {
+                continue;
+            };
+            counts.insert(last, trips);
+            break;
+        }
+    }
+    counts
+}
+
+/// Ceiling division for positive operands.
+fn div_ceil_u(num: u64, den: u64) -> u64 {
+    num.div_ceil(den)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    program: &Program,
+    cfg: &Cfg,
+    l: &NaturalLoop,
+    pre: &crate::absint::RegState,
+    cond: Cond,
+    counter: Reg,
+    bound_reg: Reg,
+    counter_is_rs: bool,
+) -> Option<u64> {
+    // The bound must be constant at loop entry and never written inside.
+    let Value::Const(bound) = read(pre, bound_reg) else {
+        return None;
+    };
+    if writes_in_loop(program, cfg, l, bound_reg) != 0 {
+        return None;
+    }
+    // The counter: constant at entry, exactly one self-increment inside.
+    let Value::Const(init) = read(pre, counter) else {
+        return None;
+    };
+    let step = single_step(program, cfg, l, counter)?;
+    if step == 0 {
+        return None;
+    }
+    // Loop continues while the branch is taken. The test sees the
+    // counter *after* its in-body increment (do-while shape), so the
+    // tested values are `init + step`, `init + 2*step`, ... Four
+    // continue conditions arise from Lt/Ge times operand order:
+    //   Lt, counter as rs:  loop while counter <  bound  (up, strict)
+    //   Ge, counter as rt:  loop while counter <= bound  (up, inclusive)
+    //   Lt, counter as rt:  loop while counter >  bound  (down, strict)
+    //   Ge, counter as rs:  loop while counter >= bound  (down, inclusive)
+    match (cond, counter_is_rs) {
+        (Cond::Lt, true) if step > 0 => {
+            let trips = if init < bound {
+                div_ceil_u(
+                    bound.checked_sub(init)?.try_into().ok()?,
+                    step.unsigned_abs(),
+                )
+            } else {
+                1 // body runs once, test fails immediately
+            };
+            Some(trips)
+        }
+        (Cond::Ge, false) if step > 0 => {
+            let trips = if init <= bound {
+                let span: u64 = bound.checked_sub(init)?.try_into().ok()?;
+                span / step.unsigned_abs() + 1
+            } else {
+                1
+            };
+            Some(trips)
+        }
+        (Cond::Lt, false) if step < 0 => {
+            let trips = if init > bound {
+                div_ceil_u(
+                    init.checked_sub(bound)?.try_into().ok()?,
+                    step.unsigned_abs(),
+                )
+            } else {
+                1
+            };
+            Some(trips)
+        }
+        (Cond::Ge, true) if step < 0 => {
+            let trips = if init >= bound {
+                let span: u64 = init.checked_sub(bound)?.try_into().ok()?;
+                span / step.unsigned_abs() + 1
+            } else {
+                1
+            };
+            Some(trips)
+        }
+        // while counter != bound: only exact arithmetic hits resolve.
+        (Cond::Ne, _) => {
+            let diff = bound.checked_sub(init)?;
+            if diff != 0 && diff.signum() == step.signum() && diff % step == 0 {
+                Some((diff / step).unsigned_abs())
+            } else if diff == 0 {
+                Some(1)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Counts instructions inside the loop writing `r`.
+fn writes_in_loop(program: &Program, cfg: &Cfg, l: &NaturalLoop, r: Reg) -> usize {
+    if r == Reg::ZERO {
+        return 0;
+    }
+    l.body
+        .iter()
+        .flat_map(|&b| cfg.blocks[b].start..cfg.blocks[b].end)
+        .filter(|&i| match program.instructions[i] {
+            Instruction::Alu { rd, .. }
+            | Instruction::Addi { rd, .. }
+            | Instruction::Lw { rd, .. }
+            | Instruction::Jal { rd, .. }
+            | Instruction::Jalr { rd, .. } => rd == r,
+            _ => false,
+        })
+        .count()
+}
+
+/// If the only write to `r` in the loop is a single `addi r, r, step`,
+/// returns `step`.
+fn single_step(program: &Program, cfg: &Cfg, l: &NaturalLoop, r: Reg) -> Option<i64> {
+    let mut step = None;
+    for i in l
+        .body
+        .iter()
+        .flat_map(|&b| cfg.blocks[b].start..cfg.blocks[b].end)
+    {
+        let writes_r = match program.instructions[i] {
+            Instruction::Alu { rd, .. }
+            | Instruction::Addi { rd, .. }
+            | Instruction::Lw { rd, .. }
+            | Instruction::Jal { rd, .. }
+            | Instruction::Jalr { rd, .. } => rd == r,
+            _ => false,
+        };
+        if !writes_r {
+            continue;
+        }
+        match program.instructions[i] {
+            Instruction::Addi { rd, rs, imm } if rd == r && rs == r && step.is_none() => {
+                step = Some(imm);
+            }
+            _ => return None, // a second write, or a non-induction write
+        }
+    }
+    step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::{natural_loops, Dominators};
+    use bpred_sim::assemble;
+
+    fn run(src: &str) -> BTreeMap<usize, u64> {
+        let p = assemble(src).expect("assembles");
+        let cfg = Cfg::build(&p);
+        let doms = Dominators::compute(&cfg);
+        let (loops, _) = natural_loops(&cfg, &doms);
+        let flow = ConstantFlow::compute(&p, &cfg);
+        trip_counts(&p, &cfg, &flow, &loops)
+    }
+
+    #[test]
+    fn counted_up_loop_resolves() {
+        let counts = run(r"
+                  li r1, 10
+                  li r2, 0
+            loop: addi r2, r2, 1
+                  blt r2, r1, loop
+                  halt
+            ");
+        // The back-edge branch is instruction 3 and executes 10 times.
+        assert_eq!(counts.get(&3), Some(&10));
+    }
+
+    #[test]
+    fn counted_down_loop_resolves() {
+        let counts = run(r"
+                  li r1, 7
+            loop: addi r1, r1, -1
+                  bgt r1, r0, loop
+                  halt
+            ");
+        // bgt r1, r0 assembles to Lt with swapped operands; 7 -> 0 in
+        // steps of -1 is 7 branch executions.
+        assert_eq!(counts.values().copied().collect::<Vec<u64>>(), vec![7]);
+    }
+
+    #[test]
+    fn ne_loop_resolves_only_on_exact_steps() {
+        let exact = run(r"
+                  li r1, 6
+                  li r2, 0
+            loop: addi r2, r2, 2
+                  bne r2, r1, loop
+                  halt
+            ");
+        assert_eq!(exact.values().copied().collect::<Vec<u64>>(), vec![3]);
+        let inexact = run(r"
+                  li r1, 7
+                  li r2, 0
+            loop: addi r2, r2, 2
+                  bne r2, r1, loop
+                  halt
+            ");
+        assert!(inexact.is_empty(), "non-divisible Ne never terminates");
+    }
+
+    #[test]
+    fn data_dependent_bound_stays_unresolved() {
+        let counts = run(r"
+                  lw r1, (r0)
+                  li r2, 0
+            loop: addi r2, r2, 1
+                  blt r2, r1, loop
+                  halt
+            ");
+        assert!(counts.is_empty(), "loaded bound is Top");
+    }
+
+    #[test]
+    fn clobbered_bound_stays_unresolved() {
+        let counts = run(r"
+                  li r1, 10
+                  li r2, 0
+            loop: addi r2, r2, 1
+                  addi r1, r1, 0
+                  blt r2, r1, loop
+                  halt
+            ");
+        assert!(counts.is_empty(), "bound written inside the loop");
+    }
+
+    #[test]
+    fn constants_flow_through_alu_ops() {
+        let p = assemble(
+            r"
+                  li r1, 6
+                  li r2, 7
+                  mul r3, r1, r2
+                  halt
+            ",
+        )
+        .expect("assembles");
+        let cfg = Cfg::build(&p);
+        let flow = ConstantFlow::compute(&p, &cfg);
+        assert_eq!(flow.exit[0][3], Value::Const(42));
+        assert_eq!(flow.exit[0][0], Value::Const(0), "r0 stays zero");
+    }
+}

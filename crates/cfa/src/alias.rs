@@ -1,0 +1,245 @@
+//! Static PHT-aliasing analysis: which pairs of static branch sites can
+//! land on the same pattern-history-table counter under a given
+//! [`PredictorSpec`].
+//!
+//! The index functions are pure arithmetic on `(pc, history)`, so
+//! collision structure is decidable per site pair without running
+//! anything:
+//!
+//! * **bimodal** (`s` index bits, no history): sites collide iff their
+//!   low `s` word-PC bits agree — a *definite* collision, every
+//!   execution shares the counter.
+//! * **gshare** (`s` index bits, `m <= s` history bits): the index is
+//!   `low_s(pc_word) XOR zext(low_m(history))`, so history only
+//!   perturbs the low `m` bits. Two sites *definitely* collide (same
+//!   index whenever their histories agree) iff their full low `s` bits
+//!   agree, and can *potentially* collide (exists a history pair
+//!   mapping them together) iff their top `s - m` bits agree. This is
+//!   exactly the paper's "multiple PHTs" decomposition (§3.1): the top
+//!   bits select a PHT, the low bits are history-scrambled within it.
+//! * **bi-mode** with the paper's shared direction index: the choice
+//!   bank is bimodal on `choice_bits`, each direction bank is gshare on
+//!   `(direction_bits, history_bits)`. Which direction bank a dynamic
+//!   branch uses is decided by the choice counter, so direction-bank
+//!   collisions are reported per the gshare rule and labelled with the
+//!   bank name.
+//!
+//! Opposite-bias pairs (one ST-candidate, one SNT-candidate) are the
+//! destructive ones — the paper's motivating case — and get flagged.
+//!
+//! All PC arithmetic stays in `u64` via [`bpred_core::index`]; this
+//! module performs no `usize` narrowing (enforced by the repo lint).
+
+use bpred_core::index::{low_bits, pc_word};
+use bpred_core::{BiModeConfig, IndexShare, PredictorSpec};
+
+use crate::StaticBias;
+
+/// One potentially-colliding pair of static branch sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollisionPair {
+    /// Byte PC of the first (lower-PC) site.
+    pub pc_a: u64,
+    /// Byte PC of the second site.
+    pub pc_b: u64,
+    /// Which table bank the collision is in (`"pht"`, `"choice"`,
+    /// `"direction"`).
+    pub bank: &'static str,
+    /// True when the pair collides for *every* history (same full
+    /// index bits); false when only some history pairs map them to the
+    /// same counter.
+    pub definite: bool,
+    /// True when the two sites carry opposite static bias (one
+    /// ST-candidate, one SNT-candidate) — the destructive case.
+    pub opposite_bias: bool,
+}
+
+/// How one bank indexes, for the pairwise test.
+enum BankRule {
+    /// PC-only index on `bits` low word-PC bits.
+    Direct { bits: u32 },
+    /// gshare on `index_bits` with `history_bits` of history.
+    Gshare { index_bits: u32, history_bits: u32 },
+}
+
+impl BankRule {
+    /// Whether word PCs `a` and `b` can collide, and if so definitely.
+    /// Returns `None` for no collision, `Some(definite)` otherwise.
+    fn collide(&self, a: u64, b: u64) -> Option<bool> {
+        match *self {
+            BankRule::Direct { bits } => (low_bits(a, bits) == low_bits(b, bits)).then_some(true),
+            BankRule::Gshare {
+                index_bits,
+                history_bits,
+            } => {
+                let m = history_bits.min(index_bits);
+                if low_bits(a, index_bits) == low_bits(b, index_bits) {
+                    Some(true)
+                } else if low_bits(a, index_bits) >> m == low_bits(b, index_bits) >> m {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// The banks of `spec` this analysis can model, or `None` when the
+/// spec's index function is out of scope (skewed hashing, history
+/// concatenation, tagged caches...).
+fn banks(spec: &PredictorSpec) -> Option<Vec<(&'static str, BankRule)>> {
+    match spec {
+        PredictorSpec::Bimodal { table_bits } => {
+            Some(vec![("pht", BankRule::Direct { bits: *table_bits })])
+        }
+        PredictorSpec::Gshare {
+            table_bits,
+            history_bits,
+        } => Some(vec![(
+            "pht",
+            BankRule::Gshare {
+                index_bits: *table_bits,
+                history_bits: *history_bits,
+            },
+        )]),
+        PredictorSpec::BiMode(BiModeConfig {
+            direction_bits,
+            choice_bits,
+            history_bits,
+            index_share: IndexShare::Shared,
+            ..
+        }) => Some(vec![
+            ("choice", BankRule::Direct { bits: *choice_bits }),
+            (
+                "direction",
+                BankRule::Gshare {
+                    index_bits: *direction_bits,
+                    history_bits: *history_bits,
+                },
+            ),
+        ]),
+        _ => None,
+    }
+}
+
+/// Enumerates all static-site pairs that can collide in any bank of
+/// `spec`. `sites` is `(byte PC, static bias)` per site; pairs are
+/// emitted in `(pc_a < pc_b)` order, definite collisions before
+/// potential ones within a bank. Returns `None` when the spec's index
+/// function is not statically modelled.
+#[must_use]
+pub fn collisions(spec: &PredictorSpec, sites: &[(u64, StaticBias)]) -> Option<Vec<CollisionPair>> {
+    let banks = banks(spec)?;
+    let mut pairs = Vec::new();
+    for (bank, rule) in &banks {
+        for (i, &(pc_a, bias_a)) in sites.iter().enumerate() {
+            for &(pc_b, bias_b) in &sites[i + 1..] {
+                let Some(definite) = rule.collide(pc_word(pc_a), pc_word(pc_b)) else {
+                    continue;
+                };
+                let opposite_bias = matches!(
+                    (bias_a, bias_b),
+                    (StaticBias::Taken, StaticBias::NotTaken)
+                        | (StaticBias::NotTaken, StaticBias::Taken)
+                );
+                pairs.push(CollisionPair {
+                    pc_a,
+                    pc_b,
+                    bank,
+                    definite,
+                    opposite_bias,
+                });
+            }
+        }
+    }
+    pairs.sort_by_key(|p| (p.bank, !p.definite, p.pc_a, p.pc_b));
+    Some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: u64 = 0x0040_0000;
+
+    fn spec(text: &str) -> PredictorSpec {
+        text.parse().expect("spec parses")
+    }
+
+    #[test]
+    fn bimodal_collides_exactly_on_low_bits() {
+        // 4 index bits = 16 word slots = 64 bytes apart.
+        let s = spec("bimodal:s=4");
+        let sites = vec![
+            (BASE, StaticBias::Taken),
+            (BASE + 64, StaticBias::NotTaken), // same low 4 word bits
+            (BASE + 4, StaticBias::NotTaken),  // different slot
+        ];
+        let pairs = collisions(&s, &sites).expect("bimodal is modelled");
+        assert_eq!(pairs.len(), 1);
+        let p = pairs[0];
+        assert_eq!((p.pc_a, p.pc_b), (BASE, BASE + 64));
+        assert!(p.definite);
+        assert!(p.opposite_bias);
+        assert_eq!(p.bank, "pht");
+    }
+
+    #[test]
+    fn gshare_distinguishes_definite_from_potential() {
+        // s=6, m=2: top 4 bits select a "PHT", low 2 bits are
+        // history-scrambled.
+        let s = spec("gshare:s=6,h=2");
+        let a = BASE; // word index low bits ...000000
+        let same_index = BASE + 256; // +64 words: same low 6 bits
+        let same_pht = BASE + 4; // +1 word: same top 4, different low 2
+        let other_pht = BASE + 16; // +4 words: different top 4 bits
+        let sites = vec![
+            (a, StaticBias::Taken),
+            (same_index, StaticBias::NotTaken),
+            (same_pht, StaticBias::NotTaken),
+            (other_pht, StaticBias::Taken),
+        ];
+        let pairs = collisions(&s, &sites).expect("gshare is modelled");
+        let find = |x: u64, y: u64| pairs.iter().find(|p| (p.pc_a, p.pc_b) == (x, y));
+        assert!(find(a, same_index).expect("same full index").definite);
+        assert!(!find(a, same_pht).expect("same PHT").definite);
+        assert!(find(a, other_pht).is_none(), "different PHTs never meet");
+    }
+
+    #[test]
+    fn bimode_reports_choice_and_direction_banks() {
+        let s = spec("bimode:d=4,c=6,h=4");
+        // Same low 4 word bits (direction definite), different low 6
+        // (choice misses): 16 words apart but not 64.
+        let sites = vec![(BASE, StaticBias::Taken), (BASE + 64, StaticBias::NotTaken)];
+        let pairs = collisions(&s, &sites).expect("shared-index bi-mode is modelled");
+        let banks: Vec<&str> = pairs.iter().map(|p| p.bank).collect();
+        assert!(banks.contains(&"direction"));
+        assert!(!banks.contains(&"choice"), "low-6 choice bits differ");
+        // Move to 64 words apart: both banks collide.
+        let sites = vec![
+            (BASE, StaticBias::Taken),
+            (BASE + 256, StaticBias::NotTaken),
+        ];
+        let pairs = collisions(&s, &sites).expect("modelled");
+        let banks: Vec<&str> = pairs.iter().map(|p| p.bank).collect();
+        assert!(banks.contains(&"choice"));
+        assert!(banks.contains(&"direction"));
+    }
+
+    #[test]
+    fn unmodelled_specs_return_none() {
+        assert!(collisions(&spec("gskew:s=4,h=4"), &[]).is_none());
+        assert!(collisions(&spec("bimode:d=4,c=4,h=4,index=skewed"), &[]).is_none());
+    }
+
+    #[test]
+    fn same_bias_pairs_are_not_flagged_destructive() {
+        let s = spec("bimodal:s=2");
+        let sites = vec![(BASE, StaticBias::Taken), (BASE + 16, StaticBias::Taken)];
+        let pairs = collisions(&s, &sites).expect("modelled");
+        assert_eq!(pairs.len(), 1);
+        assert!(!pairs[0].opposite_bias);
+    }
+}

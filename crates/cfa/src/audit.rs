@@ -1,0 +1,203 @@
+//! Internal-consistency audit of the static analysis, wired into the
+//! repo-wide `bpred-check` verification pass (`cfa/audit`).
+//!
+//! Rather than trusting the CFG and dominator code because its unit
+//! tests pass, the audit re-checks the *structural invariants* on every
+//! real kernel program: blocks partition the instruction stream, every
+//! edge lands on a leader, the dominator tree is a tree rooted at the
+//! entry, loop bodies nest, and the disassembler round-trips the
+//! program without changing its branch-site set.
+
+use std::collections::BTreeSet;
+
+use bpred_sim::{assemble, disassemble, Instruction, Program};
+
+use crate::cfg::Cfg;
+use crate::loops::{natural_loops, Dominators};
+
+/// Audits `program`'s static analysis; returns human-readable
+/// violations (empty means the audit passed).
+#[must_use]
+pub fn audit(program: &Program) -> Vec<String> {
+    let mut violations = Vec::new();
+    let cfg = Cfg::build(program);
+    let doms = Dominators::compute(&cfg);
+    let (loops, _) = natural_loops(&cfg, &doms);
+    let len = program.instructions.len();
+
+    // Blocks partition [0, len) in order, and block_of agrees.
+    let mut expected_start = 0usize;
+    for (id, b) in cfg.blocks.iter().enumerate() {
+        if b.start != expected_start || b.end <= b.start || b.end > len {
+            violations.push(format!(
+                "block {id} spans [{}, {}) but should start at {expected_start}",
+                b.start, b.end
+            ));
+            break;
+        }
+        expected_start = b.end;
+        for i in b.start..b.end {
+            if cfg.block_of[i] != id {
+                violations.push(format!(
+                    "block_of[{i}] = {} but instruction {i} is in block {id}",
+                    cfg.block_of[i]
+                ));
+            }
+        }
+    }
+    if expected_start != len && !cfg.blocks.is_empty() {
+        violations.push(format!(
+            "blocks cover [0, {expected_start}) of a {len}-instruction program"
+        ));
+    }
+
+    // Every edge lands on a block leader, and every in-bounds
+    // branch/jal target is one.
+    for (id, b) in cfg.blocks.iter().enumerate() {
+        for e in &b.successors {
+            if e.to >= cfg.blocks.len() {
+                violations.push(format!("block {id} has an edge to missing block {}", e.to));
+            }
+        }
+    }
+    for (i, instr) in program.instructions.iter().enumerate() {
+        let target = match instr {
+            Instruction::Branch { target, .. } | Instruction::Jal { target, .. } => *target,
+            _ => continue,
+        };
+        if target < len {
+            let t = cfg.block_of[target];
+            if cfg.blocks[t].start != target {
+                violations.push(format!(
+                    "instruction {i} targets {target}, which is not a block leader"
+                ));
+            }
+        }
+    }
+
+    // The dominator tree is a tree rooted at the entry: every reachable
+    // block's idom chain reaches the entry without revisiting, and idom
+    // numbers strictly decrease in reverse postorder.
+    for (b, reach) in cfg.reachable.iter().enumerate() {
+        if !reach {
+            continue;
+        }
+        match doms.idom[b] {
+            None => violations.push(format!("reachable block {b} has no immediate dominator")),
+            Some(parent) => {
+                if b != 0 && doms.rpo_number[parent] >= doms.rpo_number[b] {
+                    violations.push(format!(
+                        "idom[{b}] = {parent} does not precede it in reverse postorder"
+                    ));
+                }
+                let mut cur = b;
+                let mut steps = 0usize;
+                while cur != 0 {
+                    match doms.idom[cur] {
+                        Some(p) if p != cur => cur = p,
+                        _ => {
+                            violations
+                                .push(format!("idom chain from block {b} stalls at block {cur}"));
+                            break;
+                        }
+                    }
+                    steps += 1;
+                    if steps > cfg.blocks.len() {
+                        violations.push(format!("idom chain from block {b} cycles"));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Loop consistency: header and back-edge tails in the body, header
+    // dominates the body, and distinct loops are disjoint or nested.
+    for l in &loops {
+        if !l.body.contains(&l.header) {
+            violations.push(format!("loop at block {} excludes its header", l.header));
+        }
+        for &t in &l.back_edges {
+            if !l.body.contains(&t) {
+                violations.push(format!(
+                    "loop at block {} excludes back-edge tail {t}",
+                    l.header
+                ));
+            }
+        }
+        for &b in &l.body {
+            if !doms.dominates(l.header, b) {
+                violations.push(format!(
+                    "loop header {} does not dominate body block {b}",
+                    l.header
+                ));
+            }
+        }
+    }
+    for (i, a) in loops.iter().enumerate() {
+        for b in &loops[i + 1..] {
+            let overlap = a.body.intersection(&b.body).count();
+            let nested = overlap == a.body.len().min(b.body.len());
+            if overlap != 0 && !nested {
+                violations.push(format!(
+                    "loops at blocks {} and {} overlap without nesting",
+                    a.header, b.header
+                ));
+            }
+        }
+    }
+
+    // The disassembly round-trips, and the reassembled program has the
+    // same conditional-site set — the static sites named in reports are
+    // exactly the sites a reader of the listing sees.
+    match assemble(&disassemble(program)) {
+        Ok(roundtrip) => {
+            if roundtrip != *program {
+                violations.push("disassembly does not round-trip the program".to_string());
+            }
+            let sites = |p: &Program| -> BTreeSet<usize> {
+                Cfg::conditional_sites(p).into_iter().collect()
+            };
+            if sites(program) != sites(&roundtrip) {
+                violations
+                    .push("round-tripped program has a different branch-site set".to_string());
+            }
+        }
+        Err(e) => violations.push(format!("disassembly does not reassemble: {e}")),
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_sim::kernels;
+
+    #[test]
+    fn kernel_programs_pass_the_audit() {
+        for (name, source) in [
+            ("bubble", kernels::bubble_sort_source(40)),
+            ("bsearch", kernels::binary_search_source(64, 50)),
+            ("sieve", kernels::sieve_source(200)),
+            ("strsearch", kernels::string_search_source(400)),
+            ("quicksort", kernels::quicksort_source(80)),
+            ("matmul", kernels::matmul_source(6)),
+        ] {
+            let p = assemble(&source).expect("kernel assembles");
+            let v = audit(&p);
+            assert!(v.is_empty(), "{name}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn audit_accepts_tiny_programs() {
+        let p = assemble("halt").expect("assembles");
+        assert!(audit(&p).is_empty());
+        let empty = Program {
+            instructions: Vec::new(),
+            data: Vec::new(),
+        };
+        assert!(audit(&empty).is_empty());
+    }
+}

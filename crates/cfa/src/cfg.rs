@@ -1,0 +1,383 @@
+//! Control-flow graph construction from a decoded instruction stream.
+//!
+//! Basic-block leaders are the program entry, every branch/jump target,
+//! and every instruction following a control transfer. Edges carry the
+//! transfer kind so later passes can distinguish a conditional branch's
+//! taken edge from its fallthrough. Calls (`jal r31`) get both a jump
+//! edge to the callee and a *call-return* edge to the instruction after
+//! the call, modelling the matching `ret` — without it every return
+//! point would be spuriously unreachable.
+
+use std::collections::BTreeSet;
+
+use bpred_sim::isa::Reg;
+use bpred_sim::{Instruction, Program};
+
+/// How control reaches a successor block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// The block simply runs into the next leader.
+    Fallthrough,
+    /// A conditional branch's taken edge.
+    Taken,
+    /// A conditional branch's not-taken (fallthrough) edge.
+    NotTaken,
+    /// An unconditional jump (`jal`).
+    Jump,
+    /// The return point after a call — control comes back via `ret`.
+    CallReturn,
+}
+
+/// One CFG edge: destination block and transfer kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Destination block id.
+    pub to: usize,
+    /// Transfer kind.
+    pub kind: EdgeKind,
+}
+
+/// A basic block: the half-open instruction-index range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the block's first instruction (its leader).
+    pub start: usize,
+    /// One past the block's last instruction.
+    pub end: usize,
+    /// Outgoing edges.
+    pub successors: Vec<Edge>,
+}
+
+/// A control transfer whose target lies outside the program.
+///
+/// For conditional branches this is the static twin of
+/// `bpred_sim::RunError::BranchTargetOutOfBounds`: both carry the branch
+/// site's PC and the out-of-bounds target byte PC, and
+/// [`OutOfBoundsTarget::diagnostic`] renders the identical message, so
+/// the static and dynamic diagnostics name the same site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBoundsTarget {
+    /// PC of the transferring instruction.
+    pub pc: u64,
+    /// The out-of-bounds target byte PC.
+    pub target: u64,
+    /// True for a conditional branch, false for an unconditional jump.
+    pub conditional: bool,
+}
+
+impl OutOfBoundsTarget {
+    /// The diagnostic text — for conditional branches, byte-identical to
+    /// the `Display` of the machine's `BranchTargetOutOfBounds` error.
+    #[must_use]
+    pub fn diagnostic(&self) -> String {
+        let (pc, target) = (self.pc, self.target);
+        if self.conditional {
+            format!("conditional branch at {pc:#x} taken to out-of-bounds target {target:#x}")
+        } else {
+            format!("jump at {pc:#x} to out-of-bounds target {target:#x}")
+        }
+    }
+}
+
+/// The control-flow graph of one [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Basic blocks in program order (block ids index this vector).
+    pub blocks: Vec<Block>,
+    /// Instruction index → id of the containing block.
+    pub block_of: Vec<usize>,
+    /// Per-block reachability from the entry block.
+    pub reachable: Vec<bool>,
+    /// Control transfers whose target lies outside the program.
+    pub out_of_bounds: Vec<OutOfBoundsTarget>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`. An empty program yields an empty
+    /// graph.
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let len = program.instructions.len();
+        if len == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                reachable: Vec::new(),
+                out_of_bounds: Vec::new(),
+            };
+        }
+
+        let mut out_of_bounds = Vec::new();
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        leaders.insert(0);
+        for (i, instr) in program.instructions.iter().enumerate() {
+            match instr {
+                Instruction::Branch { target, .. } => {
+                    if *target < len {
+                        leaders.insert(*target);
+                    } else {
+                        out_of_bounds.push(OutOfBoundsTarget {
+                            pc: Program::pc_of(i),
+                            target: Program::pc_of(*target),
+                            conditional: true,
+                        });
+                    }
+                    if i + 1 < len {
+                        leaders.insert(i + 1);
+                    }
+                }
+                Instruction::Jal { target, .. } => {
+                    if *target < len {
+                        leaders.insert(*target);
+                    } else {
+                        out_of_bounds.push(OutOfBoundsTarget {
+                            pc: Program::pc_of(i),
+                            target: Program::pc_of(*target),
+                            conditional: false,
+                        });
+                    }
+                    if i + 1 < len {
+                        leaders.insert(i + 1);
+                    }
+                }
+                Instruction::Jalr { .. } | Instruction::Halt if i + 1 < len => {
+                    leaders.insert(i + 1);
+                }
+                _ => {}
+            }
+        }
+
+        // Split at leaders; `block_of` maps every instruction back.
+        let starts: Vec<usize> = leaders.into_iter().collect();
+        let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
+        let mut block_of = vec![0usize; len];
+        for (id, &start) in starts.iter().enumerate() {
+            let end = starts.get(id + 1).copied().unwrap_or(len);
+            for slot in &mut block_of[start..end] {
+                *slot = id;
+            }
+            blocks.push(Block {
+                start,
+                end,
+                successors: Vec::new(),
+            });
+        }
+
+        // Successor edges from each block's terminating instruction.
+        for block in &mut blocks {
+            let (end, last) = (block.end, block.end - 1);
+            let mut edges = Vec::new();
+            match program.instructions[last] {
+                Instruction::Branch { target, .. } => {
+                    if target < len {
+                        edges.push(Edge {
+                            to: block_of[target],
+                            kind: EdgeKind::Taken,
+                        });
+                    }
+                    if end < len {
+                        edges.push(Edge {
+                            to: block_of[end],
+                            kind: EdgeKind::NotTaken,
+                        });
+                    }
+                }
+                Instruction::Jal { rd, target } => {
+                    if target < len {
+                        edges.push(Edge {
+                            to: block_of[target],
+                            kind: EdgeKind::Jump,
+                        });
+                    }
+                    // A call comes back: the matching `ret` resumes at
+                    // the instruction after the call site.
+                    if rd == Reg::RA && end < len {
+                        edges.push(Edge {
+                            to: block_of[end],
+                            kind: EdgeKind::CallReturn,
+                        });
+                    }
+                }
+                // Indirect jumps and halts have no static successors; a
+                // `ret` is modelled by the call-return edge at its call
+                // sites.
+                Instruction::Jalr { .. } | Instruction::Halt => {}
+                _ => {
+                    if end < len {
+                        edges.push(Edge {
+                            to: block_of[end],
+                            kind: EdgeKind::Fallthrough,
+                        });
+                    }
+                }
+            }
+            block.successors = edges;
+        }
+
+        // Reachability: DFS from the entry block.
+        let mut reachable = vec![false; blocks.len()];
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if reachable[b] {
+                continue;
+            }
+            reachable[b] = true;
+            for e in &blocks[b].successors {
+                if !reachable[e.to] {
+                    stack.push(e.to);
+                }
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+            out_of_bounds,
+        }
+    }
+
+    /// Instruction indices of every conditional branch site, in program
+    /// order.
+    #[must_use]
+    pub fn conditional_sites(program: &Program) -> Vec<usize> {
+        program
+            .instructions
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, Instruction::Branch { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-block predecessor lists.
+    #[must_use]
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, b) in self.blocks.iter().enumerate() {
+            for e in &b.successors {
+                preds[e.to].push(id);
+            }
+        }
+        preds
+    }
+
+    /// Id of the block containing instruction index `i`, if in bounds.
+    #[must_use]
+    pub fn block_containing(&self, i: usize) -> Option<usize> {
+        self.block_of.get(i).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_sim::assemble;
+
+    fn cfg_of(src: &str) -> (Program, Cfg) {
+        let p = assemble(src).expect("test program assembles");
+        let c = Cfg::build(&p);
+        (p, c)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, c) = cfg_of("nop\nnop\nhalt");
+        assert_eq!(c.blocks.len(), 1);
+        assert!(c.blocks[0].successors.is_empty());
+        assert_eq!(c.reachable, vec![true]);
+    }
+
+    #[test]
+    fn loop_has_taken_and_not_taken_edges() {
+        let (_, c) = cfg_of(
+            r"
+                  li r1, 3
+            loop: addi r1, r1, -1
+                  bne r1, r0, loop
+                  halt
+            ",
+        );
+        // Blocks: [li], [addi, bne], [halt].
+        assert_eq!(c.blocks.len(), 3);
+        let branch_block = &c.blocks[1];
+        let kinds: Vec<EdgeKind> = branch_block.successors.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EdgeKind::Taken));
+        assert!(kinds.contains(&EdgeKind::NotTaken));
+        assert!(c.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn code_after_halt_is_unreachable() {
+        let (_, c) = cfg_of("halt\nnop\nhalt");
+        assert_eq!(c.blocks.len(), 2);
+        assert!(c.reachable[0]);
+        assert!(!c.reachable[1]);
+    }
+
+    #[test]
+    fn call_gets_a_return_edge() {
+        let (_, c) = cfg_of(
+            r"
+                  call fn
+                  halt
+            fn:   ret
+            ",
+        );
+        // Blocks: [call], [halt], [ret]; the call block must reach both
+        // the callee and its own return point.
+        assert_eq!(c.blocks.len(), 3);
+        let kinds: Vec<EdgeKind> = c.blocks[0].successors.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EdgeKind::Jump, EdgeKind::CallReturn]);
+        assert!(c.reachable.iter().all(|&r| r), "{:?}", c.reachable);
+    }
+
+    #[test]
+    fn plain_jump_has_no_return_edge() {
+        let (_, c) = cfg_of("j end\nnop\nend: halt");
+        let kinds: Vec<EdgeKind> = c.blocks[0].successors.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EdgeKind::Jump]);
+        assert!(!c.reachable[1], "skipped nop is unreachable");
+    }
+
+    #[test]
+    fn out_of_bounds_branch_matches_the_machine_diagnostic() {
+        use bpred_sim::{Machine, RunError};
+        let p = assemble("beq r0, r0, end\nend:").expect("assembles");
+        let c = Cfg::build(&p);
+        assert_eq!(c.out_of_bounds.len(), 1);
+        let oob = c.out_of_bounds[0];
+        assert!(oob.conditional);
+        let err = Machine::with_memory(p, 16).run(10).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::BranchTargetOutOfBounds {
+                pc: oob.pc,
+                target: oob.target,
+            }
+        );
+        assert_eq!(err.to_string(), oob.diagnostic());
+    }
+
+    #[test]
+    fn blocks_partition_the_program() {
+        let (p, c) = cfg_of(
+            r"
+                  li r1, 5
+            a:    addi r1, r1, -1
+                  beq r1, r0, b
+                  j a
+            b:    halt
+            ",
+        );
+        let mut covered = 0;
+        for (id, b) in c.blocks.iter().enumerate() {
+            assert!(b.start < b.end);
+            covered += b.end - b.start;
+            for i in b.start..b.end {
+                assert_eq!(c.block_of[i], id);
+            }
+        }
+        assert_eq!(covered, p.instructions.len());
+    }
+}

@@ -1,0 +1,395 @@
+//! Dominators and natural loops over a [`Cfg`], and the classification
+//! of every conditional branch site into the paper's static roles.
+//!
+//! Dominators use the iterative reverse-postorder algorithm of Cooper,
+//! Harvey & Kennedy. A back edge is an edge `u → h` where `h` dominates
+//! `u`; its natural loop is `h` plus everything that reaches `u`
+//! without passing through `h`. A retreating edge whose head does *not*
+//! dominate its tail marks an irreducible region.
+
+use std::collections::BTreeSet;
+
+use bpred_sim::{Instruction, Program};
+
+use crate::cfg::Cfg;
+
+/// The dominator tree of a [`Cfg`], restricted to reachable blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// Immediate dominator per block (`idom[entry] == Some(entry)`;
+    /// `None` for unreachable blocks).
+    pub idom: Vec<Option<usize>>,
+    /// Reverse-postorder number per block (unreachable blocks hold
+    /// `usize::MAX`).
+    pub rpo_number: Vec<usize>,
+    /// Reachable blocks in reverse postorder.
+    pub rpo: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators of `cfg`'s reachable subgraph.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.blocks.len();
+        if n == 0 {
+            return Dominators {
+                idom: Vec::new(),
+                rpo_number: Vec::new(),
+                rpo: Vec::new(),
+            };
+        }
+
+        // Iterative DFS postorder from the entry block.
+        let mut postorder = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack of (block, next-successor-offset).
+        let mut stack = vec![(0usize, 0usize)];
+        visited[0] = true;
+        while let Some(frame) = stack.last_mut() {
+            let b = frame.0;
+            let succs = &cfg.blocks[b].successors;
+            if frame.1 < succs.len() {
+                let to = succs[frame.1].to;
+                frame.1 += 1;
+                if !visited[to] {
+                    visited[to] = true;
+                    stack.push((to, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = postorder.iter().rev().copied().collect();
+        let mut rpo_number = vec![usize::MAX; n];
+        for (num, &b) in rpo.iter().enumerate() {
+            rpo_number[b] = num;
+        }
+
+        let preds = cfg.predecessors();
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[0] = Some(0);
+        let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+            while a != b {
+                while rpo_number[a] > rpo_number[b] {
+                    a = idom[a].unwrap_or(0);
+                }
+                while rpo_number[b] > rpo_number[a] {
+                    b = idom[b].unwrap_or(0);
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = None;
+                for &p in &preds[b] {
+                    if rpo_number[p] == usize::MAX || idom[p].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        Dominators {
+            idom,
+            rpo_number,
+            rpo,
+        }
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive). Unreachable
+    /// blocks dominate nothing and are dominated by nothing.
+    #[must_use]
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let known = |x: usize| self.idom.get(x).is_some_and(|d| d.is_some());
+        if !known(a) || !known(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(parent) if parent != cur => cur = parent,
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// One natural loop: a dominating header plus the body of its back
+/// edges (back edges sharing a header are merged, per convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header block.
+    pub header: usize,
+    /// All blocks in the loop, header included.
+    pub body: BTreeSet<usize>,
+    /// Tail blocks of the loop's back edges.
+    pub back_edges: Vec<usize>,
+}
+
+/// Finds all natural loops of `cfg`, sorted by header block id, and the
+/// list of irreducible retreating edges `(tail, head)` — retreating in
+/// reverse postorder but with a non-dominating head.
+#[must_use]
+pub fn natural_loops(cfg: &Cfg, doms: &Dominators) -> (Vec<NaturalLoop>, Vec<(usize, usize)>) {
+    let preds = cfg.predecessors();
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    let mut irreducible = Vec::new();
+    for (u, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[u] {
+            continue;
+        }
+        for e in &block.successors {
+            let h = e.to;
+            if doms.dominates(h, u) {
+                // Natural loop of back edge u -> h.
+                let mut body: BTreeSet<usize> = BTreeSet::new();
+                body.insert(h);
+                let mut stack = vec![u];
+                while let Some(b) = stack.pop() {
+                    if body.insert(b) {
+                        for &p in &preds[b] {
+                            if cfg.reachable[p] {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == h) {
+                    existing.body.extend(body);
+                    existing.back_edges.push(u);
+                } else {
+                    loops.push(NaturalLoop {
+                        header: h,
+                        body,
+                        back_edges: vec![u],
+                    });
+                }
+            } else if doms.rpo_number[h] <= doms.rpo_number[u] && doms.rpo_number[h] != usize::MAX {
+                // Retreating but not dominating: irreducible entry.
+                irreducible.push((u, h));
+            }
+        }
+    }
+    loops.sort_by_key(|l| l.header);
+    (loops, irreducible)
+}
+
+/// Id of the innermost loop (index into the `loops` slice) containing
+/// block `b`, by smallest body.
+#[must_use]
+pub fn innermost_loop(loops: &[NaturalLoop], b: usize) -> Option<usize> {
+    loops
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.body.contains(&b))
+        .min_by_key(|(_, l)| l.body.len())
+        .map(|(i, _)| i)
+}
+
+/// Static role of a conditional branch site (paper §2: loop branches
+/// carry strong static bias, data-dependent guards do not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchRole {
+    /// The taken edge is a loop back edge.
+    LoopBack,
+    /// The taken edge leaves the innermost containing loop.
+    LoopExit,
+    /// A forward, data-dependent guard.
+    ForwardGuard,
+    /// Part of an irreducible retreating edge.
+    Irreducible,
+}
+
+impl BranchRole {
+    /// Short table label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BranchRole::LoopBack => "loop-back",
+            BranchRole::LoopExit => "loop-exit",
+            BranchRole::ForwardGuard => "forward-guard",
+            BranchRole::Irreducible => "irreducible",
+        }
+    }
+}
+
+/// Classifies the conditional branch at instruction index `i`.
+#[must_use]
+pub fn classify_site(
+    program: &Program,
+    cfg: &Cfg,
+    doms: &Dominators,
+    loops: &[NaturalLoop],
+    irreducible: &[(usize, usize)],
+    i: usize,
+) -> BranchRole {
+    let Some(Instruction::Branch { target, .. }) = program.instructions.get(i) else {
+        return BranchRole::ForwardGuard;
+    };
+    let b = cfg.block_of[i];
+    if *target >= program.instructions.len() {
+        // Statically-diagnosed out-of-bounds target (see
+        // `Cfg::out_of_bounds`); no edge exists to classify.
+        return BranchRole::ForwardGuard;
+    }
+    let t = cfg.block_of[*target];
+    if irreducible.contains(&(b, t)) {
+        return BranchRole::Irreducible;
+    }
+    if doms.dominates(t, b) {
+        return BranchRole::LoopBack;
+    }
+    if let Some(l) = innermost_loop(loops, b) {
+        if !loops[l].body.contains(&t) {
+            return BranchRole::LoopExit;
+        }
+    }
+    BranchRole::ForwardGuard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_sim::assemble;
+
+    fn analyze(
+        src: &str,
+    ) -> (
+        Program,
+        Cfg,
+        Dominators,
+        Vec<NaturalLoop>,
+        Vec<(usize, usize)>,
+    ) {
+        let p = assemble(src).expect("assembles");
+        let c = Cfg::build(&p);
+        let d = Dominators::compute(&c);
+        let (l, irr) = natural_loops(&c, &d);
+        (p, c, d, l, irr)
+    }
+
+    #[test]
+    fn simple_loop_is_found() {
+        let (p, c, d, loops, irr) = analyze(
+            r"
+                  li r1, 3
+            loop: addi r1, r1, -1
+                  bne r1, r0, loop
+                  halt
+            ",
+        );
+        assert!(irr.is_empty());
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(c.blocks[l.header].start, 1, "header starts at `loop:`");
+        let role = classify_site(&p, &c, &d, &loops, &irr, 2);
+        assert_eq!(role, BranchRole::LoopBack);
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let (_, c, d, _, _) = analyze(
+            r"
+                  beq r1, r0, a
+                  nop
+            a:    halt
+            ",
+        );
+        for b in 0..c.blocks.len() {
+            assert!(d.dominates(0, b), "entry must dominate block {b}");
+        }
+        assert!(!d.dominates(1, 2), "neither arm dominates the join");
+    }
+
+    #[test]
+    fn loop_exit_and_guard_are_distinguished() {
+        let (p, c, d, loops, irr) = analyze(
+            r"
+                  li r1, 10
+            loop: addi r1, r1, -1
+                  beq r1, r0, done     ; exit: leaves the loop
+                  bne r1, r1, loop2    ; guard: taken target inside loop
+            loop2:
+                  j loop
+            done: halt
+            ",
+        );
+        assert_eq!(loops.len(), 1);
+        assert_eq!(
+            classify_site(&p, &c, &d, &loops, &irr, 2),
+            BranchRole::LoopExit
+        );
+        assert_eq!(
+            classify_site(&p, &c, &d, &loops, &irr, 3),
+            BranchRole::ForwardGuard
+        );
+    }
+
+    #[test]
+    fn nested_loops_nest_properly() {
+        let (_, c, d, loops, irr) = analyze(
+            r"
+                  li r1, 4
+            outer:li r2, 4
+            inner:addi r2, r2, -1
+                  bne r2, r0, inner
+                  addi r1, r1, -1
+                  bne r1, r0, outer
+                  halt
+            ",
+        );
+        assert!(irr.is_empty());
+        assert_eq!(loops.len(), 2);
+        let (a, b) = (&loops[0], &loops[1]);
+        let (outer, inner) = if a.body.len() > b.body.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        assert!(
+            inner.body.iter().all(|blk| outer.body.contains(blk)),
+            "inner loop body must be contained in the outer loop"
+        );
+        // The innermost loop of an inner block is the smaller one.
+        let inner_tail = inner.back_edges[0];
+        assert_eq!(
+            innermost_loop(&loops, inner_tail)
+                .map(|i| loops[i].header)
+                .expect("in a loop"),
+            inner.header
+        );
+        let _ = (c, d);
+    }
+
+    #[test]
+    fn forward_branches_only_yield_no_loops() {
+        let (p, c, d, loops, irr) = analyze(
+            r"
+                  beq r1, r0, skip
+                  nop
+            skip: halt
+            ",
+        );
+        assert!(loops.is_empty());
+        assert!(irr.is_empty());
+        assert_eq!(
+            classify_site(&p, &c, &d, &loops, &irr, 0),
+            BranchRole::ForwardGuard
+        );
+    }
+}

@@ -19,7 +19,12 @@
 //! * [`engine`] — equivalence of the scalar, packed, and batched
 //!   execution paths on exhaustively enumerated micro-traces;
 //! * [`lint`] — the deny-by-default repo source rules (truncating
-//!   casts, unaudited panics, `forbid(unsafe_code)`);
+//!   casts, unaudited panics, `forbid(unsafe_code)`, analyzer PC-cast
+//!   hygiene);
+//! * [`cfa`] — the static/dynamic cross-check: every kernel program's
+//!   CFG, dominator tree, and loop nest satisfy the structural
+//!   invariants, and the static conditional-site set equals the
+//!   dynamic trace's site set exactly;
 //! * [`experiments`] — the registry-vs-DESIGN.md completeness audit
 //!   (the harness supplies its registry names from `repro verify`;
 //!   this crate only parses the document side).
@@ -34,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cfa;
 pub mod engine;
 pub mod experiments;
 pub mod lint;
@@ -119,8 +125,9 @@ fn first_or(violations: &[String], ok: String) -> (bool, String) {
 }
 
 /// Runs the full verification suite against the workspace at `root`
-/// and returns the aggregate report. Pure compute plus read-only source
-/// scanning; no traces are generated and nothing is written.
+/// and returns the aggregate report. Pure compute, read-only source
+/// scanning, and (for the `cfa/audit` cross-check) in-memory smoke
+/// traces of the kernel programs; nothing is written.
 #[must_use]
 pub fn verify(root: &Path) -> VerifyReport {
     let mut report = VerifyReport::new();
@@ -188,6 +195,34 @@ pub fn verify(root: &Path) -> VerifyReport {
         engine::check_engines(&engine_targets(), ENGINE_TRACE_LEN, ENGINE_BOUNDARY_RECORDS);
     let (ok, detail) = first_or(&engines.violations, engines.summary());
     report.record("engine/equivalence", ok, detail);
+
+    // Static/dynamic control-flow cross-check on the kernel programs.
+    let audits = cfa::audit_kernels();
+    let mut all_violations: Vec<String> = Vec::new();
+    let (mut statics, mut dynamics) = (0usize, 0usize);
+    for a in &audits {
+        statics += a.static_sites;
+        dynamics += a.dynamic_sites;
+        for v in &a.violations {
+            all_violations.push(format!("{}: {v}", a.name));
+        }
+        let (ok, detail) = first_or(
+            &a.violations,
+            format!(
+                "{} static sites, {} dynamic sites",
+                a.static_sites, a.dynamic_sites
+            ),
+        );
+        report.record(format!("cfa/audit@{}", a.name), ok, detail);
+    }
+    let (ok, detail) = first_or(
+        &all_violations,
+        format!(
+            "{} kernels: {statics} static sites, {dynamics} traced, sets equal",
+            audits.len()
+        ),
+    );
+    report.record("cfa/audit", ok, detail);
 
     // Repo source rules.
     match lint::lint_repo(root) {

@@ -1,7 +1,7 @@
 //! The repo lint pass: deny-by-default source rules the compiler cannot
 //! enforce.
 //!
-//! Three rules, scanned line-by-line over the workspace's library
+//! Four rules, scanned line-by-line over the workspace's library
 //! sources (test modules and `src/bin/` binaries are exempt):
 //!
 //! 1. **`cast`** — no truncating `as` casts (`as u8`/`u16`/`u32`/`i8`/
@@ -16,6 +16,11 @@
 //!    unreachable internal invariant, not a reachable error path.
 //! 3. **`unsafe`** — every crate root (`crates/*/src/lib.rs`) must carry
 //!    `#![forbid(unsafe_code)]`.
+//! 4. **`pc-cast`** — no `as usize` anywhere in the static analyzer
+//!    (`crates/cfa/src/`): PC and index arithmetic there must stay in
+//!    `u64` via `bpred_core::index` so the static aliasing model and
+//!    the predictors provably share one truncation site
+//!    (`index::to_index`). Same `cast-audited:` escape as rule 1.
 //!
 //! The scanner is deliberately simple (line-based, brace-counted test
 //! module tracking) so it has no parser dependency; it errs on the side
@@ -33,7 +38,7 @@ pub struct LintViolation {
     pub file: String,
     /// 1-based line number (0 for whole-file rules).
     pub line: usize,
-    /// The rule that fired: `cast`, `panic`, or `unsafe`.
+    /// The rule that fired: `cast`, `panic`, `unsafe`, or `pc-cast`.
     pub rule: &'static str,
     /// What was found.
     pub message: String,
@@ -87,6 +92,10 @@ const CAST_SCOPED: &[&str] = &[
     "crates/trace/src/packed.rs",
 ];
 
+/// File prefix where any `as usize` is denied (rule 4): the static
+/// analyzer must keep PC arithmetic in `u64`.
+const PC_CAST_PREFIX: &str = "crates/cfa/src/";
+
 /// Narrowing cast targets. ` as u64` is excluded: widening from the
 /// repo's index/word types is lossless on every supported target.
 const NARROWING: &[&str] = &[
@@ -129,6 +138,7 @@ fn panic_audited(lines: &[&str], index: usize) -> bool {
 pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
     report.files_scanned += 1;
     let cast_scoped = CAST_SCOPED.contains(&relative);
+    let pc_cast_scoped = relative.starts_with(PC_CAST_PREFIX);
     let lines: Vec<&str> = source.lines().collect();
 
     // Brace-counted tracking of `#[cfg(test)] mod ...` regions.
@@ -179,6 +189,19 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
                         "truncating `{}` cast in an index hot path (mask and mark `cast-audited:` if provably lossless)",
                         hit.trim()
                     ),
+                });
+            }
+        }
+
+        if pc_cast_scoped && line.contains(" as usize") {
+            if line.contains("cast-audited:") {
+                report.audited_sites += 1;
+            } else {
+                report.violations.push(LintViolation {
+                    file: relative.to_owned(),
+                    line: number,
+                    rule: "pc-cast",
+                    message: "`as usize` in the static analyzer: keep PC math in u64 and funnel through `bpred_core::index::to_index`".to_owned(),
                 });
             }
         }
@@ -349,6 +372,47 @@ mod tests {
         assert!(elsewhere.passed(), "cast rule is scoped to hot paths");
         let widening = scan("crates/core/src/index.rs", "let w = x as u64;\n");
         assert!(widening.passed(), "widening casts are allowed");
+    }
+
+    #[test]
+    fn pc_casts_are_denied_across_the_analyzer() {
+        // Positive: any `as usize` under crates/cfa/src/ fires.
+        let hit = scan("crates/cfa/src/alias.rs", "let i = pc as usize;\n");
+        assert_eq!(hit.violations.len(), 1);
+        assert_eq!(hit.violations[0].rule, "pc-cast");
+        // Negative: the audited escape and out-of-scope files pass.
+        let audited = scan(
+            "crates/cfa/src/alias.rs",
+            "let i = pc as usize; // cast-audited: bounded by program length\n",
+        );
+        assert!(audited.passed(), "{:?}", audited.violations);
+        assert_eq!(audited.audited_sites, 1);
+        let elsewhere = scan("crates/analysis/src/bias.rs", "let i = pc as usize;\n");
+        assert!(elsewhere.passed(), "rule is scoped to crates/cfa/src/");
+        let widening = scan("crates/cfa/src/alias.rs", "let w = pc as u64;\n");
+        assert!(widening.passed(), "only `as usize` is in scope");
+    }
+
+    #[test]
+    fn crate_roots_must_forbid_unsafe() {
+        // Positive: a root without the attribute fires.
+        let mut missing = LintReport::default();
+        check_crate_root(
+            "crates/demo/src/lib.rs",
+            "//! docs\npub fn f() {}\n",
+            &mut missing,
+        );
+        assert_eq!(missing.violations.len(), 1);
+        assert_eq!(missing.violations[0].rule, "unsafe");
+        assert_eq!(missing.violations[0].line, 0);
+        // Negative: a root carrying it passes.
+        let mut present = LintReport::default();
+        check_crate_root(
+            "crates/demo/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            &mut present,
+        );
+        assert!(present.passed(), "{:?}", present.violations);
     }
 
     #[test]

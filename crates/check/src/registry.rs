@@ -823,7 +823,11 @@ mod tests {
                 assert!(!perturbed.is_empty(), "`{}` has no perturbations", t.spec);
             }
             for (field, mutated) in &perturbed {
-                assert_ne!(&spec, mutated, "`{}`: `{field}` mutation is a no-op", t.spec);
+                assert_ne!(
+                    &spec, mutated,
+                    "`{}`: `{field}` mutation is a no-op",
+                    t.spec
+                );
             }
         }
     }

@@ -120,8 +120,9 @@ pub fn run_verify() -> (String, bool) {
     // Every registered experiment must actually run at the smallest
     // scale. A minimal trace pool keeps this fast: gcc/go/compress
     // cover the SPEC-specific experiments, groff keeps the IBS suite
-    // non-empty for the suite-iterating ones.
-    let pool: Vec<Workload> = ["gcc", "go", "compress", "groff"]
+    // non-empty for the suite-iterating ones, and sim-sieve gives the
+    // CFA cross-check one program-backed kernel.
+    let pool: Vec<Workload> = ["gcc", "go", "compress", "groff", "sim-sieve"]
         .iter()
         .filter_map(|n| Workload::by_name(n))
         .collect();
@@ -226,7 +227,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         Some((&"cache", [sub])) => match *sub {
             "stats" => Command::CacheStats,
             "clear" => Command::CacheClear,
-            other => return Err(format!("unknown cache action `{other}` (use stats or clear)")),
+            other => {
+                return Err(format!(
+                    "unknown cache action `{other}` (use stats or clear)"
+                ))
+            }
         },
         Some((&"cache", _)) => {
             return Err("cache needs exactly one action: stats or clear".to_owned())
@@ -254,10 +259,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             Command::Run(vec![name.to_owned()])
         }
-        Some((&first, rest)) => return Err(format!(
+        Some((&first, rest)) => {
+            return Err(format!(
             "`{first}` takes no further names (got {}); use `run {first} ...` to batch experiments",
             rest.len()
-        )),
+        ))
+        }
     };
     Ok(Options {
         command,
@@ -347,8 +354,8 @@ mod tests {
         // Repeating one flag is harmless; mixing the two is an error.
         let o = parse_args(&args(&["fig2", "--refresh", "--refresh"])).expect("valid");
         assert_eq!(o.store_mode, Some(store::Mode::Refresh));
-        let err = parse_args(&args(&["fig2", "--no-cache", "--refresh"]))
-            .expect_err("conflicting modes");
+        let err =
+            parse_args(&args(&["fig2", "--no-cache", "--refresh"])).expect_err("conflicting modes");
         assert!(err.contains("mutually exclusive"), "{err}");
     }
 

@@ -103,9 +103,7 @@ where
         let digest = t.digest();
         let mut trace_rates: Vec<Option<f64>> = specs
             .iter()
-            .map(|s| {
-                store::lookup_run(s.job(digest)).map(|r| r.misprediction_rate())
-            })
+            .map(|s| store::lookup_run(s.job(digest)).map(|r| r.misprediction_rate()))
             .collect();
         let missing: Vec<usize> = trace_rates
             .iter()
@@ -237,11 +235,12 @@ mod tests {
         let first = cached_batch_rates(&[&p], Some(1), &job_specs, build);
         assert_eq!(first, plain, "cached path must be bit-identical");
         let before = store::counters();
-        let second = cached_batch_rates(&[&p], Some(1), &job_specs, |_: &[usize]| -> Vec<
-            Box<dyn Predictor>,
-        > {
-            panic!("warm store must not rebuild")
-        });
+        let second = cached_batch_rates(
+            &[&p],
+            Some(1),
+            &job_specs,
+            |_: &[usize]| -> Vec<Box<dyn Predictor>> { panic!("warm store must not rebuild") },
+        );
         assert_eq!(second, plain);
         let delta = store::counters().since(&before);
         assert!(delta.hits >= 3, "all three configs must hit: {delta:?}");

@@ -1,0 +1,343 @@
+//! `cfa.report`: the static/dynamic cross-check artefact.
+//!
+//! For every program-backed kernel in the trace set, this experiment
+//! runs the `bpred-cfa` static analyzer over the kernel's assembled
+//! program and compares its conclusions against the dynamic trace:
+//!
+//! * **site coverage** — the static conditional-site set must equal
+//!   the set of PCs the trace actually exercises (and every dynamic
+//!   site must be statically reachable);
+//! * **bias agreement** — static ST/SNT candidates (loop back edges /
+//!   loop exits) against the measured 90%-threshold bias class of the
+//!   same site, with every disagreement listed alongside its program
+//!   context;
+//! * **trip counts** — loops whose bounds the bounded constant
+//!   propagation resolved;
+//! * **static aliasing** — opposite-bias site pairs that can collide
+//!   in the PHT of the paper's 2 KB gshare and 2 KB bi-mode
+//!   configurations.
+//!
+//! Only the dynamic per-site tables touch the result store (keyed by
+//! program digest x trace digest); everything static is recomputed at
+//! render time — it is deterministic arithmetic over a few dozen
+//! sites, so caching it would only add invalidation surface.
+
+use std::collections::BTreeSet;
+
+use bpred_analysis::StreamStats;
+use bpred_cfa::{Analysis, SiteReport, StaticBias};
+use bpred_core::PredictorSpec;
+use bpred_trace::SiteSummary;
+use bpred_workloads::{sim_kernel_program, Suite};
+
+use crate::format::{Report, Table};
+use crate::store::{self, JobSpec};
+use crate::traces::TraceSet;
+
+/// The 2 KB configurations of the paper's headline comparison: gshare
+/// at `2^13` two-bit counters, and bi-mode at two `2^11` direction
+/// banks plus a `2^12` choice table (16384 bits each).
+const ALIAS_SPECS: &[&str] = &["gshare:s=13,h=13", "bimode:d=11,c=12,h=11"];
+
+/// Agreement threshold over ST/SNT candidates, from the acceptance
+/// criteria (and matching the paper's own 90% bias cut).
+const AGREEMENT_THRESHOLD_PCT: f64 = 90.0;
+
+/// Runs the cross-check over every sim-kernel trace in `set`.
+#[must_use]
+pub fn cfa_report(set: &TraceSet) -> Report {
+    let mut report = Report::new("cfa.report", "Static CFA vs dynamic traces");
+
+    let mut kernels = Vec::new();
+    for (w, trace) in set.suite(Suite::SimKernels) {
+        let Some(program) = sim_kernel_program(w.name(), set.scale()) else {
+            continue;
+        };
+        let analysis = bpred_cfa::analyze(&program);
+        // The only stored artefact: the trace's per-site summary,
+        // bound to (program digest, trace digest).
+        let sites = store::cached_sites(
+            JobSpec::cfa(bpred_cfa::program_digest(&program)).job(trace.digest()),
+            || bpred_trace::site_table(trace),
+        );
+        kernels.push(Kernel {
+            name: w.name(),
+            analysis,
+            dynamic: sites,
+        });
+    }
+
+    if kernels.is_empty() {
+        report.note(
+            "no sim-kernel traces in this pool; the cross-check needs the \
+             sim-kernels suite (e.g. `repro run cfa.report`)",
+        );
+        return report;
+    }
+
+    coverage_section(&mut report, &kernels);
+    bias_sections(&mut report, &kernels);
+    trip_count_section(&mut report, &kernels);
+    alias_sections(&mut report, &kernels);
+    report
+}
+
+struct Kernel {
+    name: &'static str,
+    analysis: Analysis,
+    dynamic: Vec<SiteSummary>,
+}
+
+impl Kernel {
+    /// The dynamic summary of the site at `pc`, if it executed.
+    fn executed(&self, pc: u64) -> Option<&SiteSummary> {
+        self.dynamic.iter().find(|s| s.pc == pc)
+    }
+}
+
+/// The measured 90%-threshold class label of a dynamic site.
+fn dynamic_label(s: &SiteSummary) -> &'static str {
+    StreamStats {
+        taken: s.taken,
+        total: s.executions,
+    }
+    .class()
+    .label()
+}
+
+/// Whether a static candidate agrees with the measured class.
+fn agrees(bias: StaticBias, s: &SiteSummary) -> bool {
+    match bias {
+        StaticBias::Taken => dynamic_label(s) == "ST",
+        StaticBias::NotTaken => dynamic_label(s) == "SNT",
+        StaticBias::Mixed => true, // WB-candidates make no claim
+    }
+}
+
+fn coverage_section(report: &mut Report, kernels: &[Kernel]) {
+    let mut table = Table::new(["kernel", "static sites", "dynamic sites", "sets"]);
+    let mut clean = true;
+    for k in kernels {
+        let static_pcs: BTreeSet<u64> = k.analysis.sites.iter().map(|s| s.pc).collect();
+        let dynamic_pcs: BTreeSet<u64> = k.dynamic.iter().map(|s| s.pc).collect();
+        let equal = static_pcs == dynamic_pcs;
+        clean &= equal;
+        table.push_row([
+            k.name.to_owned(),
+            static_pcs.len().to_string(),
+            dynamic_pcs.len().to_string(),
+            if equal { "equal" } else { "DIFFER" }.to_owned(),
+        ]);
+        for pc in static_pcs.symmetric_difference(&dynamic_pcs) {
+            let text = k
+                .analysis
+                .site_at(*pc)
+                .map_or("only in the trace", |s| s.text.as_str());
+            report.note(format!("{}: site {pc:#x} mismatch ({text})", k.name));
+        }
+    }
+    report.note(if clean {
+        "Site coverage: every static conditional branch executes, and every \
+         executed site is statically known."
+            .to_owned()
+    } else {
+        "Site coverage: static and dynamic site sets DIFFER (see notes).".to_owned()
+    });
+    report.section("static vs dynamic site coverage", table);
+}
+
+fn bias_sections(report: &mut Report, kernels: &[Kernel]) {
+    let mut summary = Table::new([
+        "kernel", "ST-cand", "SNT-cand", "WB-cand", "agree", "disagree",
+    ]);
+    let mut disagreements = Table::new([
+        "kernel",
+        "site",
+        "static",
+        "dynamic",
+        "taken/execs",
+        "context",
+    ]);
+    let (mut candidates, mut agreed) = (0u64, 0u64);
+    for k in kernels {
+        let (mut st, mut snt, mut wb, mut ok, mut bad) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for site in &k.analysis.sites {
+            match site.bias {
+                StaticBias::Taken => st += 1,
+                StaticBias::NotTaken => snt += 1,
+                StaticBias::Mixed => {
+                    wb += 1;
+                    continue; // no claim, no agreement row
+                }
+            }
+            let Some(d) = k.executed(site.pc) else {
+                continue; // coverage section already reports this
+            };
+            candidates += 1;
+            if agrees(site.bias, d) {
+                ok += 1;
+                agreed += 1;
+            } else {
+                bad += 1;
+                disagreements.push_row([
+                    k.name.to_owned(),
+                    format!("{:#x}", site.pc),
+                    site.bias.label().to_owned(),
+                    dynamic_label(d).to_owned(),
+                    format!("{}/{}", d.taken, d.executions),
+                    format!("{} ({})", site.text, site.role.label()),
+                ]);
+            }
+        }
+        summary.push_row([
+            k.name.to_owned(),
+            st.to_string(),
+            snt.to_string(),
+            wb.to_string(),
+            ok.to_string(),
+            bad.to_string(),
+        ]);
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let pct = if candidates == 0 {
+        100.0
+    } else {
+        100.0 * agreed as f64 / candidates as f64
+    };
+    report.note(format!(
+        "Bias agreement: {agreed}/{candidates} ST/SNT candidates match the \
+         measured 90%-threshold class ({pct:.1}%, threshold \
+         {AGREEMENT_THRESHOLD_PCT:.0}%) — {}",
+        if pct >= AGREEMENT_THRESHOLD_PCT {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    ));
+    report.section("static bias candidates vs measured classes", summary);
+    if !disagreements.is_empty() {
+        report.section("disagreements (every one listed)", disagreements);
+    }
+}
+
+fn trip_count_section(report: &mut Report, kernels: &[Kernel]) {
+    let mut table = Table::new(["kernel", "site", "context", "trips/entry", "executions"]);
+    for k in kernels {
+        for site in &k.analysis.sites {
+            let Some(trips) = site.trip_count else {
+                continue;
+            };
+            let execs = k.executed(site.pc).map_or(0, |d| d.executions);
+            table.push_row([
+                k.name.to_owned(),
+                format!("{:#x}", site.pc),
+                site.text.clone(),
+                trips.to_string(),
+                execs.to_string(),
+            ]);
+        }
+    }
+    report.note(format!(
+        "Trip counts: {} back-edge branches resolved by constant \
+         propagation (per loop entry; nested loops execute trips x outer \
+         iterations).",
+        table.len()
+    ));
+    report.section("statically resolved trip counts", table);
+}
+
+fn alias_sections(report: &mut Report, kernels: &[Kernel]) {
+    for spec_text in ALIAS_SPECS {
+        let spec: PredictorSpec = spec_text
+            .parse()
+            // panic-audited: ALIAS_SPECS is compile-time, grammar-tested
+            .expect("alias spec parses");
+        let mut table = Table::new(["kernel", "bank", "site a", "site b", "certainty"]);
+        let (mut total, mut opposite) = (0u64, 0u64);
+        for k in kernels {
+            let sites: Vec<(u64, StaticBias)> = k
+                .analysis
+                .sites
+                .iter()
+                .map(|s: &SiteReport| (s.pc, s.bias))
+                .collect();
+            let Some(pairs) = bpred_cfa::collisions(&spec, &sites) else {
+                report.note(format!(
+                    "{spec_text}: index function not statically modelled"
+                ));
+                continue;
+            };
+            for p in &pairs {
+                total += 1;
+                if !p.opposite_bias {
+                    continue; // only the destructive pairs are listed
+                }
+                opposite += 1;
+                table.push_row([
+                    k.name.to_owned(),
+                    p.bank.to_owned(),
+                    format!("{:#x}", p.pc_a),
+                    format!("{:#x}", p.pc_b),
+                    if p.definite { "definite" } else { "potential" }.to_owned(),
+                ]);
+            }
+        }
+        report.note(format!(
+            "{spec_text}: {total} colliding site pairs, {opposite} with \
+             opposite static bias (listed)."
+        ));
+        report.section(
+            format!("opposite-bias PHT collisions under {spec_text}"),
+            table,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_workloads::{Scale, Workload};
+
+    fn sim_set() -> TraceSet {
+        let pool: Vec<Workload> = Workload::all()
+            .into_iter()
+            .filter(|w| w.suite() == Suite::SimKernels)
+            .collect();
+        TraceSet::of(pool, Scale::Smoke, None)
+    }
+
+    #[test]
+    fn report_covers_every_kernel_and_passes_the_threshold() {
+        let report = cfa_report(&sim_set());
+        let coverage = &report.sections[0].1;
+        assert_eq!(coverage.len(), 5, "{report}");
+        let agreement = report
+            .notes
+            .iter()
+            .find(|n| n.contains("Bias agreement"))
+            .expect("agreement note present");
+        assert!(agreement.contains("PASS"), "{agreement}");
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("every executed site is statically known")),
+            "{report}"
+        );
+        // Both 2 KB alias configs are reported.
+        for spec in ALIAS_SPECS {
+            assert!(
+                report.sections.iter().any(|(c, _)| c.contains(spec)),
+                "missing alias section for {spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pools_still_produce_a_note() {
+        let set = TraceSet::of(Vec::new(), Scale::Smoke, None);
+        let report = cfa_report(&set);
+        assert!(report.sections.is_empty());
+        assert_eq!(report.notes.len(), 1);
+    }
+}

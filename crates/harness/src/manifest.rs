@@ -443,10 +443,7 @@ fn stage_json(stats: &StageStats) -> Json {
             "jobs_planned".to_owned(),
             Json::Num(stats.store.total() as f64),
         ),
-        (
-            "jobs_cached".to_owned(),
-            Json::Num(stats.store.hits as f64),
-        ),
+        ("jobs_cached".to_owned(), Json::Num(stats.store.hits as f64)),
         (
             "jobs_computed".to_owned(),
             Json::Num(stats.store.misses as f64),
@@ -864,7 +861,9 @@ mod tests {
     fn parser_rejects_non_finite_numbers() {
         // Overflowing literals parse to infinity in Rust; JSON cannot
         // express them, so they must be rejected.
-        assert!(Json::parse("1e999").expect_err("inf").contains("non-finite"));
+        assert!(Json::parse("1e999")
+            .expect_err("inf")
+            .contains("non-finite"));
         assert!(Json::parse("-1e999").is_err());
         assert!(Json::parse("[1, 1e999]").is_err());
         // The identifiers some emitters produce are not JSON either.
@@ -925,8 +924,7 @@ mod tests {
     fn json_number() -> BoxedStrategy<f64> {
         prop_oneof![
             (-1_000_000_000_000i64..1_000_000_000_000).prop_map(|n| n as f64),
-            ((-1_000_000i64..1_000_000), (1u32..1000))
-                .prop_map(|(n, d)| n as f64 / f64::from(d)),
+            ((-1_000_000i64..1_000_000), (1u32..1000)).prop_map(|(n, d)| n as f64 / f64::from(d)),
         ]
         .boxed()
     }

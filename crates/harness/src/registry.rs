@@ -88,6 +88,8 @@ const BOTH: &[Suite] = &[Suite::SpecInt95, Suite::IbsUltrix];
 const SPEC: &[Suite] = &[Suite::SpecInt95];
 /// IBS-Ultrix only.
 const IBS: &[Suite] = &[Suite::IbsUltrix];
+/// The program-backed simulated kernels (the CFA cross-check).
+const SIM: &[Suite] = &[Suite::SimKernels];
 /// No traces at all (documentation tables).
 const NONE: &[Suite] = &[];
 
@@ -126,6 +128,9 @@ fn run_aliasing(set: &TraceSet, _jobs: Option<usize>) -> Report {
 }
 fn run_warmup(set: &TraceSet, _jobs: Option<usize>) -> Report {
     experiments::warmup_curves(set)
+}
+fn run_cfa(set: &TraceSet, _jobs: Option<usize>) -> Report {
+    experiments::cfa_report(set)
 }
 
 /// The registry, in paper order: tables and figures first, then the
@@ -320,6 +325,15 @@ pub const REGISTRY: &[ExperimentDef] = &[
         scales: ALL_SCALES,
         grid: "3 schemes, windowed rates on gcc",
         runner: run_warmup,
+    },
+    ExperimentDef {
+        name: "cfa.report",
+        artefact: "§2 bias structure",
+        doc: "static CFA vs dynamic traces: sites, bias, trips, aliasing",
+        suites: SIM,
+        scales: ALL_SCALES,
+        grid: "5 kernel programs x 2 alias configs (static)",
+        runner: run_cfa,
     },
     ExperimentDef {
         name: "summary",

@@ -189,6 +189,9 @@ enum Kind {
     Alias = 4,
     /// Windowed warmup curve (param: window size).
     Warmup = 5,
+    /// Per-kernel dynamic site table for the static/dynamic CFA
+    /// cross-check (fingerprint: the program's disassembly digest).
+    Cfa = 6,
 }
 
 /// The configuration half of a job key: measurement kind, spec
@@ -248,6 +251,15 @@ impl JobSpec {
     #[must_use]
     pub fn warmup(spec: &PredictorSpec, window: u64) -> Self {
         Self::new(Kind::Warmup, spec.fingerprint(), window)
+    }
+
+    /// A per-site dynamic summary table for the CFA cross-check. The
+    /// fingerprint slot carries the *program's* digest (its canonical
+    /// disassembly), so the job key binds the static artefact to the
+    /// trace it is compared against.
+    #[must_use]
+    pub fn cfa(program_digest: u64) -> Self {
+        Self::new(Kind::Cfa, program_digest, 0)
     }
 
     /// Binds this configuration to one trace's content digest.
@@ -538,6 +550,46 @@ pub fn cached_alias(job: Job, compute: impl FnOnce() -> AliasReport) -> AliasRep
     a
 }
 
+fn encode_sites(sites: &[bpred_trace::SiteSummary]) -> Vec<u64> {
+    let mut words = Vec::with_capacity(1 + sites.len() * 3);
+    words.push(sites.len() as u64);
+    for s in sites {
+        words.extend_from_slice(&[s.pc, s.executions, s.taken]);
+    }
+    words
+}
+
+fn decode_sites(words: &[u64]) -> Option<Vec<bpred_trace::SiteSummary>> {
+    let (&n, rest) = words.split_first()?;
+    let n = usize::try_from(n).ok()?;
+    if rest.len() != n * 3 {
+        return None;
+    }
+    Some(
+        rest.chunks_exact(3)
+            .map(|c| bpred_trace::SiteSummary {
+                pc: c[0],
+                executions: c[1],
+                taken: c[2],
+            })
+            .collect(),
+    )
+}
+
+/// Serves a per-site summary table (the CFA cross-check's dynamic
+/// half) from the store or computes it.
+pub fn cached_sites(
+    job: Job,
+    compute: impl FnOnce() -> Vec<bpred_trace::SiteSummary>,
+) -> Vec<bpred_trace::SiteSummary> {
+    if let Some(s) = lookup(job).as_deref().and_then(decode_sites) {
+        return s;
+    }
+    let s = compute();
+    insert(job, &encode_sites(&s));
+    s
+}
+
 /// Serves a float series (warmup curve) from the store or computes it.
 /// Floats are stored as raw bits, so the round-trip is exact.
 pub fn cached_f64s(job: Job, compute: impl FnOnce() -> Vec<f64>) -> Vec<f64> {
@@ -743,10 +795,7 @@ mod tests {
         let first = cached_f64s(job, || v.clone());
         let second = cached_f64s(job, || panic!("must hit"));
         assert_eq!(first, v);
-        assert_eq!(
-            second.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-            bits
-        );
+        assert_eq!(second.iter().map(|x| x.to_bits()).collect::<Vec<_>>(), bits);
     }
 
     #[test]
@@ -781,7 +830,8 @@ mod tests {
         assert!(stats.bytes >= 16, "{stats:?}");
         // `clear` is exercised against a scratch directory rather than
         // the shared one (other tests are writing it concurrently).
-        let scratch = std::env::temp_dir().join(format!("bpred-store-clear-{}", std::process::id()));
+        let scratch =
+            std::env::temp_dir().join(format!("bpred-store-clear-{}", std::process::id()));
         fs::create_dir_all(&scratch).expect("scratch dir");
         fs::write(scratch.join("a.bpres"), b"x").expect("scratch file");
         assert_eq!(dir_stats(&scratch).files, 1);

@@ -276,7 +276,10 @@ mod tests {
             name.contains(&format!("{:016x}", bpred_workloads::source_digest())),
             "editing a workload kernel must re-key the cache: {name}"
         );
-        assert!(name.contains("compress") && name.contains("smoke"), "{name}");
+        assert!(
+            name.contains("compress") && name.contains("smoke"),
+            "{name}"
+        );
     }
 
     #[test]

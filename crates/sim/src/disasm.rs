@@ -75,8 +75,11 @@ pub fn disassemble(program: &Program) -> String {
         out.push('\n');
     }
     // A trailing label (branch to one past the end) still needs a line.
+    // It must be label-only: the assembler resolves a bare label to the
+    // one-past-the-end index, whereas emitting an instruction here would
+    // grow the program and break `assemble(disassemble(p)) == p`.
     if targets.contains(&program.instructions.len()) {
-        let _ = writeln!(out, "L{}: nop", program.instructions.len());
+        let _ = writeln!(out, "L{}:", program.instructions.len());
     }
     out
 }
@@ -126,6 +129,18 @@ mod tests {
             !text.contains("L0"),
             "untargeted instruction must not get a label: {text}"
         );
+    }
+
+    #[test]
+    fn trailing_target_roundtrips_without_growing_the_program() {
+        // A branch to one past the end is a valid program (the assembler
+        // resolves a trailing label to that index); disassembly used to
+        // pad it with a `nop`, growing the program on reassembly.
+        let p = assemble("beq r0, r0, end\nend:").unwrap();
+        assert_eq!(p.instructions.len(), 1);
+        let text = disassemble(&p);
+        let again = assemble(&text).unwrap_or_else(|e| panic!("rejected: {e}\n{text}"));
+        assert_eq!(p, again, "round-trip changed the program:\n{text}");
     }
 
     #[test]
@@ -217,16 +232,18 @@ mod proptests {
             data in prop::collection::vec(-1000i64..1000, 0..8),
         ) {
             // Clamp targets to the actual length (strategy used an upper
-            // bound before the final length was known).
+            // bound before the final length was known). `len` itself is a
+            // valid target — the assembler accepts a trailing label one
+            // past the end — so the property covers that case too.
             let len = instrs.len();
             let instructions: Vec<Instruction> = instrs
                 .into_iter()
                 .map(|i| match i {
                     Instruction::Branch { cond, rs, rt, target } => {
-                        Instruction::Branch { cond, rs, rt, target: target % len }
+                        Instruction::Branch { cond, rs, rt, target: target % (len + 1) }
                     }
                     Instruction::Jal { rd, target } => {
-                        Instruction::Jal { rd, target: target % len }
+                        Instruction::Jal { rd, target: target % (len + 1) }
                     }
                     other => other,
                 })

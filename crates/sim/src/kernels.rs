@@ -1,5 +1,10 @@
 //! Assembly kernels with classic branch structures, used as PC-accurate
 //! trace sources and as end-to-end tests of the machine.
+//!
+//! Each kernel exposes its assembly text through a `*_source` builder so
+//! the same program the tracer executes can also be assembled and handed
+//! to static analysis (`bpred-cfa`) — the trace and the CFG provably
+//! come from one artefact.
 
 use bpred_trace::Trace;
 
@@ -18,21 +23,18 @@ fn run_kernel(name: &str, source: &str, memory_words: usize, max_steps: u64) -> 
     trace
 }
 
-/// Bubble-sorts `n` words of a worst-case (descending) array.
-///
-/// Branch profile: a strongly taken inner-loop branch, a swap branch that
-/// starts 100% taken and decays, and loop-exit branches.
+/// Assembly text of the [`bubble_sort`] kernel.
 ///
 /// # Panics
 ///
 /// Panics if `n` is 0 or too large for the kernel's memory (`n > 4000`).
 #[must_use]
-pub fn bubble_sort(n: usize) -> Trace {
+pub fn bubble_sort_source(n: usize) -> String {
     assert!(
         (1..=4000).contains(&n),
         "bubble_sort supports 1..=4000 elements, got {n}"
     );
-    let source = format!(
+    format!(
         r"
         ; r1 = n, r2 = i, r3 = j, r4/r5 = elements, r6 = addr
             li   r1, {n}
@@ -62,26 +64,35 @@ pub fn bubble_sort(n: usize) -> Trace {
             bgt  r8, r0, outer
             halt
         "
-    );
+    )
+}
+
+/// Bubble-sorts `n` words of a worst-case (descending) array.
+///
+/// Branch profile: a strongly taken inner-loop branch, a swap branch that
+/// starts 100% taken and decays, and loop-exit branches.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or too large for the kernel's memory (`n > 4000`).
+#[must_use]
+pub fn bubble_sort(n: usize) -> Trace {
+    let source = bubble_sort_source(n);
     run_kernel("sim-bubble-sort", &source, n + 64, 200_000_000)
 }
 
-/// Repeated binary search over a sorted array: `queries` probes into `n`
-/// elements, with a pseudo-random key sequence generated in-register.
-///
-/// Branch profile: data-dependent compare branches near 50/50 (hard for
-/// bimodal, partly learnable with history), plus biased loop branches.
+/// Assembly text of the [`binary_search`] kernel.
 ///
 /// # Panics
 ///
 /// Panics if `n < 2` or `n > 100_000`.
 #[must_use]
-pub fn binary_search(n: usize, queries: usize) -> Trace {
+pub fn binary_search_source(n: usize, queries: usize) -> String {
     assert!(
         (2..=100_000).contains(&n),
         "binary_search needs 2..=100000 elements, got {n}"
     );
-    let source = format!(
+    format!(
         r"
         ; a[i] = 2*i ; probe odd and even keys pseudo-randomly
             li   r1, {n}
@@ -133,26 +144,36 @@ pub fn binary_search(n: usize, queries: usize) -> Trace {
             bgt  r10, r0, query
             halt
         "
-    );
+    )
+}
+
+/// Repeated binary search over a sorted array: `queries` probes into `n`
+/// elements, with a pseudo-random key sequence generated in-register.
+///
+/// Branch profile: data-dependent compare branches near 50/50 (hard for
+/// bimodal, partly learnable with history), plus biased loop branches.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > 100_000`.
+#[must_use]
+pub fn binary_search(n: usize, queries: usize) -> Trace {
+    let source = binary_search_source(n, queries);
     run_kernel("sim-binary-search", &source, n + 64, 500_000_000)
 }
 
-/// Sieve of Eratosthenes up to `n`.
-///
-/// Branch profile: the composite-marking inner loop is strongly taken;
-/// the "is prime?" test branch is weakly biased early and strongly biased
-/// late.
+/// Assembly text of the [`sieve`] kernel.
 ///
 /// # Panics
 ///
 /// Panics if `n < 4` or `n > 500_000`.
 #[must_use]
-pub fn sieve(n: usize) -> Trace {
+pub fn sieve_source(n: usize) -> String {
     assert!(
         (4..=500_000).contains(&n),
         "sieve supports 4..=500000, got {n}"
     );
-    let source = format!(
+    format!(
         r"
         ; mem[i] = 1 if composite
             li   r1, {n}
@@ -184,23 +205,36 @@ pub fn sieve(n: usize) -> Trace {
             sw   r7, (r0)            ; store count at word 0
             halt
         "
-    );
+    )
+}
+
+/// Sieve of Eratosthenes up to `n`.
+///
+/// Branch profile: the composite-marking inner loop is strongly taken;
+/// the "is prime?" test branch is weakly biased early and strongly biased
+/// late.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `n > 500_000`.
+#[must_use]
+pub fn sieve(n: usize) -> Trace {
+    let source = sieve_source(n);
     run_kernel("sim-sieve", &source, n + 64, 500_000_000)
 }
 
-/// Naive substring search of a repetitive pattern in a synthetic text —
-/// many near-miss partial matches, the classic mispredict generator.
+/// Assembly text of the [`string_search`] kernel.
 ///
 /// # Panics
 ///
 /// Panics if `text_len < 16` or `text_len > 200_000`.
 #[must_use]
-pub fn string_search(text_len: usize) -> Trace {
+pub fn string_search_source(text_len: usize) -> String {
     assert!(
         (16..=200_000).contains(&text_len),
         "string_search supports 16..=200000 text bytes, got {text_len}"
     );
-    let source = format!(
+    format!(
         r"
         ; text[i] = i*i mod 4 ; pattern = [1, 0, 1] stored after text
             li   r1, {text_len}
@@ -239,27 +273,34 @@ pub fn string_search(text_len: usize) -> Trace {
             sw   r10, (r0)
             halt
         "
-    );
+    )
+}
+
+/// Naive substring search of a repetitive pattern in a synthetic text —
+/// many near-miss partial matches, the classic mispredict generator.
+///
+/// # Panics
+///
+/// Panics if `text_len < 16` or `text_len > 200_000`.
+#[must_use]
+pub fn string_search(text_len: usize) -> Trace {
+    let source = string_search_source(text_len);
     run_kernel("sim-string-search", &source, text_len + 64, 500_000_000)
 }
 
-/// Iterative quicksort with an explicit stack over pseudo-random data.
-///
-/// Branch profile: data-dependent partition compares (roughly 50/50
-/// against the pivot), stack-empty loop tests, and trivial-partition
-/// cutoffs, with call/return events from the partition subroutine.
+/// Assembly text of the [`quicksort`] kernel.
 ///
 /// # Panics
 ///
 /// Panics if `n < 4` or `n > 50_000`.
 #[must_use]
-pub fn quicksort(n: usize) -> Trace {
+pub fn quicksort_source(n: usize) -> String {
     assert!(
         (4..=50_000).contains(&n),
         "quicksort supports 4..=50000 elements, got {n}"
     );
     // Memory layout: a[0..n] data; stack of (lo, hi) pairs after it.
-    let source = format!(
+    format!(
         r"
         ; fill a[i] with xorshift values (kept non-negative)
               li   r1, {n}
@@ -332,22 +373,34 @@ pub fn quicksort(n: usize) -> Trace {
         done:
               halt
         "
-    );
+    )
+}
+
+/// Iterative quicksort with an explicit stack over pseudo-random data.
+///
+/// Branch profile: data-dependent partition compares (roughly 50/50
+/// against the pivot), stack-empty loop tests, and trivial-partition
+/// cutoffs, with call/return events from the partition subroutine.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `n > 50_000`.
+#[must_use]
+pub fn quicksort(n: usize) -> Trace {
+    let source = quicksort_source(n);
     run_kernel("sim-quicksort", &source, 2 * n + 64, 600_000_000)
 }
 
-/// Dense matrix multiply `C = A * B` of `n x n` matrices: the
-/// loop-nest workload whose branches are almost perfectly predictable
-/// (three nested counted loops).
+/// Assembly text of the [`matmul`] kernel.
 ///
 /// # Panics
 ///
 /// Panics if `n < 2` or `n > 120`.
 #[must_use]
-pub fn matmul(n: usize) -> Trace {
+pub fn matmul_source(n: usize) -> String {
     assert!((2..=120).contains(&n), "matmul supports 2..=120, got {n}");
     let (a_base, b_base, c_base) = (0, n * n, 2 * n * n);
-    let source = format!(
+    format!(
         r"
         ; A[i*n+j] = i+j, B = i-j+n; C = A*B
               li   r1, {n}
@@ -393,7 +446,19 @@ pub fn matmul(n: usize) -> Trace {
               blt  r2, r1, iloop
               halt
         "
-    );
+    )
+}
+
+/// Dense matrix multiply `C = A * B` of `n x n` matrices: the
+/// loop-nest workload whose branches are almost perfectly predictable
+/// (three nested counted loops).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > 120`.
+#[must_use]
+pub fn matmul(n: usize) -> Trace {
+    let source = matmul_source(n);
     run_kernel("sim-matmul", &source, 3 * n * n + 64, 600_000_000)
 }
 
@@ -422,40 +487,9 @@ mod tests {
         // Re-run the sieve kernel and read the prime count from memory.
         let source_trace = sieve(n);
         assert!(!source_trace.is_empty());
-        // Independent check: rebuild and inspect memory.
-        let src = format!(
-            r"
-                li   r1, {n}
-                li   r2, 2
-            outer:
-                mul  r3, r2, r2
-                bge  r3, r1, count
-                lw   r4, (r2)
-                bne  r4, r0, next
-                mv   r5, r3
-            mark:
-                li   r6, 1
-                sw   r6, (r5)
-                add  r5, r5, r2
-                blt  r5, r1, mark
-            next:
-                addi r2, r2, 1
-                j    outer
-            count:
-                li   r7, 0
-                li   r2, 2
-            cloop:
-                lw   r4, (r2)
-                bne  r4, r0, notprime
-                addi r7, r7, 1
-            notprime:
-                addi r2, r2, 1
-                blt  r2, r1, cloop
-                sw   r7, (r0)
-                halt
-            "
-        );
-        let program = crate::asm::assemble(&src).unwrap();
+        // Independent check: rebuild from the shared source builder and
+        // inspect memory.
+        let program = crate::asm::assemble(&sieve_source(n)).unwrap();
         let mut m = Machine::with_memory(program, n + 64);
         m.run(10_000_000).unwrap();
         m.memory_word(0).unwrap()
@@ -483,6 +517,22 @@ mod tests {
         assert_eq!(bubble_sort(20), bubble_sort(20));
         assert_eq!(binary_search(64, 50), binary_search(64, 50));
         assert_eq!(quicksort(100), quicksort(100));
+    }
+
+    #[test]
+    fn every_source_builder_assembles() {
+        for (name, source) in [
+            ("bubble-sort", bubble_sort_source(16)),
+            ("binary-search", binary_search_source(16, 8)),
+            ("sieve", sieve_source(64)),
+            ("string-search", string_search_source(64)),
+            ("quicksort", quicksort_source(32)),
+            ("matmul", matmul_source(4)),
+        ] {
+            let program = crate::asm::assemble(&source)
+                .unwrap_or_else(|e| panic!("{name} source does not assemble: {e}"));
+            assert!(!program.instructions.is_empty(), "{name}");
+        }
     }
 
     #[test]

@@ -36,6 +36,16 @@ pub enum RunError {
         /// PC of the faulting instruction.
         pc: u64,
     },
+    /// A taken conditional branch targeted an instruction outside the
+    /// program. Unlike [`RunError::BadPc`] (raised at the *next* fetch),
+    /// this names the branch site itself, so the static analyzer in
+    /// `bpred-cfa` can report the identical diagnostic for the same PC.
+    BranchTargetOutOfBounds {
+        /// PC of the branch instruction.
+        pc: u64,
+        /// The out-of-bounds target byte PC.
+        target: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -49,6 +59,10 @@ impl fmt::Display for RunError {
                 write!(f, "bad memory address {address} at {pc:#x}")
             }
             RunError::DivideByZero { pc } => write!(f, "division by zero at {pc:#x}"),
+            RunError::BranchTargetOutOfBounds { pc, target } => write!(
+                f,
+                "conditional branch at {pc:#x} taken to out-of-bounds target {target:#x}"
+            ),
         }
     }
 }
@@ -201,6 +215,12 @@ impl Machine {
                     target,
                 } => {
                     let taken = cond.eval(self.reg(rs), self.reg(rt));
+                    if taken && target >= self.program.instructions.len() {
+                        return Err(RunError::BranchTargetOutOfBounds {
+                            pc,
+                            target: Program::pc_of(target),
+                        });
+                    }
                     trace.push(BranchRecord::conditional(pc, Program::pc_of(target), taken));
                     if taken {
                         next = target;
@@ -363,6 +383,35 @@ mod tests {
         let mut m = Machine::with_memory(program, 64);
         let err = m.run(10).unwrap_err();
         assert!(matches!(err, RunError::BadPc { .. }));
+    }
+
+    #[test]
+    fn taken_branch_past_the_end_names_the_branch_site() {
+        // The branch at index 0 (TEXT_BASE) jumps to the trailing label
+        // at index 1 = one past the end; the error must carry the branch
+        // site's PC, not the fetch PC the generic BadPc would report.
+        let program = assemble("beq r0, r0, end\nend:").unwrap();
+        let mut m = Machine::with_memory(program, 64);
+        let err = m.run(10).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::BranchTargetOutOfBounds {
+                pc: TEXT_BASE,
+                target: TEXT_BASE + 4,
+            }
+        );
+        assert!(err.to_string().contains("conditional branch at 0x400000"));
+    }
+
+    #[test]
+    fn not_taken_branch_past_the_end_does_not_trap() {
+        // The same out-of-bounds target is harmless while the branch
+        // falls through.
+        let program = assemble("bne r0, r1, end\nhalt\nend:").unwrap();
+        let mut m = Machine::with_memory(program, 64);
+        let t = m.run(10).expect("falls through to halt");
+        assert_eq!(t.len(), 1);
+        assert!(!t.records()[0].taken);
     }
 
     #[test]

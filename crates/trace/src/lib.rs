@@ -39,5 +39,5 @@ pub use codec::{
 pub use digest::TraceDigest;
 pub use packed::{PackError, PackedRecord, PackedTrace};
 pub use record::{BranchKind, BranchRecord};
-pub use stats::{BiasBucket, TraceStats};
+pub use stats::{site_table, BiasBucket, SiteSummary, TraceStats};
 pub use trace::Trace;

@@ -35,6 +35,53 @@ impl BiasBucket {
     }
 }
 
+/// Outcome summary of one static conditional branch site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteSummary {
+    /// The site's static byte PC.
+    pub pc: u64,
+    /// Dynamic executions of the site.
+    pub executions: u64,
+    /// Executions that were taken.
+    pub taken: u64,
+}
+
+impl SiteSummary {
+    /// The site's bias class under the paper's 90% thresholds.
+    #[must_use]
+    pub fn bucket(&self) -> BiasBucket {
+        BiasBucket::of(self.taken, self.executions)
+    }
+}
+
+/// Per-site summary table of a trace's conditional branches, sorted by
+/// PC: one row per static site with its execution count, taken count,
+/// and (via [`SiteSummary::bucket`]) bias class at the paper's 90%
+/// threshold. Shared by the bias experiments and the static/dynamic
+/// cross-check in `cfa.report`.
+#[must_use]
+pub fn site_table(trace: &Trace) -> Vec<SiteSummary> {
+    let mut per_branch: HashMap<u64, (u64, u64)> = HashMap::new();
+    for r in trace.iter() {
+        if r.kind != BranchKind::Conditional {
+            continue;
+        }
+        let e = per_branch.entry(r.pc).or_insert((0, 0));
+        e.0 += u64::from(r.taken);
+        e.1 += 1;
+    }
+    let mut sites: Vec<SiteSummary> = per_branch
+        .into_iter()
+        .map(|(pc, (taken, executions))| SiteSummary {
+            pc,
+            executions,
+            taken,
+        })
+        .collect();
+    sites.sort_by_key(|s| s.pc);
+    sites
+}
+
 /// Summary statistics of one trace.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TraceStats {
@@ -56,30 +103,23 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
-    /// Measures a trace.
+    /// Measures a trace. The per-site aggregation is [`site_table`],
+    /// so this summary and the per-site view can never disagree.
     #[must_use]
     pub fn measure(trace: &Trace) -> Self {
-        let mut per_branch: HashMap<u64, (u64, u64)> = HashMap::new();
         let mut stats = TraceStats {
             dynamic_total: trace.len() as u64,
             ..Self::default()
         };
-        for r in trace.iter() {
-            if r.kind != BranchKind::Conditional {
-                continue;
-            }
-            stats.dynamic_conditional += 1;
-            stats.taken += u64::from(r.taken);
-            let e = per_branch.entry(r.pc).or_insert((0, 0));
-            e.0 += u64::from(r.taken);
-            e.1 += 1;
-        }
-        stats.static_conditional = per_branch.len();
-        for (taken, total) in per_branch.values() {
-            match BiasBucket::of(*taken, *total) {
-                BiasBucket::StronglyTaken => stats.from_strongly_taken += total,
-                BiasBucket::StronglyNotTaken => stats.from_strongly_not_taken += total,
-                BiasBucket::WeaklyBiased => stats.from_weakly_biased += total,
+        let sites = site_table(trace);
+        stats.static_conditional = sites.len();
+        for site in &sites {
+            stats.dynamic_conditional += site.executions;
+            stats.taken += site.taken;
+            match site.bucket() {
+                BiasBucket::StronglyTaken => stats.from_strongly_taken += site.executions,
+                BiasBucket::StronglyNotTaken => stats.from_strongly_not_taken += site.executions,
+                BiasBucket::WeaklyBiased => stats.from_weakly_biased += site.executions,
             }
         }
         stats
@@ -150,6 +190,54 @@ mod tests {
         assert_eq!(s.static_conditional, 0);
         assert_eq!(s.taken_rate(), 0.0);
         assert_eq!(s.strongly_biased_fraction(), 0.0);
+    }
+
+    #[test]
+    fn site_table_aggregates_per_pc_and_sorts() {
+        let mut t = Trace::new("sites");
+        for i in 0..10 {
+            t.push(BranchRecord::conditional(0x200, 0x300, i % 2 == 0)); // WB
+            t.push(BranchRecord::conditional(0x100, 0x80, true)); // ST
+        }
+        t.push(BranchRecord::conditional(0x300, 0x100, false)); // SNT
+        t.push(BranchRecord::unconditional(0x400, 0x500)); // ignored
+        let sites = site_table(&t);
+        assert_eq!(sites.len(), 3);
+        assert!(sites.windows(2).all(|w| w[0].pc < w[1].pc), "sorted by PC");
+        assert_eq!(
+            sites[0],
+            SiteSummary {
+                pc: 0x100,
+                executions: 10,
+                taken: 10
+            }
+        );
+        assert_eq!(sites[0].bucket(), BiasBucket::StronglyTaken);
+        assert_eq!(sites[1].bucket(), BiasBucket::WeaklyBiased);
+        assert_eq!(sites[1].taken, 5);
+        assert_eq!(sites[2].bucket(), BiasBucket::StronglyNotTaken);
+    }
+
+    #[test]
+    fn site_table_matches_measure() {
+        let mut t = Trace::new("agree");
+        for i in 0..100u64 {
+            let pc = 0x1000 + (i % 7) * 4;
+            t.push(BranchRecord::conditional(pc, 0, i % 3 != 0));
+        }
+        let sites = site_table(&t);
+        let s = t.stats();
+        assert_eq!(sites.len(), s.static_conditional);
+        assert_eq!(
+            sites.iter().map(|x| x.executions).sum::<u64>(),
+            s.dynamic_conditional
+        );
+        assert_eq!(sites.iter().map(|x| x.taken).sum::<u64>(), s.taken);
+    }
+
+    #[test]
+    fn site_table_of_empty_trace_is_empty() {
+        assert!(site_table(&Trace::new("e")).is_empty());
     }
 
     #[test]

@@ -146,45 +146,88 @@ impl Workload {
     }
 }
 
-fn sim_bubble(scale: Scale) -> Trace {
-    let n = match scale {
+fn sim_bubble_n(scale: Scale) -> usize {
+    match scale {
         Scale::Smoke => 120,
         Scale::Paper => 450,
         Scale::Full => 900,
-    };
-    bpred_sim::kernels::bubble_sort(n)
+    }
+}
+
+fn sim_bubble(scale: Scale) -> Trace {
+    bpred_sim::kernels::bubble_sort(sim_bubble_n(scale))
+}
+
+fn sim_bsearch_queries(scale: Scale) -> usize {
+    600 * scale.factor() as usize
 }
 
 fn sim_bsearch(scale: Scale) -> Trace {
-    let queries = 600 * scale.factor() as usize;
-    bpred_sim::kernels::binary_search(4096, queries)
+    bpred_sim::kernels::binary_search(4096, sim_bsearch_queries(scale))
 }
 
-fn sim_quicksort(scale: Scale) -> Trace {
-    let n = match scale {
+fn sim_quicksort_n(scale: Scale) -> usize {
+    match scale {
         Scale::Smoke => 1_500,
         Scale::Paper => 18_000,
         Scale::Full => 50_000,
-    };
-    bpred_sim::kernels::quicksort(n)
+    }
 }
 
-fn sim_matmul(scale: Scale) -> Trace {
-    let n = match scale {
+fn sim_quicksort(scale: Scale) -> Trace {
+    bpred_sim::kernels::quicksort(sim_quicksort_n(scale))
+}
+
+fn sim_matmul_n(scale: Scale) -> usize {
+    match scale {
         Scale::Smoke => 24,
         Scale::Paper => 64,
         Scale::Full => 110,
-    };
-    bpred_sim::kernels::matmul(n)
+    }
 }
 
-fn sim_sieve(scale: Scale) -> Trace {
-    let n = match scale {
+fn sim_matmul(scale: Scale) -> Trace {
+    bpred_sim::kernels::matmul(sim_matmul_n(scale))
+}
+
+fn sim_sieve_n(scale: Scale) -> usize {
+    match scale {
         Scale::Smoke => 8_000,
         Scale::Paper => 120_000,
         Scale::Full => 500_000,
+    }
+}
+
+fn sim_sieve(scale: Scale) -> Trace {
+    bpred_sim::kernels::sieve(sim_sieve_n(scale))
+}
+
+/// The assembled [`bpred_sim::Program`] behind one sim-kernel workload
+/// at `scale` — built from the same source text (and the same per-scale
+/// parameters) the trace generator executes, so a static analysis of
+/// the returned program and the dynamic trace provably describe one
+/// artefact. Returns `None` for workloads that are not program-backed
+/// (the SPEC/IBS behavioural models, whose PCs are synthetic site
+/// hashes with no underlying instruction stream).
+///
+/// # Panics
+///
+/// Panics if a kernel's own source text fails to assemble — a build
+/// defect, covered by tests.
+#[must_use]
+pub fn sim_kernel_program(name: &str, scale: Scale) -> Option<bpred_sim::Program> {
+    use bpred_sim::kernels as k;
+    let source = match name {
+        "sim-bubble-sort" => k::bubble_sort_source(sim_bubble_n(scale)),
+        "sim-binary-search" => k::binary_search_source(4096, sim_bsearch_queries(scale)),
+        "sim-sieve" => k::sieve_source(sim_sieve_n(scale)),
+        "sim-quicksort" => k::quicksort_source(sim_quicksort_n(scale)),
+        "sim-matmul" => k::matmul_source(sim_matmul_n(scale)),
+        _ => return None,
     };
-    bpred_sim::kernels::sieve(n)
+    let program = bpred_sim::assemble(&source)
+        .unwrap_or_else(|e| panic!("kernel `{name}` failed to assemble: {e}"));
+    Some(program)
 }
 
 const REGISTRY: &[Workload] = &[
@@ -372,5 +415,36 @@ mod tests {
         // ISA-machine PCs live in its text segment, below the synthetic
         // site segment.
         assert!(t.iter().all(|r| r.pc < crate::tracer::SITE_BASE));
+    }
+
+    #[test]
+    fn every_sim_workload_is_program_backed() {
+        for w in Workload::suite_workloads(Suite::SimKernels) {
+            let p = sim_kernel_program(w.name(), Scale::Smoke)
+                .unwrap_or_else(|| panic!("{} has no program", w.name()));
+            assert!(!p.instructions.is_empty(), "{}", w.name());
+        }
+        assert!(sim_kernel_program("gcc", Scale::Smoke).is_none());
+        assert!(sim_kernel_program("nope", Scale::Smoke).is_none());
+    }
+
+    #[test]
+    fn kernel_program_sites_match_the_trace() {
+        // The program handed to static analysis and the generated trace
+        // must agree on the conditional-site set — the contract the
+        // `cfa/audit` verify pass rests on, pinned here at the source.
+        let w = Workload::by_name("sim-bubble-sort").unwrap();
+        let t = w.trace(Scale::Smoke);
+        let p = sim_kernel_program(w.name(), Scale::Smoke).unwrap();
+        let static_sites: std::collections::BTreeSet<u64> = p
+            .instructions
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, bpred_sim::Instruction::Branch { .. }))
+            .map(|(i, _)| bpred_sim::Program::pc_of(i))
+            .collect();
+        let dynamic_sites: std::collections::BTreeSet<u64> =
+            t.conditional().map(|r| r.pc).collect();
+        assert_eq!(static_sites, dynamic_sites);
     }
 }
