@@ -69,6 +69,7 @@ impl AliasReport {
             predictor.name()
         );
         // counter -> (branch pc -> stream stats)
+        let started = std::time::Instant::now();
         let mut by_counter: HashMap<usize, HashMap<u64, StreamStats>> = HashMap::new();
         let mut branches = 0u64;
         for record in trace.conditional() {
@@ -86,7 +87,12 @@ impl AliasReport {
         }
 
         // One pass over every conditional branch with one config.
-        crate::metrics::record_drive(branches, 1);
+        crate::metrics::record_engine_drive(
+            crate::metrics::Engine::Scalar,
+            branches,
+            1,
+            started.elapsed(),
+        );
 
         let mut report = AliasReport {
             counters_used: by_counter.len(),

@@ -32,6 +32,7 @@ pub const BLOCK_RECORDS: usize = 4096;
 /// (predict, then update), exactly like the scalar
 /// [`measure`](crate::simulate::measure) over the source trace.
 pub fn measure_packed<P: Predictor + ?Sized>(packed: &PackedTrace, predictor: &mut P) -> RunResult {
+    let started = std::time::Instant::now();
     let mut result = RunResult::default();
     for r in packed.records() {
         result.branches += 1;
@@ -39,7 +40,12 @@ pub fn measure_packed<P: Predictor + ?Sized>(packed: &PackedTrace, predictor: &m
         result.mispredictions += u64::from(predicted != r.taken);
         predictor.update(r.pc, r.taken);
     }
-    crate::metrics::record_drive(result.branches, 1);
+    crate::metrics::record_engine_drive(
+        crate::metrics::Engine::Packed,
+        result.branches,
+        1,
+        started.elapsed(),
+    );
     result
 }
 
@@ -56,6 +62,7 @@ pub fn measure_packed_with_flushes<P: Predictor + ?Sized>(
     flush_interval: u64,
 ) -> RunResult {
     assert!(flush_interval > 0, "flush interval must be positive");
+    let started = std::time::Instant::now();
     let mut result = RunResult::default();
     for r in packed.records() {
         if result.branches > 0 && result.branches.is_multiple_of(flush_interval) {
@@ -66,7 +73,12 @@ pub fn measure_packed_with_flushes<P: Predictor + ?Sized>(
         result.mispredictions += u64::from(predicted != r.taken);
         predictor.update(r.pc, r.taken);
     }
-    crate::metrics::record_drive(result.branches, 1);
+    crate::metrics::record_engine_drive(
+        crate::metrics::Engine::Packed,
+        result.branches,
+        1,
+        started.elapsed(),
+    );
     result
 }
 
@@ -89,6 +101,7 @@ pub fn measure_packed_with_flushes<P: Predictor + ?Sized>(
 /// `&mut [BiMode]`, …) monomorphise the inner loop with no virtual
 /// dispatch; mixed batches work through `Box<dyn Predictor>`.
 pub fn measure_batch<P: Predictor>(packed: &PackedTrace, predictors: &mut [P]) -> Vec<RunResult> {
+    let started = std::time::Instant::now();
     let len = packed.len();
     let mut mispredictions = vec![0u64; predictors.len()];
     let mut block = Vec::with_capacity(BLOCK_RECORDS.min(len));
@@ -107,9 +120,11 @@ pub fn measure_batch<P: Predictor>(packed: &PackedTrace, predictors: &mut [P]) -
         }
         block_start = block_end;
     }
-    crate::metrics::record_drive(
+    crate::metrics::record_engine_drive(
+        crate::metrics::Engine::Batch,
         len as u64 * predictors.len() as u64,
         predictors.len() as u64,
+        started.elapsed(),
     );
     mispredictions
         .into_iter()

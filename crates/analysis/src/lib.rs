@@ -37,6 +37,7 @@ pub mod batch;
 pub mod bias;
 pub mod metrics;
 pub mod simulate;
+pub mod sliced;
 pub mod twopass;
 pub mod warmup;
 
@@ -56,7 +57,8 @@ pub const ENGINE_EPOCH: u64 = 1;
 pub use aliasing::AliasReport;
 pub use batch::{measure_batch, measure_packed, measure_packed_with_flushes};
 pub use bias::{BiasClass, StreamStats};
-pub use metrics::DriveSnapshot;
+pub use metrics::{DriveSnapshot, Engine, EngineDrive, EngineSnapshot};
 pub use simulate::{measure, measure_with_flushes, RunResult};
+pub use sliced::{measure_sliced, measure_sliced_chunks, LaneSpec, MAX_LANES};
 pub use twopass::{Analysis, ClassChanges, CounterBias, MispredictionBreakdown};
 pub use warmup::{warmup_windows, windowed_rates};

@@ -35,6 +35,7 @@ impl RunResult {
 /// program order (predict, then update with the architectural outcome),
 /// exactly the paper's trace-driven methodology.
 pub fn measure<P: Predictor + ?Sized>(trace: &Trace, predictor: &mut P) -> RunResult {
+    let started = std::time::Instant::now();
     let mut result = RunResult::default();
     for record in trace.conditional() {
         result.branches += 1;
@@ -42,7 +43,12 @@ pub fn measure<P: Predictor + ?Sized>(trace: &Trace, predictor: &mut P) -> RunRe
         result.mispredictions += u64::from(predicted != record.taken);
         predictor.update(record.pc, record.taken);
     }
-    crate::metrics::record_drive(result.branches, 1);
+    crate::metrics::record_engine_drive(
+        crate::metrics::Engine::Scalar,
+        result.branches,
+        1,
+        started.elapsed(),
+    );
     result
 }
 
@@ -60,6 +66,7 @@ pub fn measure_with_flushes<P: Predictor + ?Sized>(
     flush_interval: u64,
 ) -> RunResult {
     assert!(flush_interval > 0, "flush interval must be positive");
+    let started = std::time::Instant::now();
     let mut result = RunResult::default();
     for record in trace.conditional() {
         if result.branches > 0 && result.branches.is_multiple_of(flush_interval) {
@@ -70,7 +77,12 @@ pub fn measure_with_flushes<P: Predictor + ?Sized>(
         result.mispredictions += u64::from(predicted != record.taken);
         predictor.update(record.pc, record.taken);
     }
-    crate::metrics::record_drive(result.branches, 1);
+    crate::metrics::record_engine_drive(
+        crate::metrics::Engine::Scalar,
+        result.branches,
+        1,
+        started.elapsed(),
+    );
     result
 }
 

@@ -1,0 +1,385 @@
+//! The bit-sliced execution engine: up to 64 predictor lanes advanced
+//! per trace pass through the [`PlaneTable`] word-wide counter
+//! transition.
+//!
+//! # Lanes
+//!
+//! A *lane* is one gshare-family configuration — table index width `s`
+//! and history length `m <= s` — running against its own
+//! [`PlaneTable`]. Bimodal is the `m = 0` member of the family (the
+//! equivalence `bimodal(s) == gshare(s, 0)` is a `bpred-core`
+//! invariant), so a lane group can mix sweep sizes and history lengths
+//! freely. [`LaneSpec::of`] is the single classification point: specs
+//! it returns `None` for (bi-mode's cross-bank choice update, tagged
+//! and combining schemes, …) **must fall back** to the batch engine —
+//! the harness dispatch does so explicitly, and `bpred-check` audits
+//! the classification so a spec can never silently take the wrong
+//! path.
+//!
+//! # Why it is fast
+//!
+//! Per retired (lane, branch) pair the loop does: two masked XOR index
+//! ops, one word-wide plane transition (~10 branchless ALU ops on two
+//! `u64` loads), and a branchless mispredict accumulate. Compared to
+//! the batch engine's per-predictor `Counter2::update` — whose
+//! data-dependent branch mispredicts on exactly the hard-to-predict
+//! branches being measured — the sliced loop retires lanes with **no
+//! outcome-dependent branches at all**, and its tables cost two bits
+//! per counter instead of a byte, keeping whole sweep ladders
+//! cache-resident. A single *unmasked* 64-bit shift register serves
+//! every lane: lane `m`'s masked read `shared & ((1 << m) - 1)` equals
+//! the per-predictor `m`-bit register, so one history push per record
+//! covers the whole group.
+//!
+//! Results are bit-identical to the scalar loop per configuration
+//! (proven by `bpred-check`'s engine-equivalence pass and
+//! property-tested here): same pre-update index, same saturating
+//! transition, same weakly-taken initialisation.
+
+use std::time::Instant;
+
+use bpred_core::index::{low_bits, pc_word, to_index};
+use bpred_core::{PlaneTable, PredictorSpec};
+use bpred_trace::PackedTrace;
+
+use crate::metrics::{self, Engine};
+use crate::simulate::RunResult;
+
+/// Maximum lanes per sliced group: one plane word's worth of
+/// configurations per pass.
+pub const MAX_LANES: usize = bpred_core::LANES;
+
+/// One sliceable lane: a gshare-family configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneSpec {
+    /// Table index width `s` (the lane's table holds `2^s` counters).
+    pub table_bits: u32,
+    /// History length `m <= s`; `0` is exactly bimodal.
+    pub history_bits: u32,
+}
+
+impl LaneSpec {
+    /// Classifies a spec for the sliced engine: `Some` for the
+    /// gshare family (gshare and bimodal), `None` for every spec that
+    /// must fall back to the batch engine.
+    ///
+    /// This is the *only* sliceability decision point — the harness
+    /// dispatch and `bpred-check`'s coverage audit both consult it, so
+    /// widening the engine to a new family is a one-site change that
+    /// the equivalence pass immediately covers.
+    #[must_use]
+    pub fn of(spec: &PredictorSpec) -> Option<LaneSpec> {
+        match *spec {
+            PredictorSpec::Gshare {
+                table_bits,
+                history_bits,
+            } => Some(LaneSpec {
+                table_bits,
+                history_bits,
+            }),
+            PredictorSpec::Bimodal { table_bits } => Some(LaneSpec {
+                table_bits,
+                history_bits: 0,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Drives up to [`MAX_LANES`] lanes over `packed` in one pass,
+/// returning one [`RunResult`] per lane in input order — bit-identical
+/// to running the scalar loop per configuration.
+///
+/// # Panics
+///
+/// Panics if `lanes` exceeds [`MAX_LANES`] entries, or a lane has
+/// `history_bits > table_bits` (the gshare constructor's own
+/// invariant).
+#[must_use]
+pub fn measure_sliced(packed: &PackedTrace, lanes: &[LaneSpec]) -> Vec<RunResult> {
+    assert!(
+        lanes.len() <= MAX_LANES,
+        "a sliced group holds at most {MAX_LANES} lanes, got {}",
+        lanes.len()
+    );
+    for lane in lanes {
+        assert!(
+            lane.history_bits <= lane.table_bits,
+            "history length {} exceeds index width {}",
+            lane.history_bits,
+            lane.table_bits
+        );
+    }
+    let started = Instant::now();
+    let len = packed.len();
+    let mut tables: Vec<PlaneTable> = lanes
+        .iter()
+        .map(|l| PlaneTable::weakly_taken(l.table_bits))
+        .collect();
+    // Masks instead of per-record `low_bits` calls: lane `i` indexes
+    // with (pc_word & pc_mask) ^ (shared_history & hist_mask), which
+    // equals gshare_index(pc, masked_register, s, m) — see the module
+    // docs for the shared-register argument.
+    let pc_masks: Vec<u64> = lanes
+        .iter()
+        .map(|l| low_bits(u64::MAX, l.table_bits))
+        .collect();
+    let hist_masks: Vec<u64> = lanes
+        .iter()
+        .map(|l| low_bits(u64::MAX, l.history_bits))
+        .collect();
+    let mut missed = vec![0u64; lanes.len()];
+    let mut shared: u64 = 0;
+    for i in 0..len {
+        let r = packed.record(i);
+        let pcw = pc_word(r.pc);
+        let taken = r.taken;
+        for (((table, &pc_mask), &hist_mask), missed) in tables
+            .iter_mut()
+            .zip(&pc_masks)
+            .zip(&hist_masks)
+            .zip(&mut missed)
+        {
+            let index = to_index((pcw & pc_mask) ^ (shared & hist_mask));
+            let predicted = table.retire(index, taken);
+            *missed += u64::from(predicted != taken);
+        }
+        shared = (shared << 1) | u64::from(taken);
+    }
+    let lanes_retired = lanes.len() as u64;
+    metrics::record_engine_drive(
+        Engine::Sliced,
+        len as u64 * lanes_retired,
+        lanes_retired,
+        started.elapsed(),
+    );
+    missed
+        .into_iter()
+        .map(|mispredictions| RunResult {
+            branches: len as u64,
+            mispredictions,
+        })
+        .collect()
+}
+
+/// Like [`measure_sliced`], but accepts any number of lanes and runs
+/// them in [`MAX_LANES`]-sized groups sequentially. Convenience for
+/// checks and benches; the harness plans its own groups so it can
+/// shard them across threads.
+#[must_use]
+pub fn measure_sliced_chunks(packed: &PackedTrace, lanes: &[LaneSpec]) -> Vec<RunResult> {
+    lanes
+        .chunks(MAX_LANES)
+        .flat_map(|group| measure_sliced(packed, group))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::measure_packed;
+    use bpred_core::{Bimodal, Gshare};
+    use bpred_trace::{BranchRecord, Trace};
+    use proptest::prelude::*;
+
+    fn lcg_trace(len: u64, sites: u64) -> PackedTrace {
+        let mut t = Trace::new("sliced");
+        let mut x = 3u64;
+        for _ in 0..len {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pc = 0x1000 + (x % sites) * 4;
+            t.push(BranchRecord::conditional(pc, 0, (x >> 17) & 3 != 0));
+        }
+        PackedTrace::build(&t).expect("site table fits")
+    }
+
+    #[test]
+    fn classification_covers_exactly_the_gshare_family() {
+        let gshare = "gshare:s=10,h=6".parse::<PredictorSpec>().expect("parses");
+        assert_eq!(
+            LaneSpec::of(&gshare),
+            Some(LaneSpec {
+                table_bits: 10,
+                history_bits: 6
+            })
+        );
+        let bimodal = "bimodal:s=9".parse::<PredictorSpec>().expect("parses");
+        assert_eq!(
+            LaneSpec::of(&bimodal),
+            Some(LaneSpec {
+                table_bits: 9,
+                history_bits: 0
+            })
+        );
+        for spec in ["bimode:d=7", "always-taken", "gselect:a=4,h=4"] {
+            let spec = spec.parse::<PredictorSpec>().expect("parses");
+            assert_eq!(LaneSpec::of(&spec), None, "{spec} must fall back");
+        }
+    }
+
+    #[test]
+    fn sliced_matches_scalar_gshare_lane_by_lane() {
+        let packed = lcg_trace(6000, 37);
+        let lanes: Vec<LaneSpec> = (0..=10u32)
+            .map(|m| LaneSpec {
+                table_bits: 10,
+                history_bits: m,
+            })
+            .collect();
+        let got = measure_sliced(&packed, &lanes);
+        for (lane, got) in lanes.iter().zip(&got) {
+            let want = measure_packed(
+                &packed,
+                &mut Gshare::new(lane.table_bits, lane.history_bits),
+            );
+            assert_eq!(*got, want, "lane {lane:?}");
+        }
+    }
+
+    #[test]
+    fn zero_history_lane_matches_bimodal() {
+        let packed = lcg_trace(4000, 60);
+        let got = measure_sliced(
+            &packed,
+            &[LaneSpec {
+                table_bits: 5,
+                history_bits: 0,
+            }],
+        );
+        let want = measure_packed(&packed, &mut Bimodal::new(5));
+        assert_eq!(got, [want]);
+    }
+
+    #[test]
+    fn a_full_64_lane_group_matches_scalar_everywhere() {
+        let packed = lcg_trace(3000, 11);
+        // 64 distinct (s, m) shapes spanning tiny to multi-word tables.
+        let lanes: Vec<LaneSpec> = (0..64u32)
+            .map(|i| {
+                let s = 2 + i % 9;
+                LaneSpec {
+                    table_bits: s,
+                    history_bits: (i / 9) % (s + 1),
+                }
+            })
+            .collect();
+        let got = measure_sliced(&packed, &lanes);
+        assert_eq!(got.len(), 64);
+        for (lane, got) in lanes.iter().zip(&got) {
+            let want = measure_packed(
+                &packed,
+                &mut Gshare::new(lane.table_bits, lane.history_bits),
+            );
+            assert_eq!(*got, want, "lane {lane:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_driver_splits_groups_transparently() {
+        let packed = lcg_trace(1500, 7);
+        let lanes: Vec<LaneSpec> = (0..70u32)
+            .map(|i| LaneSpec {
+                table_bits: 4 + i % 5,
+                history_bits: i % 3,
+            })
+            .collect();
+        let chunked = measure_sliced_chunks(&packed, &lanes);
+        assert_eq!(chunked.len(), 70);
+        let grouped: Vec<RunResult> = measure_sliced(&packed, &lanes[..64])
+            .into_iter()
+            .chain(measure_sliced(&packed, &lanes[64..]))
+            .collect();
+        assert_eq!(chunked, grouped);
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let packed = lcg_trace(100, 5);
+        assert!(measure_sliced(&packed, &[]).is_empty());
+        let empty = PackedTrace::build(&Trace::new("empty")).expect("builds");
+        let results = measure_sliced(
+            &empty,
+            &[LaneSpec {
+                table_bits: 4,
+                history_bits: 2,
+            }],
+        );
+        assert_eq!(results, [RunResult::default()]);
+    }
+
+    #[test]
+    fn drives_are_recorded_per_lane_retired() {
+        let packed = lcg_trace(500, 5);
+        let before = metrics::engine_snapshot();
+        let _ = measure_sliced(
+            &packed,
+            &[
+                LaneSpec {
+                    table_bits: 4,
+                    history_bits: 0,
+                },
+                LaneSpec {
+                    table_bits: 5,
+                    history_bits: 5,
+                },
+            ],
+        );
+        let delta = metrics::engine_snapshot().since(&before);
+        let sliced = delta.get(Engine::Sliced);
+        assert!(sliced.branches >= 1000, "got {sliced:?}");
+        assert!(sliced.lanes >= 2, "got {sliced:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn oversized_groups_are_rejected() {
+        let packed = lcg_trace(10, 3);
+        let lanes = vec![
+            LaneSpec {
+                table_bits: 4,
+                history_bits: 0
+            };
+            65
+        ];
+        let _ = measure_sliced(&packed, &lanes);
+    }
+
+    proptest! {
+        /// Every sliceable shape agrees with the scalar engine on
+        /// arbitrary traces: random (s, m <= s) pairs over random
+        /// outcome streams.
+        #[test]
+        fn arbitrary_lanes_match_scalar_on_arbitrary_traces(
+            seed in any::<u64>(),
+            len in 1u64..800,
+            sites in 1u64..40,
+            shapes in prop::collection::vec((0u32..11, 0u32..11), 1..6),
+        ) {
+            let mut t = Trace::new("prop");
+            let mut x = seed | 1;
+            for _ in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                t.push(BranchRecord::conditional(
+                    0x4000 + (x % sites) * 4,
+                    0,
+                    x & (1 << 23) != 0,
+                ));
+            }
+            let packed = PackedTrace::build(&t).expect("sites fit");
+            let lanes: Vec<LaneSpec> = shapes
+                .into_iter()
+                .map(|(s, m)| LaneSpec { table_bits: s, history_bits: m.min(s) })
+                .collect();
+            let got = measure_sliced(&packed, &lanes);
+            for (lane, got) in lanes.iter().zip(&got) {
+                let want = measure_packed(
+                    &packed,
+                    &mut Gshare::new(lane.table_bits, lane.history_bits),
+                );
+                prop_assert_eq!(*got, want, "lane {:?}", lane);
+            }
+        }
+    }
+}

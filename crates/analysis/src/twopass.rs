@@ -166,6 +166,7 @@ impl Analysis {
         F: Fn() -> P,
     {
         // ---- pass 1: collect substream statistics ----
+        let started = std::time::Instant::now();
         let mut predictor = make();
         let num_counters = predictor.num_counters();
         assert!(
@@ -265,7 +266,12 @@ impl Analysis {
         }
 
         // Both passes walk every conditional branch with one config.
-        crate::metrics::record_drive(2 * run.branches, 1);
+        crate::metrics::record_engine_drive(
+            crate::metrics::Engine::Scalar,
+            2 * run.branches,
+            1,
+            started.elapsed(),
+        );
 
         Analysis {
             per_counter,

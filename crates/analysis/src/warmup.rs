@@ -19,6 +19,7 @@ pub fn windowed_rates<P: Predictor + ?Sized>(
     window: u64,
 ) -> Vec<f64> {
     assert!(window > 0, "window must be positive");
+    let started = std::time::Instant::now();
     let mut rates = Vec::new();
     let mut in_window = 0u64;
     let mut misses = 0u64;
@@ -38,7 +39,12 @@ pub fn windowed_rates<P: Predictor + ?Sized>(
     if in_window >= window / 2 && in_window > 0 {
         rates.push(misses as f64 / in_window as f64);
     }
-    crate::metrics::record_drive(branches, 1);
+    crate::metrics::record_engine_drive(
+        crate::metrics::Engine::Scalar,
+        branches,
+        1,
+        started.elapsed(),
+    );
     rates
 }
 

@@ -6,11 +6,26 @@
 //! model-checks that claim the same way the state checker works:
 //! instead of sampling traces, it *enumerates* every micro-trace up to a
 //! bounded length over a small (pc × outcome) alphabet and compares all
-//! three paths — scalar, packed single-predictor, and packed batched —
-//! on every one of them, then adds one long pseudo-random trace that
-//! straddles the engine's block boundary.
+//! the engine paths — scalar, packed single-predictor, packed batched,
+//! and (for gshare-family specs) the bit-sliced plane engine — on every
+//! one of them, then adds one long pseudo-random trace that straddles
+//! the engine's block boundary.
+//!
+//! Two further passes pin the sliced engine down:
+//!
+//! * [`sliced_coverage`] audits the [`LaneSpec::of`] classification —
+//!   sliceability must be decided per grammar family (never per
+//!   config), every sliceable target must behaviourally match the
+//!   scalar loop, and every fallback (bi-mode's cross-bank choice
+//!   update among them) must be an *explicit* `None`, so no spec can
+//!   silently take the wrong path;
+//! * [`check_sliced_grid`] enumerates **every** sliceable shape up to a
+//!   table-width bound — all `(s, m <= s)` gshare pairs plus every
+//!   bimodal width — and proves each lane bit-identical to scalar on
+//!   block-straddling traces.
 
-use bpred_analysis::{measure, measure_batch, measure_packed};
+use bpred_analysis::sliced::{measure_sliced_chunks, LaneSpec};
+use bpred_analysis::{measure, measure_batch, measure_packed, RunResult};
 use bpred_core::{Predictor, PredictorSpec};
 use bpred_trace::{BranchRecord, PackedTrace, Trace};
 
@@ -97,7 +112,22 @@ fn compare_on(trace: &Trace, specs: &[PredictorSpec], check: &mut EngineCheck) {
     let mut fleet: Vec<Box<dyn Predictor>> = specs.iter().map(PredictorSpec::build).collect();
     let batched = measure_batch(&packed, &mut fleet);
 
-    for (spec, batch_result) in specs.iter().zip(&batched) {
+    // One bit-sliced pass covering every sliceable spec; non-sliceable
+    // specs (bi-mode's cross-bank choice update among them) have no
+    // sliced result — they are explicit batch fallbacks, and the
+    // coverage audit proves that classification is deliberate.
+    let sliceable: Vec<(usize, LaneSpec)> = specs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| LaneSpec::of(s).map(|lane| (i, lane)))
+        .collect();
+    let lanes: Vec<LaneSpec> = sliceable.iter().map(|&(_, lane)| lane).collect();
+    let mut sliced_of: Vec<Option<RunResult>> = vec![None; specs.len()];
+    for (&(i, _), result) in sliceable.iter().zip(measure_sliced_chunks(&packed, &lanes)) {
+        sliced_of[i] = Some(result);
+    }
+
+    for (i, (spec, batch_result)) in specs.iter().zip(&batched).enumerate() {
         check.comparisons += 1;
         let scalar = measure(trace, &mut *spec.build());
         let packed_single = measure_packed(&packed, &mut *spec.build());
@@ -114,6 +144,16 @@ fn compare_on(trace: &Trace, specs: &[PredictorSpec], check: &mut EngineCheck) {
                 spec,
                 trace.name()
             ));
+        }
+        if let Some(sliced) = &sliced_of[i] {
+            check.comparisons += 1;
+            if scalar != *sliced {
+                check.violations.push(format!(
+                    "{} on {}: scalar {scalar:?} != sliced {sliced:?}",
+                    spec,
+                    trace.name()
+                ));
+            }
         }
         if check.violations.len() >= 5 {
             return;
@@ -172,6 +212,163 @@ pub fn check_engines(
     check
 }
 
+/// Outcome of the lane-classification audit.
+#[derive(Debug, Clone)]
+pub struct SlicedCoverage {
+    /// Specs classified sliceable (gshare family).
+    pub sliceable: usize,
+    /// Specs classified as explicit batch fallbacks.
+    pub fallback: usize,
+    /// Classification inconsistencies or behavioural mismatches.
+    pub violations: Vec<String>,
+}
+
+impl SlicedCoverage {
+    /// Whether the classification is consistent and behaviourally sound.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line coverage summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sliceable + {} fallback specs, families consistent",
+            self.sliceable, self.fallback
+        )
+    }
+}
+
+/// Audits the [`LaneSpec::of`] classification over `specs`:
+///
+/// * sliceability is decided per grammar family — two configs of the
+///   same family must never land on different sides;
+/// * every sliceable spec behaviourally matches the scalar loop on a
+///   block-straddling probe trace (a misclassified family would
+///   diverge here, not silently in a sweep);
+/// * both sides are populated, so the fallback path itself stays
+///   exercised.
+#[must_use]
+pub fn sliced_coverage(specs: &[PredictorSpec]) -> SlicedCoverage {
+    let mut coverage = SlicedCoverage {
+        sliceable: 0,
+        fallback: 0,
+        violations: Vec::new(),
+    };
+    // family name -> sliceable?, as first seen.
+    let mut families: Vec<(String, bool)> = Vec::new();
+    let mut probe_specs: Vec<PredictorSpec> = Vec::new();
+    for spec in specs {
+        let sliceable = LaneSpec::of(spec).is_some();
+        if sliceable {
+            coverage.sliceable += 1;
+            probe_specs.push(spec.clone());
+        } else {
+            coverage.fallback += 1;
+        }
+        let rendered = spec.to_string();
+        let family = rendered.split(':').next().unwrap_or(&rendered).to_owned();
+        match families.iter().find(|(name, _)| *name == family) {
+            Some(&(_, earlier)) if earlier != sliceable => {
+                coverage.violations.push(format!(
+                    "family `{family}` is classified inconsistently: {spec} is {} but an \
+                     earlier config was not",
+                    if sliceable { "sliceable" } else { "a fallback" }
+                ));
+            }
+            Some(_) => {}
+            None => families.push((family, sliceable)),
+        }
+    }
+    if coverage.sliceable == 0 {
+        coverage
+            .violations
+            .push("no spec classified sliceable: the sliced engine is unreachable".to_owned());
+    }
+    if coverage.fallback == 0 {
+        coverage
+            .violations
+            .push("no spec classified fallback: the batch fallback path is unexercised".to_owned());
+    }
+
+    // Behavioural side: every sliceable target agrees with scalar on a
+    // probe trace that straddles the packed engine's block boundary.
+    let probe = boundary_trace(6_000, 23);
+    let mut probe_check = EngineCheck {
+        traces: 0,
+        comparisons: 0,
+        violations: Vec::new(),
+    };
+    if !probe_specs.is_empty() {
+        compare_on(&probe, &probe_specs, &mut probe_check);
+    }
+    coverage.violations.extend(probe_check.violations);
+    coverage
+}
+
+/// Enumerates **every** sliceable shape up to `max_table_bits` — all
+/// gshare `(s, m <= s)` pairs and every bimodal width — and proves
+/// each lane's sliced run bit-identical to the scalar loop on two
+/// pseudo-random traces, one straddling the packed block boundary.
+#[must_use]
+pub fn check_sliced_grid(max_table_bits: u32, boundary_records: usize) -> EngineCheck {
+    let mut check = EngineCheck {
+        traces: 0,
+        comparisons: 0,
+        violations: Vec::new(),
+    };
+    let mut specs: Vec<PredictorSpec> = Vec::new();
+    for s in 1..=max_table_bits {
+        for m in 0..=s {
+            specs.push(PredictorSpec::Gshare {
+                table_bits: s,
+                history_bits: m,
+            });
+        }
+        specs.push(PredictorSpec::Bimodal { table_bits: s });
+    }
+    let lanes: Vec<LaneSpec> = specs.iter().filter_map(LaneSpec::of).collect();
+    if lanes.len() != specs.len() {
+        check
+            .violations
+            .push("a grid spec failed to classify as sliceable".to_owned());
+        return check;
+    }
+
+    for trace in [
+        boundary_trace(boundary_records, 37),
+        boundary_trace(boundary_records / 3, 5),
+    ] {
+        check.traces += 1;
+        let packed = match PackedTrace::build(&trace) {
+            Ok(p) => p,
+            Err(e) => {
+                check
+                    .violations
+                    .push(format!("{}: packing failed: {e}", trace.name()));
+                return check;
+            }
+        };
+        let sliced = measure_sliced_chunks(&packed, &lanes);
+        for (spec, sliced_result) in specs.iter().zip(&sliced) {
+            check.comparisons += 1;
+            let scalar = measure(&trace, &mut *spec.build());
+            if scalar != *sliced_result {
+                check.violations.push(format!(
+                    "{} on {}: scalar {scalar:?} != sliced {sliced_result:?}",
+                    spec,
+                    trace.name()
+                ));
+                if check.violations.len() >= 5 {
+                    return check;
+                }
+            }
+        }
+    }
+    check
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,10 +381,21 @@ mod tests {
 
     #[test]
     fn enumeration_counts_are_exact() {
-        // 4 + 16 + 64 micro-traces plus the boundary trace.
+        // 4 + 16 + 64 micro-traces plus the boundary trace; bimodal is
+        // sliceable, so each trace contributes a scalar/packed/batch
+        // comparison plus a scalar/sliced one.
         let c = check_engines(&specs(&["bimodal:s=2"]), 3, 64);
         assert!(c.passed(), "{:?}", c.violations);
         assert_eq!(c.traces, 4 + 16 + 64 + 1);
+        assert_eq!(c.comparisons, 2 * c.traces);
+    }
+
+    #[test]
+    fn fallback_specs_skip_the_sliced_comparison() {
+        // bi-mode is not sliceable: one comparison per trace, exactly
+        // as before the sliced engine existed.
+        let c = check_engines(&specs(&["bimode:d=2,c=2,h=2"]), 2, 64);
+        assert!(c.passed(), "{:?}", c.violations);
         assert_eq!(c.comparisons, c.traces);
     }
 
@@ -195,5 +403,41 @@ mod tests {
     fn engines_agree_for_the_paper_pair_across_the_block_boundary() {
         let c = check_engines(&specs(&["gshare:s=4,h=4", "bimode:d=3,c=3,h=3"]), 2, 9000);
         assert!(c.passed(), "{:?}", c.violations);
+    }
+
+    #[test]
+    fn coverage_audit_passes_on_the_verify_targets() {
+        let coverage = sliced_coverage(&crate::engine_targets());
+        assert!(coverage.passed(), "{:?}", coverage.violations);
+        assert!(coverage.sliceable >= 2, "gshare and bimodal at least");
+        assert!(coverage.fallback >= 1, "bi-mode at least");
+    }
+
+    #[test]
+    fn coverage_audit_flags_one_sided_target_lists() {
+        let only_sliceable = sliced_coverage(&specs(&["gshare:s=4,h=2"]));
+        assert!(!only_sliceable.passed());
+        assert!(
+            only_sliceable.violations[0].contains("fallback"),
+            "{:?}",
+            only_sliceable.violations
+        );
+        let only_fallback = sliced_coverage(&specs(&["bimode:d=2,c=2,h=2"]));
+        assert!(!only_fallback.passed());
+        assert!(
+            only_fallback.violations[0].contains("sliced engine is unreachable"),
+            "{:?}",
+            only_fallback.violations
+        );
+    }
+
+    #[test]
+    fn sliced_grid_covers_every_shape_and_passes() {
+        let c = check_sliced_grid(6, 5000);
+        assert!(c.passed(), "{:?}", c.violations);
+        // Per trace: sum_{s=1..=6}(s + 1) gshare pairs + 6 bimodal.
+        let shapes = (1..=6u32).map(|s| s as usize + 1).sum::<usize>() + 6;
+        assert_eq!(c.traces, 2);
+        assert_eq!(c.comparisons, 2 * shapes);
     }
 }

@@ -16,8 +16,11 @@
 //!   checked transition-by-transition against the real implementations;
 //! * [`registry`] — the target list, the spec-grammar completeness and
 //!   round-trip audit, and the structural cost audit;
-//! * [`engine`] — equivalence of the scalar, packed, and batched
-//!   execution paths on exhaustively enumerated micro-traces;
+//! * [`engine`] — equivalence of the scalar, packed, batched, and
+//!   bit-sliced execution paths on exhaustively enumerated
+//!   micro-traces, the lane-classification audit (sliceable specs are
+//!   bit-identical to scalar; everything else is an explicit batch
+//!   fallback), and the exhaustive sliced-shape grid;
 //! * [`lint`] — the deny-by-default repo source rules (truncating
 //!   casts, unaudited panics, `forbid(unsafe_code)`, analyzer PC-cast
 //!   hygiene);
@@ -88,6 +91,14 @@ const ENGINE_TRACE_LEN: usize = 3;
 /// ... plus one pseudo-random trace straddling the 4096-record block
 /// boundary of the packed engine.
 const ENGINE_BOUNDARY_RECORDS: usize = 9_000;
+
+/// Sliced-grid bound: every gshare `(s, m <= s)` pair and every bimodal
+/// width with `s` up to this many index bits is proven bit-identical
+/// to the scalar loop.
+const SLICED_GRID_BITS: u32 = 6;
+/// Record count of the sliced grid's longer probe trace (straddles the
+/// packed engine's 4096-record block boundary).
+const SLICED_GRID_RECORDS: usize = 5_000;
 
 /// The specs driven through all three execution engines: one
 /// representative per grammar name, small enough that exhaustive
@@ -190,11 +201,23 @@ pub fn verify(root: &Path) -> VerifyReport {
         report.record(name, ok, detail);
     }
 
-    // Scalar / packed / batched engine agreement.
+    // Scalar / packed / batched / sliced engine agreement.
     let engines =
         engine::check_engines(&engine_targets(), ENGINE_TRACE_LEN, ENGINE_BOUNDARY_RECORDS);
     let (ok, detail) = first_or(&engines.violations, engines.summary());
     report.record("engine/equivalence", ok, detail);
+
+    // Lane-mapper classification: sliceability decided per family,
+    // behaviourally verified, with both sides populated.
+    let coverage = engine::sliced_coverage(&engine_targets());
+    let (ok, detail) = first_or(&coverage.violations, coverage.summary());
+    report.record("engine/sliced-coverage", ok, detail);
+
+    // Every sliceable shape up to the grid bound, bit-identical to the
+    // scalar reference on block-straddling traces.
+    let grid = engine::check_sliced_grid(SLICED_GRID_BITS, SLICED_GRID_RECORDS);
+    let (ok, detail) = first_or(&grid.violations, grid.summary());
+    report.record("engine/sliced-grid", ok, detail);
 
     // Static/dynamic control-flow cross-check on the kernel programs.
     let audits = cfa::audit_kernels();

@@ -46,6 +46,7 @@ pub mod cost;
 pub mod counter;
 pub mod history;
 pub mod index;
+pub mod plane;
 pub mod predictor;
 pub mod predictors;
 pub mod spec;
@@ -53,6 +54,7 @@ pub mod table;
 
 pub use counter::{Counter2, SatCounter};
 pub use history::{GlobalHistory, PerAddressHistories};
+pub use plane::{CounterPlanes, PlaneTable, LANES};
 pub use predictor::{CounterId, Predictor};
 pub use predictors::agree::Agree;
 pub use predictors::bimodal::Bimodal;

@@ -1,0 +1,438 @@
+//! Bit-sliced two-bit counters: 64 counter states packed into two
+//! `u64` bit-planes, advanced by word-wide boolean operations.
+//!
+//! A [`Counter2`] state `v` in `0..=3` is split across two planes as
+//! `v = 2*hi + lo`; bit `i` of each plane holds lane `i`'s bit. The
+//! saturating transition table then reduces to pure boolean algebra
+//! over whole words:
+//!
+//! ```text
+//! state     hi lo | inc -> hi lo | dec -> hi lo | predict
+//! 0 (SN)     0  0 |        0  1  |        0  0  |   0
+//! 1 (WN)     0  1 |        1  0  |        0  0  |   0
+//! 2 (WT)     1  0 |        1  1  |        0  1  |   1
+//! 3 (ST)     1  1 |        1  1  |        1  0  |   1
+//!
+//! inc_hi = hi | lo      dec_hi = hi & lo      predict = hi
+//! inc_lo = hi | !lo     dec_lo = hi & !lo
+//! ```
+//!
+//! One [`CounterPlanes::update`] call therefore advances up to 64
+//! independent saturating counters in a handful of ALU operations,
+//! with no data-dependent branches. The transition is property-tested
+//! against a reference `[Counter2; 64]` array below.
+//!
+//! [`PlaneTable`] stores a `2^bits`-entry counter table in this
+//! representation (one counter costs exactly its two architectural
+//! bits, 4x denser than the byte-per-counter
+//! [`CounterTable`](crate::table::CounterTable)) and retires single
+//! outcomes branchlessly through the same word-wide transition.
+
+use crate::counter::Counter2;
+
+/// Lanes per plane word: the width of the bit-sliced datapath.
+pub const LANES: usize = 64;
+
+/// 64 two-bit saturating counters packed into two `u64` bit-planes.
+///
+/// Lane `i` holds the counter whose high bit is bit `i` of `hi` and
+/// low bit is bit `i` of `lo`, so lane `i`'s state is
+/// `2*hi[i] + lo[i]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterPlanes {
+    hi: u64,
+    lo: u64,
+}
+
+impl CounterPlanes {
+    /// All 64 lanes in the given state.
+    #[must_use]
+    pub fn splat(counter: Counter2) -> Self {
+        let state = counter.state();
+        Self {
+            hi: if state & 2 != 0 { u64::MAX } else { 0 },
+            lo: if state & 1 != 0 { u64::MAX } else { 0 },
+        }
+    }
+
+    /// Builds planes from raw plane words (bit `i` of each word is
+    /// lane `i`'s high/low state bit).
+    #[must_use]
+    pub fn from_words(hi: u64, lo: u64) -> Self {
+        Self { hi, lo }
+    }
+
+    /// Packs a reference counter array into planes, lane `i` taking
+    /// `counters[i]`.
+    #[must_use]
+    pub fn from_counters(counters: &[Counter2; LANES]) -> Self {
+        let mut hi = 0u64;
+        let mut lo = 0u64;
+        for (lane, counter) in counters.iter().enumerate() {
+            let state = u64::from(counter.state());
+            hi |= (state >> 1) << lane;
+            lo |= (state & 1) << lane;
+        }
+        Self { hi, lo }
+    }
+
+    /// Unpacks the planes back into a counter array.
+    #[must_use]
+    pub fn to_counters(self) -> [Counter2; LANES] {
+        std::array::from_fn(|lane| {
+            let hi = (self.hi >> lane) & 1;
+            let lo = (self.lo >> lane) & 1;
+            // Assembled from two single bits, so the state is in 0..=3.
+            Counter2::from_state(((hi << 1) | lo) as u8)
+        })
+    }
+
+    /// The high bit-plane word.
+    #[must_use]
+    pub fn hi(self) -> u64 {
+        self.hi
+    }
+
+    /// The low bit-plane word.
+    #[must_use]
+    pub fn lo(self) -> u64 {
+        self.lo
+    }
+
+    /// Lane `i` predicts taken iff bit `i` is set: the sign-bit rule
+    /// `state >= 2` is exactly the high plane.
+    #[must_use]
+    pub fn predict_mask(self) -> u64 {
+        self.hi
+    }
+
+    /// Advances every lane selected by `active_mask` with its outcome
+    /// bit from `taken_mask` (bit set = taken = saturating increment,
+    /// clear = saturating decrement). Inactive lanes are unchanged.
+    ///
+    /// Branchless: both transitions are computed word-wide and merged
+    /// with masks, so the cost is a fixed handful of ALU operations
+    /// regardless of outcomes or how many lanes are active.
+    #[inline]
+    pub fn update(&mut self, taken_mask: u64, active_mask: u64) {
+        let (hi, lo) = (self.hi, self.lo);
+        let inc_hi = hi | lo;
+        let inc_lo = hi | !lo;
+        let dec_hi = hi & lo;
+        let dec_lo = hi & !lo;
+        let next_hi = (taken_mask & inc_hi) | (!taken_mask & dec_hi);
+        let next_lo = (taken_mask & inc_lo) | (!taken_mask & dec_lo);
+        self.hi = (hi & !active_mask) | (next_hi & active_mask);
+        self.lo = (lo & !active_mask) | (next_lo & active_mask);
+    }
+}
+
+impl Default for CounterPlanes {
+    /// Defaults to all lanes weakly taken, matching [`Counter2`].
+    fn default() -> Self {
+        Self::splat(Counter2::WEAKLY_TAKEN)
+    }
+}
+
+/// A `2^bits`-entry two-bit counter table in bit-plane representation.
+///
+/// Counter `i` lives in bit `i % 64` of plane words `i / 64`; the table
+/// costs exactly two bits of storage per counter. [`PlaneTable::retire`]
+/// predicts and trains one counter branchlessly through the word-wide
+/// [`CounterPlanes`] transition — the bit-sliced engine's inner step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaneTable {
+    hi: Vec<u64>,
+    lo: Vec<u64>,
+    index_bits: u32,
+}
+
+impl PlaneTable {
+    /// Creates a `2^index_bits`-entry table with every counter weakly
+    /// taken (the paper's initialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits > 30` (the same bound the index helpers
+    /// enforce).
+    #[must_use]
+    pub fn weakly_taken(index_bits: u32) -> Self {
+        assert!(index_bits <= 30, "table index width capped at 30 bits");
+        let entries = 1usize << index_bits;
+        let words = entries.div_ceil(LANES).max(1);
+        Self {
+            // Weakly taken is state 2: high plane set, low plane clear.
+            hi: vec![u64::MAX; words],
+            lo: vec![0; words],
+            index_bits,
+        }
+    }
+
+    /// The table's index width in bits.
+    #[must_use]
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// Number of counters in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        1usize << self.index_bits
+    }
+
+    /// Whether the table is empty (it never is; present for idiom).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Reads counter `index` (for inspection and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn counter(&self, index: usize) -> Counter2 {
+        assert!(index < self.len(), "counter index out of range");
+        let hi = (self.hi[index / LANES] >> (index % LANES)) & 1;
+        let lo = (self.lo[index / LANES] >> (index % LANES)) & 1;
+        Counter2::from_state(((hi << 1) | lo) as u8)
+    }
+
+    /// Predicts counter `index` without training it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn predict(&self, index: usize) -> bool {
+        assert!(index < self.len(), "counter index out of range");
+        (self.hi[index / LANES] >> (index % LANES)) & 1 != 0
+    }
+
+    /// Predicts counter `index`, then trains it with `taken` — one
+    /// retired branch. Returns the (pre-update) prediction.
+    ///
+    /// The transition runs word-wide with a single-bit active mask, so
+    /// the only data-dependent value is the taken mask
+    /// (`0` or all-ones), produced without a branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via the slice bound) if `index >= self.len()`.
+    #[inline]
+    pub fn retire(&mut self, index: usize, taken: bool) -> bool {
+        let word = index / LANES;
+        let bit = 1u64 << (index % LANES);
+        let mut planes = CounterPlanes::from_words(self.hi[word], self.lo[word]);
+        let predicted = planes.predict_mask() & bit != 0;
+        planes.update(0u64.wrapping_sub(u64::from(taken)), bit);
+        self.hi[word] = planes.hi();
+        self.lo[word] = planes.lo();
+        predicted
+    }
+
+    /// Resets every counter to weakly taken.
+    pub fn reset(&mut self) {
+        self.hi.fill(u64::MAX);
+        self.lo.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference_lanes(init: Counter2) -> [Counter2; LANES] {
+        [init; LANES]
+    }
+
+    #[test]
+    fn round_trip_preserves_every_state_pattern() {
+        let counters: [Counter2; LANES] =
+            std::array::from_fn(|i| Counter2::from_state((i % 4) as u8));
+        let planes = CounterPlanes::from_counters(&counters);
+        assert_eq!(planes.to_counters(), counters);
+    }
+
+    #[test]
+    fn splat_matches_from_counters() {
+        for state in 0..4u8 {
+            let c = Counter2::from_state(state);
+            assert_eq!(
+                CounterPlanes::splat(c),
+                CounterPlanes::from_counters(&reference_lanes(c))
+            );
+        }
+    }
+
+    #[test]
+    fn predict_mask_is_the_sign_bit_rule() {
+        let counters: [Counter2; LANES] =
+            std::array::from_fn(|i| Counter2::from_state((i % 4) as u8));
+        let planes = CounterPlanes::from_counters(&counters);
+        for (lane, c) in counters.iter().enumerate() {
+            assert_eq!((planes.predict_mask() >> lane) & 1 != 0, c.predict());
+        }
+    }
+
+    #[test]
+    fn single_step_matches_counter2_for_all_state_outcome_pairs() {
+        for state in 0..4u8 {
+            for taken in [false, true] {
+                let scalar = Counter2::from_state(state).updated(taken);
+                let mut planes = CounterPlanes::splat(Counter2::from_state(state));
+                planes.update(0u64.wrapping_sub(u64::from(taken)), u64::MAX);
+                assert_eq!(
+                    planes.to_counters()[0],
+                    scalar,
+                    "state {state} taken {taken}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_lanes_are_untouched() {
+        let mut planes = CounterPlanes::splat(Counter2::WEAKLY_TAKEN);
+        planes.update(u64::MAX, 1 << 5);
+        let counters = planes.to_counters();
+        for (lane, c) in counters.iter().enumerate() {
+            let expected = if lane == 5 {
+                Counter2::STRONGLY_TAKEN
+            } else {
+                Counter2::WEAKLY_TAKEN
+            };
+            assert_eq!(*c, expected, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn all_lanes_saturated_stay_saturated() {
+        // Edge case: every lane pinned at a saturation point keeps
+        // absorbing same-direction outcomes without wrapping.
+        let mut top = CounterPlanes::splat(Counter2::STRONGLY_TAKEN);
+        let mut bottom = CounterPlanes::splat(Counter2::STRONGLY_NOT_TAKEN);
+        for _ in 0..5 {
+            top.update(u64::MAX, u64::MAX);
+            bottom.update(0, u64::MAX);
+        }
+        assert_eq!(top, CounterPlanes::splat(Counter2::STRONGLY_TAKEN));
+        assert_eq!(bottom, CounterPlanes::splat(Counter2::STRONGLY_NOT_TAKEN));
+    }
+
+    #[test]
+    fn alternating_taken_oscillates_like_the_scalar_counter() {
+        // Edge case: strict T/N alternation, lockstep-checked against
+        // the scalar counter at every step.
+        let mut reference = reference_lanes(Counter2::WEAKLY_TAKEN);
+        let mut planes = CounterPlanes::splat(Counter2::WEAKLY_TAKEN);
+        for step in 0..32 {
+            let taken = step % 2 == 0;
+            for c in &mut reference {
+                c.update(taken);
+            }
+            planes.update(0u64.wrapping_sub(u64::from(taken)), u64::MAX);
+            assert_eq!(planes.to_counters(), reference, "step {step}");
+        }
+    }
+
+    #[test]
+    fn plane_table_initialises_weakly_taken_and_predicts_taken() {
+        let table = PlaneTable::weakly_taken(7);
+        assert_eq!(table.len(), 128);
+        for i in 0..table.len() {
+            assert_eq!(table.counter(i), Counter2::WEAKLY_TAKEN);
+            assert!(table.predict(i));
+        }
+    }
+
+    #[test]
+    fn tiny_tables_still_get_one_word() {
+        // index_bits < 6 packs fewer than 64 counters into one word.
+        let mut table = PlaneTable::weakly_taken(0);
+        assert_eq!(table.len(), 1);
+        assert!(table.retire(0, false));
+        assert_eq!(table.counter(0), Counter2::WEAKLY_NOT_TAKEN);
+    }
+
+    #[test]
+    fn retire_matches_counter_table_semantics() {
+        use crate::table::CounterTable;
+        let mut plane = PlaneTable::weakly_taken(6);
+        let mut bytes = CounterTable::new(6, Counter2::WEAKLY_TAKEN);
+        let mut x = 9u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let index = (x >> 33) as usize % 64;
+            let taken = x & 1 == 1;
+            let want = bytes.predict(index);
+            bytes.update(index, taken);
+            assert_eq!(plane.retire(index, taken), want);
+        }
+        for i in 0..64 {
+            assert_eq!(plane.counter(i), bytes.counter(i), "counter {i}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let mut table = PlaneTable::weakly_taken(5);
+        for i in 0..table.len() {
+            let _ = table.retire(i, i % 2 == 0);
+        }
+        table.reset();
+        assert_eq!(table, PlaneTable::weakly_taken(5));
+    }
+
+    proptest! {
+        /// The satellite property: planes match a reference
+        /// `[Counter2; 64]` over arbitrary update sequences, including
+        /// the saturation and alternation edge cases (seeded above and
+        /// reachable here via the arbitrary masks).
+        #[test]
+        fn planes_match_reference_counters_over_arbitrary_sequences(
+            init in prop::collection::vec(0u8..4, 64..65),
+            steps in prop::collection::vec((any::<u64>(), any::<u64>()), 0..64),
+        ) {
+            let counters: [Counter2; LANES] =
+                std::array::from_fn(|i| Counter2::from_state(init[i]));
+            let mut planes = CounterPlanes::from_counters(&counters);
+            let mut reference = counters;
+            for (taken_mask, active_mask) in steps {
+                planes.update(taken_mask, active_mask);
+                for (lane, c) in reference.iter_mut().enumerate() {
+                    if (active_mask >> lane) & 1 != 0 {
+                        c.update((taken_mask >> lane) & 1 != 0);
+                    }
+                }
+                prop_assert_eq!(planes.to_counters(), reference);
+                prop_assert_eq!(
+                    planes.predict_mask(),
+                    reference.iter().enumerate().fold(0u64, |m, (lane, c)| {
+                        m | (u64::from(c.predict()) << lane)
+                    })
+                );
+            }
+        }
+
+        /// Driving the full taken/not-taken extremes keeps every lane
+        /// inside the saturation bounds.
+        #[test]
+        fn saturation_never_wraps(direction in any::<bool>(), steps in 1usize..16) {
+            let mut planes = CounterPlanes::splat(if direction {
+                Counter2::STRONGLY_TAKEN
+            } else {
+                Counter2::STRONGLY_NOT_TAKEN
+            });
+            for _ in 0..steps {
+                planes.update(if direction { u64::MAX } else { 0 }, u64::MAX);
+            }
+            for c in planes.to_counters() {
+                prop_assert_eq!(c.is_strong(), true);
+                prop_assert_eq!(c.predict(), direction);
+            }
+        }
+    }
+}

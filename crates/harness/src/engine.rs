@@ -15,7 +15,8 @@
 //! [`crate::observe::Observer`]; the engine carries no throughput
 //! plumbing of its own.
 
-use bpred_core::Predictor;
+use bpred_analysis::sliced::LaneSpec;
+use bpred_core::{Predictor, PredictorSpec};
 use bpred_trace::PackedTrace;
 
 use crate::parallel;
@@ -138,6 +139,137 @@ where
     rates
 }
 
+/// Spec-aware, store-aware engine dispatch: the sweep front door.
+///
+/// Plans one store job per (configuration, trace) point — the *same*
+/// `Kind::Rate` keys the scalar and batch paths use, so warm caches
+/// from either engine serve this one and vice versa (results are
+/// proven bit-identical by `bpred-check`, which is what keeps a shared
+/// key space sound). Missing points are partitioned by
+/// [`LaneSpec::of`]:
+///
+/// - **Sliceable** specs (the gshare family, bimodal included) are
+///   packed into [`bpred_analysis::MAX_LANES`]-wide lane groups and
+///   driven by the bit-sliced engine, one pass per group.
+/// - Everything else **falls back explicitly** to the batch engine in
+///   one mixed `Box<dyn Predictor>` pass per trace.
+///
+/// Every (trace, lane-group) pass is one independent work item
+/// sharded across threads by the lock-free [`parallel::map`] — so a
+/// sweep over many configurations parallelises even over a single
+/// trace. Returns `rates[config][trace]`.
+#[must_use]
+pub fn cached_spec_rates(
+    traces: &[&PackedTrace],
+    jobs: Option<usize>,
+    specs: &[PredictorSpec],
+) -> Vec<Vec<f64>> {
+    let job_specs: Vec<JobSpec> = specs.iter().map(JobSpec::rate).collect();
+    let lanes: Vec<Option<LaneSpec>> = specs.iter().map(LaneSpec::of).collect();
+
+    // Phase A: probe the store for every point, in parallel over
+    // traces; collect the missing config indices per trace, split by
+    // engine eligibility.
+    struct Probe {
+        rates: Vec<Option<f64>>,
+        sliceable: Vec<usize>,
+        fallback: Vec<usize>,
+    }
+    let probes: Vec<Probe> = parallel::map(traces.to_vec(), jobs, |t| {
+        let digest = t.digest();
+        let rates: Vec<Option<f64>> = job_specs
+            .iter()
+            .map(|s| store::lookup_run(s.job(digest)).map(|r| r.misprediction_rate()))
+            .collect();
+        let mut sliceable = Vec::new();
+        let mut fallback = Vec::new();
+        for (i, rate) in rates.iter().enumerate() {
+            if rate.is_none() {
+                if lanes[i].is_some() {
+                    sliceable.push(i);
+                } else {
+                    fallback.push(i);
+                }
+            }
+        }
+        Probe {
+            rates,
+            sliceable,
+            fallback,
+        }
+    });
+
+    // Phase B: flatten the missing points into (trace, group) work
+    // items — lane groups for the sliced engine, one mixed batch per
+    // trace for the fallbacks — and measure them in parallel.
+    struct Item {
+        trace: usize,
+        indices: Vec<usize>,
+        sliced: bool,
+    }
+    let mut items = Vec::new();
+    for (trace, probe) in probes.iter().enumerate() {
+        for group in probe.sliceable.chunks(bpred_analysis::MAX_LANES) {
+            items.push(Item {
+                trace,
+                indices: group.to_vec(),
+                sliced: true,
+            });
+        }
+        if !probe.fallback.is_empty() {
+            items.push(Item {
+                trace,
+                indices: probe.fallback.clone(),
+                sliced: false,
+            });
+        }
+    }
+    let measured: Vec<(usize, Vec<(usize, f64)>)> = parallel::map(items, jobs, |item| {
+        let t = traces[item.trace];
+        let digest = t.digest();
+        let results = if item.sliced {
+            let group: Vec<LaneSpec> = item
+                .indices
+                .iter()
+                .map(|&i| lanes[i].expect("sliceable items hold classified configs")) // panic-audited: phase A put only LaneSpec-classified indices in sliceable groups
+                .collect();
+            bpred_analysis::measure_sliced(t, &group)
+        } else {
+            let mut batch: Vec<Box<dyn Predictor>> =
+                item.indices.iter().map(|&i| specs[i].build()).collect();
+            bpred_analysis::measure_batch(t, &mut batch)
+        };
+        let rates = item
+            .indices
+            .iter()
+            .zip(&results)
+            .map(|(&i, r)| {
+                store::insert_run(job_specs[i].job(digest), r);
+                (i, r.misprediction_rate())
+            })
+            .collect();
+        (item.trace, rates)
+    });
+
+    // Phase C: merge measured points into the probed grid and
+    // transpose to rates[config][trace].
+    let mut per_trace: Vec<Vec<Option<f64>>> = probes.into_iter().map(|p| p.rates).collect();
+    for (trace, results) in measured {
+        for (config, rate) in results {
+            per_trace[trace][config] = Some(rate);
+        }
+    }
+    let mut rates = vec![Vec::with_capacity(traces.len()); specs.len()];
+    for trace_rates in &per_trace {
+        for (config, rate) in trace_rates.iter().enumerate() {
+            rates[config]
+                .push(rate.expect("every configuration is either a hit or freshly measured"));
+            // panic-audited: phase B measured exactly the None slots phase A collected
+        }
+    }
+    rates
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +376,72 @@ mod tests {
         assert_eq!(second, plain);
         let delta = store::counters().since(&before);
         assert!(delta.hits >= 3, "all three configs must hit: {delta:?}");
+    }
+
+    #[test]
+    fn spec_rates_match_the_batch_engine_bit_for_bit() {
+        use bpred_core::PredictorSpec;
+        // A gshare-family grid plus explicit-fallback specs in one
+        // call: the sliced and batch paths land in the same grid and
+        // must equal an all-batch reference run exactly.
+        let t = trace(0xBEEF ^ u64::from(std::process::id()), 5000);
+        let p = PackedTrace::build(&t).unwrap();
+        let specs: Vec<PredictorSpec> = [
+            "gshare:s=8,h=8",
+            "gshare:s=8,h=3",
+            "bimodal:s=7",
+            "bimode:d=6",
+            "always-taken",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let got = cached_spec_rates(&[&p], Some(2), &specs);
+        let want = batch_rates(&[&p], Some(1), specs.len(), || {
+            specs.iter().map(|s| s.build()).collect::<Vec<_>>()
+        });
+        assert_eq!(got, want, "sliced dispatch must be bit-identical");
+    }
+
+    #[test]
+    fn spec_rates_use_the_sliced_engine_and_share_store_keys() {
+        use bpred_analysis::metrics::{engine_snapshot, Engine};
+        use bpred_core::PredictorSpec;
+        let t = trace(0xACE5 ^ u64::from(std::process::id()), 4000);
+        let p = PackedTrace::build(&t).unwrap();
+        let specs: Vec<PredictorSpec> = (0..=6u32)
+            .map(|m| PredictorSpec::Gshare {
+                table_bits: 6,
+                history_bits: m,
+            })
+            .collect();
+        let before = engine_snapshot();
+        let first = cached_spec_rates(&[&p], Some(2), &specs);
+        let delta = engine_snapshot().since(&before);
+        assert!(
+            delta.get(Engine::Sliced).lanes >= 7,
+            "gshare grid must ride the sliced engine: {delta:?}"
+        );
+        // The same points must now be warm for the batch-keyed path.
+        let job_specs: Vec<JobSpec> = specs.iter().map(JobSpec::rate).collect();
+        let store_before = store::counters();
+        let second = cached_batch_rates(
+            &[&p],
+            Some(1),
+            &job_specs,
+            |_: &[usize]| -> Vec<Box<dyn Predictor>> { panic!("warm store must not rebuild") },
+        );
+        assert_eq!(second, first);
+        let hits = store::counters().since(&store_before).hits;
+        assert!(hits >= 7, "sliced results must serve batch keys: {hits}");
+    }
+
+    #[test]
+    fn spec_rates_handle_empty_inputs() {
+        let rates = cached_spec_rates(&[], Some(1), &["bimodal:s=4".parse().unwrap()]);
+        assert_eq!(rates, [Vec::<f64>::new()]);
+        let t = trace(11, 200);
+        let p = PackedTrace::build(&t).unwrap();
+        assert!(cached_spec_rates(&[&p], Some(1), &[]).is_empty());
     }
 }

@@ -21,6 +21,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use bpred_analysis::metrics::{Engine, EngineDrive};
 use bpred_workloads::Scale;
 
 use crate::observe::StageStats;
@@ -28,8 +29,10 @@ use crate::observe::StageStats;
 /// Manifest schema version; bump on breaking layout changes.
 /// v2 added result-store provenance: per-stage `jobs_cached` /
 /// `jobs_computed` / `results_inserted` and the top-level
-/// `result_store` object.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `result_store` object. v3 added the per-stage `engines` breakdown
+/// (branches, lanes, busy time and Mbranches/s per execution engine),
+/// whose branch/lane sums must equal the stage totals.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A JSON value: the minimal tree the manifest needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -421,6 +424,28 @@ pub struct Manifest {
     pub total: StageStats,
 }
 
+fn engine_drive_json(drive: &EngineDrive) -> Json {
+    Json::Obj(vec![
+        ("branches".to_owned(), Json::Num(drive.branches as f64)),
+        ("lanes".to_owned(), Json::Num(drive.lanes as f64)),
+        ("busy_s".to_owned(), Json::Num(drive.busy_seconds())),
+        (
+            "mbranches_per_s".to_owned(),
+            Json::Num(drive.mbranches_per_sec()),
+        ),
+    ])
+}
+
+fn engines_json(stats: &StageStats) -> Json {
+    Json::Obj(
+        stats
+            .engines
+            .iter()
+            .map(|(engine, drive)| (engine.label().to_owned(), engine_drive_json(&drive)))
+            .collect(),
+    )
+}
+
 fn stage_json(stats: &StageStats) -> Json {
     Json::Obj(vec![
         ("wall_s".to_owned(), Json::Num(stats.wall.as_secs_f64())),
@@ -452,6 +477,7 @@ fn stage_json(stats: &StageStats) -> Json {
             "results_inserted".to_owned(),
             Json::Num(stats.store.inserts as f64),
         ),
+        ("engines".to_owned(), engines_json(stats)),
     ])
 }
 
@@ -646,6 +672,7 @@ impl Manifest {
                 return Err(format!("`{name}`: throughput {tp} is not finite"));
             }
             check_store_provenance(e, name)?;
+            check_engines(e, name, branches, configs)?;
         }
         for want in expected {
             if !seen.contains(want) {
@@ -666,6 +693,7 @@ impl Manifest {
                 "totals: drove {total_configs} configs but simulated no branches"
             ));
         }
+        check_engines(totals, "totals", total_branches, total_configs)?;
         let (planned, cached, _) = check_store_provenance(totals, "totals")?;
         let store = doc.get("result_store").ok_or("missing `result_store`")?;
         store
@@ -685,6 +713,52 @@ impl Manifest {
             seen.len()
         ))
     }
+}
+
+/// Checks one stage/summary object's per-engine breakdown: every
+/// engine label present with sane numbers, and the engine branch /
+/// lane sums equal to the stage's own `branches` / `configs` totals
+/// (the aggregate is derived from the engine slots, so a mismatch
+/// means the manifest was edited or the schema drifted).
+fn check_engines(obj: &Json, name: &str, branches: u64, configs: u64) -> Result<(), String> {
+    let engines = obj
+        .get("engines")
+        .ok_or_else(|| format!("`{name}`: missing `engines`"))?;
+    let mut branch_sum: u64 = 0;
+    let mut lane_sum: u64 = 0;
+    for engine in Engine::ALL {
+        let label = engine.label();
+        let e = engines
+            .get(label)
+            .ok_or_else(|| format!("`{name}`: missing engine `{label}`"))?;
+        let field = |key: &str| -> Result<u64, String> {
+            e.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{name}`/{label}: missing `{key}`"))
+        };
+        branch_sum += field("branches")?;
+        lane_sum += field("lanes")?;
+        for key in ["busy_s", "mbranches_per_s"] {
+            let v = e
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`{name}`/{label}: missing `{key}`"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("`{name}`/{label}: {key} {v} is not finite"));
+            }
+        }
+    }
+    if branch_sum != branches {
+        return Err(format!(
+            "`{name}`: engine branches sum to {branch_sum}, stage total is {branches}"
+        ));
+    }
+    if lane_sum != configs {
+        return Err(format!(
+            "`{name}`: engine lanes sum to {lane_sum}, stage total is {configs} configs"
+        ));
+    }
+    Ok(())
 }
 
 /// Checks one stage/summary object's result-store accounting: the
@@ -708,10 +782,63 @@ fn check_store_provenance(obj: &Json, name: &str) -> Result<(u64, u64, u64), Str
     Ok((planned, cached, computed))
 }
 
+/// The engine benchmark summary written to `BENCH_engine.json`:
+/// whole-run per-engine totals plus the headline `sliced_over_batch`
+/// throughput ratio. The ratio degrades to `null` when either engine
+/// recorded no timed work (e.g. a fully store-warm rerun drives no
+/// branches at all), so resumed runs still emit a valid document.
+#[must_use]
+pub fn engine_bench_json(manifest: &Manifest) -> Json {
+    let batch = manifest
+        .total
+        .engines
+        .get(Engine::Batch)
+        .mbranches_per_sec();
+    let sliced = manifest
+        .total
+        .engines
+        .get(Engine::Sliced)
+        .mbranches_per_sec();
+    let ratio = if batch > 0.0 && sliced > 0.0 {
+        Json::Num(sliced / batch)
+    } else {
+        Json::Null
+    };
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Num(1.0)),
+        (
+            "crate_version".to_owned(),
+            Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
+        ),
+        ("run".to_owned(), Json::Str(manifest.run.clone())),
+        ("scale".to_owned(), Json::Str(manifest.scale.to_string())),
+        (
+            "wall_s".to_owned(),
+            Json::Num(manifest.total.wall.as_secs_f64()),
+        ),
+        ("engines".to_owned(), engines_json(&manifest.total)),
+        ("sliced_over_batch".to_owned(), ratio),
+    ])
+}
+
+/// Writes the engine benchmark summary to `path` (conventionally
+/// `BENCH_engine.json` at the repository root, kept outside the
+/// results directory so byte-identical rerun comparisons stay clean).
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_engine_bench(manifest: &Manifest, path: &Path) -> io::Result<()> {
+    let mut text = engine_bench_json(manifest).emit();
+    text.push('\n');
+    fs::write(path, text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::traces::CacheCounters;
+    use bpred_analysis::metrics::EngineSnapshot;
     use std::time::Duration;
 
     fn stats(name: &str, branches: u64, configs: u64) -> StageStats {
@@ -720,6 +847,14 @@ mod tests {
             wall: Duration::from_millis(125),
             branches,
             configs,
+            engines: EngineSnapshot::of(
+                Engine::Batch,
+                EngineDrive {
+                    branches,
+                    lanes: configs,
+                    busy_nanos: 100_000_000,
+                },
+            ),
             cache: CacheCounters {
                 hits: 1,
                 misses: 2,
@@ -822,9 +957,99 @@ mod tests {
         let text = sample_manifest()
             .to_json()
             .emit()
-            .replace("\"schema\": 2", "\"schema\": 99");
+            .replace("\"schema\": 3", "\"schema\": 99");
         let err = Manifest::validate(&text, &["fig2", "table4"]).expect_err("wrong schema");
         assert!(err.contains("99"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_engine_blocks() {
+        let text = sample_manifest()
+            .to_json()
+            .emit()
+            .replace("\"sliced\"", "\"slicedX\"");
+        let err = Manifest::validate(&text, &["fig2", "table4"]).expect_err("engine renamed");
+        assert!(err.contains("missing engine `sliced`"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_engine_branches_disagreeing_with_the_stage() {
+        // Bump fig2's stage-level branch count (the first occurrence in
+        // document order); the engine breakdown still sums to the old
+        // figure, so the cross-check must fire.
+        let text = sample_manifest().to_json().emit().replacen(
+            "\"branches\": 52800000",
+            "\"branches\": 52800001",
+            1,
+        );
+        let err = Manifest::validate(&text, &["fig2", "table4"]).expect_err("mismatch");
+        assert!(
+            err.contains("engine branches") && err.contains("52800001"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_engine_lanes_disagreeing_with_configs() {
+        // Only fig2's batch engine carries 132 lanes in the fixture.
+        let text =
+            sample_manifest()
+                .to_json()
+                .emit()
+                .replacen("\"lanes\": 132", "\"lanes\": 131", 1);
+        let err = Manifest::validate(&text, &["fig2", "table4"]).expect_err("mismatch");
+        assert!(err.contains("engine lanes") && err.contains("131"), "{err}");
+    }
+
+    #[test]
+    fn engine_bench_reports_the_sliced_over_batch_ratio() {
+        // The fixture runs everything on the batch engine, so the ratio
+        // degrades to null (no sliced work — e.g. a store-warm rerun).
+        let mut m = sample_manifest();
+        let bench = engine_bench_json(&m);
+        assert_eq!(bench.get("run").and_then(Json::as_str), Some("fig2+table4"));
+        assert_eq!(bench.get("sliced_over_batch"), Some(&Json::Null));
+
+        // Equal busy time, 3x the branches: the ratio is exactly 3.
+        m.total.engines = EngineSnapshot::of(
+            Engine::Batch,
+            EngineDrive {
+                branches: 1_000,
+                lanes: 1,
+                busy_nanos: 1_000_000,
+            },
+        )
+        .plus(&EngineSnapshot::of(
+            Engine::Sliced,
+            EngineDrive {
+                branches: 3_000,
+                lanes: 3,
+                busy_nanos: 1_000_000,
+            },
+        ));
+        let bench = engine_bench_json(&m);
+        let ratio = bench
+            .get("sliced_over_batch")
+            .and_then(Json::as_f64)
+            .expect("both engines ran");
+        assert!((ratio - 3.0).abs() < 1e-9, "{ratio}");
+        let engines = bench.get("engines").expect("engines block");
+        for engine in Engine::ALL {
+            assert!(engines.get(engine.label()).is_some(), "{}", engine.label());
+        }
+    }
+
+    #[test]
+    fn engine_bench_writes_a_parseable_document() {
+        let dir = std::env::temp_dir().join(format!("bpred-bench-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_engine.json");
+        write_engine_bench(&sample_manifest(), &path).expect("bench written");
+        let text = fs::read_to_string(&path).expect("readable");
+        let doc = Json::parse(&text).expect("valid json");
+        assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(1));
+        assert!(doc.get("engines").and_then(|e| e.get("batch")).is_some());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::time::{Duration, Instant};
 
-use bpred_analysis::metrics::{self, DriveSnapshot};
+use bpred_analysis::metrics::{self, DriveSnapshot, EngineSnapshot};
 
 use crate::store::{self, StoreCounters};
 use crate::traces::{self, CacheCounters};
@@ -24,8 +24,12 @@ use crate::traces::{self, CacheCounters};
 /// observes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Counters {
-    /// Branches-simulated / configs-driven counters.
+    /// Branches-simulated / configs-driven counters, aggregated over
+    /// engines. Derived from `engines` (one atomic read), so the
+    /// engine breakdown always sums exactly to this total.
     pub drive: DriveSnapshot,
+    /// The same drive counters broken down by execution engine.
+    pub engines: EngineSnapshot,
     /// Trace-cache hit/miss/pack counters.
     pub cache: CacheCounters,
     /// Result-store job hit/miss/insert counters.
@@ -35,8 +39,10 @@ pub struct Counters {
 /// Reads all observable counters at once.
 #[must_use]
 pub fn counters() -> Counters {
+    let engines = metrics::engine_snapshot();
     Counters {
-        drive: metrics::snapshot(),
+        drive: engines.total(),
+        engines,
         cache: traces::cache_counters(),
         store: store::counters(),
     }
@@ -51,8 +57,12 @@ pub struct StageStats {
     pub wall: Duration,
     /// (Configuration, branch) pairs simulated during the stage.
     pub branches: u64,
-    /// Predictor configurations driven during the stage.
+    /// Predictor lanes retired during the stage (one per configuration
+    /// per trace pass, however many rode a shared pass).
     pub configs: u64,
+    /// Per-engine breakdown of the stage's drive work, including each
+    /// engine's busy time for per-engine Mbranches/s.
+    pub engines: EngineSnapshot,
     /// Trace-cache activity during the stage.
     pub cache: CacheCounters,
     /// Result-store activity during the stage: jobs served (hits),
@@ -84,6 +94,32 @@ impl StageStats {
             self.wall.as_secs_f64(),
             self.mbranches_per_sec()
         )
+    }
+
+    /// The one-line per-engine throughput summary for the stage: only
+    /// engines that did work appear; empty when nothing was driven
+    /// (for example a fully store-served stage).
+    #[must_use]
+    pub fn engine_note(&self) -> String {
+        let parts: Vec<String> = self
+            .engines
+            .iter()
+            .filter(|(_, d)| d.lanes > 0)
+            .map(|(engine, d)| {
+                format!(
+                    "{} {:.1} Mb/s ({} branches, {} lanes)",
+                    engine.label(),
+                    d.mbranches_per_sec(),
+                    d.branches,
+                    d.lanes
+                )
+            })
+            .collect();
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("Engines: {}.", parts.join(", "))
+        }
     }
 
     /// The one-line trace-cache summary for the stage.
@@ -131,12 +167,14 @@ impl Observer {
         let result = f();
         let wall = started.elapsed();
         let after = counters();
-        let drive = after.drive.since(&before.drive);
+        let engines = after.engines.since(&before.engines);
+        let drive = engines.total();
         self.stages.push(StageStats {
             name: name.to_owned(),
             wall,
             branches: drive.branches,
             configs: drive.configs,
+            engines,
             cache: after.cache.since(&before.cache),
             store: after.store.since(&before.store),
         });
@@ -164,6 +202,7 @@ impl Observer {
             wall: Duration::ZERO,
             branches: 0,
             configs: 0,
+            engines: EngineSnapshot::default(),
             cache: CacheCounters::default(),
             store: StoreCounters::default(),
         };
@@ -171,6 +210,7 @@ impl Observer {
             total.wall += s.wall;
             total.branches += s.branches;
             total.configs += s.configs;
+            total.engines = total.engines.plus(&s.engines);
             total.cache.hits += s.cache.hits;
             total.cache.misses += s.cache.misses;
             total.cache.packs_built += s.cache.packs_built;
@@ -240,10 +280,30 @@ mod tests {
             wall: Duration::ZERO,
             branches: 10,
             configs: 1,
+            engines: EngineSnapshot::default(),
             cache: CacheCounters::default(),
             store: StoreCounters::default(),
         };
         assert_eq!(s.mbranches_per_sec(), 0.0);
         assert!(s.store_note().starts_with("Result store: 0 jobs planned"));
+        assert_eq!(s.engine_note(), "", "idle engines print nothing");
+    }
+
+    #[test]
+    fn engine_breakdown_sums_to_the_stage_totals() {
+        use bpred_analysis::metrics::{record_engine_drive, Engine};
+        let mut obs = Observer::new();
+        obs.stage("mixed", || {
+            record_engine_drive(Engine::Batch, 4000, 4, Duration::from_micros(20));
+            record_engine_drive(Engine::Sliced, 6400, 64, Duration::from_micros(10));
+        });
+        let stage = obs.last().expect("one stage recorded");
+        let summed = stage.engines.total();
+        assert_eq!(stage.branches, summed.branches);
+        assert_eq!(stage.configs, summed.configs);
+        assert!(stage.engines.get(Engine::Sliced).lanes >= 64);
+        let note = stage.engine_note();
+        assert!(note.contains("sliced"), "{note}");
+        assert!(note.contains("batch"), "{note}");
     }
 }

@@ -145,6 +145,10 @@ pub fn execute(
             .cloned()
             .unwrap_or_else(|| unreachable!("the experiment stage was just recorded"));
         report.note(stats.note());
+        let engines = stats.engine_note();
+        if !engines.is_empty() {
+            report.note(engines);
+        }
         report.note(stats.store_note());
         records.push(ExperimentRecord {
             name: def.name.to_owned(),
@@ -237,18 +241,35 @@ mod tests {
         assert_eq!(seen, ["table4", "fig7"]);
         assert_eq!(outcome.reports.len(), 2);
         for (report, def) in outcome.reports.iter().zip(&p.experiments) {
-            let n = report.notes.len();
-            assert!(n >= 2, "stage + store notes appended");
+            // Stage and store notes always land; the engine note rides
+            // between them whenever the stage drove any lanes (a warm
+            // result store can serve everything without a drive).
+            assert!(report.notes.len() >= 2, "stage + store notes appended");
             assert!(
-                report.notes[n - 2].starts_with(&format!("Stage {}:", def.name)),
-                "missing stage note: {}",
-                report.notes[n - 2]
+                report
+                    .notes
+                    .iter()
+                    .any(|note| note.starts_with(&format!("Stage {}:", def.name))),
+                "missing stage note: {:?}",
+                report.notes
             );
             assert!(
-                report.notes[n - 1].starts_with("Result store:"),
-                "missing store note: {}",
-                report.notes[n - 1]
+                report
+                    .notes
+                    .iter()
+                    .any(|note| note.starts_with("Result store:")),
+                "missing store note: {:?}",
+                report.notes
             );
+            if report.notes.iter().any(|note| note.starts_with("Engines:")) {
+                let stats = outcome
+                    .manifest
+                    .experiments
+                    .iter()
+                    .find(|e| e.name == def.name)
+                    .expect("record exists");
+                assert!(stats.stats.configs > 0, "engine note implies driven lanes");
+            }
         }
         let m = &outcome.manifest;
         assert_eq!(m.run, "table4+fig7");

@@ -53,8 +53,9 @@ pub fn gshare_rates(traces: &[&PackedTrace], table_bits: u32, history_bits: u32)
 }
 
 /// Exhaustively searches `m in 0..=s` for the best suite-average
-/// gshare at table size `2^s`. All candidates ride one batched pass
-/// per trace; `jobs` bounds the parallelism over traces.
+/// gshare at table size `2^s`. All candidates ride the bit-sliced
+/// engine in 64-wide lane groups, one pass per (trace, group); `jobs`
+/// bounds the parallelism over the flattened work items.
 ///
 /// # Panics
 ///
@@ -63,20 +64,14 @@ pub fn gshare_rates(traces: &[&PackedTrace], table_bits: u32, history_bits: u32)
 pub fn best_gshare(traces: &[&PackedTrace], table_bits: u32, jobs: Option<usize>) -> BestGshare {
     assert!(!traces.is_empty(), "the search needs at least one trace");
     let candidates: Vec<u32> = (0..=table_bits).collect();
-    let specs: Vec<JobSpec> = candidates
+    let specs: Vec<PredictorSpec> = candidates
         .iter()
-        .map(|&m| {
-            JobSpec::rate(&PredictorSpec::Gshare {
-                table_bits,
-                history_bits: m,
-            })
+        .map(|&m| PredictorSpec::Gshare {
+            table_bits,
+            history_bits: m,
         })
         .collect();
-    let rates = engine::cached_batch_rates(traces, jobs, &specs, |idx| {
-        idx.iter()
-            .map(|&i| Gshare::new(table_bits, candidates[i]))
-            .collect::<Vec<_>>()
-    });
+    let rates = engine::cached_spec_rates(traces, jobs, &specs);
     let results: Vec<(u32, f64, Vec<f64>)> = candidates
         .into_iter()
         .zip(rates)

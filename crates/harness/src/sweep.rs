@@ -7,17 +7,17 @@
 //! the paper's plots.
 //!
 //! Every scheme's whole ladder — for `gshare.best`, every `(s, m)`
-//! candidate of every ladder size at once — is fused into one predictor
-//! batch and driven over each packed trace in a single pass by
-//! [`engine::batch_rates`], instead of re-walking the trace once per
-//! configuration. Work accounting is global (see
+//! candidate of every ladder size at once — rides
+//! [`engine::cached_spec_rates`]: gshare-family ladders are packed
+//! into 64-lane groups for the bit-sliced engine, bi-mode falls back
+//! to the batch engine, and every (trace, lane-group) pass is sharded
+//! across threads. Work accounting is global (see
 //! [`crate::observe`]); the sweeps return points only.
 
 use bpred_core::{BiMode, BiModeConfig, Gshare, Predictor, PredictorSpec};
 use bpred_trace::PackedTrace;
 
 use crate::engine;
-use crate::store::JobSpec;
 
 /// The schemes compared in Figures 2–4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,20 +90,14 @@ pub fn sweep_scheme(
     match scheme {
         Scheme::GshareSinglePht => {
             let sizes: Vec<u32> = GSHARE_SIZES.collect();
-            let specs: Vec<JobSpec> = sizes
+            let specs: Vec<PredictorSpec> = sizes
                 .iter()
-                .map(|&s| {
-                    JobSpec::rate(&PredictorSpec::Gshare {
-                        table_bits: s,
-                        history_bits: s,
-                    })
+                .map(|&s| PredictorSpec::Gshare {
+                    table_bits: s,
+                    history_bits: s,
                 })
                 .collect();
-            let rates = engine::cached_batch_rates(traces, jobs, &specs, |idx| {
-                idx.iter()
-                    .map(|&i| Gshare::single_pht(sizes[i]))
-                    .collect::<Vec<_>>()
-            });
+            let rates = engine::cached_spec_rates(traces, jobs, &specs);
             sizes
                 .iter()
                 .zip(rates)
@@ -117,23 +111,14 @@ pub fn sweep_scheme(
             let pairs: Vec<(u32, u32)> = GSHARE_SIZES
                 .flat_map(|s| (0..=s).map(move |m| (s, m)))
                 .collect();
-            let specs: Vec<JobSpec> = pairs
+            let specs: Vec<PredictorSpec> = pairs
                 .iter()
-                .map(|&(s, m)| {
-                    JobSpec::rate(&PredictorSpec::Gshare {
-                        table_bits: s,
-                        history_bits: m,
-                    })
+                .map(|&(s, m)| PredictorSpec::Gshare {
+                    table_bits: s,
+                    history_bits: m,
                 })
                 .collect();
-            let rates = engine::cached_batch_rates(traces, jobs, &specs, |idx| {
-                idx.iter()
-                    .map(|&i| {
-                        let (s, m) = pairs[i];
-                        Gshare::new(s, m)
-                    })
-                    .collect::<Vec<_>>()
-            });
+            let rates = engine::cached_spec_rates(traces, jobs, &specs);
             GSHARE_SIZES
                 .map(|s| {
                     let (&(_, m), rates) = pairs
@@ -151,16 +136,14 @@ pub fn sweep_scheme(
                 .collect()
         }
         Scheme::BiMode => {
+            // Not sliceable (cross-bank choice update): rides the
+            // explicit batch fallback inside the spec dispatch.
             let sizes: Vec<u32> = BIMODE_SIZES.collect();
-            let specs: Vec<JobSpec> = sizes
+            let specs: Vec<PredictorSpec> = sizes
                 .iter()
-                .map(|&d| JobSpec::rate(&PredictorSpec::BiMode(BiModeConfig::paper_default(d))))
+                .map(|&d| PredictorSpec::BiMode(BiModeConfig::paper_default(d)))
                 .collect();
-            let rates = engine::cached_batch_rates(traces, jobs, &specs, |idx| {
-                idx.iter()
-                    .map(|&i| BiMode::new(BiModeConfig::paper_default(sizes[i])))
-                    .collect::<Vec<_>>()
-            });
+            let rates = engine::cached_spec_rates(traces, jobs, &specs);
             sizes
                 .iter()
                 .zip(rates)
