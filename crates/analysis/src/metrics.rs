@@ -26,8 +26,12 @@
 //! separately), so engine totals always sum exactly to the global
 //! totals — an invariant the manifest validator checks per stage.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+// `bpred-analysis` sits below the harness in the dependency graph, so
+// it imports the sync facade from `bpred_race` directly (the harness's
+// `crate::sync` re-exports the same module).
+use bpred_race::sync::{AtomicU64, Ordering};
 
 /// The measurement loops that can drive predictors, in the order they
 /// were introduced.
@@ -228,11 +232,16 @@ impl DriveSnapshot {
 /// Records one drive against `engine`: `branches` (lane, branch) pairs
 /// across `lanes` retired predictor lanes, taking `busy` of loop time.
 pub fn record_engine_drive(engine: Engine, branches: u64, lanes: u64, busy: Duration) {
+    // Each counter is an independently monotone statistic: readers
+    // difference snapshots and never use one counter to synchronize
+    // access to another, so Relaxed suffices on every access — the
+    // race/metrics model checks exactly this no-lost-updates /
+    // no-negative-deltas contract under all schedules.
     let slot = &SLOTS[engine.slot()];
-    slot.branches.fetch_add(branches, Ordering::Relaxed);
-    slot.lanes.fetch_add(lanes, Ordering::Relaxed);
+    slot.branches.fetch_add(branches, Ordering::Relaxed); // ordering-audited: monotone statistic, see above
+    slot.lanes.fetch_add(lanes, Ordering::Relaxed); // ordering-audited: monotone statistic, see above
     let nanos = u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX);
-    slot.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+    slot.busy_nanos.fetch_add(nanos, Ordering::Relaxed); // ordering-audited: monotone statistic, see above
 }
 
 /// Records one untimed scalar drive. Kept for analysis loops whose
@@ -249,9 +258,13 @@ pub fn engine_snapshot() -> EngineSnapshot {
     for engine in Engine::ALL {
         let slot = &SLOTS[engine.slot()];
         out.per[engine.slot()] = EngineDrive {
-            branches: slot.branches.load(Ordering::Relaxed),
-            lanes: slot.lanes.load(Ordering::Relaxed),
-            busy_nanos: slot.busy_nanos.load(Ordering::Relaxed),
+            // A snapshot is three independent reads, not an atomic
+            // triple: deltas of each component stay non-negative
+            // because each counter is monotone (race/metrics checks
+            // the snapshot contract under all schedules).
+            branches: slot.branches.load(Ordering::Relaxed), // ordering-audited: monotone statistic, see `record_engine_drive`
+            lanes: slot.lanes.load(Ordering::Relaxed), // ordering-audited: monotone statistic, see `record_engine_drive`
+            busy_nanos: slot.busy_nanos.load(Ordering::Relaxed), // ordering-audited: monotone statistic, see `record_engine_drive`
         };
     }
     out

@@ -23,7 +23,11 @@
 //!   fallback), and the exhaustive sliced-shape grid;
 //! * [`lint`] — the deny-by-default repo source rules (truncating
 //!   casts, unaudited panics, `forbid(unsafe_code)`, analyzer PC-cast
-//!   hygiene);
+//!   hygiene, raw `std` concurrency primitives outside the sync
+//!   facade, unaudited `Ordering::` choices);
+//! * [`race`] — deterministic-interleaving model checks of the
+//!   workspace's shared-state hot paths on the `bpred-race` scheduler,
+//!   each with seeded mutants the checker must provably kill;
 //! * [`cfa`] — the static/dynamic cross-check: every kernel program's
 //!   CFG, dominator tree, and loop nest satisfy the structural
 //!   invariants, and the static conditional-site set equals the
@@ -48,6 +52,7 @@ pub mod experiments;
 pub mod lint;
 pub mod model;
 pub mod oracle;
+pub mod race;
 pub mod registry;
 pub mod report;
 
@@ -257,6 +262,17 @@ pub fn verify(root: &Path) -> VerifyReport {
         Err(e) => report.fail("lint/repo", format!("cannot scan sources: {e}")),
     }
 
+    // Deterministic-interleaving model checks of the shared-state hot
+    // paths, plus the seeded mutants that prove the checker has teeth.
+    let preemptions = bpred_race::sched::preemptions_from_env();
+    for check in race::check_models(preemptions) {
+        let (ok, detail) = first_or(
+            &check.violations,
+            format!("{} (preemption bound {preemptions})", check.detail),
+        );
+        report.record(format!("race/{}", check.name), ok, detail);
+    }
+
     report
 }
 
@@ -316,11 +332,21 @@ mod tests {
             failures.join("\n")
         );
         // Coverage floor from the acceptance criteria: every variant at
-        // two or more down-scaled configs, plus the aggregate audits.
+        // two or more down-scaled configs, the aggregate audits, and
+        // the race/* model-check group.
         assert!(
-            report.checks.len() > 40,
+            report.checks.len() > 65,
             "only {} checks ran",
             report.checks.len()
+        );
+        assert_eq!(
+            report
+                .checks
+                .iter()
+                .filter(|c| c.name.starts_with("race/"))
+                .count(),
+            10,
+            "race/* pass group incomplete"
         );
     }
 }

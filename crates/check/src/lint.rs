@@ -1,7 +1,7 @@
 //! The repo lint pass: deny-by-default source rules the compiler cannot
 //! enforce.
 //!
-//! Four rules, scanned line-by-line over the workspace's library
+//! Six rules, scanned line-by-line over the workspace's library
 //! sources (test modules and `src/bin/` binaries are exempt):
 //!
 //! 1. **`cast`** — no truncating `as` casts (`as u8`/`u16`/`u32`/`i8`/
@@ -21,6 +21,17 @@
 //!    `u64` via `bpred_core::index` so the static aliasing model and
 //!    the predictors provably share one truncation site
 //!    (`index::to_index`). Same `cast-audited:` escape as rule 1.
+//! 5. **`sync`** — no raw `std::sync::atomic`, `std::thread`, or
+//!    `std::sync::Mutex` outside the sync facade (`crates/race/src/`,
+//!    surfaced as `bpred_race::sync` and re-exported as
+//!    `harness::sync`): every shared-state hot path must route through
+//!    the facade so the `bpred-race` interleaving checker can swap in
+//!    its instrumented shims under `--cfg bpred_race`.
+//! 6. **`ordering`** — every `Ordering::` memory-ordering choice must
+//!    carry an `ordering-audited:` comment (same adjacency rule as
+//!    `panic-audited:`): a reviewed claim of why that ordering is
+//!    sufficient, ideally naming the `race/*` model that checks the
+//!    protocol. Lines naming `cmp::Ordering` are out of scope.
 //!
 //! The scanner is deliberately simple (line-based, brace-counted test
 //! module tracking) so it has no parser dependency; it errs on the side
@@ -38,7 +49,8 @@ pub struct LintViolation {
     pub file: String,
     /// 1-based line number (0 for whole-file rules).
     pub line: usize,
-    /// The rule that fired: `cast`, `panic`, `unsafe`, or `pc-cast`.
+    /// The rule that fired: `cast`, `panic`, `unsafe`, `pc-cast`,
+    /// `sync`, or `ordering`.
     pub rule: &'static str,
     /// What was found.
     pub message: String,
@@ -59,8 +71,9 @@ impl fmt::Display for LintViolation {
 pub struct LintReport {
     /// Library source files scanned.
     pub files_scanned: usize,
-    /// Sites allowed through an audit marker (`cast-audited:` or
-    /// `panic-audited:`), counted so the audit surface stays visible.
+    /// Sites allowed through an audit marker (`cast-audited:`,
+    /// `panic-audited:`, or `ordering-audited:`), counted so the audit
+    /// surface stays visible.
     pub audited_sites: usize,
     /// Rule violations found.
     pub violations: Vec<LintViolation>,
@@ -113,21 +126,37 @@ const NARROWING: &[&str] = &[
 const UNWRAP_NEEDLE: &str = concat!(".unwrap", "()");
 const EXPECT_NEEDLE: &str = concat!(".expect", "(");
 
+/// The sync-facade rule needles (rule 5), likewise assembled so the
+/// scanner's own source does not match them.
+const SYNC_NEEDLES: &[&str] = &[
+    concat!("std::sync::", "atomic"),
+    concat!("std::", "thread"),
+    concat!("std::sync::", "Mutex"),
+];
+
+/// The one place allowed to touch the raw primitives: the facade and
+/// the instrumented shims themselves.
+const SYNC_ALLOWED_PREFIX: &str = "crates/race/src/";
+
+/// The ordering-rule needle (rule 6) and its `cmp` carve-out.
+const ORDERING_NEEDLE: &str = concat!("Ordering", "::");
+const CMP_ORDERING: &str = concat!("cmp::", "Ordering");
+
 fn is_comment_only(trimmed: &str) -> bool {
     trimmed.starts_with("//")
 }
 
-/// Whether line `index` (0-based) or a comment-only neighbour carries a
-/// `panic-audited:` marker. rustfmt moves an overlong trailing comment
-/// onto the following line, so the marker is honoured on the `expect`
+/// Whether line `index` (0-based) or a comment-only neighbour carries
+/// the given audit marker. rustfmt moves an overlong trailing comment
+/// onto the following line, so the marker is honoured on the flagged
 /// line itself and on an adjacent line that is nothing but a comment.
-fn panic_audited(lines: &[&str], index: usize) -> bool {
-    if lines[index].contains("panic-audited:") {
+fn marker_audited(lines: &[&str], index: usize, marker: &str) -> bool {
+    if lines[index].contains(marker) {
         return true;
     }
     let neighbour_audited = |i: usize| {
         let trimmed = lines[i].trim();
-        is_comment_only(trimmed) && trimmed.contains("panic-audited:")
+        is_comment_only(trimmed) && trimmed.contains(marker)
     };
     (index > 0 && neighbour_audited(index - 1))
         || (index + 1 < lines.len() && neighbour_audited(index + 1))
@@ -139,6 +168,7 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
     report.files_scanned += 1;
     let cast_scoped = CAST_SCOPED.contains(&relative);
     let pc_cast_scoped = relative.starts_with(PC_CAST_PREFIX);
+    let sync_scoped = !relative.starts_with(SYNC_ALLOWED_PREFIX);
     let lines: Vec<&str> = source.lines().collect();
 
     // Brace-counted tracking of `#[cfg(test)] mod ...` regions.
@@ -206,6 +236,34 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
             }
         }
 
+        if sync_scoped {
+            if let Some(hit) = SYNC_NEEDLES.iter().find(|n| line.contains(*n)) {
+                report.violations.push(LintViolation {
+                    file: relative.to_owned(),
+                    line: number,
+                    rule: "sync",
+                    message: format!(
+                        "raw `{hit}` outside the sync facade: route through `harness::sync` / `bpred_race::sync` so the interleaving checker can instrument it"
+                    ),
+                });
+            }
+        }
+
+        if line.contains(ORDERING_NEEDLE) && !line.contains(CMP_ORDERING) {
+            if marker_audited(&lines, index, "ordering-audited:") {
+                report.audited_sites += 1;
+            } else {
+                report.violations.push(LintViolation {
+                    file: relative.to_owned(),
+                    line: number,
+                    rule: "ordering",
+                    message: format!(
+                        "`{ORDERING_NEEDLE}` choice without an `ordering-audited:` justification"
+                    ),
+                });
+            }
+        }
+
         if line.contains(UNWRAP_NEEDLE) {
             report.violations.push(LintViolation {
                 file: relative.to_owned(),
@@ -216,7 +274,7 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
                         .to_owned(),
             });
         } else if line.contains(EXPECT_NEEDLE) {
-            if panic_audited(&lines, index) {
+            if marker_audited(&lines, index, "panic-audited:") {
                 report.audited_sites += 1;
             } else {
                 report.violations.push(LintViolation {
@@ -413,6 +471,70 @@ mod tests {
             &mut present,
         );
         assert!(present.passed(), "{:?}", present.violations);
+    }
+
+    #[test]
+    fn raw_concurrency_primitives_are_denied_outside_the_facade() {
+        // Positive: each needle fires in ordinary library code.
+        let atomic_use = format!("use {}::AtomicUsize;\n", concat!("std::sync::", "atomic"));
+        let hit = scan("crates/harness/src/parallel.rs", &atomic_use);
+        assert_eq!(hit.violations.len(), 1, "{:?}", hit.violations);
+        assert_eq!(hit.violations[0].rule, "sync");
+        let spawn = scan(
+            "crates/harness/src/store.rs",
+            &format!("let h = {}::spawn(f);\n", concat!("std::", "thread")),
+        );
+        assert_eq!(spawn.violations.len(), 1, "{:?}", spawn.violations);
+        assert_eq!(spawn.violations[0].rule, "sync");
+        let mutex = scan(
+            "crates/analysis/src/metrics.rs",
+            &format!("let m = {}::new(0);\n", concat!("std::sync::", "Mutex")),
+        );
+        assert_eq!(mutex.violations.len(), 1, "{:?}", mutex.violations);
+        // Negative: the facade crate itself and test modules are exempt,
+        // and primitives the facade does not wrap stay allowed.
+        let facade = scan("crates/race/src/shim.rs", &atomic_use);
+        assert!(facade.passed(), "{:?}", facade.violations);
+        let in_tests = scan(
+            "crates/harness/src/parallel.rs",
+            &format!("#[cfg(test)]\nmod tests {{\n    {atomic_use}}}\n"),
+        );
+        assert!(in_tests.passed(), "{:?}", in_tests.violations);
+        let once = scan(
+            "crates/harness/src/traces.rs",
+            "use std::sync::OnceLock;\nlet a = std::sync::Arc::new(1);\n",
+        );
+        assert!(once.passed(), "{:?}", once.violations);
+    }
+
+    #[test]
+    fn ordering_choices_require_an_ordering_audit_marker() {
+        let needle = concat!("Ordering", "::");
+        // Positive: a bare ordering choice fires.
+        let denied = scan(
+            "crates/harness/src/store.rs",
+            &format!("c.fetch_add(1, {needle}Relaxed);\n"),
+        );
+        assert_eq!(denied.violations.len(), 1, "{:?}", denied.violations);
+        assert_eq!(denied.violations[0].rule, "ordering");
+        // Negative: on-line and adjacent-comment markers audit the site,
+        // and `cmp::Ordering` is out of scope.
+        let audited = scan(
+            "crates/harness/src/store.rs",
+            &format!("c.fetch_add(1, {needle}Relaxed); // ordering-audited: monotone statistic\n"),
+        );
+        assert!(audited.passed(), "{:?}", audited.violations);
+        assert_eq!(audited.audited_sites, 1);
+        let adjacent = scan(
+            "crates/harness/src/store.rs",
+            &format!("c.fetch_add(1, {needle}Relaxed);\n// ordering-audited: monotone statistic\n"),
+        );
+        assert!(adjacent.passed(), "{:?}", adjacent.violations);
+        let cmp = scan(
+            "crates/core/src/table.rs",
+            &format!("let o = std::cmp::{needle}Less;\n"),
+        );
+        assert!(cmp.passed(), "{:?}", cmp.violations);
     }
 
     #[test]

@@ -1,0 +1,539 @@
+//! Deterministic-interleaving model checks of the workspace's
+//! shared-state hot paths, run on `bpred-race`'s cooperative scheduler.
+//!
+//! Each model is a faithful small-scale replica of one concurrency
+//! protocol behind the sync facade, built from [`bpred_race::shim`]
+//! types so every atomic and thread operation is a scheduling point:
+//!
+//! * **parallel-map** — the lock-free index claiming and tagged merge
+//!   of `harness::parallel::map`: every index claimed exactly once,
+//!   merge output in input order, under *all* schedules.
+//! * **metrics** — the monotone statistics counters of
+//!   `analysis::metrics` (same shape as the store and trace-cache
+//!   counters): no lost updates, and snapshot deltas never negative or
+//!   double-counted even though a snapshot is not an atomic read.
+//! * **store-publish** — the temp-file + rename publish of
+//!   `harness::store::insert`: a concurrent reader sees a complete
+//!   entry or a miss, never a torn payload.
+//! * **store-recovery** — the corrupt-entry recovery of
+//!   `harness::store::lookup` racing a fresh insert of the same key:
+//!   recovery never loses the fresh write.
+//!
+//! Every model ships with at least one **seeded mutant** — the
+//! protocol with a realistic bug reintroduced (non-atomic claiming, an
+//! untagged merge, load-then-store counter updates, a torn snapshot
+//! read order, in-place publication, exclusive-ownership recovery).
+//! A mutant the checker fails to kill is itself a verify failure: the
+//! kill proves the pass has teeth, and the killing schedule is
+//! replayed byte-for-byte to prove failures are reproducible.
+
+use bpred_race::sched::{explore, replay, Exploration, Options};
+use bpred_race::shim::{thread, AtomicU64, AtomicUsize};
+use bpred_race::sync::Ordering;
+use std::sync::Arc;
+
+// The shims accept and ignore the `Ordering` argument (they execute
+// under the scheduler's sequential consistency), so the model code
+// passes the same orderings the real hot paths use.
+
+/// Outcome of one model-check pass (a correct model or a seeded
+/// mutant).
+#[derive(Debug, Clone)]
+pub struct ModelCheck {
+    /// Check name: the model, plus `@mutant-…` for seeded mutants.
+    pub name: String,
+    /// Violations found (empty means the check passed).
+    pub violations: Vec<String>,
+    /// Summary for the PASS line: schedule counts, and for mutants the
+    /// killing failure plus its replay confirmation.
+    pub detail: String,
+}
+
+fn options(preemptions: usize) -> Options {
+    Options {
+        preemptions,
+        max_executions: 200_000,
+        max_steps: 10_000,
+    }
+}
+
+/// Runs a correct model: it must survive every schedule within the
+/// bounds, and the bounds must not be what saved it.
+fn check_correct<F>(name: &str, preemptions: usize, model: F) -> ModelCheck
+where
+    F: Fn() + Send + Sync + Clone + 'static,
+{
+    let result = explore(model, &options(preemptions));
+    let mut violations = Vec::new();
+    if let Some(failure) = &result.failure {
+        violations.push(format!(
+            "schedule {:?} violates the model: {}",
+            failure.schedule.0, failure.message
+        ));
+    } else if !result.complete {
+        violations.push(format!(
+            "state space not exhausted within {} executions",
+            result.executions
+        ));
+    }
+    ModelCheck {
+        name: name.to_owned(),
+        violations,
+        detail: summary(&result),
+    }
+}
+
+/// Runs a seeded mutant: the checker must find a schedule that kills
+/// it, and replaying that schedule must reproduce the kill.
+fn check_mutant<F>(model_name: &str, mutant: &str, preemptions: usize, model: F) -> ModelCheck
+where
+    F: Fn() + Send + Sync + Clone + 'static,
+{
+    let result = explore(model.clone(), &options(preemptions));
+    let name = format!("{model_name}@mutant-{mutant}");
+    let Some(failure) = &result.failure else {
+        return ModelCheck {
+            name,
+            violations: vec![format!(
+                "mutant SURVIVED {} schedules ({} pruned): the checker has a blind spot",
+                result.executions, result.pruned
+            )],
+            detail: String::new(),
+        };
+    };
+    let replayed = replay(model, &failure.schedule);
+    let mut violations = Vec::new();
+    if replayed.failure.is_none() {
+        violations.push(format!(
+            "killing schedule {:?} did not reproduce on replay",
+            failure.schedule.0
+        ));
+    }
+    ModelCheck {
+        name,
+        violations,
+        detail: format!(
+            "killed in {} schedules ({} grants, replay reproduces)",
+            result.executions,
+            failure.schedule.len()
+        ),
+    }
+}
+
+fn summary(result: &Exploration) -> String {
+    format!(
+        "{} schedules explored ({} pruned), no violation",
+        result.executions, result.pruned
+    )
+}
+
+// ---- parallel-map: lock-free claiming + tagged merge ----
+
+const MAP_ITEMS: usize = 3;
+const MAP_WORKERS: usize = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MapVariant {
+    Correct,
+    /// Claim with a load-then-store instead of one RMW: two workers can
+    /// claim the same index.
+    NonAtomicClaim,
+    /// Merge by concatenating worker-local results in worker order
+    /// instead of placing by index tag: output order then depends on
+    /// which worker claimed which index.
+    UntaggedMerge,
+}
+
+fn map_payload(i: usize) -> usize {
+    i * 10 + 7
+}
+
+fn run_parallel_map(variant: MapVariant) {
+    let next = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..MAP_WORKERS)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            thread::spawn(move || {
+                let mut local: Vec<(usize, usize)> = Vec::new();
+                loop {
+                    let i = match variant {
+                        MapVariant::NonAtomicClaim => {
+                            let i = next.load(Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                            next.store(i + 1, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                            i
+                        }
+                        _ => next.fetch_add(1, Ordering::Relaxed), // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    };
+                    if i >= MAP_ITEMS {
+                        break;
+                    }
+                    local.push((i, map_payload(i)));
+                }
+                local
+            })
+        })
+        .collect();
+    let chunks: Vec<Vec<(usize, usize)>> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or_default())
+        .collect();
+    let expected: Vec<usize> = (0..MAP_ITEMS).map(map_payload).collect();
+    if variant == MapVariant::UntaggedMerge {
+        let merged: Vec<usize> = chunks.iter().flatten().map(|&(_, v)| v).collect();
+        assert_eq!(merged, expected, "untagged merge lost the input order");
+        return;
+    }
+    let mut results: Vec<Option<usize>> = vec![None; MAP_ITEMS];
+    for &(i, v) in chunks.iter().flatten() {
+        assert!(results[i].is_none(), "index {i} claimed twice");
+        results[i] = Some(v);
+    }
+    let merged: Vec<usize> = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Some(v) => v,
+            None => panic!("index {i} never claimed"),
+        })
+        .collect();
+    assert_eq!(merged, expected, "merge output out of input order");
+}
+
+// ---- metrics: monotone counters + non-atomic snapshots ----
+
+const METRIC_ITERS: u64 = 2;
+const METRIC_WRITERS: u64 = 2;
+const BRANCHES_PER_LANE: u64 = 10;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsVariant {
+    Correct,
+    /// Increment with load-then-store: concurrent writers lose updates.
+    LostUpdate,
+    /// Snapshot reads `branches` before `lanes`: a concurrent writer
+    /// can make the snapshot claim fewer branches than its lanes imply.
+    TornSnapshot,
+}
+
+fn run_metrics(variant: MetricsVariant) {
+    let branches = Arc::new(AtomicU64::new(0));
+    let lanes = Arc::new(AtomicU64::new(0));
+    let writers: Vec<_> = (0..METRIC_WRITERS)
+        .map(|_| {
+            let branches = Arc::clone(&branches);
+            let lanes = Arc::clone(&lanes);
+            thread::spawn(move || {
+                for _ in 0..METRIC_ITERS {
+                    if variant == MetricsVariant::LostUpdate {
+                        let v = branches.load(Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                        branches.store(v + BRANCHES_PER_LANE, Ordering::Relaxed);
+                        // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    } else {
+                        branches.fetch_add(BRANCHES_PER_LANE, Ordering::Relaxed);
+                        // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    }
+                    lanes.fetch_add(1, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                }
+            })
+        })
+        .collect();
+    let reader = {
+        let branches = Arc::clone(&branches);
+        let lanes = Arc::clone(&lanes);
+        thread::spawn(move || {
+            let mut prev = (0u64, 0u64);
+            for _ in 0..2 {
+                // The real `engine_snapshot` reads each counter
+                // independently; the contract is that reading lanes
+                // first keeps `branches >= 10 * lanes` observable.
+                let (l, b) = if variant == MetricsVariant::TornSnapshot {
+                    let b = branches.load(Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    let l = lanes.load(Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    (l, b)
+                } else {
+                    let l = lanes.load(Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    let b = branches.load(Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    (l, b)
+                };
+                assert!(
+                    b >= BRANCHES_PER_LANE * l,
+                    "snapshot undercounts: {b} branches for {l} lanes"
+                );
+                assert!(
+                    l >= prev.0 && b >= prev.1,
+                    "snapshot delta went negative: ({l},{b}) after {prev:?}"
+                );
+                prev = (l, b);
+            }
+        })
+    };
+    for w in writers {
+        w.join().unwrap_or_default();
+    }
+    reader.join().unwrap_or_default();
+    let total = METRIC_WRITERS * METRIC_ITERS;
+    assert_eq!(
+        branches.load(Ordering::Relaxed), // ordering-audited: model code; the shim executes SeqCst under the scheduler
+        BRANCHES_PER_LANE * total,
+        "branch updates were lost"
+    );
+    assert_eq!(
+        lanes.load(Ordering::Relaxed), // ordering-audited: model code; the shim executes SeqCst under the scheduler
+        total,
+        "lane updates were lost"
+    );
+}
+
+// ---- store-publish: atomic temp+rename vs in-place writes ----
+
+const OLD_PAYLOAD: u64 = 3;
+const NEW_PAYLOAD: u64 = 7;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PublishVariant {
+    Correct,
+    /// Write the new payload directly into the published entry instead
+    /// of building it aside and renaming: readers can see half of each.
+    InPlaceWrite,
+}
+
+fn run_store_publish(variant: PublishVariant) {
+    // `slots[i]` is one on-disk file version (two words standing for a
+    // multi-byte payload); `present` is the directory entry: which
+    // version a reader's `open` resolves to.
+    let present = Arc::new(AtomicUsize::new(0));
+    let slots: Arc<Vec<(AtomicU64, AtomicU64)>> = Arc::new(vec![
+        (AtomicU64::new(OLD_PAYLOAD), AtomicU64::new(OLD_PAYLOAD)),
+        (AtomicU64::new(0), AtomicU64::new(0)),
+    ]);
+    let writer = {
+        let present = Arc::clone(&present);
+        let slots = Arc::clone(&slots);
+        thread::spawn(move || match variant {
+            PublishVariant::Correct => {
+                // Temp file + rename: fill the unpublished version,
+                // then switch the directory entry.
+                slots[1].0.store(NEW_PAYLOAD, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                slots[1].1.store(NEW_PAYLOAD, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                present.store(1, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+            }
+            PublishVariant::InPlaceWrite => {
+                slots[0].0.store(NEW_PAYLOAD, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                slots[0].1.store(NEW_PAYLOAD, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+            }
+        })
+    };
+    let reader = {
+        let present = Arc::clone(&present);
+        let slots = Arc::clone(&slots);
+        thread::spawn(move || {
+            let g = present.load(Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+            let a = slots[g].0.load(Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+            let b = slots[g].1.load(Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+            assert_eq!(a, b, "reader saw a torn payload: ({a},{b})");
+        })
+    };
+    writer.join().unwrap_or_default();
+    reader.join().unwrap_or_default();
+}
+
+// ---- store-recovery: corrupt-entry recovery vs a fresh insert ----
+
+const FILE_EMPTY: usize = 0;
+const FILE_CORRUPT: usize = 1;
+const FILE_GOOD: usize = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecoveryVariant {
+    Correct,
+    /// The pre-fix protocol: recovery assumes it owns the corrupt
+    /// entry, deletes whatever is there, and only recomputes when the
+    /// deleted version really was the corrupt one — silently discarding
+    /// a fresh write that raced in between.
+    ExclusiveDelete,
+}
+
+/// The fixed `insert`: publish, then re-verify instead of assuming the
+/// published entry cannot be deleted from under us.
+fn insert_good(file: &AtomicUsize) {
+    file.store(FILE_GOOD, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+    if file.load(Ordering::Relaxed) != FILE_GOOD {
+        // ordering-audited: model code; the shim executes SeqCst under the scheduler
+        file.store(FILE_GOOD, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+    }
+}
+
+fn run_store_recovery(variant: RecoveryVariant) {
+    // One content-addressed entry: all writers of this key produce the
+    // same payload, so `FILE_GOOD` stands for any healthy version.
+    let file = Arc::new(AtomicUsize::new(FILE_CORRUPT));
+    let recovery = {
+        let file = Arc::clone(&file);
+        thread::spawn(move || {
+            if file.load(Ordering::Relaxed) != FILE_CORRUPT {
+                // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                return;
+            }
+            match variant {
+                RecoveryVariant::Correct => {
+                    // Re-read once: a concurrent insert may have healed
+                    // the entry, in which case serve it untouched.
+                    if file.load(Ordering::Relaxed) == FILE_GOOD {
+                        // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                        return;
+                    }
+                    // Delete only the version we verified corrupt
+                    // (tolerating "already gone"), then recompute and
+                    // publish with the re-verifying insert.
+                    let _ = file.compare_exchange(
+                        FILE_CORRUPT,
+                        FILE_EMPTY,
+                        Ordering::Relaxed, // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                        Ordering::Relaxed, // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    );
+                    insert_good(&file);
+                }
+                RecoveryVariant::ExclusiveDelete => {
+                    let was = file.swap(FILE_EMPTY, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    if was == FILE_CORRUPT {
+                        file.store(FILE_GOOD, Ordering::Relaxed); // ordering-audited: model code; the shim executes SeqCst under the scheduler
+                    }
+                    // `was == FILE_GOOD`: the mutant concludes another
+                    // process healed the entry and does nothing — but
+                    // it just deleted that fresh write.
+                }
+            }
+        })
+    };
+    let writer = {
+        let file = Arc::clone(&file);
+        // A fresh insert of the same key racing the recovery.
+        thread::spawn(move || insert_good(&file))
+    };
+    recovery.join().unwrap_or_default();
+    writer.join().unwrap_or_default();
+    assert_eq!(
+        file.load(Ordering::Relaxed), // ordering-audited: model code; the shim executes SeqCst under the scheduler
+        FILE_GOOD,
+        "the fresh write was deleted and lost"
+    );
+}
+
+/// Runs every model and every seeded mutant at the given preemption
+/// bound, in verify order.
+#[must_use]
+pub fn check_models(preemptions: usize) -> Vec<ModelCheck> {
+    vec![
+        check_correct("parallel-map", preemptions, || {
+            run_parallel_map(MapVariant::Correct);
+        }),
+        check_mutant("parallel-map", "nonatomic-claim", preemptions, || {
+            run_parallel_map(MapVariant::NonAtomicClaim);
+        }),
+        check_mutant("parallel-map", "untagged-merge", preemptions, || {
+            run_parallel_map(MapVariant::UntaggedMerge);
+        }),
+        check_correct("metrics", preemptions, || {
+            run_metrics(MetricsVariant::Correct);
+        }),
+        check_mutant("metrics", "lost-update", preemptions, || {
+            run_metrics(MetricsVariant::LostUpdate);
+        }),
+        check_mutant("metrics", "torn-snapshot", preemptions, || {
+            run_metrics(MetricsVariant::TornSnapshot);
+        }),
+        check_correct("store-publish", preemptions, || {
+            run_store_publish(PublishVariant::Correct);
+        }),
+        check_mutant("store-publish", "in-place-write", preemptions, || {
+            run_store_publish(PublishVariant::InPlaceWrite);
+        }),
+        check_correct("store-recovery", preemptions, || {
+            run_store_recovery(RecoveryVariant::Correct);
+        }),
+        check_mutant("store-recovery", "exclusive-delete", preemptions, || {
+            run_store_recovery(RecoveryVariant::ExclusiveDelete);
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUND: usize = 2;
+
+    fn by_name(checks: &[ModelCheck], name: &str) -> ModelCheck {
+        checks
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("check {name} missing"))
+            .clone()
+    }
+
+    #[test]
+    fn all_models_pass_and_all_mutants_die_at_the_default_bound() {
+        let checks = check_models(BOUND);
+        assert_eq!(checks.len(), 10);
+        for check in &checks {
+            assert!(
+                check.violations.is_empty(),
+                "{}: {}",
+                check.name,
+                check.violations.join("; ")
+            );
+        }
+        // Every correct model reports its explored-schedule count.
+        for name in ["parallel-map", "metrics", "store-publish", "store-recovery"] {
+            let check = by_name(&checks, name);
+            assert!(
+                check.detail.contains("schedules explored"),
+                "{name}: {}",
+                check.detail
+            );
+        }
+        // Every mutant reports the kill and the replay confirmation.
+        for check in checks.iter().filter(|c| c.name.contains("@mutant-")) {
+            assert!(
+                check.detail.contains("replay reproduces"),
+                "{}: {}",
+                check.name,
+                check.detail
+            );
+        }
+    }
+
+    #[test]
+    fn the_lost_update_mutant_needs_at_least_one_preemption() {
+        // At bound 0 the schedules are non-preemptive, so the seeded
+        // lost update cannot manifest: this pins down that the kills
+        // above come from real interleavings, not from the model being
+        // wrong sequentially.
+        let check = check_mutant("metrics", "lost-update", 0, || {
+            run_metrics(MetricsVariant::LostUpdate);
+        });
+        assert!(
+            !check.violations.is_empty(),
+            "bound 0 must not kill the lost-update mutant"
+        );
+    }
+
+    #[test]
+    fn correct_models_hold_at_a_higher_bound_too() {
+        // Depth check: one extra preemption widens the schedule space
+        // substantially; the correct protocols must still be clean.
+        for check in [
+            check_correct("parallel-map", 3, || run_parallel_map(MapVariant::Correct)),
+            check_correct("store-recovery", 3, || {
+                run_store_recovery(RecoveryVariant::Correct);
+            }),
+        ] {
+            assert!(
+                check.violations.is_empty(),
+                "{}: {}",
+                check.name,
+                check.violations.join("; ")
+            );
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub mod registry;
 pub mod search;
 pub mod store;
 pub mod sweep;
+pub mod sync;
 pub mod traces;
 
 pub use format::{Report, Table};

@@ -33,8 +33,9 @@
 
 use std::fs;
 use std::io::Write;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+
+use crate::sync::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 use bpred_analysis::{AliasReport, Analysis, RunResult, ENGINE_EPOCH};
 use bpred_core::PredictorSpec;
@@ -97,6 +98,7 @@ static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
 /// environment; the CLI overrides it via [`set_mode`].
 #[must_use]
 pub fn mode() -> Mode {
+    // ordering-audited: MODE is a standalone flag set once by the CLI before any lookup; no other memory is published through it, so Relaxed suffices
     match MODE.load(Ordering::Relaxed) {
         0 => Mode::Normal,
         1 => Mode::Refresh,
@@ -120,6 +122,7 @@ pub fn set_mode(mode: Mode) {
         Mode::Disabled => 2,
     };
     MODE.store(v, Ordering::Relaxed);
+    // ordering-audited: see `mode` — a standalone once-set flag, no release/acquire pairing needed
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
@@ -165,10 +168,13 @@ impl StoreCounters {
 /// Reads the current result-store counters.
 #[must_use]
 pub fn counters() -> StoreCounters {
+    // Independently monotone statistics counters; snapshots are
+    // differenced, never used to synchronize other memory, so Relaxed
+    // suffices on every access (model-checked in race/metrics).
     StoreCounters {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        inserts: INSERTS.load(Ordering::Relaxed),
+        hits: HITS.load(Ordering::Relaxed), // ordering-audited: statistic, see above
+        misses: MISSES.load(Ordering::Relaxed), // ordering-audited: statistic, see above
+        inserts: INSERTS.load(Ordering::Relaxed), // ordering-audited: statistic, see above
     }
 }
 
@@ -343,18 +349,37 @@ pub fn lookup(job: Job) -> Option<Vec<u64>> {
     let words = match mode() {
         Mode::Normal => path_of(job).and_then(|path| {
             let bytes = fs::read(&path).ok()?;
-            let decoded = decode_file(&bytes);
-            if decoded.is_none() {
-                // Corrupt or stale-format entry: drop and recompute.
-                fs::remove_file(&path).ok();
+            match decode_file(&bytes) {
+                Some(words) => Some(words),
+                // Corrupt or stale-format entry. Recovery is *not*
+                // exclusive: another process may be racing the same
+                // delete-and-recompute, or may already have healed the
+                // entry with a fresh insert. Re-read once to serve a
+                // concurrent heal, and only then drop the entry —
+                // tolerating NotFound, because the racing recovery may
+                // have deleted it first. (Model-checked in
+                // race/store-recovery.)
+                None => match fs::read(&path).ok().and_then(|b| decode_file(&b)) {
+                    Some(healed) => Some(healed),
+                    None => {
+                        match fs::remove_file(&path) {
+                            Ok(()) => {}
+                            // The racing recovery deleted it first.
+                            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                            // Transient FS refusal: leave the entry; a
+                            // later lookup retries the recovery.
+                            Err(_) => {}
+                        }
+                        None
+                    }
+                },
             }
-            decoded
         }),
         Mode::Refresh | Mode::Disabled => None,
     };
     match &words {
-        Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
-        None => MISSES.fetch_add(1, Ordering::Relaxed),
+        Some(_) => HITS.fetch_add(1, Ordering::Relaxed), // ordering-audited: statistic, see `counters`
+        None => MISSES.fetch_add(1, Ordering::Relaxed), // ordering-audited: statistic, see `counters`
     };
     words
 }
@@ -369,18 +394,39 @@ pub fn insert(job: Job, words: &[u64]) {
         return;
     }
     let Some(path) = path_of(job) else { return };
+    let bytes = encode_file(words);
+    if publish(&path, &bytes) {
+        INSERTS.fetch_add(1, Ordering::Relaxed); // ordering-audited: statistic, see `counters`
+                                                 // Re-verify after publishing instead of assuming exclusive
+                                                 // ownership of the key: a recovery racing on a previously
+                                                 // corrupt entry may have read the stale bytes, then deleted
+                                                 // the path *after* our rename — silently discarding this fresh
+                                                 // write. One re-publish closes the window; a second loss is
+                                                 // indistinguishable from a miss and only costs a recompute.
+                                                 // (Model-checked in race/store-recovery.)
+        let intact = fs::read(&path).ok().and_then(|b| decode_file(&b)).is_some();
+        if !intact {
+            let _ = publish(&path, &bytes);
+        }
+    }
+}
+
+/// Atomically publishes `bytes` at `path` via a unique temp file and
+/// rename; readers never observe a partial file.
+fn publish(path: &Path, bytes: &[u8]) -> bool {
     static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
     let tmp = path.with_extension(format!(
         "tmp.{}.{}",
         std::process::id(),
-        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed) // ordering-audited: uniqueness needs only RMW atomicity; nothing is published through the counter
     ));
-    let written = fs::File::create(&tmp)
-        .is_ok_and(|mut f| f.write_all(&encode_file(words)).is_ok() && f.flush().is_ok());
-    if written && fs::rename(&tmp, &path).is_ok() {
-        INSERTS.fetch_add(1, Ordering::Relaxed);
+    let written =
+        fs::File::create(&tmp).is_ok_and(|mut f| f.write_all(bytes).is_ok() && f.flush().is_ok());
+    if written && fs::rename(&tmp, path).is_ok() {
+        true
     } else {
         fs::remove_file(&tmp).ok();
+        false
     }
 }
 

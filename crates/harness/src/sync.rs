@@ -1,0 +1,16 @@
+//! Synchronization facade for the harness's shared-state hot paths.
+//!
+//! Everything here re-exports [`bpred_race::sync`]: plain `std` types
+//! in normal builds, the instrumented model-checker shims under
+//! `RUSTFLAGS="--cfg bpred_race"`. The repo lint (`lint/sync`) denies
+//! raw `std::sync::atomic` / `std::thread` / `std::sync::Mutex` imports
+//! everywhere outside the facade crate, so every schedulable operation
+//! in [`crate::parallel`], [`crate::store`] and [`crate::traces`] flows
+//! through this seam — which is also where per-tenant sharded state
+//! will plug in when the streaming service lands (ROADMAP item 4).
+//!
+//! `bpred-analysis` cannot depend on the harness, so
+//! `analysis::metrics` imports `bpred_race::sync` directly; this module
+//! exists so harness-internal call sites read as `crate::sync::…`.
+
+pub use bpred_race::sync::*;

@@ -10,8 +10,9 @@
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 
 use bpred_trace::{PackedTrace, Trace};
 use bpred_workloads::{Scale, Suite, Workload};
@@ -61,10 +62,13 @@ impl CacheCounters {
 /// Reads the current trace-cache counters.
 #[must_use]
 pub fn cache_counters() -> CacheCounters {
+    // Independently monotone statistics; snapshots are differenced,
+    // never used to synchronize other memory, so Relaxed suffices
+    // (model-checked in race/metrics, which covers this counter shape).
     CacheCounters {
-        hits: CACHE_HITS.load(Ordering::Relaxed),
-        misses: CACHE_MISSES.load(Ordering::Relaxed),
-        packs_built: PACKS_BUILT.load(Ordering::Relaxed),
+        hits: CACHE_HITS.load(Ordering::Relaxed), // ordering-audited: statistic, see above
+        misses: CACHE_MISSES.load(Ordering::Relaxed), // ordering-audited: statistic, see above
+        packs_built: PACKS_BUILT.load(Ordering::Relaxed), // ordering-audited: statistic, see above
     }
 }
 
@@ -120,7 +124,7 @@ fn write_cache_atomically(trace: &Trace, path: &PathBuf) {
     let tmp = path.with_extension(format!(
         "tmp.{}.{}",
         std::process::id(),
-        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed) // ordering-audited: uniqueness needs only RMW atomicity; nothing is published through the counter
     ));
     let written = File::create(&tmp).is_ok_and(|file| {
         let mut writer = BufWriter::new(file);
@@ -138,18 +142,18 @@ pub fn load_trace(workload: &Workload, scale: Scale) -> Trace {
     if let Some(path) = cached_path(workload, scale) {
         if let Ok(file) = File::open(&path) {
             if let Ok(trace) = bpred_trace::read_binary(BufReader::new(file)) {
-                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed); // ordering-audited: statistic, see `cache_counters`
                 return trace;
             }
             // Corrupt cache entry: fall through and regenerate.
             fs::remove_file(&path).ok();
         }
-        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed); // ordering-audited: statistic, see `cache_counters`
         let trace = workload.trace(scale);
         write_cache_atomically(&trace, &path);
         return trace;
     }
-    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed); // ordering-audited: statistic, see `cache_counters`
     workload.trace(scale)
 }
 
@@ -203,7 +207,7 @@ impl TraceSet {
 
     fn packed_at(&self, index: usize) -> &PackedTrace {
         self.packed[index].get_or_init(|| {
-            PACKS_BUILT.fetch_add(1, Ordering::Relaxed);
+            PACKS_BUILT.fetch_add(1, Ordering::Relaxed); // ordering-audited: statistic, see `cache_counters`
             PackedTrace::build(&self.entries[index].1).expect("workload site tables fit 32-bit ids")
             // panic-audited: synthetic workloads have far fewer than 2^32 branch sites
         })

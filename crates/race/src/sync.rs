@@ -1,0 +1,80 @@
+//! The synchronization facade: the one import point for every shared
+//! -state hot path in the workspace.
+//!
+//! Normal builds re-export the `std` types unchanged — zero cost, the
+//! compiler sees exactly the code it saw before the facade existed.
+//! Under `RUSTFLAGS="--cfg bpred_race"` the same names resolve to the
+//! instrumented shims in [`crate::shim`], so the identical hot-path
+//! source runs under the model checker's scheduler.
+//!
+//! The repo lint (`lint/sync`) denies direct `std::sync::atomic` /
+//! `std::thread` / `std::sync::Mutex` use everywhere except this crate,
+//! which is what keeps the seam airtight: code that compiles is code
+//! the checker can schedule.
+
+/// `Ordering` is shared verbatim: the shims accept it for signature
+/// compatibility and execute `SeqCst` (the checker explores sequential
+/// consistency), while normal builds pass it straight to std.
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(bpred_race))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+
+#[cfg(bpred_race)]
+pub use crate::shim::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+
+#[cfg(bpred_race)]
+pub use crate::shim::{Mutex, MutexGuard};
+
+/// Poison-free mutex for normal builds: the hot paths treat a panicked
+/// holder as recoverable (the protected state is repaired or
+/// discarded by the caller), and the instrumented shim has no poison
+/// concept, so the facade erases it on both sides.
+#[cfg(not(bpred_race))]
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+#[cfg(not(bpred_race))]
+impl<T> Mutex<T> {
+    /// Creates a new mutex (const, like std).
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, recovering from poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Guard type for the normal-build [`Mutex`].
+#[cfg(not(bpred_race))]
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Thread facade: `spawn`/`scope`/`yield_now`/`available_parallelism`.
+///
+/// `scope` (and its `Scope`/`JoinHandle` types) stays the std version
+/// on both sides of the cfg: scoped threads borrow from the parent
+/// stack, which an instrumented spawn cannot support without `unsafe`
+/// (this crate is `forbid(unsafe_code)`). Checked models follow the
+/// loom convention instead — `Arc`-owned state with
+/// [`crate::shim::thread::spawn`] — so nothing is lost: the *algorithms*
+/// behind the scopes are modelled, while the facade keeps production
+/// call sites compiling identically under `--cfg bpred_race`.
+pub mod thread {
+    pub use std::thread::{available_parallelism, scope, JoinHandle, Scope};
+
+    #[cfg(not(bpred_race))]
+    pub use std::thread::{spawn, yield_now};
+
+    #[cfg(bpred_race)]
+    pub use crate::shim::thread::{spawn, yield_now};
+}
