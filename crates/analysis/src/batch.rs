@@ -21,6 +21,7 @@
 use bpred_core::Predictor;
 use bpred_trace::PackedTrace;
 
+use crate::session::{BatchSession, PackedSession};
 use crate::simulate::RunResult;
 
 /// Records per block of the batched drive loop. 4096 records are
@@ -31,27 +32,22 @@ pub const BLOCK_RECORDS: usize = 4096;
 /// Drives `predictor` over a packed trace in program order
 /// (predict, then update), exactly like the scalar
 /// [`measure`](crate::simulate::measure) over the source trace.
+///
+/// Thin wrapper over [`PackedSession`]: open, feed the whole trace,
+/// finish.
 pub fn measure_packed<P: Predictor + ?Sized>(packed: &PackedTrace, predictor: &mut P) -> RunResult {
-    let started = std::time::Instant::now();
-    let mut result = RunResult::default();
-    for r in packed.records() {
-        result.branches += 1;
-        let predicted = predictor.predict_with_target(r.pc, r.target());
-        result.mispredictions += u64::from(predicted != r.taken);
-        predictor.update(r.pc, r.taken);
-    }
-    crate::metrics::record_engine_drive(
-        crate::metrics::Engine::Packed,
-        result.branches,
-        1,
-        started.elapsed(),
-    );
-    result
+    let mut session = PackedSession::<_, P>::new(predictor);
+    session.feed(packed.records());
+    session.finish()
 }
 
 /// Like [`measure_packed`], but resets the predictor every
 /// `flush_interval` branches — the packed counterpart of
 /// [`measure_with_flushes`](crate::simulate::measure_with_flushes).
+///
+/// Wrapper over [`PackedSession`]: feeds one `flush_interval`-sized
+/// window per chunk and resets the resumable predictor state between
+/// windows — the chunk boundary *is* the flush boundary.
 ///
 /// # Panics
 ///
@@ -62,24 +58,19 @@ pub fn measure_packed_with_flushes<P: Predictor + ?Sized>(
     flush_interval: u64,
 ) -> RunResult {
     assert!(flush_interval > 0, "flush interval must be positive");
-    let started = std::time::Instant::now();
-    let mut result = RunResult::default();
-    for r in packed.records() {
-        if result.branches > 0 && result.branches.is_multiple_of(flush_interval) {
-            predictor.reset();
+    let interval = usize::try_from(flush_interval).unwrap_or(usize::MAX);
+    let mut session = PackedSession::<_, P>::new(predictor);
+    let len = packed.len();
+    let mut start = 0;
+    while start < len {
+        if start > 0 {
+            session.predictor_mut().reset();
         }
-        result.branches += 1;
-        let predicted = predictor.predict_with_target(r.pc, r.target());
-        result.mispredictions += u64::from(predicted != r.taken);
-        predictor.update(r.pc, r.taken);
+        let end = start.saturating_add(interval).min(len);
+        session.feed((start..end).map(|i| packed.record(i)));
+        start = end;
     }
-    crate::metrics::record_engine_drive(
-        crate::metrics::Engine::Packed,
-        result.branches,
-        1,
-        started.elapsed(),
-    );
-    result
+    session.finish()
 }
 
 /// Drives every predictor in `predictors` over `packed` in one blocked
@@ -101,38 +92,15 @@ pub fn measure_packed_with_flushes<P: Predictor + ?Sized>(
 /// `&mut [BiMode]`, …) monomorphise the inner loop with no virtual
 /// dispatch; mixed batches work through `Box<dyn Predictor>`.
 pub fn measure_batch<P: Predictor>(packed: &PackedTrace, predictors: &mut [P]) -> Vec<RunResult> {
-    let started = std::time::Instant::now();
+    let mut session = BatchSession::new(predictors);
     let len = packed.len();
-    let mut mispredictions = vec![0u64; predictors.len()];
-    let mut block = Vec::with_capacity(BLOCK_RECORDS.min(len));
     let mut block_start = 0;
     while block_start < len {
         let block_end = (block_start + BLOCK_RECORDS).min(len);
-        block.clear();
-        block.extend((block_start..block_end).map(|i| packed.record(i)));
-        for r in &block {
-            let (pc, target, taken) = (r.pc, r.target(), r.taken);
-            for (predictor, missed) in predictors.iter_mut().zip(&mut mispredictions) {
-                let predicted = predictor.predict_with_target(pc, target);
-                *missed += u64::from(predicted != taken);
-                predictor.update(pc, taken);
-            }
-        }
+        session.feed((block_start..block_end).map(|i| packed.record(i)));
         block_start = block_end;
     }
-    crate::metrics::record_engine_drive(
-        crate::metrics::Engine::Batch,
-        len as u64 * predictors.len() as u64,
-        predictors.len() as u64,
-        started.elapsed(),
-    );
-    mispredictions
-        .into_iter()
-        .map(|missed| RunResult {
-            branches: len as u64,
-            mispredictions: missed,
-        })
-        .collect()
+    session.finish()
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub mod aliasing;
 pub mod batch;
 pub mod bias;
 pub mod metrics;
+pub mod session;
 pub mod simulate;
 pub mod sliced;
 pub mod twopass;
@@ -58,6 +59,7 @@ pub use aliasing::AliasReport;
 pub use batch::{measure_batch, measure_packed, measure_packed_with_flushes};
 pub use bias::{BiasClass, StreamStats};
 pub use metrics::{DriveSnapshot, Engine, EngineDrive, EngineSnapshot};
+pub use session::{BatchSession, PackedSession, SlicedSession};
 pub use simulate::{measure, measure_with_flushes, RunResult};
 pub use sliced::{measure_sliced, measure_sliced_chunks, LaneSpec, MAX_LANES};
 pub use twopass::{Analysis, ClassChanges, CounterBias, MispredictionBreakdown};

@@ -36,13 +36,10 @@
 //! property-tested here): same pre-update index, same saturating
 //! transition, same weakly-taken initialisation.
 
-use std::time::Instant;
-
-use bpred_core::index::{low_bits, pc_word, to_index};
-use bpred_core::{PlaneTable, PredictorSpec};
+use bpred_core::PredictorSpec;
 use bpred_trace::PackedTrace;
 
-use crate::metrics::{self, Engine};
+use crate::session::SlicedSession;
 use crate::simulate::RunResult;
 
 /// Maximum lanes per sliced group: one plane word's worth of
@@ -90,6 +87,10 @@ impl LaneSpec {
 /// returning one [`RunResult`] per lane in input order — bit-identical
 /// to running the scalar loop per configuration.
 ///
+/// Thin wrapper over [`SlicedSession`]: open, feed the whole trace,
+/// finish. The plane transition loop itself lives in
+/// [`SlicedSession::feed`].
+///
 /// # Panics
 ///
 /// Panics if `lanes` exceeds [`MAX_LANES`] entries, or a lane has
@@ -97,69 +98,9 @@ impl LaneSpec {
 /// invariant).
 #[must_use]
 pub fn measure_sliced(packed: &PackedTrace, lanes: &[LaneSpec]) -> Vec<RunResult> {
-    assert!(
-        lanes.len() <= MAX_LANES,
-        "a sliced group holds at most {MAX_LANES} lanes, got {}",
-        lanes.len()
-    );
-    for lane in lanes {
-        assert!(
-            lane.history_bits <= lane.table_bits,
-            "history length {} exceeds index width {}",
-            lane.history_bits,
-            lane.table_bits
-        );
-    }
-    let started = Instant::now();
-    let len = packed.len();
-    let mut tables: Vec<PlaneTable> = lanes
-        .iter()
-        .map(|l| PlaneTable::weakly_taken(l.table_bits))
-        .collect();
-    // Masks instead of per-record `low_bits` calls: lane `i` indexes
-    // with (pc_word & pc_mask) ^ (shared_history & hist_mask), which
-    // equals gshare_index(pc, masked_register, s, m) — see the module
-    // docs for the shared-register argument.
-    let pc_masks: Vec<u64> = lanes
-        .iter()
-        .map(|l| low_bits(u64::MAX, l.table_bits))
-        .collect();
-    let hist_masks: Vec<u64> = lanes
-        .iter()
-        .map(|l| low_bits(u64::MAX, l.history_bits))
-        .collect();
-    let mut missed = vec![0u64; lanes.len()];
-    let mut shared: u64 = 0;
-    for i in 0..len {
-        let r = packed.record(i);
-        let pcw = pc_word(r.pc);
-        let taken = r.taken;
-        for (((table, &pc_mask), &hist_mask), missed) in tables
-            .iter_mut()
-            .zip(&pc_masks)
-            .zip(&hist_masks)
-            .zip(&mut missed)
-        {
-            let index = to_index((pcw & pc_mask) ^ (shared & hist_mask));
-            let predicted = table.retire(index, taken);
-            *missed += u64::from(predicted != taken);
-        }
-        shared = (shared << 1) | u64::from(taken);
-    }
-    let lanes_retired = lanes.len() as u64;
-    metrics::record_engine_drive(
-        Engine::Sliced,
-        len as u64 * lanes_retired,
-        lanes_retired,
-        started.elapsed(),
-    );
-    missed
-        .into_iter()
-        .map(|mispredictions| RunResult {
-            branches: len as u64,
-            mispredictions,
-        })
-        .collect()
+    let mut session = SlicedSession::new(lanes);
+    session.feed(packed.records());
+    session.finish()
 }
 
 /// Like [`measure_sliced`], but accepts any number of lanes and runs
@@ -178,6 +119,7 @@ pub fn measure_sliced_chunks(packed: &PackedTrace, lanes: &[LaneSpec]) -> Vec<Ru
 mod tests {
     use super::*;
     use crate::batch::measure_packed;
+    use crate::metrics::{self, Engine};
     use bpred_core::{Bimodal, Gshare};
     use bpred_trace::{BranchRecord, Trace};
     use proptest::prelude::*;

@@ -345,7 +345,7 @@ mod tests {
                 .iter()
                 .filter(|c| c.name.starts_with("race/"))
                 .count(),
-            10,
+            15,
             "race/* pass group incomplete"
         );
     }

@@ -18,11 +18,20 @@
 //! * **store-recovery** — the corrupt-entry recovery of
 //!   `harness::store::lookup` racing a fresh insert of the same key:
 //!   recovery never loses the fresh write.
+//! * **serve-mailbox** — the bounded reader→worker mailbox of
+//!   `harness::serve`: capacity never exceeded, every accepted chunk
+//!   delivered exactly once, per-producer order preserved under
+//!   backpressure.
+//! * **serve-shutdown** — the mailbox's graceful-close drain: items
+//!   accepted before `close` are still delivered (the pop comes before
+//!   the closed check), sends after `close` are refused.
 //!
 //! Every model ships with at least one **seeded mutant** — the
 //! protocol with a realistic bug reintroduced (non-atomic claiming, an
 //! untagged merge, load-then-store counter updates, a torn snapshot
-//! read order, in-place publication, exclusive-ownership recovery).
+//! read order, in-place publication, exclusive-ownership recovery, a
+//! chunk-dropping full queue, a peek-then-pop double delivery, a
+//! closed-check-first drain).
 //! A mutant the checker fails to kill is itself a verify failure: the
 //! kill proves the pass has teeth, and the killing schedule is
 //! replayed byte-for-byte to prove failures are reproducible.
@@ -419,6 +428,223 @@ fn run_store_recovery(variant: RecoveryVariant) {
     );
 }
 
+// ---- serve-mailbox: the bounded reader→worker queue of `serve` ----
+
+/// Queue depth in the model (the real mailbox uses 64; 1 forces the
+/// backpressure path in every concurrent schedule).
+const MAILBOX_CAPACITY: usize = 1;
+/// Bounded retry budget standing in for the production spin-yield
+/// sends: models must terminate on every schedule, so a producer that
+/// stays full past the budget gives up and reports the refusal.
+const SEND_ATTEMPTS: usize = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MailboxVariant {
+    Correct,
+    /// `try_send` on a full queue drops the chunk but reports success —
+    /// the classic silently-lossy bounded queue.
+    LostChunk,
+    /// `try_recv` peeks under one lock acquisition and pops under a
+    /// second: two workers can both receive the same chunk.
+    DoubleDelivery,
+    /// `try_recv` consults `closed` before the queue: chunks accepted
+    /// just before shutdown are never drained.
+    DroppedDrain,
+}
+
+/// Small-scale replica of `harness::serve::Mailbox`: one shim mutex
+/// around (queue, closed), exactly like the production type, so every
+/// lock acquisition is a scheduling point.
+#[derive(Debug)]
+struct ModelMailbox {
+    state: bpred_race::shim::Mutex<(Vec<u32>, bool)>,
+    variant: MailboxVariant,
+}
+
+impl ModelMailbox {
+    fn new(variant: MailboxVariant) -> Self {
+        ModelMailbox {
+            state: bpred_race::shim::Mutex::new((Vec::new(), false)),
+            variant,
+        }
+    }
+
+    /// `Ok(true)` = accepted, `Ok(false)` = full (retry), `Err` =
+    /// closed.
+    fn try_send(&self, item: u32) -> Result<bool, ()> {
+        let mut state = self.state.lock();
+        if state.1 {
+            return Err(());
+        }
+        if state.0.len() >= MAILBOX_CAPACITY {
+            if self.variant == MailboxVariant::LostChunk {
+                // Seeded bug: claim delivery while dropping the chunk.
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        state.0.push(item);
+        assert!(
+            state.0.len() <= MAILBOX_CAPACITY,
+            "mailbox exceeded its capacity bound"
+        );
+        Ok(true)
+    }
+
+    /// `Ok(Some)` = received, `Ok(None)` = empty (retry), `Err` =
+    /// closed and drained.
+    fn try_recv(&self) -> Result<Option<u32>, ()> {
+        if self.variant == MailboxVariant::DoubleDelivery {
+            // Seeded bug: peek under one lock, pop under another.
+            let peeked = {
+                let state = self.state.lock();
+                match state.0.first() {
+                    Some(&item) => item,
+                    None => return if state.1 { Err(()) } else { Ok(None) },
+                }
+            };
+            let mut state = self.state.lock();
+            if !state.0.is_empty() {
+                state.0.remove(0);
+            }
+            return Ok(Some(peeked));
+        }
+        let mut state = self.state.lock();
+        if self.variant == MailboxVariant::DroppedDrain && state.1 {
+            // Seeded bug: closed wins over queued items.
+            return Err(());
+        }
+        if !state.0.is_empty() {
+            return Ok(Some(state.0.remove(0)));
+        }
+        if state.1 {
+            Err(())
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().1 = true;
+    }
+}
+
+/// Sends `items` with the bounded retry budget, returning what the
+/// mailbox accepted.
+fn send_all(mailbox: &ModelMailbox, items: &[u32]) -> Vec<u32> {
+    let mut accepted = Vec::new();
+    for &item in items {
+        for attempt in 0..SEND_ATTEMPTS {
+            match mailbox.try_send(item) {
+                Ok(true) => {
+                    accepted.push(item);
+                    break;
+                }
+                Ok(false) if attempt + 1 < SEND_ATTEMPTS => thread::yield_now(),
+                Ok(false) | Err(()) => break,
+            }
+        }
+    }
+    accepted
+}
+
+/// Receives with up to `attempts` bounded tries, yielding on empty.
+fn recv_some(mailbox: &ModelMailbox, attempts: usize) -> Vec<u32> {
+    let mut received = Vec::new();
+    for _ in 0..attempts {
+        match mailbox.try_recv() {
+            Ok(Some(item)) => received.push(item),
+            Ok(None) => thread::yield_now(),
+            Err(()) => break,
+        }
+    }
+    received
+}
+
+/// A reader streams chunks 1,2 through a capacity-1 mailbox at two
+/// racing consumers; main drains the leftovers synchronously. Checks
+/// the serve contract: every accepted chunk is delivered exactly once,
+/// refused chunks not at all, and any single consumer observes the
+/// stream in send order (the property that keeps a tenant's chunks
+/// applied in stream order).
+fn run_serve_mailbox(variant: MailboxVariant) {
+    let mailbox = Arc::new(ModelMailbox::new(variant));
+    let producer = {
+        let mailbox = Arc::clone(&mailbox);
+        thread::spawn(move || send_all(&mailbox, &[1, 2]))
+    };
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let mailbox = Arc::clone(&mailbox);
+            thread::spawn(move || recv_some(&mailbox, 2))
+        })
+        .collect();
+    let accepted = producer.join().unwrap_or_default();
+    let streams: Vec<Vec<u32>> = consumers
+        .into_iter()
+        .map(|c| c.join().unwrap_or_default())
+        .collect();
+    let mut received: Vec<u32> = streams.iter().flatten().copied().collect();
+    while let Ok(Some(item)) = mailbox.try_recv() {
+        received.push(item);
+    }
+    let mut want = accepted.clone();
+    want.sort_unstable();
+    let mut got = received.clone();
+    got.sort_unstable();
+    assert_eq!(
+        got, want,
+        "accepted chunks {accepted:?} vs delivered {received:?}: lost or duplicated"
+    );
+    for stream in &streams {
+        let mut sorted = stream.clone();
+        sorted.sort_unstable();
+        assert_eq!(&sorted, stream, "chunks reordered within one consumer");
+    }
+}
+
+/// A producer streams two chunks and closes; the consumer races the
+/// close. The drain contract: both accepted chunks are delivered (by
+/// the consumer or the synchronous post-join drain) even though the
+/// mailbox closed, and post-close sends are refused.
+fn run_serve_shutdown(variant: MailboxVariant) {
+    let mailbox = Arc::new(ModelMailbox::new(variant));
+    let producer = {
+        let mailbox = Arc::clone(&mailbox);
+        thread::spawn(move || {
+            let accepted = send_all(&mailbox, &[1, 2]);
+            mailbox.close();
+            accepted
+        })
+    };
+    let consumer = {
+        let mailbox = Arc::clone(&mailbox);
+        thread::spawn(move || recv_some(&mailbox, 4))
+    };
+    let accepted = producer.join().unwrap_or_default();
+    let mut received = consumer.join().unwrap_or_default();
+    // The worker-side drain after close: everything accepted must
+    // still come out before the closed state is reported. The mailbox
+    // is closed by now, so `Ok(None)` is unreachable and the loop is
+    // bounded by the queue length.
+    loop {
+        match mailbox.try_recv() {
+            Ok(Some(item)) => received.push(item),
+            Ok(None) => thread::yield_now(),
+            Err(()) => break,
+        }
+    }
+    assert_eq!(
+        received, accepted,
+        "chunks accepted before close were not drained"
+    );
+    assert_eq!(
+        mailbox.try_send(9),
+        Err(()),
+        "a send after close must be refused"
+    );
+}
+
 /// Runs every model and every seeded mutant at the given preemption
 /// bound, in verify order.
 #[must_use]
@@ -454,6 +680,21 @@ pub fn check_models(preemptions: usize) -> Vec<ModelCheck> {
         check_mutant("store-recovery", "exclusive-delete", preemptions, || {
             run_store_recovery(RecoveryVariant::ExclusiveDelete);
         }),
+        check_correct("serve-mailbox", preemptions, || {
+            run_serve_mailbox(MailboxVariant::Correct);
+        }),
+        check_mutant("serve-mailbox", "lost-chunk", preemptions, || {
+            run_serve_mailbox(MailboxVariant::LostChunk);
+        }),
+        check_mutant("serve-mailbox", "double-delivery", preemptions, || {
+            run_serve_mailbox(MailboxVariant::DoubleDelivery);
+        }),
+        check_correct("serve-shutdown", preemptions, || {
+            run_serve_shutdown(MailboxVariant::Correct);
+        }),
+        check_mutant("serve-shutdown", "dropped-drain", preemptions, || {
+            run_serve_shutdown(MailboxVariant::DroppedDrain);
+        }),
     ]
 }
 
@@ -474,7 +715,7 @@ mod tests {
     #[test]
     fn all_models_pass_and_all_mutants_die_at_the_default_bound() {
         let checks = check_models(BOUND);
-        assert_eq!(checks.len(), 10);
+        assert_eq!(checks.len(), 15);
         for check in &checks {
             assert!(
                 check.violations.is_empty(),
@@ -484,7 +725,14 @@ mod tests {
             );
         }
         // Every correct model reports its explored-schedule count.
-        for name in ["parallel-map", "metrics", "store-publish", "store-recovery"] {
+        for name in [
+            "parallel-map",
+            "metrics",
+            "store-publish",
+            "store-recovery",
+            "serve-mailbox",
+            "serve-shutdown",
+        ] {
             let check = by_name(&checks, name);
             assert!(
                 check.detail.contains("schedules explored"),

@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 use bpred_harness::cli::{self, Command};
 use bpred_harness::manifest::Manifest;
-use bpred_harness::{orchestrate, registry, store};
+use bpred_harness::{orchestrate, registry, serve, store};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -110,6 +110,43 @@ fn main() -> ExitCode {
             let removed = store::clear();
             println!("result store: removed {removed} file(s)");
             ExitCode::SUCCESS
+        }
+        Command::Serve(addr) => {
+            let shards = jobs.unwrap_or_else(|| {
+                bpred_harness::sync::thread::available_parallelism()
+                    .map_or(2, std::num::NonZeroUsize::get)
+            });
+            let server = match serve::Server::bind(&addr, shards) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "serving on {} with {shards} shard worker(s); \
+                 connect and issue SHUTDOWN to stop",
+                server.addr()
+            );
+            match server.run() {
+                Ok(summary) => {
+                    print!("{}", summary.stats);
+                    eprintln!(
+                        "served {} connection(s), {} stream(s), {} branch(es); \
+                         store: {} hit(s), {} insert(s)",
+                        summary.connections,
+                        summary.streams_finished,
+                        summary.branches_streamed,
+                        summary.store.hits,
+                        summary.store.inserts
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("serve failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Command::Run(names) => run(&names, scale, jobs, out.as_deref()),
     }

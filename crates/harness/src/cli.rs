@@ -29,6 +29,9 @@ pub enum Command {
     CacheStats,
     /// Delete every persisted result (`cache clear`).
     CacheClear,
+    /// Run the streaming prediction service (`serve`) on the given
+    /// listen address until a client issues `SHUTDOWN`.
+    Serve(String),
     /// Run the named experiments (already validated against the
     /// registry) as one orchestrated plan.
     Run(Vec<String>),
@@ -56,7 +59,7 @@ pub struct Options {
 pub fn usage() -> String {
     let mut s = String::from(
         "usage: repro <command> [--scale smoke|paper|full] [--jobs N] [--out DIR]\n       \
-         [--no-cache] [--refresh]\n\n\
+         [--no-cache] [--refresh] [--addr HOST:PORT]\n\n\
          commands:\n  \
          <experiment>             run one experiment\n  \
          run <experiments...>     run several experiments as one plan (shared traces)\n  \
@@ -67,10 +70,15 @@ pub fn usage() -> String {
                                   lint sources, smoke-run every registered experiment\n  \
          manifest-check <FILE>    validate a run manifest written by a previous run\n  \
          cache stats              print the result store's location and footprint\n  \
-         cache clear              delete every persisted result\n\n\
+         cache clear              delete every persisted result\n  \
+         serve                    run the streaming prediction service: clients stream\n  \
+                                  branch traces over TCP, repeated digests are served\n  \
+                                  from the result store, STATS reports live metrics\n\n\
          flags:\n  \
          --no-cache               neither read nor write the result store\n  \
-         --refresh                recompute every job, overwriting stored results\n\n\
+         --refresh                recompute every job, overwriting stored results\n  \
+         --addr HOST:PORT         serve listen address (default 127.0.0.1:4617);\n  \
+                                  --jobs sets the shard-worker count\n\n\
          experiments:\n",
     );
     for e in registry::all() {
@@ -178,6 +186,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut jobs = None;
     let mut out = None;
     let mut store_mode = None;
+    let mut addr: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -211,6 +220,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--out needs a directory")?;
                 out = Some(PathBuf::from(v));
             }
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs a host:port address")?;
+                addr = Some(v.clone());
+            }
             "-h" | "--help" => return Err(usage()),
             other if !other.starts_with('-') => positionals.push(other),
             other => return Err(format!("unexpected argument `{other}`\n\n{}", usage())),
@@ -235,6 +248,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         },
         Some((&"cache", _)) => {
             return Err("cache needs exactly one action: stats or clear".to_owned())
+        }
+        Some((&"serve", [])) => {
+            Command::Serve(addr.unwrap_or_else(|| crate::serve::DEFAULT_ADDR.to_owned()))
+        }
+        Some((&"serve", _)) => {
+            return Err("serve takes no further names (set the address with --addr)".to_owned())
         }
         Some((&"all", [])) => {
             Command::Run(registry::names().iter().map(|&n| n.to_owned()).collect())
@@ -372,6 +391,23 @@ mod tests {
     }
 
     #[test]
+    fn serve_parses_with_default_and_explicit_addr() {
+        let o = parse_args(&args(&["serve"])).expect("valid");
+        assert_eq!(
+            o.command,
+            Command::Serve(crate::serve::DEFAULT_ADDR.to_owned())
+        );
+        let o = parse_args(&args(&["serve", "--addr", "127.0.0.1:9000", "--jobs", "4"]))
+            .expect("valid");
+        assert_eq!(o.command, Command::Serve("127.0.0.1:9000".to_owned()));
+        assert_eq!(o.jobs, Some(4), "--jobs doubles as the shard count");
+        let err = parse_args(&args(&["serve", "fig2"])).expect_err("no positional names");
+        assert!(err.contains("--addr"), "{err}");
+        let err = parse_args(&args(&["serve", "--addr"])).expect_err("missing value");
+        assert!(err.contains("host:port"), "{err}");
+    }
+
+    #[test]
     fn zero_jobs_is_rejected() {
         let err = parse_args(&args(&["fig2", "--jobs", "0"])).expect_err("0 workers");
         assert!(err.contains("at least 1"), "{err}");
@@ -427,8 +463,10 @@ mod tests {
             "list",
             "cache stats",
             "cache clear",
+            "serve",
             "--no-cache",
             "--refresh",
+            "--addr",
         ] {
             assert!(u.contains(cmd), "usage is missing `{cmd}`");
         }

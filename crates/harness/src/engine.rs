@@ -15,12 +15,29 @@
 //! [`crate::observe::Observer`]; the engine carries no throughput
 //! plumbing of its own.
 
+use bpred_analysis::session::{BatchSession, SlicedSession};
 use bpred_analysis::sliced::LaneSpec;
 use bpred_core::{Predictor, PredictorSpec};
-use bpred_trace::PackedTrace;
+use bpred_trace::{PackedTrace, SEAL_RECORDS};
 
 use crate::parallel;
 use crate::store::{self, JobSpec};
+
+/// Records fed per session chunk on the sweep path: one sealed block
+/// of a chunk-built [`PackedTrace`], so the sweep engine exercises the
+/// exact chunk geometry the streaming service replays and the
+/// bit-identity property tests pin.
+pub const SESSION_CHUNK: usize = SEAL_RECORDS;
+
+/// Feeds `len` records to a session in [`SESSION_CHUNK`]-sized ranges.
+fn feed_chunked<F: FnMut(std::ops::Range<usize>)>(len: usize, mut feed: F) {
+    let mut start = 0;
+    while start < len {
+        let end = (start + SESSION_CHUNK).min(len);
+        feed(start..end);
+        start = end;
+    }
+}
 
 /// The average of one configuration's per-trace rates (0 for none).
 #[must_use]
@@ -227,17 +244,25 @@ pub fn cached_spec_rates(
     let measured: Vec<(usize, Vec<(usize, f64)>)> = parallel::map(items, jobs, |item| {
         let t = traces[item.trace];
         let digest = t.digest();
+        // Both engines run as chunked sessions fed one sealed block at
+        // a time — the same incremental path the streaming service
+        // drives, bit-identical to the one-shot wrappers by the session
+        // equivalence property tests.
         let results = if item.sliced {
             let group: Vec<LaneSpec> = item
                 .indices
                 .iter()
                 .map(|&i| lanes[i].expect("sliceable items hold classified configs")) // panic-audited: phase A put only LaneSpec-classified indices in sliceable groups
                 .collect();
-            bpred_analysis::measure_sliced(t, &group)
+            let mut session = SlicedSession::new(&group);
+            feed_chunked(t.len(), |range| session.feed(range.map(|i| t.record(i))));
+            session.finish()
         } else {
-            let mut batch: Vec<Box<dyn Predictor>> =
+            let batch: Vec<Box<dyn Predictor>> =
                 item.indices.iter().map(|&i| specs[i].build()).collect();
-            bpred_analysis::measure_batch(t, &mut batch)
+            let mut session = BatchSession::new(batch);
+            feed_chunked(t.len(), |range| session.feed(range.map(|i| t.record(i))));
+            session.finish()
         };
         let rates = item
             .indices

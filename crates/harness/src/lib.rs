@@ -31,6 +31,7 @@ pub mod parallel;
 pub mod plot;
 pub mod registry;
 pub mod search;
+pub mod serve;
 pub mod store;
 pub mod sweep;
 pub mod sync;

@@ -37,7 +37,7 @@ pub use codec::{
     read_binary, read_text, stream_binary, write_binary, write_text, BinaryStream, CodecError,
 };
 pub use digest::TraceDigest;
-pub use packed::{PackError, PackedRecord, PackedTrace};
+pub use packed::{PackError, PackedRecord, PackedTrace, PackedTraceBuilder, SEAL_RECORDS};
 pub use record::{BranchKind, BranchRecord};
 pub use stats::{site_table, BiasBucket, SiteSummary, TraceStats};
 pub use trace::Trace;

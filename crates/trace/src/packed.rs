@@ -28,9 +28,18 @@
 //! the workspace bit-identical to a scalar replay of the original
 //! trace. A future predictor that hashes raw target bits would need
 //! the targets added to the site table first.
+//!
+//! Traces that never exist whole in memory are packed piecewise with
+//! [`PackedTraceBuilder`]: records are appended in arrival order, the
+//! per-record columns seal in fixed-size blocks of [`SEAL_RECORDS`]
+//! (a sealed block's bytes never change again), and a running
+//! [`TraceDigest`] identifies the stream so far. [`PackedTraceBuilder::finish`]
+//! yields a `PackedTrace` byte-identical to [`PackedTrace::build`] over
+//! the same record sequence.
 
+use crate::digest::TraceDigest;
 use crate::record::{BranchKind, BranchRecord};
-use crate::stats::TraceStats;
+use crate::stats::{BiasBucket, TraceStats};
 use crate::trace::Trace;
 
 /// Error produced when a trace cannot be packed.
@@ -282,6 +291,204 @@ impl PackedTrace {
     }
 }
 
+/// Conditional records per sealed block of a [`PackedTraceBuilder`]:
+/// once a block fills, its slice of the packed columns is immutable
+/// (the bit columns only ever append to the final partial word), so
+/// consumers may stream sealed blocks while the tail is still open.
+/// Matches the batched engine's block size so one sealed block is one
+/// cache-resident unit of work.
+pub const SEAL_RECORDS: usize = 4096;
+
+/// Chunked [`PackedTrace`] construction for piecewise trace ingestion.
+///
+/// [`PackedTrace::build`] needs the whole [`Trace`] in memory; the
+/// builder accepts records one chunk at a time — from a socket, a file
+/// reader, or a generator — while maintaining exactly the state the
+/// one-shot path derives at the end: the deduplicated site table, the
+/// bit-packed outcome/backwardness columns, per-site outcome tallies
+/// (for [`TraceStats`]), and a running [`TraceDigest`] over *every*
+/// record seen (all kinds, like [`Trace::digest`], so a streamed trace
+/// keys the result store identically to its in-memory twin).
+///
+/// ```
+/// use bpred_trace::{BranchRecord, PackedTrace, PackedTraceBuilder, Trace};
+///
+/// let records = [
+///     BranchRecord::conditional(0x100, 0x80, true),
+///     BranchRecord::unconditional(0x104, 0x200),
+///     BranchRecord::conditional(0x100, 0x80, false),
+/// ];
+/// let mut builder = PackedTraceBuilder::new("demo");
+/// for r in &records {
+///     builder.append(r).unwrap();
+/// }
+/// let whole = Trace::from_records("demo", records.to_vec());
+/// assert_eq!(builder.running_digest(), whole.digest());
+/// assert_eq!(builder.finish(), PackedTrace::build(&whole).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedTraceBuilder {
+    name: String,
+    site_ids: std::collections::HashMap<u64, u32>,
+    site_pcs: Vec<u64>,
+    sites: Vec<u32>,
+    outcomes: BitColumn,
+    backward: BitColumn,
+    /// Per-site (taken, executions) tallies, indexed by site id: the
+    /// incremental form of the one-shot path's end-of-build
+    /// [`TraceStats`] measurement.
+    site_outcomes: Vec<(u64, u64)>,
+    digest: TraceDigest,
+    records_seen: u64,
+}
+
+impl PackedTraceBuilder {
+    /// An empty builder for a trace named `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            site_ids: std::collections::HashMap::new(),
+            site_pcs: Vec::new(),
+            sites: Vec::new(),
+            outcomes: BitColumn::default(),
+            backward: BitColumn::default(),
+            site_outcomes: Vec::new(),
+            digest: TraceDigest::new(),
+            records_seen: 0,
+        }
+    }
+
+    /// Appends one record. Every record (any kind) feeds the running
+    /// digest; conditional records are packed and returned in their
+    /// replay form, others are dropped from the columns exactly like
+    /// [`PackedTrace::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackError::TooManySites`] when the record would create
+    /// a distinct conditional site beyond the `u32` id space.
+    pub fn append(&mut self, record: &BranchRecord) -> Result<Option<PackedRecord>, PackError> {
+        self.digest.update(record);
+        self.records_seen += 1;
+        if record.kind != BranchKind::Conditional {
+            return Ok(None);
+        }
+        let id = match self.site_ids.get(&record.pc) {
+            Some(&id) => id,
+            None => {
+                let id =
+                    u32::try_from(self.site_pcs.len()).map_err(|_| PackError::TooManySites {
+                        sites: self.site_pcs.len() as u64 + 1,
+                    })?;
+                self.site_ids.insert(record.pc, id);
+                self.site_pcs.push(record.pc);
+                self.site_outcomes.push((0, 0));
+                id
+            }
+        };
+        let index = self.sites.len();
+        self.sites.push(id);
+        self.outcomes.push(index, record.taken);
+        self.backward.push(index, record.is_backward());
+        let tally = &mut self.site_outcomes[id as usize]; // cast-audited: u32 id widens losslessly
+        tally.0 += u64::from(record.taken);
+        tally.1 += 1;
+        Ok(Some(PackedRecord {
+            pc: record.pc,
+            site: id,
+            taken: record.taken,
+            backward: record.is_backward(),
+        }))
+    }
+
+    /// Appends a chunk of records, returning how many were conditional
+    /// (and therefore packed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackError::TooManySites`] as [`Self::append`] does;
+    /// records before the failing one stay appended.
+    pub fn append_all<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a BranchRecord>,
+    ) -> Result<usize, PackError> {
+        let mut packed = 0;
+        for r in records {
+            packed += usize::from(self.append(r)?.is_some());
+        }
+        Ok(packed)
+    }
+
+    /// Conditional records packed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no conditional record has been packed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Records of any kind fed so far (the digest's record count).
+    #[must_use]
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// Complete, immutable blocks of [`SEAL_RECORDS`] packed records.
+    #[must_use]
+    pub fn sealed_blocks(&self) -> usize {
+        self.len() / SEAL_RECORDS
+    }
+
+    /// Packed records in the still-open tail block.
+    #[must_use]
+    pub fn open_records(&self) -> usize {
+        self.len() % SEAL_RECORDS
+    }
+
+    /// The [`TraceDigest`] of every record fed so far — equal to
+    /// [`Trace::digest`] of the same record sequence, at any point of
+    /// the stream.
+    #[must_use]
+    pub fn running_digest(&self) -> u64 {
+        self.digest.finish()
+    }
+
+    /// Seals the tail and returns the finished [`PackedTrace`] —
+    /// field-for-field identical to [`PackedTrace::build`] over the
+    /// same record sequence.
+    #[must_use]
+    pub fn finish(self) -> PackedTrace {
+        let mut stats = TraceStats {
+            static_conditional: self.site_pcs.len(),
+            dynamic_total: self.records_seen,
+            ..TraceStats::default()
+        };
+        for &(taken, executions) in &self.site_outcomes {
+            stats.dynamic_conditional += executions;
+            stats.taken += taken;
+            match BiasBucket::of(taken, executions) {
+                BiasBucket::StronglyTaken => stats.from_strongly_taken += executions,
+                BiasBucket::StronglyNotTaken => stats.from_strongly_not_taken += executions,
+                BiasBucket::WeaklyBiased => stats.from_weakly_biased += executions,
+            }
+        }
+        PackedTrace {
+            name: self.name,
+            sites: self.sites,
+            outcomes: self.outcomes,
+            backward: self.backward,
+            site_pcs: self.site_pcs,
+            stats,
+            digest: self.digest.finish(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +600,93 @@ mod tests {
             assert_eq!(r.taken, (i as u64).is_multiple_of(3), "record {i}");
             assert!(r.backward);
         }
+    }
+
+    #[test]
+    fn builder_matches_one_shot_build_field_for_field() {
+        let t = sample();
+        let mut b = PackedTraceBuilder::new("sample");
+        let mut packed_count = 0;
+        for r in t.records() {
+            packed_count += usize::from(b.append(r).unwrap().is_some());
+        }
+        assert_eq!(packed_count, 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.records_seen(), 4);
+        assert_eq!(b.running_digest(), t.digest());
+        assert_eq!(b.finish(), PackedTrace::build(&t).unwrap());
+    }
+
+    #[test]
+    fn builder_is_chunking_invariant() {
+        let mut t = Trace::new("long");
+        for i in 0..9000u64 {
+            let pc = 0x1000 + (i % 131) * 4;
+            t.push(BranchRecord::conditional(pc, 0x800, i % 3 == 0));
+            if i % 17 == 0 {
+                t.push(BranchRecord::unconditional(pc + 4, 0x1000));
+            }
+        }
+        let want = PackedTrace::build(&t).unwrap();
+        for chunk in [1usize, 63, 64, 65, 4096, 4097] {
+            let mut b = PackedTraceBuilder::new("long");
+            for records in t.records().chunks(chunk) {
+                b.append_all(records).unwrap();
+            }
+            assert_eq!(b.running_digest(), t.digest(), "chunk {chunk}");
+            assert_eq!(b.finish(), want, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn builder_replays_records_while_streaming() {
+        let t = sample();
+        let mut b = PackedTraceBuilder::new("sample");
+        let mut streamed = Vec::new();
+        for r in t.records() {
+            if let Some(p) = b.append(r).unwrap() {
+                streamed.push(p);
+            }
+        }
+        let whole: Vec<PackedRecord> = PackedTrace::build(&t).unwrap().records().collect();
+        assert_eq!(streamed, whole);
+    }
+
+    #[test]
+    fn builder_seals_fixed_size_blocks() {
+        let mut b = PackedTraceBuilder::new("blocks");
+        assert_eq!((b.sealed_blocks(), b.open_records()), (0, 0));
+        for i in 0..SEAL_RECORDS as u64 + 5 {
+            b.append(&BranchRecord::conditional(0x100 + (i % 9) * 4, 0, true))
+                .unwrap();
+        }
+        assert_eq!(b.sealed_blocks(), 1);
+        assert_eq!(b.open_records(), 5);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn builder_running_digest_tracks_every_prefix() {
+        let t = sample();
+        let mut b = PackedTraceBuilder::new("sample");
+        for (i, r) in t.records().iter().enumerate() {
+            b.append(r).unwrap();
+            assert_eq!(
+                b.running_digest(),
+                t.truncated(i + 1).digest(),
+                "prefix {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_the_empty_packed_trace() {
+        let b = PackedTraceBuilder::new("empty");
+        assert!(b.is_empty());
+        assert_eq!(b.running_digest(), Trace::new("empty").digest());
+        let p = b.finish();
+        assert_eq!(p, PackedTrace::build(&Trace::new("empty")).unwrap());
     }
 
     #[test]

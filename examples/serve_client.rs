@@ -1,0 +1,69 @@
+//! Streaming-service client: start an in-process `repro serve`
+//! instance, stream a benchmark trace to it twice, and show the second
+//! run being served straight from the result store.
+//!
+//! Run with: `cargo run --release --example serve_client`
+//!
+//! Against an external server (`repro serve` in another terminal),
+//! point the `ADDR` constant at it instead of binding in-process.
+
+use bpred_core::PredictorSpec;
+use bpred_harness::serve::{client_run, client_shutdown, client_stats, Server};
+use bpred_workloads::{Scale, Workload};
+
+fn main() {
+    // 1. Bind an ephemeral in-process server with two shard workers.
+    //    (A long-lived deployment runs `repro serve` instead; clients
+    //    are identical either way.)
+    let server = Server::bind("127.0.0.1:0", 2).expect("bind an ephemeral port");
+    let addr = server.addr().to_string();
+    let server = std::thread::spawn(move || server.run());
+    println!("serving on {addr}");
+
+    // 2. Stream the gcc-like workload under a bi-mode spec. The client
+    //    declares the trace digest up front; on a cold store the
+    //    server asks for the stream and measures it chunk by chunk (a
+    //    warm store — e.g. after `repro all` — serves even this first
+    //    run directly, which is the point of sharing one key space).
+    let spec: PredictorSpec = "bimode:d=11".parse().expect("grammar spec parses");
+    let trace = Workload::by_name("gcc")
+        .expect("gcc is registered")
+        .trace(Scale::Smoke);
+    let first = client_run(&addr, &spec, &trace).expect("first streamed run");
+    println!(
+        "first run : {:>8} branches, {:>7} mispredicted ({:.2}%), store-served: {}",
+        first.result.branches,
+        first.result.mispredictions,
+        100.0 * first.result.misprediction_rate(),
+        first.store_served,
+    );
+
+    // 3. Same digest again: the server replays the stored result —
+    //    no records cross the wire, and the counts are bit-identical.
+    let second = client_run(&addr, &spec, &trace).expect("repeated run");
+    println!(
+        "second run: {:>8} branches, {:>7} mispredicted ({:.2}%), store-served: {}",
+        second.result.branches,
+        second.result.mispredictions,
+        100.0 * second.result.misprediction_rate(),
+        second.store_served,
+    );
+    assert_eq!(first.result, second.result, "store replay is bit-identical");
+    assert!(second.store_served, "a repeated digest hits the store");
+
+    // 4. The live stats endpoint: connections, branches/s, store hits,
+    //    per-engine drive counters.
+    println!("\nlive stats:\n{}", client_stats(&addr).expect("stats"));
+
+    // 5. Graceful shutdown: in-flight streams drain, the server
+    //    returns its final summary.
+    client_shutdown(&addr).expect("shutdown");
+    let summary = server
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+    println!(
+        "summary: {} connection(s), {} stream(s) measured, {} store hit(s)",
+        summary.connections, summary.streams_finished, summary.store.hits,
+    );
+}
