@@ -66,6 +66,9 @@ impl LaneSpec {
     /// the equivalence pass immediately covers.
     #[must_use]
     pub fn of(spec: &PredictorSpec) -> Option<LaneSpec> {
+        // Every grammar name is classified explicitly — no wildcard —
+        // so a new family cannot be silently mis-sliced: the compiler
+        // forces a decision here and the coverage audit probes it.
         match *spec {
             PredictorSpec::Gshare {
                 table_bits,
@@ -78,7 +81,27 @@ impl LaneSpec {
                 table_bits,
                 history_bits: 0,
             }),
-            _ => None,
+            // Statics and every multi-table/choice scheme fall back to
+            // the batch engine.
+            PredictorSpec::AlwaysTaken
+            | PredictorSpec::AlwaysNotTaken
+            | PredictorSpec::Btfnt
+            | PredictorSpec::Gselect { .. }
+            | PredictorSpec::TwoLevel { .. }
+            | PredictorSpec::BiMode(_)
+            | PredictorSpec::Agree { .. }
+            | PredictorSpec::Gskew { .. }
+            | PredictorSpec::Yags { .. }
+            | PredictorSpec::Tournament { .. }
+            | PredictorSpec::TriMode { .. }
+            | PredictorSpec::TwoBcGskew { .. } => None,
+            // The zoo: tagged lookups, dot products and stage gating
+            // have no branchless plane form — explicitly batch-fallback
+            // (cascades stay so even when every stage is sliceable,
+            // because the gates couple the lanes).
+            PredictorSpec::Tage { .. }
+            | PredictorSpec::Perceptron { .. }
+            | PredictorSpec::Cascade(_) => None,
         }
     }
 }
@@ -155,7 +178,16 @@ mod tests {
                 history_bits: 0
             })
         );
-        for spec in ["bimode:d=7", "always-taken", "gselect:a=4,h=4"] {
+        for spec in [
+            "bimode:d=7",
+            "always-taken",
+            "gselect:a=4,h=4",
+            // The zoo families are explicitly batch-fallback — a
+            // cascade of sliceable stages included.
+            "tage:t=4,h=16,tag=8,e=7",
+            "perceptron:n=6,h=12,theta=37",
+            "cascade:bimodal:s=8;gshare:s=8,h=8",
+        ] {
             let spec = spec.parse::<PredictorSpec>().expect("parses");
             assert_eq!(LaneSpec::of(&spec), None, "{spec} must fall back");
         }

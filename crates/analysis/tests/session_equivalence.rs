@@ -41,6 +41,9 @@ const SPECS: &[&str] = &[
     "tournament:s=6",
     "2bcgskew:s=6,h=5",
     "trimode:d=5",
+    "tage:t=3,h=8,tag=5,e=4",
+    "perceptron:n=4,h=6,theta=25",
+    "cascade:bimodal:s=4;gshare:s=5,h=5",
 ];
 
 /// The chunk sizes every spec is replayed at: every boundary, either

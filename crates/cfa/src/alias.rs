@@ -23,6 +23,21 @@
 //!   branch uses is decided by the choice counter, so direction-bank
 //!   collisions are reported per the gshare rule and labelled with the
 //!   bank name.
+//! * **tage**: the base table is bimodal on `entry_bits`; every tagged
+//!   component hashes `w ^ (w >> e)` into the index and `w ^ (w >> tag)`
+//!   into the partial tag, with the history terms identical for both
+//!   sites of a pair whenever their histories agree (they cancel). A
+//!   pair whose PC index hashes agree therefore meets at the same entry
+//!   on every equal-history occurrence — *definite* if the PC tag
+//!   hashes agree too (true counter sharing), *tag-filtered* when the
+//!   tags differ (the entry is contended through allocation, but the
+//!   mismatching tag blocks silent counter sharing: the de-aliasing a
+//!   tagged structure buys). The history folds across every index bit,
+//!   so the gshare-style *potential* tier is vacuous for tagged banks
+//!   (any pair can meet under some history pair) and is not emitted.
+//!   All components share one collision structure — the per-component
+//!   history length only shifts the constants that cancel — so one
+//!   `tagged` bank row stands for all of them.
 //!
 //! Opposite-bias pairs (one ST-candidate, one SNT-candidate) are the
 //! destructive ones — the paper's motivating case — and get flagged.
@@ -49,6 +64,11 @@ pub struct CollisionPair {
     /// index bits); false when only some history pairs map them to the
     /// same counter.
     pub definite: bool,
+    /// True when the bank carries partial tags that still have to
+    /// match before the colliding pair shares a counter: the index
+    /// meets, but a tag mismatch converts interference into entry
+    /// competition. Always false for untagged banks.
+    pub tag_filtered: bool,
     /// True when the two sites carry opposite static bias (one
     /// ST-candidate, one SNT-candidate) — the destructive case.
     pub opposite_bias: bool,
@@ -60,26 +80,56 @@ enum BankRule {
     Direct { bits: u32 },
     /// gshare on `index_bits` with `history_bits` of history.
     Gshare { index_bits: u32, history_bits: u32 },
+    /// TAGE-style tagged component: `w ^ (w >> index_bits)` indexes,
+    /// `w ^ (w >> tag_bits)` tags, history terms cancelling across an
+    /// equal-history pair. Only the persistent (equal-history) tiers
+    /// are emitted; see the module docs for why the potential tier is
+    /// vacuous here.
+    Tagged { index_bits: u32, tag_bits: u32 },
+}
+
+/// One bank-level verdict: how certainly the pair meets, and whether a
+/// partial tag still gates actual counter sharing.
+struct BankCollision {
+    definite: bool,
+    tag_filtered: bool,
 }
 
 impl BankRule {
-    /// Whether word PCs `a` and `b` can collide, and if so definitely.
-    /// Returns `None` for no collision, `Some(definite)` otherwise.
-    fn collide(&self, a: u64, b: u64) -> Option<bool> {
+    /// Whether word PCs `a` and `b` can collide, and if so how.
+    /// Returns `None` for no collision.
+    fn collide(&self, a: u64, b: u64) -> Option<BankCollision> {
+        let untagged = |definite| BankCollision {
+            definite,
+            tag_filtered: false,
+        };
         match *self {
-            BankRule::Direct { bits } => (low_bits(a, bits) == low_bits(b, bits)).then_some(true),
+            BankRule::Direct { bits } => {
+                (low_bits(a, bits) == low_bits(b, bits)).then(|| untagged(true))
+            }
             BankRule::Gshare {
                 index_bits,
                 history_bits,
             } => {
                 let m = history_bits.min(index_bits);
                 if low_bits(a, index_bits) == low_bits(b, index_bits) {
-                    Some(true)
+                    Some(untagged(true))
                 } else if low_bits(a, index_bits) >> m == low_bits(b, index_bits) >> m {
-                    Some(false)
+                    Some(untagged(false))
                 } else {
                     None
                 }
+            }
+            BankRule::Tagged {
+                index_bits,
+                tag_bits,
+            } => {
+                let index_hash = |w: u64| low_bits(w ^ (w >> index_bits), index_bits);
+                let tag_hash = |w: u64| low_bits(w ^ (w >> tag_bits), tag_bits);
+                (index_hash(a) == index_hash(b)).then(|| BankCollision {
+                    definite: true,
+                    tag_filtered: tag_hash(a) != tag_hash(b),
+                })
             }
         }
     }
@@ -87,7 +137,9 @@ impl BankRule {
 
 /// The banks of `spec` this analysis can model, or `None` when the
 /// spec's index function is out of scope (skewed hashing, history
-/// concatenation, tagged caches...).
+/// concatenation, gated composition...). The match enumerates the
+/// whole grammar so adding a family forces a modelling decision here
+/// (the repo's `grammar` lint denies a wildcard arm).
 fn banks(spec: &PredictorSpec) -> Option<Vec<(&'static str, BankRule)>> {
     match spec {
         PredictorSpec::Bimodal { table_bits } => {
@@ -119,15 +171,51 @@ fn banks(spec: &PredictorSpec) -> Option<Vec<(&'static str, BankRule)>> {
                 },
             ),
         ]),
-        _ => None,
+        // One `tagged` row models every component: the per-component
+        // history length only shifts constants that cancel pairwise.
+        PredictorSpec::Tage {
+            tag_bits,
+            entry_bits,
+            ..
+        } => Some(vec![
+            ("base", BankRule::Direct { bits: *entry_bits }),
+            (
+                "tagged",
+                BankRule::Tagged {
+                    index_bits: *entry_bits,
+                    tag_bits: *tag_bits,
+                },
+            ),
+        ]),
+        // Perceptron rows are selected by PC alone: sharing a row is a
+        // definite weight-vector collision, exactly the bimodal rule.
+        PredictorSpec::Perceptron { rows_bits, .. } => {
+            Some(vec![("weights", BankRule::Direct { bits: *rows_bits })])
+        }
+        // Out of scope: skewed or concatenated index functions, shared
+        // per-address history state, non-shared bi-mode indexing, and
+        // gated composition (which stage serves a branch is dynamic).
+        PredictorSpec::AlwaysTaken
+        | PredictorSpec::AlwaysNotTaken
+        | PredictorSpec::Btfnt
+        | PredictorSpec::Gselect { .. }
+        | PredictorSpec::TwoLevel { .. }
+        | PredictorSpec::BiMode(_)
+        | PredictorSpec::Agree { .. }
+        | PredictorSpec::Gskew { .. }
+        | PredictorSpec::Yags { .. }
+        | PredictorSpec::Tournament { .. }
+        | PredictorSpec::TriMode { .. }
+        | PredictorSpec::TwoBcGskew { .. }
+        | PredictorSpec::Cascade(_) => None,
     }
 }
 
 /// Enumerates all static-site pairs that can collide in any bank of
 /// `spec`. `sites` is `(byte PC, static bias)` per site; pairs are
 /// emitted in `(pc_a < pc_b)` order, definite collisions before
-/// potential ones within a bank. Returns `None` when the spec's index
-/// function is not statically modelled.
+/// tag-filtered and potential ones within a bank. Returns `None` when
+/// the spec's index function is not statically modelled.
 #[must_use]
 pub fn collisions(spec: &PredictorSpec, sites: &[(u64, StaticBias)]) -> Option<Vec<CollisionPair>> {
     let banks = banks(spec)?;
@@ -135,7 +223,7 @@ pub fn collisions(spec: &PredictorSpec, sites: &[(u64, StaticBias)]) -> Option<V
     for (bank, rule) in &banks {
         for (i, &(pc_a, bias_a)) in sites.iter().enumerate() {
             for &(pc_b, bias_b) in &sites[i + 1..] {
-                let Some(definite) = rule.collide(pc_word(pc_a), pc_word(pc_b)) else {
+                let Some(hit) = rule.collide(pc_word(pc_a), pc_word(pc_b)) else {
                     continue;
                 };
                 let opposite_bias = matches!(
@@ -147,13 +235,14 @@ pub fn collisions(spec: &PredictorSpec, sites: &[(u64, StaticBias)]) -> Option<V
                     pc_a,
                     pc_b,
                     bank,
-                    definite,
+                    definite: hit.definite,
+                    tag_filtered: hit.tag_filtered,
                     opposite_bias,
                 });
             }
         }
     }
-    pairs.sort_by_key(|p| (p.bank, !p.definite, p.pc_a, p.pc_b));
+    pairs.sort_by_key(|p| (p.bank, !p.definite, p.tag_filtered, p.pc_a, p.pc_b));
     Some(pairs)
 }
 
@@ -232,6 +321,59 @@ mod tests {
     fn unmodelled_specs_return_none() {
         assert!(collisions(&spec("gskew:s=4,h=4"), &[]).is_none());
         assert!(collisions(&spec("bimode:d=4,c=4,h=4,index=skewed"), &[]).is_none());
+        // Which cascade stage serves a branch is decided dynamically by
+        // the gates, so gated composition stays out of scope even when
+        // every stage alone is modelled.
+        assert!(collisions(&spec("cascade:bimodal:s=4;gshare:s=4,h=4"), &[]).is_none());
+    }
+
+    #[test]
+    fn tage_tiers_collisions_by_index_and_tag_agreement() {
+        // e=4, tag=6: offsets found by exhaustive search over the PC
+        // hashes `w ^ (w >> 4)` (index) and `w ^ (w >> 6)` (tag).
+        let s = spec("tage:t=2,h=8,tag=6,e=4");
+        let shared = BASE + 5460; // same index hash, same tag hash
+        let contended = BASE + 68; // same index hash, different tag hash
+        let disjoint = BASE + 4; // different index hash
+        let sites = vec![
+            (BASE, StaticBias::Taken),
+            (shared, StaticBias::NotTaken),
+            (contended, StaticBias::NotTaken),
+            (disjoint, StaticBias::NotTaken),
+        ];
+        let pairs = collisions(&s, &sites).expect("tage is modelled");
+        let tagged = |x: u64, y: u64| {
+            pairs
+                .iter()
+                .find(|p| p.bank == "tagged" && (p.pc_a, p.pc_b) == (x, y))
+        };
+        let hit = tagged(BASE, shared).expect("matching tag shares the counter");
+        assert!(hit.definite && !hit.tag_filtered);
+        let hit = tagged(BASE, contended).expect("index still meets");
+        assert!(hit.definite && hit.tag_filtered);
+        assert!(
+            tagged(BASE, disjoint).is_none(),
+            "tagged banks emit no vacuous potential tier"
+        );
+        // The base bank follows the bimodal rule on the raw low bits.
+        assert!(pairs
+            .iter()
+            .any(|p| p.bank == "base" && p.definite && !p.tag_filtered));
+    }
+
+    #[test]
+    fn perceptron_rows_collide_like_a_bimodal_table() {
+        let s = spec("perceptron:n=4,h=8,theta=23");
+        let sites = vec![
+            (BASE, StaticBias::Taken),
+            (BASE + 64, StaticBias::NotTaken), // same low 4 word bits
+            (BASE + 4, StaticBias::NotTaken),
+        ];
+        let pairs = collisions(&s, &sites).expect("perceptron is modelled");
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].bank, "weights");
+        assert!(pairs[0].definite && !pairs[0].tag_filtered);
+        assert!(pairs[0].opposite_bias);
     }
 
     #[test]

@@ -432,6 +432,33 @@ mod tests {
     }
 
     #[test]
+    fn zoo_families_are_explicit_batch_fallbacks() {
+        // The predictor-zoo families (tagged, neural, gated) must take
+        // the batch path — tagged allocation, weight dot products, and
+        // cross-stage gating all break the one-counter-per-lane shape —
+        // and still agree across the scalar, packed, and batched
+        // engines on every micro-trace and a block-straddling probe.
+        let zoo = specs(&[
+            "tage:t=3,h=8,tag=5,e=4",
+            "perceptron:n=4,h=6,theta=25",
+            "cascade:bimodal:s=4;gshare:s=5,h=5",
+        ]);
+        for spec in &zoo {
+            assert!(
+                LaneSpec::of(spec).is_none(),
+                "{spec} must fall back to the batch engine"
+            );
+        }
+        let c = check_engines(&zoo, 2, 5000);
+        assert!(c.passed(), "{:?}", c.violations);
+        assert_eq!(
+            c.comparisons,
+            c.traces * zoo.len(),
+            "fallbacks contribute no sliced comparisons"
+        );
+    }
+
+    #[test]
     fn sliced_grid_covers_every_shape_and_passes() {
         let c = check_sliced_grid(6, 5000);
         assert!(c.passed(), "{:?}", c.violations);

@@ -1,7 +1,7 @@
 //! The repo lint pass: deny-by-default source rules the compiler cannot
 //! enforce.
 //!
-//! Six rules, scanned line-by-line over the workspace's library
+//! Seven rules, scanned line-by-line over the workspace's library
 //! sources (test modules and `src/bin/` binaries are exempt):
 //!
 //! 1. **`cast`** — no truncating `as` casts (`as u8`/`u16`/`u32`/`i8`/
@@ -32,6 +32,14 @@
 //!    `panic-audited:`): a reviewed claim of why that ordering is
 //!    sufficient, ideally naming the `race/*` model that checks the
 //!    protocol. Lines naming `cmp::Ordering` are out of scope.
+//! 7. **`grammar`** — no `_ =>` wildcard arm in a `match` whose arms
+//!    name `PredictorSpec::` variants: a wildcard there silently
+//!    swallows every grammar name added later (a new family parses,
+//!    builds, and then vanishes from a lane classifier or bank mapper
+//!    without a compile error). Matches over specs must enumerate the
+//!    grammar so the compiler flags each growth site, or carry a
+//!    `grammar-audited:` comment (same adjacency rule as
+//!    `panic-audited:`) claiming why a default is semantically total.
 //!
 //! The scanner is deliberately simple (line-based, brace-counted test
 //! module tracking) so it has no parser dependency; it errs on the side
@@ -50,7 +58,7 @@ pub struct LintViolation {
     /// 1-based line number (0 for whole-file rules).
     pub line: usize,
     /// The rule that fired: `cast`, `panic`, `unsafe`, `pc-cast`,
-    /// `sync`, or `ordering`.
+    /// `sync`, `ordering`, or `grammar`.
     pub rule: &'static str,
     /// What was found.
     pub message: String,
@@ -72,8 +80,8 @@ pub struct LintReport {
     /// Library source files scanned.
     pub files_scanned: usize,
     /// Sites allowed through an audit marker (`cast-audited:`,
-    /// `panic-audited:`, or `ordering-audited:`), counted so the audit
-    /// surface stays visible.
+    /// `panic-audited:`, `ordering-audited:`, or `grammar-audited:`),
+    /// counted so the audit surface stays visible.
     pub audited_sites: usize,
     /// Rule violations found.
     pub violations: Vec<LintViolation>,
@@ -142,6 +150,10 @@ const SYNC_ALLOWED_PREFIX: &str = "crates/race/src/";
 const ORDERING_NEEDLE: &str = concat!("Ordering", "::");
 const CMP_ORDERING: &str = concat!("cmp::", "Ordering");
 
+/// The grammar-rule needle (rule 7), assembled so the scanner's own
+/// source does not match it.
+const GRAMMAR_NEEDLE: &str = concat!("PredictorSpec", "::");
+
 fn is_comment_only(trimmed: &str) -> bool {
     trimmed.starts_with("//")
 }
@@ -176,6 +188,12 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
     let mut pending_cfg_test = false;
     let mut skip_above: Option<i64> = None;
 
+    // Rule 7 state: the brace depths at which a `PredictorSpec::` match
+    // arm has been seen. A `_ =>` arm at one of these depths sits in
+    // the same `match` and would swallow later grammar growth; depths
+    // are forgotten as soon as their block closes.
+    let mut grammar_depths: Vec<i64> = Vec::new();
+
     for (index, &line) in lines.iter().enumerate() {
         let number = index + 1;
         let trimmed = line.trim();
@@ -201,7 +219,9 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
                 continue;
             }
         }
+        let arm_depth = depth;
         depth += braces;
+        grammar_depths.retain(|&d| d <= depth);
 
         if is_comment_only(trimmed) {
             continue;
@@ -260,6 +280,23 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
                     message: format!(
                         "`{ORDERING_NEEDLE}` choice without an `ordering-audited:` justification"
                     ),
+                });
+            }
+        }
+
+        if line.contains(GRAMMAR_NEEDLE) {
+            if !grammar_depths.contains(&arm_depth) {
+                grammar_depths.push(arm_depth);
+            }
+        } else if trimmed.starts_with("_ =>") && grammar_depths.contains(&arm_depth) {
+            if marker_audited(&lines, index, "grammar-audited:") {
+                report.audited_sites += 1;
+            } else {
+                report.violations.push(LintViolation {
+                    file: relative.to_owned(),
+                    line: number,
+                    rule: "grammar",
+                    message: "wildcard `_ =>` arm in a `PredictorSpec` match: enumerate every grammar name so new families fail to compile here, or mark `grammar-audited:` with a totality claim".to_owned(),
                 });
             }
         }
@@ -535,6 +572,35 @@ mod tests {
             &format!("let o = std::cmp::{needle}Less;\n"),
         );
         assert!(cmp.passed(), "{:?}", cmp.violations);
+    }
+
+    #[test]
+    fn spec_match_wildcards_are_denied() {
+        // Positive: a `_ =>` arm alongside `PredictorSpec::` arms fires.
+        let swallowing = "match spec {\n    PredictorSpec::Bimodal { table_bits } => go(table_bits),\n    _ => None,\n}\n";
+        let hit = scan("crates/demo/src/lanes.rs", swallowing);
+        assert_eq!(hit.violations.len(), 1, "{:?}", hit.violations);
+        assert_eq!(hit.violations[0].rule, "grammar");
+        assert_eq!(hit.violations[0].line, 3);
+        // Negative: the audited escape passes and is counted.
+        let audited = "match spec {\n    PredictorSpec::Bimodal { table_bits } => go(table_bits),\n    // grammar-audited: cost alone, total over every variant\n    _ => None,\n}\n";
+        let ok = scan("crates/demo/src/lanes.rs", audited);
+        assert!(ok.passed(), "{:?}", ok.violations);
+        assert_eq!(ok.audited_sites, 1);
+    }
+
+    #[test]
+    fn spec_match_rule_is_scoped_to_the_enclosing_match() {
+        // A wildcard in an unrelated match in the same file passes, both
+        // before and after a fully-enumerated `PredictorSpec` match.
+        let unrelated = "match verb {\n    \"run\" => run(),\n    _ => help(),\n}\nmatch spec {\n    PredictorSpec::AlwaysTaken => t(),\n    PredictorSpec::AlwaysNotTaken => n(),\n}\nmatch verb {\n    \"list\" => list(),\n    _ => help(),\n}\n";
+        let r = scan("crates/demo/src/cli.rs", unrelated);
+        assert!(r.passed(), "{:?}", r.violations);
+        // A wildcard in a *nested* match inside a spec arm's body is out
+        // of scope: it sits one brace deeper than the spec arms.
+        let nested = "match spec {\n    PredictorSpec::Gshare { table_bits, .. } => match table_bits {\n        0 => small(),\n        _ => big(),\n    },\n    PredictorSpec::AlwaysTaken => t(),\n}\n";
+        let n = scan("crates/demo/src/lanes.rs", nested);
+        assert!(n.passed(), "{:?}", n.violations);
     }
 
     #[test]

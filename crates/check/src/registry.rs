@@ -9,7 +9,10 @@
 
 use bpred_core::cost::Cost;
 use bpred_core::spec::GRAMMAR;
-use bpred_core::{BankInit, ChoiceUpdate, HistorySource, IndexShare, PredictorSpec};
+use bpred_core::{
+    BankInit, ChoiceUpdate, HistorySource, IndexShare, PredictorSpec, CASCADE_GATE_BITS,
+    WEIGHT_BITS,
+};
 
 /// One model-checking target: a down-scaled configuration plus the
 /// driving alphabet and state cap for its BFS walk.
@@ -233,6 +236,36 @@ pub const MODEL_TARGETS: &[ModelTarget] = &[
         pcs: PCS2,
         cap: 25_000,
     },
+    ModelTarget {
+        spec: "tage:t=1,h=1,tag=2,e=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "tage:t=2,h=2,tag=2,e=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "perceptron:n=1,h=1,theta=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "perceptron:n=1,h=2,theta=2",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "cascade:bimodal:s=1;gshare:s=1,h=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
+    ModelTarget {
+        spec: "cascade:always-taken;bimodal:s=1",
+        pcs: PCS2,
+        cap: 25_000,
+    },
 ];
 
 /// Paper-scale configurations whose reported cost is audited against the
@@ -251,6 +284,9 @@ pub const COST_TARGETS: &[&str] = &[
     "tournament:s=12",
     "trimode:d=12,c=12,h=12",
     "2bcgskew:s=12,h=12",
+    "tage:t=4,h=32,tag=8,e=10",
+    "perceptron:n=7,h=16,theta=44",
+    "cascade:bimodal:s=10;tage:t=2,h=8,tag=6,e=8",
 ];
 
 /// The prediction-state bits a configuration must cost, derived
@@ -292,6 +328,21 @@ pub fn structural_state_bits(spec: &PredictorSpec) -> u64 {
             ..
         } => 2 * pow(choice_bits) + 3 * pow(choice_bits) + 3 * 2 * pow(direction_bits),
         PredictorSpec::TwoBcGskew { bank_bits, .. } => 4 * 2 * pow(bank_bits),
+        // Base bimodal (2-bit) plus one 3-bit counter per tagged entry;
+        // tags, useful bits, and the history register are metadata.
+        PredictorSpec::Tage {
+            tables, entry_bits, ..
+        } => (2 + 3 * u64::from(tables)) * pow(entry_bits),
+        PredictorSpec::Perceptron {
+            rows_bits,
+            history_bits,
+            ..
+        } => u64::from(history_bits) * u64::from(WEIGHT_BITS) * pow(rows_bits),
+        // Stage state plus one 2-bit gate table per stage boundary.
+        PredictorSpec::Cascade(ref stages) => {
+            stages.iter().map(structural_state_bits).sum::<u64>()
+                + (stages.len() as u64 - 1) * 2 * pow(CASCADE_GATE_BITS)
+        }
     }
 }
 
@@ -693,6 +744,94 @@ pub fn spec_perturbations(spec: &PredictorSpec) -> Vec<(&'static str, PredictorS
                 },
             ),
         ],
+        P::Tage {
+            tables,
+            max_history,
+            tag_bits,
+            entry_bits,
+        } => vec![
+            (
+                "tables",
+                P::Tage {
+                    tables: tables + 1,
+                    max_history,
+                    tag_bits,
+                    entry_bits,
+                },
+            ),
+            (
+                "max_history",
+                P::Tage {
+                    tables,
+                    max_history: max_history + 1,
+                    tag_bits,
+                    entry_bits,
+                },
+            ),
+            (
+                "tag_bits",
+                P::Tage {
+                    tables,
+                    max_history,
+                    tag_bits: tag_bits + 1,
+                    entry_bits,
+                },
+            ),
+            (
+                "entry_bits",
+                P::Tage {
+                    tables,
+                    max_history,
+                    tag_bits,
+                    entry_bits: entry_bits + 1,
+                },
+            ),
+        ],
+        P::Perceptron {
+            rows_bits,
+            history_bits,
+            theta,
+        } => vec![
+            (
+                "rows_bits",
+                P::Perceptron {
+                    rows_bits: rows_bits + 1,
+                    history_bits,
+                    theta,
+                },
+            ),
+            (
+                "history_bits",
+                P::Perceptron {
+                    rows_bits,
+                    history_bits: history_bits + 1,
+                    theta,
+                },
+            ),
+            (
+                "theta",
+                P::Perceptron {
+                    rows_bits,
+                    history_bits,
+                    theta: theta + 1,
+                },
+            ),
+        ],
+        P::Cascade(ref stages) => {
+            let mut out = Vec::new();
+            // Perturb the first stage through its own variant's
+            // perturbations, so stage fields stay fingerprint-sensitive
+            // inside a cascade (static first stages have none to lift).
+            if let Some((_, varied)) = spec_perturbations(&stages[0]).into_iter().next() {
+                let mut perturbed = stages.clone();
+                perturbed[0] = varied;
+                out.push(("stage0", P::Cascade(perturbed)));
+            }
+            let mut grown = stages.clone();
+            grown.push(P::Bimodal { table_bits: 1 });
+            out.push(("stages", P::Cascade(grown)));
+            out
+        }
     }
 }
 
@@ -703,6 +842,12 @@ pub fn spec_perturbations(spec: &PredictorSpec) -> Vec<(&'static str, PredictorS
 pub const PINNED_FINGERPRINTS: &[(&str, u64)] = &[
     ("gshare:s=8,h=8", 0xe48e_b26c_0780_b396),
     ("bimode:d=7,c=7,h=7", 0xcb1d_a322_72f6_48b8),
+    ("tage:t=4,h=32,tag=8,e=10", 0x5248_d55f_75d5_20bf),
+    ("perceptron:n=7,h=16,theta=44", 0xeae3_5c6a_2e37_1b0c),
+    (
+        "cascade:bimodal:s=10;tage:t=2,h=8,tag=6,e=8",
+        0xfdfc_f38f_be97_25eb,
+    ),
 ];
 
 /// Audits result-store key stability: every registry spec's

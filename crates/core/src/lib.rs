@@ -61,11 +61,14 @@ pub use predictors::bimodal::Bimodal;
 pub use predictors::bimode::{
     BankInit, BiMode, BiModeConfig, BiModeProbe, ChoiceUpdate, IndexShare,
 };
+pub use predictors::cascade::{Cascade, CASCADE_GATE_BITS};
 pub use predictors::delayed::DelayedUpdate;
 pub use predictors::gselect::Gselect;
 pub use predictors::gshare::Gshare;
 pub use predictors::gskew::Gskew;
+pub use predictors::perceptron::{Perceptron, WEIGHT_BITS};
 pub use predictors::statics::{AlwaysNotTaken, AlwaysTaken, Btfnt};
+pub use predictors::tage::Tage;
 pub use predictors::tournament::Tournament;
 pub use predictors::trimode::{TriMode, TriModeConfig, TriModeProbe};
 pub use predictors::two_level::{HistorySource, TwoLevel, TwoLevelKind};

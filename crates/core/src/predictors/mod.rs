@@ -6,11 +6,14 @@
 pub mod agree;
 pub mod bimodal;
 pub mod bimode;
+pub mod cascade;
 pub mod delayed;
 pub mod gselect;
 pub mod gshare;
 pub mod gskew;
+pub mod perceptron;
 pub mod statics;
+pub mod tage;
 pub mod tournament;
 pub mod trimode;
 pub mod two_level;

@@ -9,10 +9,13 @@ use crate::predictor::Predictor;
 use crate::predictors::agree::Agree;
 use crate::predictors::bimodal::Bimodal;
 use crate::predictors::bimode::{BankInit, BiMode, BiModeConfig, ChoiceUpdate, IndexShare};
+use crate::predictors::cascade::Cascade;
 use crate::predictors::gselect::Gselect;
 use crate::predictors::gshare::Gshare;
 use crate::predictors::gskew::{Gskew, GskewUpdate};
+use crate::predictors::perceptron::Perceptron;
 use crate::predictors::statics::{AlwaysNotTaken, AlwaysTaken, Btfnt};
+use crate::predictors::tage::Tage;
 use crate::predictors::tournament::Tournament;
 use crate::predictors::trimode::{TriMode, TriModeConfig};
 use crate::predictors::two_level::{HistorySource, TwoLevel};
@@ -118,6 +121,29 @@ pub enum PredictorSpec {
         /// Long history length (the short one is half).
         history_bits: u32,
     },
+    /// TAGE: bimodal base plus tagged geometric-history tables.
+    Tage {
+        /// Number of tagged component tables.
+        tables: u32,
+        /// History length of the longest component.
+        max_history: u32,
+        /// Partial tag width per entry.
+        tag_bits: u32,
+        /// log2 entries per table (base included).
+        entry_bits: u32,
+    },
+    /// Perceptron: `2^rows_bits` rows of signed per-history-bit weights.
+    Perceptron {
+        /// log2 row count.
+        rows_bits: u32,
+        /// History length (= weights per row).
+        history_bits: u32,
+        /// Training threshold.
+        theta: u32,
+    },
+    /// Confidence-gated cascade over `;`-separated component specs
+    /// (themselves drawn from this grammar; cascades do not nest).
+    Cascade(Vec<PredictorSpec>),
 }
 
 impl PredictorSpec {
@@ -191,6 +217,20 @@ impl PredictorSpec {
                 bank_bits,
                 history_bits,
             } => Box::new(TwoBcGskew::new(bank_bits, history_bits)),
+            PredictorSpec::Tage {
+                tables,
+                max_history,
+                tag_bits,
+                entry_bits,
+            } => Box::new(Tage::new(tables, max_history, tag_bits, entry_bits)),
+            PredictorSpec::Perceptron {
+                rows_bits,
+                history_bits,
+                theta,
+            } => Box::new(Perceptron::new(rows_bits, history_bits, theta)),
+            PredictorSpec::Cascade(ref stages) => Box::new(Cascade::new(
+                stages.iter().map(PredictorSpec::build).collect(),
+            )),
         }
     }
 
@@ -345,6 +385,11 @@ pub const GRAMMAR: &[(&str, &[&str])] = &[
     ("tournament", &["s"]),
     ("2bcgskew", &["s", "h"]),
     ("trimode", &["d", "c", "h"]),
+    ("tage", &["t", "h", "tag", "e"]),
+    ("perceptron", &["n", "h", "theta"]),
+    // `cascade` takes `;`-separated stage specs, not key=value pairs;
+    // the parser special-cases it before parameter splitting.
+    ("cascade", &[]),
 ];
 
 /// The valid keys for a grammar name, if the name is recognised.
@@ -373,6 +418,35 @@ impl FromStr for PredictorSpec {
                     .join(", ")
             ))
         })?;
+        // The cascade body is a `;`-separated list of stage specs from
+        // this same grammar (each containing its own `:` and `,`), so
+        // it never goes through the key=value splitter.
+        if name == "cascade" {
+            if rest.is_empty() {
+                return Err(ParseSpecError::new(
+                    "`cascade` wants at least two `;`-separated stage specs",
+                ));
+            }
+            let stages = rest
+                .split(';')
+                .map(|stage| stage.trim().parse::<PredictorSpec>())
+                .collect::<Result<Vec<_>, _>>()?;
+            if stages.len() < 2 {
+                return Err(ParseSpecError::new(format!(
+                    "`cascade` wants at least two stages, got {}",
+                    stages.len()
+                )));
+            }
+            if stages
+                .iter()
+                .any(|s| matches!(s, PredictorSpec::Cascade(_)))
+            {
+                return Err(ParseSpecError::new(
+                    "cascade stages cannot be nested cascades",
+                ));
+            }
+            return Ok(PredictorSpec::Cascade(stages));
+        }
         let p = Params::parse(name, keys, rest)?;
         match name {
             "always-taken" => Ok(PredictorSpec::AlwaysTaken),
@@ -500,6 +574,20 @@ impl FromStr for PredictorSpec {
                     history_bits: p.num_or("h", d)?,
                 })
             }
+            "tage" => Ok(PredictorSpec::Tage {
+                tables: p.num("t")?,
+                max_history: p.num("h")?,
+                tag_bits: p.num_or("tag", 8)?,
+                entry_bits: p.num("e")?,
+            }),
+            "perceptron" => {
+                let h = p.num("h")?;
+                Ok(PredictorSpec::Perceptron {
+                    rows_bits: p.num("n")?,
+                    history_bits: h,
+                    theta: p.num_or("theta", Perceptron::default_theta(h))?,
+                })
+            }
             other => Err(ParseSpecError::new(format!("unknown predictor `{other}`"))),
         }
     }
@@ -612,6 +700,37 @@ impl fmt::Display for PredictorSpec {
             } => {
                 write!(f, "2bcgskew:s={bank_bits},h={history_bits}")
             }
+            PredictorSpec::Tage {
+                tables,
+                max_history,
+                tag_bits,
+                entry_bits,
+            } => {
+                write!(
+                    f,
+                    "tage:t={tables},h={max_history},tag={tag_bits},e={entry_bits}"
+                )
+            }
+            PredictorSpec::Perceptron {
+                rows_bits,
+                history_bits,
+                theta,
+            } => {
+                // theta is always rendered so the canonical string (and
+                // with it the fingerprint) does not depend on whether
+                // the default was spelled out.
+                write!(f, "perceptron:n={rows_bits},h={history_bits},theta={theta}")
+            }
+            PredictorSpec::Cascade(stages) => {
+                f.write_str("cascade:")?;
+                for (i, stage) in stages.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(";")?;
+                    }
+                    write!(f, "{stage}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -652,6 +771,9 @@ mod tests {
             "tournament:s=8",
             "trimode:d=8,c=8,h=8",
             "2bcgskew:s=8,h=8",
+            "tage:t=4,h=32,tag=8,e=8",
+            "perceptron:n=6,h=12,theta=37",
+            "cascade:bimodal:s=6;tage:t=2,h=8,tag=6,e=5;perceptron:n=4,h=8,theta=29",
         ] {
             let spec = roundtrip(s);
             let p = spec.build();
@@ -724,6 +846,12 @@ mod tests {
             ("tournament:s=8,m=8", "m", "valid keys: s"),
             ("2bcgskew:s=8,h=8,g=2", "g", "valid keys: s, h"),
             ("trimode:d=8,w=2", "w", "valid keys: d, c, h"),
+            (
+                "tage:t=4,h=16,tag=8,e=8,u=2",
+                "u",
+                "valid keys: t, h, tag, e",
+            ),
+            ("perceptron:n=6,h=12,w=8", "w", "valid keys: n, h, theta"),
         ];
         for (input, bad_key, valid) in cases {
             let err = PredictorSpec::from_str(input).unwrap_err().to_string();
@@ -759,6 +887,74 @@ mod tests {
     }
 
     #[test]
+    fn tage_defaults_tag_to_eight_and_perceptron_theta_to_the_paper_fit() {
+        let spec: PredictorSpec = "tage:t=4,h=16,e=9".parse().unwrap();
+        assert_eq!(
+            spec,
+            PredictorSpec::Tage {
+                tables: 4,
+                max_history: 16,
+                tag_bits: 8,
+                entry_bits: 9
+            }
+        );
+        let spec: PredictorSpec = "perceptron:n=7,h=16".parse().unwrap();
+        assert_eq!(
+            spec,
+            PredictorSpec::Perceptron {
+                rows_bits: 7,
+                history_bits: 16,
+                theta: 44
+            }
+        );
+        // The default and its spelled-out form are the same spec, so
+        // they share one canonical string and one fingerprint.
+        let explicit: PredictorSpec = "perceptron:n=7,h=16,theta=44".parse().unwrap();
+        assert_eq!(spec.to_string(), explicit.to_string());
+        assert_eq!(spec.fingerprint(), explicit.fingerprint());
+    }
+
+    #[test]
+    fn cascade_parses_stage_lists_and_rejects_degenerate_forms() {
+        let spec: PredictorSpec = "cascade: bimodal:s=8 ; gshare:s=9,h=9 ".parse().unwrap();
+        assert_eq!(
+            spec,
+            PredictorSpec::Cascade(vec![
+                PredictorSpec::Bimodal { table_bits: 8 },
+                PredictorSpec::Gshare {
+                    table_bits: 9,
+                    history_bits: 9
+                },
+            ])
+        );
+        let err = "cascade".parse::<PredictorSpec>().unwrap_err().to_string();
+        assert!(err.contains("at least two"), "{err}");
+        let err = "cascade:bimodal:s=8"
+            .parse::<PredictorSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("at least two stages"), "{err}");
+        let err = "cascade:bimodal:s=8;nonsense:x=1"
+            .parse::<PredictorSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown predictor"), "{err}");
+    }
+
+    #[test]
+    fn cascades_do_not_nest() {
+        // The `;` split is flat, so an inner `cascade:` can never
+        // gather two stages of its own: any nesting spelling fails to
+        // parse one way or the other, keeping Display unambiguous.
+        for s in [
+            "cascade:bimodal:s=8;cascade:bimodal:s=4;gshare:s=4,h=4",
+            "cascade:cascade:bimodal:s=4;gshare:s=4,h=4",
+        ] {
+            assert!(s.parse::<PredictorSpec>().is_err(), "{s} must not parse");
+        }
+    }
+
+    #[test]
     fn fingerprint_is_canonical_not_textual() {
         // Spelling variants of the same spec agree; the canonical
         // string is what gets hashed, not the user's input.
@@ -790,6 +986,18 @@ mod tests {
             "trimode:d=10",
             "gskew:s=10,h=10",
             "gskew:s=10,h=10,update=total",
+            "tage:t=4,h=32,tag=8,e=10",
+            "tage:t=4,h=32,tag=8,e=11",
+            "tage:t=5,h=32,tag=8,e=10",
+            "tage:t=4,h=33,tag=8,e=10",
+            "tage:t=4,h=32,tag=9,e=10",
+            "perceptron:n=7,h=16,theta=44",
+            "perceptron:n=8,h=16,theta=44",
+            "perceptron:n=7,h=17,theta=44",
+            "perceptron:n=7,h=16,theta=45",
+            "cascade:bimodal:s=10;gshare:s=10,h=10",
+            "cascade:bimodal:s=10;gshare:s=10,h=9",
+            "cascade:gshare:s=10,h=10;bimodal:s=10",
         ];
         let mut seen = std::collections::HashMap::new();
         for s in specs {

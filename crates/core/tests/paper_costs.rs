@@ -43,6 +43,15 @@ fn paper_configuration_costs_match_hand_computed_kib() {
         ("trimode:d=12,c=12,h=12", 5.5),
         // 2bc-gskew: four 2^12-counter banks = 32768 bits.
         ("2bcgskew:s=12,h=12", 4.0),
+        // TAGE: a 2-bit base table plus four tagged tables of 3-bit
+        // counters, all 2^10 entries = (2 + 3x4) x 2^10 = 14336 bits
+        // (tags and useful bits are metadata, like histories).
+        ("tage:t=4,h=32,tag=8,e=10", 1.75),
+        // Perceptron: 2^7 rows x 16 weights x 8 bits = 16384 bits.
+        ("perceptron:n=7,h=16,theta=44", 2.0),
+        // Cascade: bimodal 2x2^10 + tage (2+3x2)x2^8 + one 2-bit gate
+        // table of 2^6 entries = 2048 + 2048 + 128 = 4224 bits.
+        ("cascade:bimodal:s=10;tage:t=2,h=8,tag=6,e=8", 0.515625),
         // Statics carry no prediction state at all.
         ("always-taken", 0.0),
         ("btfnt", 0.0),

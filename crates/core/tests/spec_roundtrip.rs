@@ -52,6 +52,49 @@ fn spec() -> impl Strategy<Value = PredictorSpec> {
             PredictorSpec::BiMode(config)
         },
     );
+    let tage = (1u32..9, 1u32..64, 1u32..13, bits()).prop_map(
+        |(tables, max_history, tag_bits, entry_bits)| PredictorSpec::Tage {
+            tables,
+            max_history,
+            tag_bits,
+            entry_bits,
+        },
+    );
+    let perceptron = (bits(), 1u32..25, 1u32..200).prop_map(|(rows_bits, history_bits, theta)| {
+        PredictorSpec::Perceptron {
+            rows_bits,
+            history_bits,
+            theta,
+        }
+    });
+    // Cascade stages draw from the non-cascade grammar (nesting is
+    // rejected at parse time), so the stage pool here is a sample of
+    // leaf families rather than a recursive strategy.
+    let cascade = {
+        let stage = prop_oneof![
+            bits().prop_map(|table_bits| PredictorSpec::Bimodal { table_bits }),
+            (bits(), bits()).prop_map(|(table_bits, history_bits)| PredictorSpec::Gshare {
+                table_bits,
+                history_bits
+            }),
+            (1u32..5, 1u32..33, 1u32..13, bits()).prop_map(
+                |(tables, max_history, tag_bits, entry_bits)| PredictorSpec::Tage {
+                    tables,
+                    max_history,
+                    tag_bits,
+                    entry_bits,
+                }
+            ),
+            (bits(), 1u32..17, 1u32..100).prop_map(|(rows_bits, history_bits, theta)| {
+                PredictorSpec::Perceptron {
+                    rows_bits,
+                    history_bits,
+                    theta,
+                }
+            }),
+        ];
+        prop::collection::vec(stage, 2..5).prop_map(PredictorSpec::Cascade)
+    };
     prop_oneof![
         Just(PredictorSpec::AlwaysTaken),
         Just(PredictorSpec::AlwaysNotTaken),
@@ -101,6 +144,9 @@ fn spec() -> impl Strategy<Value = PredictorSpec> {
             bank_bits,
             history_bits
         }),
+        tage,
+        perceptron,
+        cascade,
     ]
 }
 

@@ -34,10 +34,16 @@ use crate::format::{Report, Table};
 use crate::store::{self, JobSpec};
 use crate::traces::TraceSet;
 
-/// The 2 KB configurations of the paper's headline comparison: gshare
+/// The 2 KB configurations of the paper's headline comparison — gshare
 /// at `2^13` two-bit counters, and bi-mode at two `2^11` direction
-/// banks plus a `2^12` choice table (16384 bits each).
-const ALIAS_SPECS: &[&str] = &["gshare:s=13,h=13", "bimode:d=11,c=12,h=11"];
+/// banks plus a `2^12` choice table (16384 bits each) — plus the
+/// equal-cost tage point from the predictor zoo, whose tagged banks
+/// demote index collisions to tag-filtered entry contention.
+const ALIAS_SPECS: &[&str] = &[
+    "gshare:s=13,h=13",
+    "bimode:d=11,c=12,h=11",
+    "tage:t=4,h=32,tag=8,e=10",
+];
 
 /// Agreement threshold over ST/SNT candidates, from the acceptance
 /// criteria (and matching the paper's own 90% bias cut).
@@ -278,7 +284,14 @@ fn alias_sections(report: &mut Report, kernels: &[Kernel]) {
                     p.bank.to_owned(),
                     format!("{:#x}", p.pc_a),
                     format!("{:#x}", p.pc_b),
-                    if p.definite { "definite" } else { "potential" }.to_owned(),
+                    if p.tag_filtered {
+                        "tag-filtered"
+                    } else if p.definite {
+                        "definite"
+                    } else {
+                        "potential"
+                    }
+                    .to_owned(),
                 ]);
             }
         }

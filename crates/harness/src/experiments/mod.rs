@@ -7,6 +7,7 @@ pub mod cfa;
 pub mod figures;
 pub mod summary;
 pub mod tables;
+pub mod zoo;
 
 pub use ablations::{
     ablation_choice_size, ablation_choice_update, ablation_delay, ablation_flush, ablation_index,
@@ -16,6 +17,7 @@ pub use cfa::cfa_report;
 pub use figures::{fig2, fig34, fig5, fig6, fig78};
 pub use summary::summary;
 pub use tables::{table1, table2, table3, table4};
+pub use zoo::zoo_cost;
 
 /// Formats a rate in `[0,1]` as the paper's percent numbers.
 #[must_use]

@@ -318,6 +318,15 @@ pub const REGISTRY: &[ExperimentDef] = &[
         runner: experiments::future_trimode,
     },
     ExperimentDef {
+        name: "zoo.cost",
+        artefact: "beyond-paper comparison",
+        doc: "predictor zoo: tage/perceptron/cascade vs bi-mode at equal cost",
+        suites: BOTH,
+        scales: ALL_SCALES,
+        grid: "5 families x 8 ladder points (40 configs)",
+        runner: experiments::zoo_cost,
+    },
+    ExperimentDef {
         name: "warmup",
         artefact: "footnote 2 transient",
         doc: "windowed misprediction over time (convergence curves)",

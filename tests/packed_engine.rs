@@ -29,6 +29,9 @@ const ALL_SPECS: &[&str] = &[
     "tournament:s=6",
     "trimode:d=6,c=7,h=5",
     "2bcgskew:s=7,h=6",
+    "tage:t=3,h=8,tag=5,e=5",
+    "perceptron:n=5,h=8,theta=23",
+    "cascade:bimodal:s=5;tage:t=2,h=4,tag=4,e=4",
 ];
 
 /// Arbitrary mixed traces: conditional branches over a small PC set

@@ -34,6 +34,9 @@ fn predictor_specs() -> impl Strategy<Value = PredictorSpec> {
         "tournament:s=6",
         "trimode:d=6,c=7,h=5",
         "2bcgskew:s=7,h=6",
+        "tage:t=3,h=8,tag=5,e=5",
+        "perceptron:n=5,h=8,theta=23",
+        "cascade:bimodal:s=5;gshare:s=6,h=6",
         "btfnt",
     ])
     .prop_map(|s| s.parse().expect("fixed specs parse"))
@@ -223,6 +226,7 @@ proptest! {
         name in prop::sample::select(vec![
             "gshare", "bimode", "trimode", "yags", "agree", "gskew", "2bcgskew",
             "bimodal", "gselect", "gag", "gas", "pag", "pas", "tournament",
+            "tage", "perceptron", "cascade",
         ]),
         params in prop::collection::vec(("[a-z]{1,2}", 0u32..40), 0..4),
     ) {
