@@ -38,6 +38,7 @@ pub mod bias;
 pub mod metrics;
 pub mod session;
 pub mod simulate;
+pub mod sites;
 pub mod sliced;
 pub mod twopass;
 pub mod warmup;
@@ -61,6 +62,7 @@ pub use bias::{BiasClass, StreamStats};
 pub use metrics::{DriveSnapshot, Engine, EngineDrive, EngineSnapshot};
 pub use session::{BatchSession, PackedSession, SlicedSession};
 pub use simulate::{measure, measure_with_flushes, RunResult};
+pub use sites::{SiteMisses, SiteTally};
 pub use sliced::{measure_sliced, measure_sliced_chunks, LaneSpec, MAX_LANES};
 pub use twopass::{Analysis, ClassChanges, CounterBias, MispredictionBreakdown};
 pub use warmup::{warmup_windows, windowed_rates};

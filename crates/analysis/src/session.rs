@@ -49,6 +49,7 @@ use bpred_trace::PackedRecord;
 
 use crate::metrics::{self, Engine};
 use crate::simulate::RunResult;
+use crate::sites::SiteTally;
 use crate::sliced::{LaneSpec, MAX_LANES};
 
 /// Incremental form of the packed single-predictor engine.
@@ -82,6 +83,7 @@ pub struct PackedSession<B, P: ?Sized> {
     predictor: B,
     branches: u64,
     mispredictions: u64,
+    tally: Option<SiteTally>,
     busy: Duration,
     _predictor: PhantomData<fn() -> *const P>,
 }
@@ -98,9 +100,24 @@ where
             predictor,
             branches: 0,
             mispredictions: 0,
+            tally: None,
             busy: Duration::ZERO,
             _predictor: PhantomData,
         }
+    }
+
+    /// Turns on per-site misprediction attribution for every record
+    /// fed from here on. Off by default — the aggregate hot path pays
+    /// nothing for the feature when unused.
+    pub fn track_sites(&mut self) {
+        self.tally.get_or_insert_with(SiteTally::new);
+    }
+
+    /// The per-site tally accumulated so far, when [`Self::track_sites`]
+    /// was called.
+    #[must_use]
+    pub fn site_tally(&self) -> Option<&SiteTally> {
+        self.tally.as_ref()
     }
 
     /// Feeds one chunk of replayed records, in program order.
@@ -113,7 +130,11 @@ where
         for r in chunk {
             self.branches += 1;
             let predicted = predictor.predict_with_target(r.pc, r.target());
-            self.mispredictions += u64::from(predicted != r.taken);
+            let miss = predicted != r.taken;
+            self.mispredictions += u64::from(miss);
+            if let Some(tally) = self.tally.as_mut() {
+                tally.record(r.pc, miss);
+            }
             predictor.update(r.pc, r.taken);
         }
         self.busy += started.elapsed();
@@ -158,6 +179,7 @@ where
 pub struct BatchSession<B, P> {
     batch: B,
     missed: Vec<u64>,
+    tallies: Option<Vec<SiteTally>>,
     branches: u64,
     busy: Duration,
     _predictor: PhantomData<fn() -> *const P>,
@@ -175,10 +197,26 @@ where
         Self {
             batch,
             missed: vec![0; configs],
+            tallies: None,
             branches: 0,
             busy: Duration::ZERO,
             _predictor: PhantomData,
         }
+    }
+
+    /// Turns on per-site misprediction attribution (one tally per
+    /// configuration) for every record fed from here on.
+    pub fn track_sites(&mut self) {
+        let configs = self.missed.len();
+        self.tallies
+            .get_or_insert_with(|| vec![SiteTally::new(); configs]);
+    }
+
+    /// The per-configuration tallies accumulated so far, in input
+    /// order, when [`Self::track_sites`] was called.
+    #[must_use]
+    pub fn site_tallies(&self) -> Option<&[SiteTally]> {
+        self.tallies.as_deref()
     }
 
     /// Feeds one chunk of replayed records to every predictor, in
@@ -191,9 +229,14 @@ where
         let predictors = self.batch.as_mut();
         for r in chunk {
             let (pc, target, taken) = (r.pc, r.target(), r.taken);
-            for (predictor, missed) in predictors.iter_mut().zip(&mut self.missed) {
+            for (i, (predictor, missed)) in predictors.iter_mut().zip(&mut self.missed).enumerate()
+            {
                 let predicted = predictor.predict_with_target(pc, target);
-                *missed += u64::from(predicted != taken);
+                let miss = predicted != taken;
+                *missed += u64::from(miss);
+                if let Some(tallies) = self.tallies.as_mut() {
+                    tallies[i].record(pc, miss);
+                }
                 predictor.update(pc, taken);
             }
             self.branches += 1;
@@ -236,6 +279,7 @@ pub struct SlicedSession {
     pc_masks: Vec<u64>,
     hist_masks: Vec<u64>,
     missed: Vec<u64>,
+    tallies: Option<Vec<SiteTally>>,
     shared: u64,
     branches: u64,
     busy: Duration,
@@ -280,10 +324,26 @@ impl SlicedSession {
                 .map(|l| low_bits(u64::MAX, l.history_bits))
                 .collect(),
             missed: vec![0; lanes.len()],
+            tallies: None,
             shared: 0,
             branches: 0,
             busy: Duration::ZERO,
         }
+    }
+
+    /// Turns on per-site misprediction attribution (one tally per
+    /// lane) for every record fed from here on.
+    pub fn track_sites(&mut self) {
+        let lanes = self.lanes;
+        self.tallies
+            .get_or_insert_with(|| vec![SiteTally::new(); lanes]);
+    }
+
+    /// The per-lane tallies accumulated so far, in input order, when
+    /// [`Self::track_sites`] was called.
+    #[must_use]
+    pub fn site_tallies(&self) -> Option<&[SiteTally]> {
+        self.tallies.as_deref()
     }
 
     /// Feeds one chunk of replayed records to every lane, in program
@@ -297,16 +357,21 @@ impl SlicedSession {
         for r in chunk {
             let pcw = pc_word(r.pc);
             let taken = r.taken;
-            for (((table, &pc_mask), &hist_mask), missed) in self
+            for (i, (((table, &pc_mask), &hist_mask), missed)) in self
                 .tables
                 .iter_mut()
                 .zip(&self.pc_masks)
                 .zip(&self.hist_masks)
                 .zip(&mut self.missed)
+                .enumerate()
             {
                 let index = to_index((pcw & pc_mask) ^ (self.shared & hist_mask));
                 let predicted = table.retire(index, taken);
-                *missed += u64::from(predicted != taken);
+                let miss = predicted != taken;
+                *missed += u64::from(miss);
+                if let Some(tallies) = self.tallies.as_mut() {
+                    tallies[i].record(r.pc, miss);
+                }
             }
             self.shared = (self.shared << 1) | u64::from(taken);
             self.branches += 1;

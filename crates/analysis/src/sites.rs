@@ -1,0 +1,120 @@
+//! Per-site misprediction attribution.
+//!
+//! The aggregate tallies of [`crate::RunResult`] say *how many*
+//! mispredictions a predictor took; a [`SiteTally`] says *where*. Each
+//! engine session optionally carries one per configuration and records
+//! every retired branch under its static PC, so the dynamic H2P view —
+//! which sites concentrate the misses — costs one map update per
+//! record and changes nothing about what is measured.
+//!
+//! Rows come back sorted by PC, exactly the order of
+//! [`bpred_trace::stats::site_table`], so a tally lines up
+//! index-by-index with the trace's per-site outcome table whenever the
+//! whole trace was fed (both are keyed by the same conditional-branch
+//! PCs).
+
+use std::collections::BTreeMap;
+
+/// Misprediction summary of one static conditional branch site under
+/// one predictor — the predictor-facing twin of
+/// [`bpred_trace::stats::SiteSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteMisses {
+    /// The site's static byte PC.
+    pub pc: u64,
+    /// Dynamic executions of the site.
+    pub executions: u64,
+    /// Executions the predictor got wrong.
+    pub mispredictions: u64,
+}
+
+/// Per-site running tally of executions and mispredictions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteTally {
+    map: BTreeMap<u64, (u64, u64)>,
+}
+
+impl SiteTally {
+    /// An empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one retired branch at `pc`.
+    pub fn record(&mut self, pc: u64, missed: bool) {
+        let slot = self.map.entry(pc).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += u64::from(missed);
+    }
+
+    /// The rows accumulated so far, sorted by PC.
+    #[must_use]
+    pub fn rows(&self) -> Vec<SiteMisses> {
+        self.map
+            .iter()
+            .map(|(&pc, &(executions, mispredictions))| SiteMisses {
+                pc,
+                executions,
+                mispredictions,
+            })
+            .collect()
+    }
+
+    /// Total `(executions, mispredictions)` across every site — must
+    /// equal the aggregate session result when the tally saw every
+    /// record.
+    #[must_use]
+    pub fn totals(&self) -> (u64, u64) {
+        self.map
+            .values()
+            .fold((0, 0), |(e, m), &(ex, mi)| (e + ex, m + mi))
+    }
+
+    /// Number of distinct sites seen.
+    #[must_use]
+    pub fn sites(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_accumulates_and_sorts_by_pc() {
+        let mut t = SiteTally::new();
+        t.record(0x200, true);
+        t.record(0x100, false);
+        t.record(0x200, false);
+        t.record(0x100, true);
+        t.record(0x100, true);
+        let rows = t.rows();
+        assert_eq!(
+            rows,
+            vec![
+                SiteMisses {
+                    pc: 0x100,
+                    executions: 3,
+                    mispredictions: 2
+                },
+                SiteMisses {
+                    pc: 0x200,
+                    executions: 2,
+                    mispredictions: 1
+                },
+            ]
+        );
+        assert_eq!(t.totals(), (5, 3));
+        assert_eq!(t.sites(), 2);
+    }
+
+    #[test]
+    fn empty_tally_is_empty() {
+        let t = SiteTally::new();
+        assert!(t.rows().is_empty());
+        assert_eq!(t.totals(), (0, 0));
+        assert_eq!(t.sites(), 0);
+    }
+}

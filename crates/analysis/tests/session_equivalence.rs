@@ -173,6 +173,83 @@ fn mid_stream_checkpoints_equal_prefix_one_shots() {
     }
 }
 
+#[test]
+fn site_tallies_sum_to_the_aggregate_for_every_grammar_spec() {
+    let (t, packed) = test_trace(59, 2477);
+    let sites = bpred_trace::stats::site_table(&t);
+    // Packed: for every grammar spec the tally must cover exactly the
+    // trace's site table, sum exactly to the aggregate result, and be
+    // invisible to chunk boundaries.
+    let mut references = Vec::new();
+    for spec in SPECS {
+        let spec: PredictorSpec = spec.parse().expect("parses");
+        let mut whole = PackedSession::<_, dyn Predictor>::new(spec.build());
+        whole.track_sites();
+        whole.feed((0..packed.len()).map(|i| packed.record(i)));
+        let reference = whole.site_tally().expect("tracking is on").clone();
+        let aggregate = whole.finish();
+        assert_eq!(
+            reference.totals(),
+            (aggregate.branches, aggregate.mispredictions),
+            "spec {spec}: per-site counts must sum to the aggregate"
+        );
+        let rows = reference.rows();
+        assert_eq!(
+            rows.iter()
+                .map(|r| (r.pc, r.executions))
+                .collect::<Vec<_>>(),
+            sites
+                .iter()
+                .map(|s| (s.pc, s.executions))
+                .collect::<Vec<_>>(),
+            "spec {spec}: tally rows line up with trace::stats::site_table"
+        );
+        for &chunk in CHUNKS {
+            let mut session = PackedSession::<_, dyn Predictor>::new(spec.build());
+            session.track_sites();
+            feed_in_chunks(packed.len(), chunk, |s, e| {
+                session.feed((s..e).map(|i| packed.record(i)));
+            });
+            assert_eq!(
+                session.site_tally(),
+                Some(&reference),
+                "spec {spec} chunk {chunk}: tallies see no chunk boundaries"
+            );
+        }
+        references.push(reference);
+    }
+    // Batch: all 22 configurations at once, fed in chunks; each
+    // configuration's tally must equal its packed twin and sum to its
+    // own aggregate.
+    let specs: Vec<PredictorSpec> = SPECS.iter().map(|s| s.parse().expect("parses")).collect();
+    let batch: Vec<Box<dyn Predictor>> = specs.iter().map(|s| s.build()).collect();
+    let mut session = BatchSession::new(batch);
+    session.track_sites();
+    feed_in_chunks(packed.len(), 65, |s, e| {
+        session.feed((s..e).map(|i| packed.record(i)));
+    });
+    let tallies = session.site_tallies().expect("tracking is on").to_vec();
+    let results = session.finish();
+    assert_eq!(tallies.len(), SPECS.len());
+    for ((tally, result), reference) in tallies.iter().zip(&results).zip(&references) {
+        assert_eq!(tally.totals(), (result.branches, result.mispredictions));
+        assert_eq!(tally, reference, "batch tallies match the packed engine");
+    }
+    // Sliced: per-lane tallies over the sliceable subset.
+    let lanes: Vec<LaneSpec> = specs.iter().filter_map(LaneSpec::of).collect();
+    let mut session = SlicedSession::new(&lanes);
+    session.track_sites();
+    feed_in_chunks(packed.len(), 63, |s, e| {
+        session.feed((s..e).map(|i| packed.record(i)));
+    });
+    let tallies = session.site_tallies().expect("tracking is on").to_vec();
+    let results = session.finish();
+    assert_eq!(tallies.len(), lanes.len());
+    for (tally, result) in tallies.iter().zip(&results) {
+        assert_eq!(tally.totals(), (result.branches, result.mispredictions));
+    }
+}
+
 proptest! {
     /// Arbitrary chunkings of arbitrary traces are invisible: a random
     /// split list drives every engine to the same result as one shot.

@@ -1,13 +1,29 @@
-//! Bounded abstract interpretation over the constant lattice.
+//! Abstract interpretation over an interval + known-bits value domain.
 //!
-//! A forward dataflow pass propagates per-register constant values
-//! (`⊥` → `Const(c)` → `⊤`) to a fixpoint over the reachable CFG, then
-//! a pattern-based pass resolves loop trip counts where constants flow
-//! directly into loop bounds: a single-back-edge loop whose back-edge
-//! branch compares an induction register (one `addi r, r, step` update
-//! per iteration) against a loop-invariant constant bound. Anything
-//! richer deliberately stays unresolved — the point is to discharge the
-//! counted loops of the kernel programs, not to be a general analyzer.
+//! A forward dataflow pass propagates one [`AbsVal`] per register — a
+//! signed interval `[lo, hi]` and a pair of known-bit masks — to a
+//! fixpoint over the reachable CFG. Loop-carried growth is tamed by a
+//! delayed widening (a few plain-join sweeps, then unstable interval
+//! ends jump straight to ±∞), and a bounded narrowing phase descends
+//! from the post-fixpoint to recover precision the widening threw away.
+//! Both phases are sound: the ascending loop provably converges (each
+//! post-widening change climbs a finite lattice chain), and every
+//! narrowing iterate of a post-fixpoint still over-approximates the
+//! least fixpoint.
+//!
+//! On top of the fixpoint, a pattern-based pass resolves loop trip
+//! counts where constants flow directly into loop bounds: a
+//! single-back-edge loop whose back-edge branch compares an induction
+//! register (one `addi r, r, step` update per iteration) against a
+//! loop-invariant constant bound. Anything richer deliberately stays
+//! unresolved — the point is to discharge the counted loops of the
+//! kernel programs, not to be a general analyzer.
+//!
+//! The whole pass is audited dynamically: the `cfa/absint` check in
+//! `repro verify` replays every kernel in the ISA machine and asserts
+//! each observed branch-operand value lies inside the abstract value
+//! set at that site — an unsound transfer function or widening is a
+//! hard verify failure.
 
 use std::collections::BTreeMap;
 
@@ -17,24 +33,241 @@ use bpred_sim::{Instruction, Program};
 use crate::cfg::Cfg;
 use crate::loops::NaturalLoop;
 
-/// One abstract register value in the constant lattice.
+const SIGN: u64 = 1 << 63;
+
+/// Mask of the `t` lowest bits.
+fn low_mask(t: u32) -> u64 {
+    if t >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << t) - 1
+    }
+}
+
+/// Interval + known-bits approximation of a register's reachable
+/// values: every concrete value `v` satisfies `lo <= v <= hi`, has no
+/// bit of `zeros` set, and every bit of `ones` set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Smallest reachable signed value.
+    pub lo: i64,
+    /// Largest reachable signed value.
+    pub hi: i64,
+    /// Bits that are 0 in every reachable value.
+    pub zeros: u64,
+    /// Bits that are 1 in every reachable value.
+    pub ones: u64,
+}
+
+impl AbsVal {
+    /// The unconstrained value.
+    pub const TOP: AbsVal = AbsVal {
+        lo: i64::MIN,
+        hi: i64::MAX,
+        zeros: 0,
+        ones: 0,
+    };
+
+    /// The singleton abstraction of `c`.
+    #[must_use]
+    pub const fn constant(c: i64) -> AbsVal {
+        AbsVal {
+            lo: c,
+            hi: c,
+            zeros: !(c as u64),
+            ones: c as u64,
+        }
+    }
+
+    /// The exact value, if the abstraction pins one.
+    #[must_use]
+    pub fn as_const(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether the concrete value `v` is inside the abstraction.
+    #[must_use]
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi && (v as u64) & self.zeros == 0 && !(v as u64) & self.ones == 0
+    }
+
+    /// Number of contiguous known bits starting at bit 0.
+    fn known_low(self) -> u32 {
+        (self.zeros | self.ones).trailing_ones()
+    }
+
+    /// The smallest and largest signed values a bit pattern respecting
+    /// `(zeros, ones)` can take. With the sign bit known, signed order
+    /// equals unsigned order over the remaining bits; with it unknown,
+    /// the extremes set it to 1 (minimum) and 0 (maximum).
+    fn bit_bounds(zeros: u64, ones: u64) -> (i64, i64) {
+        if (zeros | ones) & SIGN != 0 {
+            (ones as i64, !zeros as i64)
+        } else {
+            ((ones | SIGN) as i64, (!zeros & !SIGN) as i64)
+        }
+    }
+
+    /// Re-establishes agreement between the two component domains: a
+    /// singleton interval pins every bit, fully known bits pin the
+    /// interval, a non-negative interval pins the high bits to zero,
+    /// and known bits tighten the interval ends. Each tightening keeps
+    /// the intersection of two individually sound over-approximations,
+    /// so the result is sound; if the intersection comes out empty
+    /// (contradictory components on a dead path), the un-tightened
+    /// value is kept instead.
+    #[must_use]
+    fn normalize(mut self) -> AbsVal {
+        if self.lo == self.hi {
+            return AbsVal::constant(self.lo);
+        }
+        if self.zeros | self.ones == u64::MAX {
+            return AbsVal::constant(self.ones as i64);
+        }
+        if self.lo >= 0 {
+            // All values fit in the low `k` bits, unsigned.
+            let k = 64 - self.hi.leading_zeros();
+            self.zeros |= !low_mask(k);
+        }
+        let (bit_lo, bit_hi) = AbsVal::bit_bounds(self.zeros, self.ones);
+        let lo = self.lo.max(bit_lo);
+        let hi = self.hi.min(bit_hi);
+        if lo <= hi {
+            self.lo = lo;
+            self.hi = hi;
+        }
+        self
+    }
+
+    fn join(self, other: AbsVal) -> AbsVal {
+        AbsVal {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            zeros: self.zeros & other.zeros,
+            ones: self.ones & other.ones,
+        }
+    }
+
+    /// Interval widening of `self` (the previous state) by `grown`
+    /// (the incoming join): an unstable end jumps up a short threshold
+    /// ladder before giving up at ±∞. The `MAX - 1` rung matters: it
+    /// lets a widened counter still take a `+1` step without the
+    /// transfer function overflowing to full Top, so branch-edge
+    /// refinement can hold the loop invariant. Each end climbs the
+    /// ladder monotonically (at most [`WIDEN_LADDER`] rungs), and the
+    /// bit masks take the plain join — they only ever lose bits, so
+    /// their chain height is 64 and needs no acceleration.
+    fn widen(self, grown: AbsVal) -> AbsVal {
+        let hi = if grown.hi > self.hi {
+            WIDEN_LADDER
+                .iter()
+                .copied()
+                .find(|&t| t >= grown.hi)
+                .unwrap_or(i64::MAX)
+        } else {
+            self.hi
+        };
+        let lo = if grown.lo < self.lo {
+            WIDEN_LADDER
+                .iter()
+                .map(|&t| -t - 1)
+                .find(|&t| t <= grown.lo)
+                .unwrap_or(i64::MIN)
+        } else {
+            self.lo
+        };
+        AbsVal {
+            lo,
+            hi,
+            zeros: self.zeros & grown.zeros,
+            ones: self.ones & grown.ones,
+        }
+    }
+}
+
+/// One abstract register value: unreached, or an [`AbsVal`] range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Value {
     /// Unreached (bottom).
     Bottom,
-    /// Known constant.
-    Const(i64),
-    /// Unknown (top).
-    Top,
+    /// Interval + known-bits over-approximation of the reachable values.
+    Range(AbsVal),
 }
 
 impl Value {
+    /// The unconstrained value (top).
+    #[must_use]
+    pub const fn top() -> Value {
+        Value::Range(AbsVal::TOP)
+    }
+
+    /// The singleton abstraction of `c`.
+    #[must_use]
+    pub const fn constant(c: i64) -> Value {
+        Value::Range(AbsVal::constant(c))
+    }
+
+    /// The exact value, if the abstraction pins one.
+    #[must_use]
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Value::Bottom => None,
+            Value::Range(a) => a.as_const(),
+        }
+    }
+
+    /// Whether the concrete value `v` is inside the abstraction.
+    /// `Bottom` contains nothing.
+    #[must_use]
+    pub fn contains(self, v: i64) -> bool {
+        match self {
+            Value::Bottom => false,
+            Value::Range(a) => a.contains(v),
+        }
+    }
+
     fn join(self, other: Value) -> Value {
         match (self, other) {
             (Value::Bottom, v) | (v, Value::Bottom) => v,
-            (Value::Const(a), Value::Const(b)) if a == b => Value::Const(a),
-            _ => Value::Top,
+            (Value::Range(a), Value::Range(b)) => Value::Range(a.join(b)),
         }
+    }
+
+    fn widen(self, grown: Value) -> Value {
+        match (self, grown) {
+            (Value::Bottom, v) | (v, Value::Bottom) => v,
+            (Value::Range(a), Value::Range(b)) => Value::Range(a.widen(b)),
+        }
+    }
+}
+
+/// Statically decides a branch condition over abstract operands, where
+/// the abstraction is precise enough: disjoint intervals decide `Lt`,
+/// `Ge`, and inequality; a conflicting known bit refutes equality.
+#[must_use]
+pub fn decide(cond: Cond, a: Value, b: Value) -> Option<bool> {
+    let (Value::Range(a), Value::Range(b)) = (a, b) else {
+        return None;
+    };
+    let lt = if a.hi < b.lo {
+        Some(true)
+    } else if a.lo >= b.hi {
+        Some(false)
+    } else {
+        None
+    };
+    let eq = if a.as_const().is_some() && a.as_const() == b.as_const() {
+        Some(true)
+    } else if a.hi < b.lo || b.hi < a.lo || (a.ones & b.zeros) | (a.zeros & b.ones) != 0 {
+        Some(false)
+    } else {
+        None
+    };
+    match cond {
+        Cond::Lt => lt,
+        Cond::Ge => lt.map(|t| !t),
+        Cond::Eq => eq,
+        Cond::Ne => eq.map(|t| !t),
     }
 }
 
@@ -44,11 +277,11 @@ pub type RegState = [Value; 32];
 const UNREACHED: RegState = [Value::Bottom; 32];
 
 /// Entry state of the program: the machine zero-initialises registers.
-const ENTRY: RegState = [Value::Const(0); 32];
+const ENTRY: RegState = [Value::constant(0); 32];
 
-fn read(state: &RegState, r: Reg) -> Value {
+pub(crate) fn read(state: &RegState, r: Reg) -> Value {
     if r == Reg::ZERO {
-        Value::Const(0)
+        Value::constant(0)
     } else {
         state[r.index()]
     }
@@ -60,21 +293,220 @@ fn write(state: &mut RegState, r: Reg, v: Value) {
     }
 }
 
-fn alu(op: AluOp, a: i64, b: i64) -> Value {
-    match op {
-        AluOp::Add => Value::Const(a.wrapping_add(b)),
-        AluOp::Sub => Value::Const(a.wrapping_sub(b)),
-        AluOp::Mul => Value::Const(a.wrapping_mul(b)),
-        AluOp::Div | AluOp::Rem if b == 0 => Value::Top, // faults at run time
-        AluOp::Div => Value::Const(a.wrapping_div(b)),
-        AluOp::Rem => Value::Const(a.wrapping_rem(b)),
-        AluOp::And => Value::Const(a & b),
-        AluOp::Or => Value::Const(a | b),
-        AluOp::Xor => Value::Const(a ^ b),
-        AluOp::Sll => Value::Const(a.wrapping_shl((b & 63) as u32)),
-        AluOp::Srl => Value::Const(((a as u64).wrapping_shr((b & 63) as u32)) as i64),
-        AluOp::Slt => Value::Const(i64::from(a < b)),
+fn add_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    let (lo, hi) = match (a.lo.checked_add(b.lo), a.hi.checked_add(b.hi)) {
+        (Some(l), Some(h)) => (l, h),
+        // A corner wraps at run time; the interval gives up, the low
+        // bits below survive (carries propagate upward regardless).
+        _ => (i64::MIN, i64::MAX),
+    };
+    // Carries propagate from bit 0 upward, so the sum's low `t` bits
+    // are known wherever both operands are known contiguously from
+    // bit 0.
+    let mask = low_mask(a.known_low().min(b.known_low()));
+    let sum = (a.ones & mask).wrapping_add(b.ones & mask);
+    AbsVal {
+        lo,
+        hi,
+        zeros: !sum & mask,
+        ones: sum & mask,
     }
+}
+
+fn sub_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    let (lo, hi) = match (a.lo.checked_sub(b.hi), a.hi.checked_sub(b.lo)) {
+        (Some(l), Some(h)) => (l, h),
+        _ => (i64::MIN, i64::MAX),
+    };
+    // Borrows propagate upward exactly like carries.
+    let mask = low_mask(a.known_low().min(b.known_low()));
+    let diff = (a.ones & mask).wrapping_sub(b.ones & mask);
+    AbsVal {
+        lo,
+        hi,
+        zeros: !diff & mask,
+        ones: diff & mask,
+    }
+}
+
+fn mul_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    // The product over a box attains its extremes at the corners; if
+    // every corner fits in i64, no interior product can overflow.
+    let corners = [
+        a.lo.checked_mul(b.lo),
+        a.lo.checked_mul(b.hi),
+        a.hi.checked_mul(b.lo),
+        a.hi.checked_mul(b.hi),
+    ];
+    let (lo, hi) = if corners.iter().all(Option::is_some) {
+        let vals: Vec<i64> = corners.iter().map(|c| c.unwrap_or(0)).collect();
+        (
+            vals.iter().copied().min().unwrap_or(i64::MIN),
+            vals.iter().copied().max().unwrap_or(i64::MAX),
+        )
+    } else {
+        (i64::MIN, i64::MAX)
+    };
+    // A product mod 2^t depends only on the operands mod 2^t.
+    let mask = low_mask(a.known_low().min(b.known_low()));
+    let prod = (a.ones & mask).wrapping_mul(b.ones & mask);
+    AbsVal {
+        lo,
+        hi,
+        zeros: !prod & mask,
+        ones: prod & mask,
+    }
+}
+
+fn div_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    match b.as_const() {
+        // Might fault at run time — then no value flows at all.
+        Some(0) | None => AbsVal::TOP,
+        // Truncating division by a positive constant is monotone.
+        Some(d) if d > 0 => AbsVal {
+            lo: a.lo.wrapping_div(d),
+            hi: a.hi.wrapping_div(d),
+            zeros: 0,
+            ones: 0,
+        },
+        Some(d) => match a.as_const() {
+            Some(x) => AbsVal::constant(x.wrapping_div(d)),
+            None => AbsVal::TOP,
+        },
+    }
+}
+
+fn rem_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    match b.as_const() {
+        Some(0) | None => AbsVal::TOP,
+        Some(d) => match a.as_const() {
+            Some(x) => AbsVal::constant(x.wrapping_rem(d)),
+            // The remainder's sign follows the dividend; its magnitude
+            // stays below |d|.
+            None => {
+                let m = d.unsigned_abs().saturating_sub(1) as i64;
+                AbsVal {
+                    lo: if a.lo >= 0 { 0 } else { -m },
+                    hi: m,
+                    zeros: 0,
+                    ones: 0,
+                }
+            }
+        },
+    }
+}
+
+fn and_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    let (lo, hi) = if a.lo >= 0 && b.lo >= 0 {
+        (0, a.hi.min(b.hi))
+    } else {
+        (i64::MIN, i64::MAX)
+    };
+    AbsVal {
+        lo,
+        hi,
+        zeros: a.zeros | b.zeros,
+        ones: a.ones & b.ones,
+    }
+}
+
+fn or_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    let (lo, hi) = if a.lo >= 0 && b.lo >= 0 {
+        match a.hi.checked_add(b.hi) {
+            Some(h) => (a.lo.max(b.lo), h),
+            None => (i64::MIN, i64::MAX),
+        }
+    } else {
+        (i64::MIN, i64::MAX)
+    };
+    AbsVal {
+        lo,
+        hi,
+        zeros: a.zeros & b.zeros,
+        ones: a.ones | b.ones,
+    }
+}
+
+fn xor_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    let known = (a.zeros | a.ones) & (b.zeros | b.ones);
+    let bits = (a.ones ^ b.ones) & known;
+    AbsVal {
+        lo: i64::MIN,
+        hi: i64::MAX,
+        zeros: !bits & known,
+        ones: bits,
+    }
+}
+
+fn sll_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    // The machine shifts by the low six bits of rt.
+    let Some(c) = b.as_const().map(|c| (c & 63) as u32) else {
+        return AbsVal::TOP;
+    };
+    let (lo, hi) = if a.hi <= i64::MAX >> c && a.lo >= i64::MIN >> c {
+        (a.lo << c, a.hi << c)
+    } else {
+        (i64::MIN, i64::MAX) // some value wraps
+    };
+    AbsVal {
+        lo,
+        hi,
+        zeros: (a.zeros << c) | low_mask(c),
+        ones: a.ones << c,
+    }
+}
+
+fn srl_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    let Some(c) = b.as_const().map(|c| (c & 63) as u32) else {
+        return AbsVal::TOP;
+    };
+    if c == 0 {
+        return a;
+    }
+    // A logical right shift by c >= 1 always lands in [0, u64::MAX >> c].
+    let (lo, hi) = if a.lo >= 0 {
+        (a.lo >> c, a.hi >> c)
+    } else {
+        (0, (u64::MAX >> c) as i64)
+    };
+    AbsVal {
+        lo,
+        hi,
+        zeros: (a.zeros >> c) | !(u64::MAX >> c),
+        ones: a.ones >> c,
+    }
+}
+
+fn slt_abs(a: AbsVal, b: AbsVal) -> AbsVal {
+    if a.hi < b.lo {
+        AbsVal::constant(1)
+    } else if a.lo >= b.hi {
+        AbsVal::constant(0)
+    } else {
+        AbsVal {
+            lo: 0,
+            hi: 1,
+            zeros: !1,
+            ones: 0,
+        }
+    }
+}
+
+fn alu(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    let v = match op {
+        AluOp::Add => add_abs(a, b),
+        AluOp::Sub => sub_abs(a, b),
+        AluOp::Mul => mul_abs(a, b),
+        AluOp::Div => div_abs(a, b),
+        AluOp::Rem => rem_abs(a, b),
+        AluOp::And => and_abs(a, b),
+        AluOp::Or => or_abs(a, b),
+        AluOp::Xor => xor_abs(a, b),
+        AluOp::Sll => sll_abs(a, b),
+        AluOp::Srl => srl_abs(a, b),
+        AluOp::Slt => slt_abs(a, b),
+    };
+    v.normalize()
 }
 
 /// Applies one instruction to an abstract state.
@@ -82,22 +514,22 @@ fn transfer(instr: &Instruction, state: &mut RegState) {
     match instr {
         Instruction::Alu { op, rd, rs, rt } => {
             let v = match (read(state, *rs), read(state, *rt)) {
-                (Value::Const(a), Value::Const(b)) => alu(*op, a, b),
-                _ => Value::Top,
+                (Value::Range(a), Value::Range(b)) => Value::Range(alu(*op, a, b)),
+                _ => Value::Bottom, // an operand is unreached
             };
             write(state, *rd, v);
         }
         Instruction::Addi { rd, rs, imm } => {
             let v = match read(state, *rs) {
-                Value::Const(a) => Value::Const(a.wrapping_add(*imm)),
-                _ => Value::Top,
+                Value::Range(a) => Value::Range(add_abs(a, AbsVal::constant(*imm)).normalize()),
+                Value::Bottom => Value::Bottom,
             };
             write(state, *rd, v);
         }
-        Instruction::Lw { rd, .. } => write(state, *rd, Value::Top),
-        // Link registers hold return addresses — opaque to this lattice.
+        Instruction::Lw { rd, .. } => write(state, *rd, Value::top()),
+        // Link registers hold return addresses — opaque to this domain.
         Instruction::Jal { rd, .. } | Instruction::Jalr { rd, .. } => {
-            write(state, *rd, Value::Top);
+            write(state, *rd, Value::top());
         }
         Instruction::Sw { .. }
         | Instruction::Branch { .. }
@@ -106,31 +538,151 @@ fn transfer(instr: &Instruction, state: &mut RegState) {
     }
 }
 
-/// Per-block entry states at the constant-propagation fixpoint.
+/// Tightens `state` under the assumption that the branch
+/// `cond rs, rt` resolved to `outcome`. Returns `None` when the
+/// constraint proves the state empty — the edge is infeasible and
+/// contributes nothing to its successor. Every tightening intersects
+/// the incoming over-approximation with the exact constraint the
+/// machine enforced on this edge, so the result stays sound.
+fn refine(state: &mut RegState, cond: Cond, rs: Reg, rt: Reg, outcome: bool) -> Option<()> {
+    let (Value::Range(mut a), Value::Range(mut b)) = (read(state, rs), read(state, rt)) else {
+        return Some(()); // a bottom operand: nothing to refine
+    };
+    match (cond, outcome) {
+        (Cond::Lt, true) | (Cond::Ge, false) => {
+            // a < b: checked ±1 failing means the relation is
+            // unsatisfiable at the interval end (b can't exceed MAX).
+            a.hi = a.hi.min(b.hi.checked_sub(1)?);
+            b.lo = b.lo.max(a.lo.checked_add(1)?);
+        }
+        (Cond::Lt, false) | (Cond::Ge, true) => {
+            // a >= b
+            a.lo = a.lo.max(b.lo);
+            b.hi = b.hi.min(a.hi);
+        }
+        (Cond::Eq, true) | (Cond::Ne, false) => {
+            // a == b: both collapse to the intersection.
+            let met = AbsVal {
+                lo: a.lo.max(b.lo),
+                hi: a.hi.min(b.hi),
+                zeros: a.zeros | b.zeros,
+                ones: a.ones | b.ones,
+            };
+            if met.zeros & met.ones != 0 {
+                return None;
+            }
+            a = met;
+            b = met;
+        }
+        (Cond::Eq, false) | (Cond::Ne, true) => {
+            // a != b: an endpoint equal to the other side's constant
+            // can be trimmed off.
+            if let Some(c) = b.as_const() {
+                if a.lo == c {
+                    a.lo = c.checked_add(1)?;
+                }
+                if a.hi == c {
+                    a.hi = c.checked_sub(1)?;
+                }
+            }
+            if let Some(c) = a.as_const() {
+                if b.lo == c {
+                    b.lo = c.checked_add(1)?;
+                }
+                if b.hi == c {
+                    b.hi = c.checked_sub(1)?;
+                }
+            }
+        }
+    }
+    if a.lo > a.hi || b.lo > b.hi {
+        return None;
+    }
+    write(state, rs, Value::Range(a.normalize()));
+    write(state, rt, Value::Range(b.normalize()));
+    Some(())
+}
+
+/// The exit state of predecessor `p` as seen along the edge `p -> b`:
+/// when the edge is one arm of a conditional branch, the branch
+/// constraint is applied to the operands. Returns `None` for an edge
+/// the refinement proves infeasible.
+fn edge_state(
+    program: &Program,
+    cfg: &Cfg,
+    p: usize,
+    b: usize,
+    exit: &RegState,
+) -> Option<RegState> {
+    let mut state = *exit;
+    let last = cfg.blocks[p].end - 1;
+    let Some(Instruction::Branch {
+        cond,
+        rs,
+        rt,
+        target,
+    }) = program.instructions.get(last)
+    else {
+        return Some(state);
+    };
+    let taken_block = cfg.block_of.get(*target).copied();
+    let fall_block = cfg.block_of.get(last + 1).copied();
+    let outcome = match (taken_block == Some(b), fall_block == Some(b)) {
+        (true, false) => true,
+        (false, true) => false,
+        // Both arms (or neither) reach b: no usable constraint.
+        _ => return Some(state),
+    };
+    refine(&mut state, *cond, *rs, *rt, outcome)?;
+    Some(state)
+}
+
+/// Widening thresholds: an unstable upper end jumps to the first rung
+/// at or above it (mirrored and negated for lower ends), landing on
+/// `i64::MAX` only after the ladder is exhausted. Power-of-two-ish
+/// rungs cover the masks and table sizes kernels actually compare
+/// against; the `MAX - 1` rung keeps one headroom step so an
+/// incremented counter does not overflow the transfer function.
+const WIDEN_LADDER: [i64; 4] = [0xFF, 0xFFFF, 0xFFFF_FFFF, i64::MAX - 1];
+
+/// How many plain-join sweeps run before widening kicks in. A short
+/// delay lets small counted loops settle exactly before any interval
+/// end is thrown to ±∞.
+const WIDEN_AFTER: usize = 3;
+
+/// Descending sweeps after the ascending phase converges. Each iterate
+/// of the transfer system applied to a post-fixpoint stays above the
+/// least fixpoint, so every narrowing sweep is sound.
+const NARROW_SWEEPS: usize = 2;
+
+/// Per-block entry/exit states at the abstract-interpretation fixpoint.
 #[derive(Debug, Clone)]
-pub struct ConstantFlow {
+pub struct AbsFlow {
     /// Abstract register state on entry to each block.
     pub entry: Vec<RegState>,
     /// Abstract register state on exit from each block.
     pub exit: Vec<RegState>,
 }
 
-impl ConstantFlow {
-    /// Runs the forward constant propagation to a fixpoint.
+impl AbsFlow {
+    /// Runs the widening/narrowing fixpoint.
     #[must_use]
     pub fn compute(program: &Program, cfg: &Cfg) -> Self {
         let n = cfg.blocks.len();
         let mut entry = vec![UNREACHED; n];
         let mut exit = vec![UNREACHED; n];
         if n == 0 {
-            return ConstantFlow { entry, exit };
+            return AbsFlow { entry, exit };
         }
         entry[0] = ENTRY;
         let preds = cfg.predecessors();
-        // The lattice has height 2 per register, so the fixpoint arrives
-        // within a couple of sweeps; the explicit bound keeps the pass
-        // total even on adversarial graphs.
-        let bound = 4 * n + 8;
+        // Ascending phase. After the widening delay, every change to an
+        // entry state climbs a finite chain (lo and hi each descend or
+        // climb the widening ladder at most 5 rungs, each of 64 known
+        // bits is lost at most once, per register), and a sweep without
+        // changes ends the loop — so the explicit bound below is never
+        // the exit path; it just keeps the pass total by inspection.
+        let bound = WIDEN_AFTER + 74 * 32 * n + 2;
         let mut changed = true;
         let mut sweeps = 0;
         while changed && sweeps < bound {
@@ -142,10 +694,19 @@ impl ConstantFlow {
                 }
                 let mut state = if b == 0 { ENTRY } else { UNREACHED };
                 for &p in &preds[b] {
-                    if cfg.reachable[p] {
-                        for r in 0..32 {
-                            state[r] = state[r].join(exit[p][r]);
-                        }
+                    if !cfg.reachable[p] {
+                        continue;
+                    }
+                    let Some(refined) = edge_state(program, cfg, p, b, &exit[p]) else {
+                        continue; // infeasible edge
+                    };
+                    for r in 0..32 {
+                        state[r] = state[r].join(refined[r]);
+                    }
+                }
+                if sweeps > WIDEN_AFTER {
+                    for r in 0..32 {
+                        state[r] = entry[b][r].widen(state[r]);
                     }
                 }
                 if state != entry[b] {
@@ -162,23 +723,92 @@ impl ConstantFlow {
                 }
             }
         }
-        ConstantFlow { entry, exit }
+        // Narrowing phase: recompute entries as the plain join of
+        // refined predecessor exits, descending from the post-fixpoint.
+        for _ in 0..NARROW_SWEEPS {
+            for b in 0..n {
+                if !cfg.reachable[b] {
+                    continue;
+                }
+                let mut state = if b == 0 { ENTRY } else { UNREACHED };
+                for &p in &preds[b] {
+                    if !cfg.reachable[p] {
+                        continue;
+                    }
+                    let Some(refined) = edge_state(program, cfg, p, b, &exit[p]) else {
+                        continue;
+                    };
+                    for r in 0..32 {
+                        state[r] = state[r].join(refined[r]);
+                    }
+                }
+                entry[b] = state;
+                let mut out = state;
+                for i in cfg.blocks[b].start..cfg.blocks[b].end {
+                    transfer(&program.instructions[i], &mut out);
+                }
+                exit[b] = out;
+            }
+        }
+        AbsFlow { entry, exit }
+    }
+
+    /// Abstract register state immediately before instruction `index` —
+    /// the block's entry state pushed through its preceding
+    /// instructions. Returns the all-bottom state for instructions
+    /// outside any block.
+    #[must_use]
+    pub fn state_at(&self, program: &Program, cfg: &Cfg, index: usize) -> RegState {
+        let Some(b) = cfg.block_containing(index) else {
+            return UNREACHED;
+        };
+        let mut state = self.entry[b];
+        for i in cfg.blocks[b].start..index {
+            transfer(&program.instructions[i], &mut state);
+        }
+        state
+    }
+
+    /// The abstract operand values of the conditional branch at
+    /// instruction `index` — the `(rs, rt)` lattice values immediately
+    /// before the branch executes. `None` when `index` is not a
+    /// conditional branch. This is the value set the `cfa/absint`
+    /// soundness audit checks every dynamically observed operand
+    /// against.
+    #[must_use]
+    pub fn operands_at(
+        &self,
+        program: &Program,
+        cfg: &Cfg,
+        index: usize,
+    ) -> Option<(Value, Value)> {
+        let Some(Instruction::Branch { rs, rt, .. }) = program.instructions.get(index) else {
+            return None;
+        };
+        let state = self.state_at(program, cfg, index);
+        Some((read(&state, *rs), read(&state, *rt)))
     }
 
     /// The state on entry to `header` coming only from outside the
-    /// loop — the induction variable's initial value lives here.
+    /// loop — the induction variable's initial value lives here. Entry
+    /// edges from conditional branches are refined the same way the
+    /// fixpoint refines them.
     #[must_use]
-    pub fn preheader_state(&self, cfg: &Cfg, l: &NaturalLoop) -> RegState {
+    pub fn preheader_state(&self, program: &Program, cfg: &Cfg, l: &NaturalLoop) -> RegState {
         if l.header == 0 {
             return ENTRY;
         }
         let preds = cfg.predecessors();
         let mut state = UNREACHED;
         for &p in &preds[l.header] {
-            if cfg.reachable[p] && !l.body.contains(&p) {
-                for (r, slot) in state.iter_mut().enumerate() {
-                    *slot = slot.join(self.exit[p][r]);
-                }
+            if !cfg.reachable[p] || l.body.contains(&p) {
+                continue;
+            }
+            let Some(refined) = edge_state(program, cfg, p, l.header, &self.exit[p]) else {
+                continue;
+            };
+            for (r, slot) in state.iter_mut().enumerate() {
+                *slot = slot.join(refined[r]);
             }
         }
         state
@@ -193,7 +823,7 @@ impl ConstantFlow {
 pub fn trip_counts(
     program: &Program,
     cfg: &Cfg,
-    flow: &ConstantFlow,
+    flow: &AbsFlow,
     loops: &[NaturalLoop],
 ) -> BTreeMap<usize, u64> {
     let mut counts = BTreeMap::new();
@@ -215,7 +845,7 @@ pub fn trip_counts(
         if cfg.block_of.get(*target) != Some(&l.header) {
             continue;
         }
-        let pre = flow.preheader_state(cfg, l);
+        let pre = flow.preheader_state(program, cfg, l);
         // Try both operand orders: (counter, bound) and (bound, counter).
         for (counter, bound_reg, counter_is_rs) in [(*rs, *rt, true), (*rt, *rs, false)] {
             let Some(trips) = resolve(
@@ -247,23 +877,19 @@ fn resolve(
     program: &Program,
     cfg: &Cfg,
     l: &NaturalLoop,
-    pre: &crate::absint::RegState,
+    pre: &RegState,
     cond: Cond,
     counter: Reg,
     bound_reg: Reg,
     counter_is_rs: bool,
 ) -> Option<u64> {
     // The bound must be constant at loop entry and never written inside.
-    let Value::Const(bound) = read(pre, bound_reg) else {
-        return None;
-    };
+    let bound = read(pre, bound_reg).as_const()?;
     if writes_in_loop(program, cfg, l, bound_reg) != 0 {
         return None;
     }
     // The counter: constant at entry, exactly one self-increment inside.
-    let Value::Const(init) = read(pre, counter) else {
-        return None;
-    };
+    let init = read(pre, counter).as_const()?;
     let step = single_step(program, cfg, l, counter)?;
     if step == 0 {
         return None;
@@ -392,7 +1018,7 @@ mod tests {
         let cfg = Cfg::build(&p);
         let doms = Dominators::compute(&cfg);
         let (loops, _) = natural_loops(&cfg, &doms);
-        let flow = ConstantFlow::compute(&p, &cfg);
+        let flow = AbsFlow::compute(&p, &cfg);
         trip_counts(&p, &cfg, &flow, &loops)
     }
 
@@ -479,8 +1105,118 @@ mod tests {
         )
         .expect("assembles");
         let cfg = Cfg::build(&p);
-        let flow = ConstantFlow::compute(&p, &cfg);
-        assert_eq!(flow.exit[0][3], Value::Const(42));
-        assert_eq!(flow.exit[0][0], Value::Const(0), "r0 stays zero");
+        let flow = AbsFlow::compute(&p, &cfg);
+        assert_eq!(flow.exit[0][3].as_const(), Some(42));
+        assert_eq!(flow.exit[0][0].as_const(), Some(0), "r0 stays zero");
+    }
+
+    #[test]
+    fn widened_counter_keeps_a_sound_lower_bound() {
+        // Data-dependent trip count: the counter still starts at 0 and
+        // only grows, so at the branch (after the increment) its
+        // abstract value must be [1, +inf).
+        let p = assemble(
+            r"
+                  lw r1, (r0)
+                  li r2, 0
+            loop: addi r2, r2, 1
+                  blt r2, r1, loop
+                  halt
+            ",
+        )
+        .expect("assembles");
+        let cfg = Cfg::build(&p);
+        let flow = AbsFlow::compute(&p, &cfg);
+        let branch = 3;
+        let state = flow.state_at(&p, &cfg, branch);
+        let Value::Range(counter) = state[2] else {
+            panic!("counter is reachable");
+        };
+        assert_eq!(counter.lo, 1, "counter at the test is at least 1");
+        assert_eq!(counter.hi, i64::MAX, "widened upper end");
+        assert!(counter.contains(1) && counter.contains(1 << 40));
+        assert!(!counter.contains(0));
+    }
+
+    #[test]
+    fn masking_pins_known_bits_and_bounds() {
+        let p = assemble(
+            r"
+                  lw r1, (r0)
+                  li r2, 7
+                  and r3, r1, r2
+                  halt
+            ",
+        )
+        .expect("assembles");
+        let cfg = Cfg::build(&p);
+        let flow = AbsFlow::compute(&p, &cfg);
+        let Value::Range(masked) = flow.exit[0][3] else {
+            panic!("reachable");
+        };
+        assert_eq!(masked.lo, 0);
+        assert_eq!(masked.hi, 7);
+        assert!((0..=7).all(|v| masked.contains(v)));
+        assert!(!masked.contains(8) && !masked.contains(-1));
+    }
+
+    #[test]
+    fn shifted_values_keep_trailing_zero_bits() {
+        let p = assemble(
+            r"
+                  lw r1, (r0)
+                  li r2, 3
+                  sll r3, r1, r2
+                  halt
+            ",
+        )
+        .expect("assembles");
+        let cfg = Cfg::build(&p);
+        let flow = AbsFlow::compute(&p, &cfg);
+        let Value::Range(shifted) = flow.exit[0][3] else {
+            panic!("reachable");
+        };
+        assert_eq!(shifted.zeros & 0b111, 0b111, "low three bits known 0");
+        assert!(shifted.contains(8) && !shifted.contains(4));
+    }
+
+    #[test]
+    fn decide_resolves_disjoint_and_conflicting_operands() {
+        let three = Value::constant(3);
+        let five = Value::constant(5);
+        assert_eq!(decide(Cond::Lt, three, five), Some(true));
+        assert_eq!(decide(Cond::Ge, three, five), Some(false));
+        assert_eq!(decide(Cond::Eq, three, five), Some(false));
+        assert_eq!(decide(Cond::Ne, three, five), Some(true));
+        assert_eq!(decide(Cond::Eq, three, three), Some(true));
+        // Overlapping unknowns stay undecided.
+        let wide = Value::Range(AbsVal {
+            lo: 0,
+            hi: 10,
+            zeros: 0,
+            ones: 0,
+        });
+        assert_eq!(decide(Cond::Lt, wide, five), None);
+        assert_eq!(decide(Cond::Eq, wide, five), None);
+        // A conflicting known bit refutes equality even with
+        // overlapping intervals: even vs. the constant 5.
+        let even = Value::Range(AbsVal {
+            lo: 0,
+            hi: 10,
+            zeros: 1,
+            ones: 0,
+        });
+        assert_eq!(decide(Cond::Eq, even, five), Some(false));
+        assert_eq!(decide(Cond::Ne, even, five), Some(true));
+        assert_eq!(decide(Cond::Lt, Value::Bottom, five), None);
+    }
+
+    #[test]
+    fn constant_roundtrip_and_contains() {
+        let c = AbsVal::constant(-42);
+        assert_eq!(c.as_const(), Some(-42));
+        assert!(c.contains(-42));
+        assert!(!c.contains(42));
+        assert!(AbsVal::TOP.contains(i64::MIN) && AbsVal::TOP.contains(i64::MAX));
     }
 }

@@ -1,0 +1,375 @@
+//! Static hard-to-predict (H2P) ranking.
+//!
+//! The bi-mode paper frames mispredictions as inherent (weakly-biased
+//! sites) plus interference (opposite-bias sites sharing a counter).
+//! This module bounds both terms statically and composes them into a
+//! per-site misprediction-bound score:
+//!
+//! * [`taken_bounds`] derives per-site taken-probability bounds: a
+//!   branch whose operands the abstract interpreter decides is exactly
+//!   `[1, 1]` or `[0, 0]`; the back edge of a resolved counted loop
+//!   executing `n` times is taken exactly `n - 1` of them, so
+//!   `[p, p]` with `p = (n-1)/n`; everything else keeps the trivially
+//!   sound `[0, 1]` plus a Ball–Larus-style shape estimate (back edges
+//!   taken, exits not taken, equality guards mostly false).
+//! * [`rank_h2p`] weighs each site by how often it runs (the product of
+//!   enclosing resolved trip counts), scores its inherent
+//!   misprediction bound `min(p, 1-p)`, adds penalties for provably
+//!   destructive aliasing from [`crate::alias`], and returns the sites
+//!   sorted worst-first — the static twin of a dynamic top-k
+//!   misprediction table.
+//!
+//! The exact bounds (and only those) carry `exact = true`; the
+//! `cfa/absint` verify pass holds them against observed execution.
+
+use bpred_core::PredictorSpec;
+use bpred_sim::isa::Cond;
+use bpred_sim::{Instruction, Program};
+
+use crate::absint::{decide, read};
+use crate::loops::BranchRole;
+use crate::{alias, Analysis, SiteReport, StaticBias};
+
+/// Bounds on the probability that a site resolves taken, per execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TakenBounds {
+    /// Sound lower bound on the taken fraction.
+    pub lo: f64,
+    /// Sound upper bound on the taken fraction.
+    pub hi: f64,
+    /// Point estimate used for ranking and bias classification. Equal
+    /// to the bounds when they are tight; a shape heuristic otherwise.
+    pub estimate: f64,
+    /// Whether `[lo, hi]` is a proof obligation (decided condition or
+    /// resolved trip count) rather than the trivial `[0, 1]`.
+    pub exact: bool,
+}
+
+impl TakenBounds {
+    /// The trivially sound bounds around a heuristic estimate.
+    #[must_use]
+    pub fn heuristic(estimate: f64) -> TakenBounds {
+        TakenBounds {
+            lo: 0.0,
+            hi: 1.0,
+            estimate,
+            exact: false,
+        }
+    }
+
+    /// Tight bounds at exactly `p`.
+    #[must_use]
+    pub fn exact(p: f64) -> TakenBounds {
+        TakenBounds {
+            lo: p,
+            hi: p,
+            estimate: p,
+            exact: true,
+        }
+    }
+
+    /// The static bias class implied by the estimate, at the paper's
+    /// 90% strong-bias threshold.
+    #[must_use]
+    pub fn bias(&self) -> StaticBias {
+        if self.estimate >= 0.9 {
+            StaticBias::Taken
+        } else if self.estimate <= 0.1 {
+            StaticBias::NotTaken
+        } else {
+            StaticBias::Mixed
+        }
+    }
+}
+
+/// Ball–Larus-style shape estimates for sites the value analysis
+/// cannot pin: back edges are strongly taken, exits strongly not,
+/// equality guards usually fail.
+fn shape_estimate(role: BranchRole, cond: Cond) -> f64 {
+    match role {
+        BranchRole::LoopBack => 0.88,
+        BranchRole::LoopExit => 0.12,
+        BranchRole::ForwardGuard => match cond {
+            Cond::Eq => 0.3,
+            Cond::Ne => 0.7,
+            Cond::Lt | Cond::Ge => 0.5,
+        },
+        BranchRole::Irreducible => 0.5,
+    }
+}
+
+fn site_bounds(program: &Program, analysis: &Analysis, site: &SiteReport) -> TakenBounds {
+    let Some(Instruction::Branch { cond, rs, rt, .. }) = program.instructions.get(site.index)
+    else {
+        return TakenBounds::heuristic(0.5);
+    };
+    let state = analysis.flow.state_at(program, &analysis.cfg, site.index);
+    if let Some(taken) = decide(*cond, read(&state, *rs), read(&state, *rt)) {
+        return TakenBounds::exact(if taken { 1.0 } else { 0.0 });
+    }
+    if let Some(n) = site.trip_count {
+        // A resolved back edge runs n times per loop entry and is
+        // taken on all but the final test, every entry alike.
+        #[allow(clippy::cast_precision_loss)]
+        return TakenBounds::exact((n - 1) as f64 / n as f64);
+    }
+    TakenBounds::heuristic(shape_estimate(site.role, *cond))
+}
+
+/// Per-site taken-probability bounds, parallel to `analysis.sites`.
+#[must_use]
+pub fn taken_bounds(program: &Program, analysis: &Analysis) -> Vec<TakenBounds> {
+    analysis
+        .sites
+        .iter()
+        .map(|s| site_bounds(program, analysis, s))
+        .collect()
+}
+
+/// One reachable site in the static H2P ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct H2pSite {
+    /// Byte PC of the branch.
+    pub pc: u64,
+    /// Instruction index of the branch.
+    pub index: usize,
+    /// Taken-probability bounds at this site.
+    pub bounds: TakenBounds,
+    /// Static execution weight: the product of resolved trip counts of
+    /// every enclosing loop (unresolved loops contribute a fixed
+    /// factor), 1.0 for straight-line sites.
+    pub weight: f64,
+    /// Inherent per-execution misprediction bound `min(p, 1 - p)`.
+    pub inherent: f64,
+    /// Partners this site provably destructively aliases with
+    /// (definite index collision, opposite bias, no tag to filter it).
+    pub destructive: usize,
+    /// Partners that may alias destructively (possible collision, or a
+    /// definite one a tag would usually filter).
+    pub possible: usize,
+    /// Partners the collision is provably benign with: the pair shares
+    /// a counter but not with opposite bias.
+    pub benign: usize,
+    /// Ranking score: `weight * min(1, inherent + penalties)`.
+    pub score: f64,
+    /// The rendered instruction, for disagreement listings.
+    pub text: String,
+}
+
+/// Fixed trip factor for loops the analysis cannot resolve.
+const UNRESOLVED_TRIPS: f64 = 8.0;
+
+/// Per-execution misprediction penalty for one provably destructive
+/// alias partner, and for one merely possible partner. Interference on
+/// a shared 2-bit counter costs well under a full misprediction per
+/// execution, and an unproven collision less still.
+const DESTRUCTIVE_PENALTY: f64 = 0.25;
+const POSSIBLE_PENALTY: f64 = 0.05;
+
+/// Resolved trip count of each loop, keyed by position in
+/// `analysis.loops`, where its single back-edge branch resolved.
+fn loop_trips(analysis: &Analysis) -> Vec<Option<u64>> {
+    analysis
+        .loops
+        .iter()
+        .map(|l| {
+            let &[tail] = l.back_edges.as_slice() else {
+                return None;
+            };
+            let last = analysis.cfg.blocks[tail].end - 1;
+            analysis
+                .sites
+                .iter()
+                .find(|s| s.index == last)
+                .and_then(|s| s.trip_count)
+        })
+        .collect()
+}
+
+/// How many times the site's block runs per program run, statically:
+/// the product over enclosing loops of their resolved trip counts.
+fn execution_weight(analysis: &Analysis, trips: &[Option<u64>], index: usize) -> f64 {
+    let Some(block) = analysis.cfg.block_containing(index) else {
+        return 0.0;
+    };
+    let mut weight = 1.0;
+    for (l, t) in analysis.loops.iter().zip(trips) {
+        if l.body.contains(&block) {
+            #[allow(clippy::cast_precision_loss)]
+            let factor = t.map_or(UNRESOLVED_TRIPS, |n| n as f64);
+            weight *= factor;
+        }
+    }
+    weight
+}
+
+/// The statically-ranked H2P candidate list for `spec`: every
+/// reachable site, worst expected-misprediction bound first. Returns
+/// `None` when [`alias::collisions`] does not model the spec's index
+/// structure — the ranking would silently drop its interference term.
+#[must_use]
+pub fn rank_h2p(
+    spec: &PredictorSpec,
+    program: &Program,
+    analysis: &Analysis,
+) -> Option<Vec<H2pSite>> {
+    let bounds = taken_bounds(program, analysis);
+    let biased: Vec<(u64, StaticBias)> = analysis
+        .sites
+        .iter()
+        .zip(&bounds)
+        .map(|(s, b)| (s.pc, b.bias()))
+        .collect();
+    let pairs = alias::collisions(spec, &biased)?;
+    let trips = loop_trips(analysis);
+    let mut ranked: Vec<H2pSite> = analysis
+        .sites
+        .iter()
+        .zip(&bounds)
+        .filter(|(s, _)| s.reachable)
+        .map(|(s, b)| {
+            let mut destructive = 0;
+            let mut possible = 0;
+            let mut benign = 0;
+            for pair in pairs.iter().filter(|c| c.pc_a == s.pc || c.pc_b == s.pc) {
+                if !pair.opposite_bias {
+                    benign += 1;
+                } else if pair.definite && !pair.tag_filtered {
+                    destructive += 1;
+                } else {
+                    possible += 1;
+                }
+            }
+            let inherent = b.estimate.min(1.0 - b.estimate);
+            #[allow(clippy::cast_precision_loss)]
+            let penalty =
+                DESTRUCTIVE_PENALTY * destructive as f64 + POSSIBLE_PENALTY * possible as f64;
+            let weight = execution_weight(analysis, &trips, s.index);
+            H2pSite {
+                pc: s.pc,
+                index: s.index,
+                bounds: *b,
+                weight,
+                inherent,
+                destructive,
+                possible,
+                benign,
+                score: weight * (inherent + penalty).min(1.0),
+                text: s.text.clone(),
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.pc.cmp(&b.pc)));
+    Some(ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use bpred_sim::assemble;
+
+    #[test]
+    fn counted_back_edge_gets_exact_trip_bounds() {
+        let p = assemble(
+            r"
+                  li r1, 10
+                  li r2, 0
+            loop: addi r2, r2, 1
+                  blt r2, r1, loop
+                  halt
+            ",
+        )
+        .expect("assembles");
+        let a = analyze(&p);
+        let b = taken_bounds(&p, &a);
+        assert_eq!(b.len(), 1);
+        assert!(b[0].exact);
+        assert!((b[0].estimate - 0.9).abs() < 1e-12);
+        assert_eq!(b[0].lo, b[0].hi);
+        assert_eq!(b[0].bias(), StaticBias::Taken);
+    }
+
+    #[test]
+    fn decided_condition_gets_certain_bounds() {
+        // beq r0, r0 always resolves taken; the skipped increment is
+        // provably dead.
+        let p = assemble(
+            r"
+                  beq r0, r0, skip
+                  addi r1, r1, 1
+            skip: halt
+            ",
+        )
+        .expect("assembles");
+        let a = analyze(&p);
+        let b = taken_bounds(&p, &a);
+        assert_eq!(b.len(), 1);
+        assert_eq!((b[0].lo, b[0].hi, b[0].exact), (1.0, 1.0, true));
+    }
+
+    #[test]
+    fn data_dependent_guard_keeps_trivial_bounds() {
+        let p = assemble(
+            r"
+                  lw r1, (r0)
+                  blt r1, r0, neg
+                  halt
+            neg:  halt
+            ",
+        )
+        .expect("assembles");
+        let a = analyze(&p);
+        let b = taken_bounds(&p, &a);
+        assert_eq!(b.len(), 1);
+        assert!(!b[0].exact);
+        assert_eq!((b[0].lo, b[0].hi), (0.0, 1.0));
+        assert_eq!(b[0].bias(), StaticBias::Mixed);
+    }
+
+    #[test]
+    fn ranking_puts_the_weakly_biased_loop_guard_first() {
+        // A 16-trip loop with a data-dependent guard inside it: both
+        // sites share the weight 16, but the guard's inherent bound
+        // (0.5) dwarfs the back edge's (1/16).
+        let p = assemble(
+            r"
+                  li r1, 16
+                  li r2, 0
+            loop: lw r3, (r2)
+                  blt r3, r0, skip
+                  addi r4, r4, 1
+            skip: addi r2, r2, 1
+                  blt r2, r1, loop
+                  halt
+            ",
+        )
+        .expect("assembles");
+        let a = analyze(&p);
+        let spec: PredictorSpec = "gshare:s=10,h=10".parse().expect("parses");
+        let ranked = rank_h2p(&spec, &p, &a).expect("gshare is modelled");
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].index, 3, "the guard outranks the back edge");
+        assert!(ranked[0].score > ranked[1].score);
+        assert!((ranked[0].weight - 16.0).abs() < 1e-9);
+        assert!((ranked[1].weight - 16.0).abs() < 1e-9);
+        assert!(ranked[1].bounds.exact);
+    }
+
+    #[test]
+    fn unmodelled_specs_rank_nothing() {
+        let p = assemble("li r1, 1\nbeq r1, r0, out\nout: halt").expect("assembles");
+        let a = analyze(&p);
+        let spec: PredictorSpec = "gskew:s=10,h=10".parse().expect("parses");
+        assert!(rank_h2p(&spec, &p, &a).is_none());
+    }
+
+    #[test]
+    fn unreachable_sites_stay_out_of_the_ranking() {
+        let p = assemble("halt\nbeq r0, r0, skip\nskip: halt").expect("assembles");
+        let a = analyze(&p);
+        let spec: PredictorSpec = "bimodal:s=10".parse().expect("parses");
+        let ranked = rank_h2p(&spec, &p, &a).expect("bimodal is modelled");
+        assert!(ranked.is_empty());
+    }
+}

@@ -14,8 +14,12 @@
 //! * [`loops`] — dominators, natural loops, and the classification of
 //!   every conditional site as loop back edge, loop exit, forward
 //!   guard, or irreducible;
-//! * [`absint`] — bounded constant propagation resolving trip counts of
-//!   counted loops;
+//! * [`absint`] — abstract interpretation over an interval + known-bits
+//!   domain (widening/narrowing fixpoint), resolving trip counts of
+//!   counted loops and bounding per-site branch operand values;
+//! * [`h2p`] — per-site taken-probability bounds (trip counts, decided
+//!   conditions, Ball–Larus-style shape heuristics) composed with the
+//!   alias model into a statically-ranked hard-to-predict list;
 //! * [`alias`] — which static site pairs can collide in a predictor's
 //!   pattern-history table, per [`bpred_core::PredictorSpec`];
 //! * [`audit`] — internal-consistency checks wired into `bpred-check`.
@@ -31,14 +35,16 @@ pub mod absint;
 pub mod alias;
 pub mod audit;
 pub mod cfg;
+pub mod h2p;
 pub mod loops;
 
 use bpred_sim::{disassemble, Instruction, Program};
 
-pub use absint::{trip_counts, ConstantFlow, Value};
+pub use absint::{decide, trip_counts, AbsFlow, AbsVal, Value};
 pub use alias::{collisions, CollisionPair};
 pub use audit::audit;
 pub use cfg::{Block, Cfg, Edge, EdgeKind, OutOfBoundsTarget};
+pub use h2p::{rank_h2p, taken_bounds, H2pSite, TakenBounds};
 pub use loops::{
     classify_site, innermost_loop, natural_loops, BranchRole, Dominators, NaturalLoop,
 };
@@ -109,8 +115,8 @@ pub struct Analysis {
     pub loops: Vec<NaturalLoop>,
     /// Irreducible retreating edges `(tail, head)`.
     pub irreducible: Vec<(usize, usize)>,
-    /// Constant-propagation fixpoint.
-    pub flow: ConstantFlow,
+    /// Abstract-interpretation fixpoint (interval + known-bits).
+    pub flow: AbsFlow,
     /// One report per conditional branch site, in program order.
     pub sites: Vec<SiteReport>,
 }
@@ -140,7 +146,7 @@ pub fn analyze(program: &Program) -> Analysis {
     let cfg = Cfg::build(program);
     let doms = Dominators::compute(&cfg);
     let (loops, irreducible) = natural_loops(&cfg, &doms);
-    let flow = ConstantFlow::compute(program, &cfg);
+    let flow = AbsFlow::compute(program, &cfg);
     let trips = trip_counts(program, &cfg, &flow, &loops);
     let sites = Cfg::conditional_sites(program)
         .into_iter()

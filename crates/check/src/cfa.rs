@@ -19,7 +19,7 @@
 //! The unregistered `string_search` kernel has no trace generator, so
 //! it gets the structural audit only.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use bpred_workloads::{sim_kernel_program, Scale, Suite, Workload};
 
@@ -123,6 +123,179 @@ fn audit_workload(w: &Workload) -> KernelAudit {
     }
 }
 
+/// Result of the `cfa/absint` soundness audit on one kernel: the
+/// abstract interpreter's per-site value sets and taken-probability
+/// bounds checked against a full dynamic replay.
+#[derive(Debug, Clone)]
+pub struct AbsintAudit {
+    /// The workload name (`sim-...`) or `string-search`.
+    pub name: String,
+    /// Soundness violations found (empty means the pass is sound on
+    /// this kernel).
+    pub violations: Vec<String>,
+    /// Dynamic branch executions whose operand values were checked
+    /// against the abstract state (0 for the program-only kernel).
+    pub observations: u64,
+    /// Conditional sites whose taken-probability bounds were checked.
+    pub sites: usize,
+}
+
+/// Slack for comparing an observed taken fraction against the static
+/// bounds: both sides are exact rationals rounded once into `f64`, so
+/// anything beyond a few ulps is a genuine soundness breach.
+const FRACTION_EPS: f64 = 1e-9;
+
+/// How many individual operand escapes are listed verbatim before the
+/// remainder is summarised as a count.
+const LISTED_ESCAPES: usize = 5;
+
+/// Audits the abstract interpreter against every kernel at smoke scale:
+/// replays each traced kernel in the ISA machine and asserts that every
+/// observed branch-operand value lies inside the abstract value set at
+/// that site, and that every site's observed taken fraction lies inside
+/// its static [`bpred_cfa::TakenBounds`]. An escape on either front is
+/// an unsound transfer function, widening, or trip-count resolution —
+/// a hard verify failure. The untraced `string_search` kernel gets the
+/// static well-formedness audit only.
+#[must_use]
+pub fn audit_absint() -> Vec<AbsintAudit> {
+    let mut results = Vec::new();
+    for w in Workload::all() {
+        if w.suite() != Suite::SimKernels {
+            continue;
+        }
+        results.push(absint_workload(&w));
+    }
+
+    let source = bpred_sim::kernels::string_search_source(400);
+    let mut violations = Vec::new();
+    let mut sites = 0;
+    match bpred_sim::assemble(&source) {
+        Ok(program) => {
+            let analysis = bpred_cfa::analyze(&program);
+            let bounds = bpred_cfa::taken_bounds(&program, &analysis);
+            sites = bounds.len();
+            check_bound_shapes(&analysis, &bounds, &mut violations);
+        }
+        Err(e) => violations.push(format!("string_search does not assemble: {e}")),
+    }
+    results.push(AbsintAudit {
+        name: "string-search".to_owned(),
+        violations,
+        observations: 0,
+        sites,
+    });
+    results
+}
+
+/// Static well-formedness of the per-site bounds: every interval must
+/// sit inside `[0, 1]` and bracket its own point estimate.
+fn check_bound_shapes(
+    analysis: &bpred_cfa::Analysis,
+    bounds: &[bpred_cfa::TakenBounds],
+    violations: &mut Vec<String>,
+) {
+    for (site, b) in analysis.sites.iter().zip(bounds) {
+        if !(0.0 <= b.lo && b.lo <= b.estimate && b.estimate <= b.hi && b.hi <= 1.0) {
+            violations.push(format!(
+                "site {} ({}): malformed bounds [{}, {}] around estimate {}",
+                site.pc, site.text, b.lo, b.hi, b.estimate
+            ));
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn absint_workload(w: &Workload) -> AbsintAudit {
+    let name = w.name().to_owned();
+    let Some(program) = sim_kernel_program(w.name(), Scale::Smoke) else {
+        return AbsintAudit {
+            name,
+            violations: vec!["workload is not program-backed".to_owned()],
+            observations: 0,
+            sites: 0,
+        };
+    };
+    let analysis = bpred_cfa::analyze(&program);
+    let bounds = bpred_cfa::taken_bounds(&program, &analysis);
+    let mut violations = Vec::new();
+    check_bound_shapes(&analysis, &bounds, &mut violations);
+
+    // The abstract operand values per site, computed once so the replay
+    // loop only does interval membership tests.
+    let mut operands = BTreeMap::new();
+    for s in &analysis.sites {
+        if let Some(vals) = analysis.flow.operands_at(&program, &analysis.cfg, s.index) {
+            operands.insert(s.index, vals);
+        }
+    }
+
+    // Replay the kernel; every conditional execution must land inside
+    // the abstract value set at its site.
+    let mut observations = 0u64;
+    let mut escapes = 0u64;
+    let mut unanalyzed = 0u64;
+    let mut dynamic: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    let replayed = bpred_workloads::sim_kernel_observed(w.name(), Scale::Smoke, &mut |o| {
+        observations += 1;
+        let slot = dynamic.entry(o.index).or_insert((0u64, 0u64));
+        slot.0 += u64::from(o.taken);
+        slot.1 += 1;
+        if let Some(&(a, b)) = operands.get(&o.index) {
+            if !a.contains(o.rs) || !b.contains(o.rt) {
+                escapes += 1;
+                if violations.len() < LISTED_ESCAPES {
+                    violations.push(format!(
+                        "site [{}] pc {:#x}: observed operands ({}, {}) escape the abstract values {a:?} / {b:?}",
+                        o.index, o.pc, o.rs, o.rt
+                    ));
+                }
+            }
+        } else {
+            unanalyzed += 1;
+        }
+    });
+    if replayed.is_none() {
+        violations.push("workload has no observed replay".to_owned());
+    }
+    if escapes > 0 {
+        violations.push(format!(
+            "{escapes} of {observations} observed operand pairs escape the abstract value sets"
+        ));
+    }
+    if unanalyzed > 0 {
+        violations.push(format!(
+            "{unanalyzed} dynamic branch executions hit instruction indices with no abstract operands"
+        ));
+    }
+
+    // Every executed site's observed taken fraction must respect the
+    // static bounds — `exact` bounds (decided conditions, resolved trip
+    // counts) most of all, since those collapse to a single point.
+    let mut sites = 0usize;
+    for (site, b) in analysis.sites.iter().zip(&bounds) {
+        let Some(&(taken, total)) = dynamic.get(&site.index) else {
+            continue; // never executed; site-set equality is cfa/audit's job
+        };
+        sites += 1;
+        #[allow(clippy::cast_precision_loss)]
+        let fraction = taken as f64 / total as f64;
+        if fraction < b.lo - FRACTION_EPS || fraction > b.hi + FRACTION_EPS {
+            violations.push(format!(
+                "site {:#x} ({}): observed taken fraction {fraction:.6} ({taken}/{total}) escapes the static bounds [{:.6}, {:.6}] (exact={})",
+                site.pc, site.text, b.lo, b.hi, b.exact
+            ));
+        }
+    }
+
+    AbsintAudit {
+        name,
+        violations,
+        observations,
+        sites,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +318,34 @@ mod tests {
                 assert_eq!(a.static_sites, a.dynamic_sites, "{}", a.name);
             }
         }
+    }
+
+    #[test]
+    fn the_abstract_interpreter_is_sound_on_every_kernel() {
+        let audits = audit_absint();
+        assert_eq!(audits.len(), 6, "{audits:?}");
+        for a in &audits {
+            assert!(a.violations.is_empty(), "{}: {:?}", a.name, a.violations);
+            assert!(a.sites > 0, "{} audited no sites", a.name);
+            if a.name == "string-search" {
+                assert_eq!(a.observations, 0);
+            } else {
+                assert!(a.observations > 0, "{} replayed nothing", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn an_unsound_abstraction_would_be_caught() {
+        // The audit's membership test: a value outside an abstract
+        // range must register as an escape the way the replay loop
+        // counts them.
+        let inside = bpred_cfa::Value::constant(3);
+        assert!(inside.contains(3));
+        assert!(!inside.contains(4), "a pinned constant admits nothing else");
+        assert!(
+            !bpred_cfa::Value::Bottom.contains(0),
+            "bottom admits no observation at all"
+        );
     }
 }

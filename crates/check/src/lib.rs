@@ -30,8 +30,11 @@
 //!   each with seeded mutants the checker must provably kill;
 //! * [`cfa`] — the static/dynamic cross-check: every kernel program's
 //!   CFG, dominator tree, and loop nest satisfy the structural
-//!   invariants, and the static conditional-site set equals the
-//!   dynamic trace's site set exactly;
+//!   invariants, the static conditional-site set equals the dynamic
+//!   trace's site set exactly, and the abstract interpreter is sound —
+//!   every observed branch-operand value lies inside the abstract
+//!   value set at its site and every observed taken fraction inside
+//!   the static taken-probability bounds;
 //! * [`experiments`] — the registry-vs-DESIGN.md completeness audit
 //!   (the harness supplies its registry names from `repro verify`;
 //!   this crate only parses the document side).
@@ -252,6 +255,37 @@ pub fn verify(root: &Path) -> VerifyReport {
     );
     report.record("cfa/audit", ok, detail);
 
+    // Abstract-interpretation soundness: every observed branch-operand
+    // value inside the abstract value set, every observed taken
+    // fraction inside the static bounds. An unsound widening fails the
+    // verify run here, it is not a statistic.
+    let audits = cfa::audit_absint();
+    let mut all_violations: Vec<String> = Vec::new();
+    let (mut observations, mut sites) = (0u64, 0usize);
+    for a in &audits {
+        observations += a.observations;
+        sites += a.sites;
+        for v in &a.violations {
+            all_violations.push(format!("{}: {v}", a.name));
+        }
+        let (ok, detail) = first_or(
+            &a.violations,
+            format!(
+                "{} observed executions inside the abstract sets, {} site bounds hold",
+                a.observations, a.sites
+            ),
+        );
+        report.record(format!("cfa/absint@{}", a.name), ok, detail);
+    }
+    let (ok, detail) = first_or(
+        &all_violations,
+        format!(
+            "{} kernels: {observations} observed executions, {sites} site bounds, all sound",
+            audits.len()
+        ),
+    );
+    report.record("cfa/absint", ok, detail);
+
     // Repo source rules.
     match lint::lint_repo(root) {
         Ok(lint) => {
@@ -334,10 +368,22 @@ mod tests {
         // Coverage floor from the acceptance criteria: every variant at
         // two or more down-scaled configs, the aggregate audits, and
         // the race/* model-check group.
+        // `repro verify` layers the registry/design-coverage check and
+        // one smoke run per registered experiment on top of this
+        // report, so the CLI total sits 26 checks above this floor.
         assert!(
-            report.checks.len() > 65,
+            report.checks.len() >= 89,
             "only {} checks ran",
             report.checks.len()
+        );
+        assert_eq!(
+            report
+                .checks
+                .iter()
+                .filter(|c| c.name.starts_with("cfa/absint"))
+                .count(),
+            7,
+            "cfa/absint soundness group incomplete"
         );
         assert_eq!(
             report

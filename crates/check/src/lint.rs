@@ -1,7 +1,7 @@
 //! The repo lint pass: deny-by-default source rules the compiler cannot
 //! enforce.
 //!
-//! Seven rules, scanned line-by-line over the workspace's library
+//! Eight rules, scanned line-by-line over the workspace's library
 //! sources (test modules and `src/bin/` binaries are exempt):
 //!
 //! 1. **`cast`** — no truncating `as` casts (`as u8`/`u16`/`u32`/`i8`/
@@ -40,10 +40,19 @@
 //!    grammar so the compiler flags each growth site, or carry a
 //!    `grammar-audited:` comment (same adjacency rule as
 //!    `panic-audited:`) claiming why a default is semantically total.
+//! 8. **`stale-audit`** — every audit marker (`cast-audited:`,
+//!    `panic-audited:`, `ordering-audited:`, `grammar-audited:`) must
+//!    sit on — or, where its rule honours adjacent comment lines,
+//!    beside — a line that rule would otherwise flag. A marker that
+//!    outlives its flagged site is a dangling review claim: the next
+//!    edit could reintroduce the hazard under an already-"audited"
+//!    banner. Backtick-quoted mentions in prose (like the ones in this
+//!    paragraph) are exempt.
 //!
 //! The scanner is deliberately simple (line-based, brace-counted test
 //! module tracking) so it has no parser dependency; it errs on the side
-//! of flagging, and the two audit markers are the only escape hatches.
+//! of flagging, the audit markers are the only escape hatches, and
+//! rule 8 keeps every marker pinned to a live flagged site.
 
 use std::fmt;
 use std::fs;
@@ -58,7 +67,7 @@ pub struct LintViolation {
     /// 1-based line number (0 for whole-file rules).
     pub line: usize,
     /// The rule that fired: `cast`, `panic`, `unsafe`, `pc-cast`,
-    /// `sync`, `ordering`, or `grammar`.
+    /// `sync`, `ordering`, `grammar`, or `stale-audit`.
     pub rule: &'static str,
     /// What was found.
     pub message: String,
@@ -154,6 +163,13 @@ const CMP_ORDERING: &str = concat!("cmp::", "Ordering");
 /// source does not match it.
 const GRAMMAR_NEEDLE: &str = concat!("PredictorSpec", "::");
 
+/// The audit-marker spellings, assembled so the scanner's own source
+/// does not trip the stale-audit rule on itself.
+const CAST_MARKER: &str = concat!("cast-audited", ":");
+const PANIC_MARKER: &str = concat!("panic-audited", ":");
+const ORDERING_MARKER: &str = concat!("ordering-audited", ":");
+const GRAMMAR_MARKER: &str = concat!("grammar-audited", ":");
+
 fn is_comment_only(trimmed: &str) -> bool {
     trimmed.starts_with("//")
 }
@@ -172,6 +188,34 @@ fn marker_audited(lines: &[&str], index: usize, marker: &str) -> bool {
     };
     (index > 0 && neighbour_audited(index - 1))
         || (index + 1 < lines.len() && neighbour_audited(index + 1))
+}
+
+/// Whether `line` carries `marker` outside backticks. A doc sentence
+/// quoting the marker in backticks is a mention, not an audit claim,
+/// and stays out of the stale-audit rule's scope.
+fn marker_mentioned(line: &str, marker: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(marker) {
+        let at = start + pos;
+        if at == 0 || bytes[at - 1] != b'`' {
+            return true;
+        }
+        start = at + marker.len();
+    }
+    false
+}
+
+/// Per-line scan record for the stale-audit rule: whether the line was
+/// inside the scanned (non-test) region, and which rules would fire on
+/// it absent a marker.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineScan {
+    scanned: bool,
+    cast: bool,
+    panic: bool,
+    ordering: bool,
+    grammar: bool,
 }
 
 /// Scans one library source file. `relative` is the repo-relative path
@@ -193,6 +237,10 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
     // the same `match` and would swallow later grammar growth; depths
     // are forgotten as soon as their block closes.
     let mut grammar_depths: Vec<i64> = Vec::new();
+
+    // Rule 8 state: which rules would fire on each scanned line. Filled
+    // during the main walk, consumed by the stale-audit pass below.
+    let mut scans = vec![LineScan::default(); lines.len()];
 
     for (index, &line) in lines.iter().enumerate() {
         let number = index + 1;
@@ -223,12 +271,20 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
         depth += braces;
         grammar_depths.retain(|&d| d <= depth);
 
+        scans[index].scanned = true;
         if is_comment_only(trimmed) {
             continue;
         }
+        scans[index].cast = (cast_scoped && NARROWING.iter().any(|n| line.contains(*n)))
+            || (pc_cast_scoped && line.contains(" as usize"));
+        scans[index].panic = line.contains(EXPECT_NEEDLE);
+        scans[index].ordering = line.contains(ORDERING_NEEDLE) && !line.contains(CMP_ORDERING);
+        scans[index].grammar = !line.contains(GRAMMAR_NEEDLE)
+            && trimmed.starts_with("_ =>")
+            && grammar_depths.contains(&arm_depth);
 
         if cast_scoped {
-            if line.contains("cast-audited:") {
+            if line.contains(CAST_MARKER) {
                 report.audited_sites += 1;
             } else if let Some(hit) = NARROWING.iter().find(|n| line.contains(*n)) {
                 report.violations.push(LintViolation {
@@ -244,7 +300,7 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
         }
 
         if pc_cast_scoped && line.contains(" as usize") {
-            if line.contains("cast-audited:") {
+            if line.contains(CAST_MARKER) {
                 report.audited_sites += 1;
             } else {
                 report.violations.push(LintViolation {
@@ -270,7 +326,7 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
         }
 
         if line.contains(ORDERING_NEEDLE) && !line.contains(CMP_ORDERING) {
-            if marker_audited(&lines, index, "ordering-audited:") {
+            if marker_audited(&lines, index, ORDERING_MARKER) {
                 report.audited_sites += 1;
             } else {
                 report.violations.push(LintViolation {
@@ -289,7 +345,7 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
                 grammar_depths.push(arm_depth);
             }
         } else if trimmed.starts_with("_ =>") && grammar_depths.contains(&arm_depth) {
-            if marker_audited(&lines, index, "grammar-audited:") {
+            if marker_audited(&lines, index, GRAMMAR_MARKER) {
                 report.audited_sites += 1;
             } else {
                 report.violations.push(LintViolation {
@@ -311,7 +367,7 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
                         .to_owned(),
             });
         } else if line.contains(EXPECT_NEEDLE) {
-            if marker_audited(&lines, index, "panic-audited:") {
+            if marker_audited(&lines, index, PANIC_MARKER) {
                 report.audited_sites += 1;
             } else {
                 report.violations.push(LintViolation {
@@ -319,6 +375,45 @@ pub fn scan_source(relative: &str, source: &str, report: &mut LintReport) {
                     line: number,
                     rule: "panic",
                     message: "`expect` without a `panic-audited:` justification".to_owned(),
+                });
+            }
+        }
+    }
+
+    // Rule 8: every audit marker must sit where its rule would fire.
+    // The cast marker is honoured on the flagged line only; the other
+    // three are also honoured on an adjacent comment-only line, so a
+    // comment-only marker is live when either neighbour triggers.
+    type Trigger = fn(LineScan) -> bool;
+    let markers: [(&str, &str, Trigger, bool); 4] = [
+        (CAST_MARKER, "cast", |s| s.cast, false),
+        (PANIC_MARKER, "panic", |s| s.panic, true),
+        (ORDERING_MARKER, "ordering", |s| s.ordering, true),
+        (GRAMMAR_MARKER, "grammar", |s| s.grammar, true),
+    ];
+    for (index, &line) in lines.iter().enumerate() {
+        if !scans[index].scanned {
+            continue;
+        }
+        for &(marker, rule, trigger, adjacency) in &markers {
+            if !marker_mentioned(line, marker) {
+                continue;
+            }
+            let live = if is_comment_only(line.trim()) {
+                adjacency
+                    && ((index > 0 && trigger(scans[index - 1]))
+                        || (index + 1 < lines.len() && trigger(scans[index + 1])))
+            } else {
+                trigger(scans[index])
+            };
+            if !live {
+                report.violations.push(LintViolation {
+                    file: relative.to_owned(),
+                    line: index + 1,
+                    rule: "stale-audit",
+                    message: format!(
+                        "`{marker}` marker with no `{rule}`-rule trigger on or beside this line: the audited site is gone, so delete the marker or move it back to the flagged line"
+                    ),
                 });
             }
         }
@@ -601,6 +696,101 @@ mod tests {
         let nested = "match spec {\n    PredictorSpec::Gshare { table_bits, .. } => match table_bits {\n        0 => small(),\n        _ => big(),\n    },\n    PredictorSpec::AlwaysTaken => t(),\n}\n";
         let n = scan("crates/demo/src/lanes.rs", nested);
         assert!(n.passed(), "{:?}", n.violations);
+    }
+
+    #[test]
+    fn stale_audit_markers_are_denied() {
+        // Positive: a marker on a line its rule would never flag fires,
+        // whether trailing on code or on a free-floating comment line.
+        let trailing = scan(
+            "crates/demo/src/a.rs",
+            &format!("let x = 1; // {} nothing here needs it\n", PANIC_MARKER),
+        );
+        assert_eq!(trailing.violations.len(), 1, "{:?}", trailing.violations);
+        assert_eq!(trailing.violations[0].rule, "stale-audit");
+        assert_eq!(trailing.violations[0].line, 1);
+        let floating = scan(
+            "crates/demo/src/a.rs",
+            &format!(
+                "let w = 0;\n// {} the expect was removed\nlet x = 1;\n",
+                ORDERING_MARKER
+            ),
+        );
+        assert_eq!(floating.violations.len(), 1, "{:?}", floating.violations);
+        assert_eq!(floating.violations[0].rule, "stale-audit");
+        assert_eq!(floating.violations[0].line, 2);
+        // A cast marker is honoured on the flagged line only, so even an
+        // adjacent comment-only cast marker is stale.
+        let cast_comment = scan(
+            "crates/core/src/index.rs",
+            &format!(
+                "// {} masked above\nlet i = (x & 7) as usize;\n",
+                CAST_MARKER
+            ),
+        );
+        assert!(
+            cast_comment
+                .violations
+                .iter()
+                .any(|v| v.rule == "stale-audit"),
+            "{:?}",
+            cast_comment.violations
+        );
+    }
+
+    #[test]
+    fn live_audit_markers_and_doc_mentions_stay_clean() {
+        // Negative: markers on (or beside) genuinely flagged lines pass.
+        let live_trailing = scan(
+            "crates/demo/src/a.rs",
+            &format!(
+                "let v = o.expect(\"set above\"); // {} checked two lines up\n",
+                PANIC_MARKER
+            ),
+        );
+        assert!(live_trailing.passed(), "{:?}", live_trailing.violations);
+        let live_adjacent = scan(
+            "crates/demo/src/a.rs",
+            &format!(
+                "// {} the chain is total\nlet v = chain().expect(\"finite\");\n",
+                PANIC_MARKER
+            ),
+        );
+        assert!(live_adjacent.passed(), "{:?}", live_adjacent.violations);
+        let live_cast = scan(
+            "crates/cfa/src/alias.rs",
+            &format!(
+                "let i = pc as usize; // {} bounded by program length\n",
+                CAST_MARKER
+            ),
+        );
+        assert!(live_cast.passed(), "{:?}", live_cast.violations);
+        let live_grammar = scan(
+            "crates/demo/src/lanes.rs",
+            &format!(
+                "match spec {{\n    PredictorSpec::Bimodal {{ table_bits }} => go(table_bits),\n    // {} cost alone, total over every variant\n    _ => None,\n}}\n",
+                GRAMMAR_MARKER
+            ),
+        );
+        assert!(live_grammar.passed(), "{:?}", live_grammar.violations);
+        // Backtick-quoted doc mentions are prose, not audit claims.
+        let doc_mention = scan(
+            "crates/demo/src/a.rs",
+            &format!(
+                "/// Carries a `{}` comment explaining why.\nfn f() {{}}\n",
+                CAST_MARKER
+            ),
+        );
+        assert!(doc_mention.passed(), "{:?}", doc_mention.violations);
+        // Markers inside test modules are exempt like every other rule.
+        let in_tests = scan(
+            "crates/demo/src/a.rs",
+            &format!(
+                "#[cfg(test)]\nmod tests {{\n    // {} test-local claim\n    fn g() {{}}\n}}\n",
+                ORDERING_MARKER
+            ),
+        );
+        assert!(in_tests.passed(), "{:?}", in_tests.violations);
     }
 
     #[test]

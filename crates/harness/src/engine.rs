@@ -15,8 +15,9 @@
 //! [`crate::observe::Observer`]; the engine carries no throughput
 //! plumbing of its own.
 
-use bpred_analysis::session::{BatchSession, SlicedSession};
+use bpred_analysis::session::{BatchSession, PackedSession, SlicedSession};
 use bpred_analysis::sliced::LaneSpec;
+use bpred_analysis::SiteMisses;
 use bpred_core::{Predictor, PredictorSpec};
 use bpred_trace::{PackedTrace, SEAL_RECORDS};
 
@@ -37,6 +38,25 @@ fn feed_chunked<F: FnMut(std::ops::Range<usize>)>(len: usize, mut feed: F) {
         feed(start..end);
         start = end;
     }
+}
+
+/// Per-site misprediction table of `spec` over one packed trace,
+/// driven through a chunk-fed [`PackedSession`] with site tracking on
+/// — the same session geometry the sweep and streaming paths use, so
+/// the rows are reproducible from any chunking of the same records.
+#[must_use]
+pub fn site_miss_table(trace: &PackedTrace, spec: &PredictorSpec) -> Vec<SiteMisses> {
+    let mut session = PackedSession::<_, dyn Predictor>::new(spec.build());
+    session.track_sites();
+    feed_chunked(trace.len(), |range| {
+        session.feed(range.map(|i| trace.record(i)));
+    });
+    let rows = session
+        .site_tally()
+        .map(bpred_analysis::SiteTally::rows)
+        .unwrap_or_default();
+    let _ = session.finish();
+    rows
 }
 
 /// The average of one configuration's per-trace rates (0 for none).

@@ -306,6 +306,152 @@ fn alias_sections(report: &mut Report, kernels: &[Kernel]) {
     }
 }
 
+/// How many sites the static-vs-dynamic H2P cross-check compares.
+const CROSS_K: usize = 4;
+
+/// `cfa.bias`: per-site misprediction concentration per (kernel,
+/// predictor family), cross-checked against the static H2P ranking.
+///
+/// The dynamic half drives each [`ALIAS_SPECS`] predictor over each
+/// sim-kernel trace with per-site attribution on (each table persisted
+/// as one content-addressed store job); the static half is
+/// [`bpred_cfa::rank_h2p`] over the kernel's program. Agreement is the
+/// overlap of the two top-[`CROSS_K`] sets, with every disagreement
+/// listed — same contract as `cfa.report`'s bias cross-check.
+#[must_use]
+pub fn cfa_bias(set: &TraceSet) -> Report {
+    let mut report = Report::new(
+        "cfa.bias",
+        "Misprediction concentration vs static H2P ranking",
+    );
+
+    let mut concentration = Table::new([
+        "kernel", "spec", "sites", "misses", "top-1", "top-2", "top-4", "top-8",
+    ]);
+    let mut disagreements = Table::new(["kernel", "spec", "site", "ranked by", "detail"]);
+    let (mut candidates, mut agreed) = (0u64, 0u64);
+    let mut kernels = 0u64;
+
+    for (w, trace) in set.suite(Suite::SimKernels) {
+        let Some(program) = sim_kernel_program(w.name(), set.scale()) else {
+            continue;
+        };
+        let Some(packed) = set.packed(w.name()) else {
+            continue;
+        };
+        kernels += 1;
+        let analysis = bpred_cfa::analyze(&program);
+        for spec_text in ALIAS_SPECS {
+            let spec: PredictorSpec = spec_text
+                .parse()
+                // panic-audited: ALIAS_SPECS is compile-time, grammar-tested
+                .expect("alias spec parses");
+            // The stored artefact: one per-site miss table per
+            // (spec fingerprint, trace digest) point.
+            let mut rows =
+                store::cached_site_misses(JobSpec::site_misses(&spec).job(trace.digest()), || {
+                    crate::engine::site_miss_table(packed, &spec)
+                });
+            rows.sort_by(|a, b| {
+                b.mispredictions
+                    .cmp(&a.mispredictions)
+                    .then(a.pc.cmp(&b.pc))
+            });
+            let total: u64 = rows.iter().map(|r| r.mispredictions).sum();
+            let frac = |k: usize| {
+                let top: u64 = rows.iter().take(k).map(|r| r.mispredictions).sum();
+                #[allow(clippy::cast_precision_loss)]
+                if total == 0 {
+                    0.0
+                } else {
+                    top as f64 / total as f64
+                }
+            };
+            concentration.push_row([
+                w.name().to_owned(),
+                (*spec_text).to_owned(),
+                rows.len().to_string(),
+                total.to_string(),
+                format!("{:.3}", frac(1)),
+                format!("{:.3}", frac(2)),
+                format!("{:.3}", frac(4)),
+                format!("{:.3}", frac(8)),
+            ]);
+
+            let Some(ranked) = bpred_cfa::rank_h2p(&spec, &program, &analysis) else {
+                report.note(format!(
+                    "{spec_text}: index function not statically modelled"
+                ));
+                continue;
+            };
+            let k = CROSS_K.min(rows.len()).min(ranked.len());
+            let dynamic_top: BTreeSet<u64> = rows.iter().take(k).map(|r| r.pc).collect();
+            let static_top: BTreeSet<u64> = ranked.iter().take(k).map(|s| s.pc).collect();
+            candidates += k as u64;
+            agreed += dynamic_top.intersection(&static_top).count() as u64;
+            for pc in dynamic_top.difference(&static_top) {
+                let misses = rows
+                    .iter()
+                    .find(|r| r.pc == *pc)
+                    .map_or(0, |r| r.mispredictions);
+                let text = analysis
+                    .site_at(*pc)
+                    .map_or_else(|| "unknown site".to_owned(), |s| s.text.clone());
+                disagreements.push_row([
+                    w.name().to_owned(),
+                    (*spec_text).to_owned(),
+                    format!("{pc:#x}"),
+                    "dynamic only".to_owned(),
+                    format!("{misses} misses; {text}"),
+                ]);
+            }
+            for pc in static_top.difference(&dynamic_top) {
+                let site = ranked
+                    .iter()
+                    .find(|s| s.pc == *pc)
+                    // panic-audited: pc was drawn from `ranked` above
+                    .expect("static top-k site is in the ranking");
+                disagreements.push_row([
+                    w.name().to_owned(),
+                    (*spec_text).to_owned(),
+                    format!("{pc:#x}"),
+                    "static only".to_owned(),
+                    format!(
+                        "score {:.2} (weight {:.0}, inherent {:.2}, {} destructive); {}",
+                        site.score, site.weight, site.inherent, site.destructive, site.text
+                    ),
+                ]);
+            }
+        }
+    }
+
+    if kernels == 0 {
+        report.note(
+            "no sim-kernel traces in this pool; the concentration study needs \
+             the sim-kernels suite (e.g. `repro run cfa.bias`)",
+        );
+        return report;
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    let pct = if candidates == 0 {
+        100.0
+    } else {
+        100.0 * agreed as f64 / candidates as f64
+    };
+    report.note(format!(
+        "H2P agreement: {agreed}/{candidates} of the top-{CROSS_K} sites \
+         match between the static ranking and the measured miss tables \
+         ({pct:.1}%); every disagreement is listed."
+    ));
+    report.section(
+        "misprediction concentration (fraction from top-k sites)",
+        concentration,
+    );
+    report.section("static-vs-dynamic top-k disagreements", disagreements);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +498,35 @@ mod tests {
         let report = cfa_report(&set);
         assert!(report.sections.is_empty());
         assert_eq!(report.notes.len(), 1);
+        let report = cfa_bias(&set);
+        assert!(report.sections.is_empty());
+        assert_eq!(report.notes.len(), 1);
+    }
+
+    #[test]
+    fn bias_report_covers_every_kernel_and_family_and_lists_disagreements() {
+        let report = cfa_bias(&sim_set());
+        let concentration = &report.sections[0].1;
+        // 5 kernels x 3 predictor families, one concentration row each.
+        assert_eq!(concentration.len(), 15, "{report}");
+        let agreement = report
+            .notes
+            .iter()
+            .find(|n| n.contains("H2P agreement"))
+            .expect("agreement note present");
+        assert!(
+            agreement.contains("every disagreement is listed"),
+            "{agreement}"
+        );
+        // The note carries a real candidate population (5 kernels x 3
+        // specs x up to CROSS_K sites each).
+        assert!(
+            !agreement.contains("/0 "),
+            "cross-check must have candidates: {agreement}"
+        );
+        // A second run is served entirely from the store and renders
+        // the identical report.
+        let again = cfa_bias(&sim_set());
+        assert_eq!(format!("{report}"), format!("{again}"));
     }
 }

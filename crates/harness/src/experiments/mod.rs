@@ -13,7 +13,7 @@ pub use ablations::{
     ablation_choice_size, ablation_choice_update, ablation_delay, ablation_flush, ablation_index,
     ablation_init, aliasing_taxonomy, compare_dealias, future_trimode, warmup_curves,
 };
-pub use cfa::cfa_report;
+pub use cfa::{cfa_bias, cfa_report};
 pub use figures::{fig2, fig34, fig5, fig6, fig78};
 pub use summary::summary;
 pub use tables::{table1, table2, table3, table4};

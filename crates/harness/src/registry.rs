@@ -132,6 +132,9 @@ fn run_warmup(set: &TraceSet, _jobs: Option<usize>) -> Report {
 fn run_cfa(set: &TraceSet, _jobs: Option<usize>) -> Report {
     experiments::cfa_report(set)
 }
+fn run_cfa_bias(set: &TraceSet, _jobs: Option<usize>) -> Report {
+    experiments::cfa_bias(set)
+}
 
 /// The registry, in paper order: tables and figures first, then the
 /// ablations and extensions. DESIGN.md §4 is the human-readable index;
@@ -343,6 +346,15 @@ pub const REGISTRY: &[ExperimentDef] = &[
         scales: ALL_SCALES,
         grid: "5 kernel programs x 2 alias configs (static)",
         runner: run_cfa,
+    },
+    ExperimentDef {
+        name: "cfa.bias",
+        artefact: "§2 H2P structure",
+        doc: "per-site misprediction concentration vs static H2P ranking",
+        suites: SIM,
+        scales: ALL_SCALES,
+        grid: "5 kernel programs x 3 predictor families, top-k curves",
+        runner: run_cfa_bias,
     },
     ExperimentDef {
         name: "summary",

@@ -198,6 +198,9 @@ enum Kind {
     /// Per-kernel dynamic site table for the static/dynamic CFA
     /// cross-check (fingerprint: the program's disassembly digest).
     Cfa = 6,
+    /// Per-site misprediction attribution of one predictor over one
+    /// trace ([`bpred_analysis::SiteMisses`] rows).
+    SiteMisses = 7,
 }
 
 /// The configuration half of a job key: measurement kind, spec
@@ -266,6 +269,13 @@ impl JobSpec {
     #[must_use]
     pub fn cfa(program_digest: u64) -> Self {
         Self::new(Kind::Cfa, program_digest, 0)
+    }
+
+    /// A per-site misprediction table of `spec` — where the misses
+    /// land, not just how many.
+    #[must_use]
+    pub fn site_misses(spec: &PredictorSpec) -> Self {
+        Self::new(Kind::SiteMisses, spec.fingerprint(), 0)
     }
 
     /// Binds this configuration to one trace's content digest.
@@ -636,6 +646,46 @@ pub fn cached_sites(
     s
 }
 
+fn encode_site_misses(sites: &[bpred_analysis::SiteMisses]) -> Vec<u64> {
+    let mut words = Vec::with_capacity(1 + sites.len() * 3);
+    words.push(sites.len() as u64);
+    for s in sites {
+        words.extend_from_slice(&[s.pc, s.executions, s.mispredictions]);
+    }
+    words
+}
+
+fn decode_site_misses(words: &[u64]) -> Option<Vec<bpred_analysis::SiteMisses>> {
+    let (&n, rest) = words.split_first()?;
+    let n = usize::try_from(n).ok()?;
+    if rest.len() != n * 3 {
+        return None;
+    }
+    Some(
+        rest.chunks_exact(3)
+            .map(|c| bpred_analysis::SiteMisses {
+                pc: c[0],
+                executions: c[1],
+                mispredictions: c[2],
+            })
+            .collect(),
+    )
+}
+
+/// Serves a per-site misprediction table from the store or computes
+/// it.
+pub fn cached_site_misses(
+    job: Job,
+    compute: impl FnOnce() -> Vec<bpred_analysis::SiteMisses>,
+) -> Vec<bpred_analysis::SiteMisses> {
+    if let Some(s) = lookup(job).as_deref().and_then(decode_site_misses) {
+        return s;
+    }
+    let s = compute();
+    insert(job, &encode_site_misses(&s));
+    s
+}
+
 /// Serves a float series (warmup curve) from the store or computes it.
 /// Floats are stored as raw bits, so the round-trip is exact.
 pub fn cached_f64s(job: Job, compute: impl FnOnce() -> Vec<f64>) -> Vec<f64> {
@@ -726,6 +776,8 @@ mod tests {
             JobSpec::twopass(&g).job(d),
             JobSpec::alias(&g).job(d),
             JobSpec::warmup(&g, 512).job(d),
+            JobSpec::site_misses(&g).job(d),
+            JobSpec::site_misses(&b).job(d),
         ];
         for (i, a) in keys.iter().enumerate() {
             for (j, b) in keys.iter().enumerate() {
@@ -824,6 +876,33 @@ mod tests {
         };
         assert_eq!(decode_alias(&encode_alias(&r)), Some(r));
         assert_eq!(decode_alias(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn site_miss_tables_round_trip_through_the_store() {
+        let rows = vec![
+            bpred_analysis::SiteMisses {
+                pc: 0x0040_0010,
+                executions: 120,
+                mispredictions: 7,
+            },
+            bpred_analysis::SiteMisses {
+                pc: 0x0040_0020,
+                executions: 64,
+                mispredictions: 0,
+            },
+        ];
+        assert_eq!(
+            decode_site_misses(&encode_site_misses(&rows)).as_deref(),
+            Some(&rows[..])
+        );
+        assert_eq!(decode_site_misses(&encode_site_misses(&[])), Some(vec![]));
+        assert_eq!(decode_site_misses(&[2, 1, 2, 3]), None, "short payload");
+        let job = JobSpec::site_misses(&spec("gshare:s=6,h=6")).job(unique_digest(7));
+        let first = cached_site_misses(job, || rows.clone());
+        let second = cached_site_misses(job, || panic!("must be served from the store"));
+        assert_eq!(first, rows);
+        assert_eq!(second, rows);
     }
 
     #[test]

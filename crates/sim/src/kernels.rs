@@ -9,16 +9,29 @@
 use bpred_trace::Trace;
 
 use crate::asm::assemble;
-use crate::machine::Machine;
+use crate::machine::{BranchObservation, Machine};
 
 /// Builds and runs a kernel, returning its branch trace.
 fn run_kernel(name: &str, source: &str, memory_words: usize, max_steps: u64) -> Trace {
+    run_kernel_observed(name, source, memory_words, max_steps, &mut |_| {})
+}
+
+/// Like [`run_kernel`], additionally streaming every conditional branch
+/// (with its observed operand values) to `observe` — the dynamic ground
+/// truth the `cfa/absint` soundness audit compares against.
+fn run_kernel_observed(
+    name: &str,
+    source: &str,
+    memory_words: usize,
+    max_steps: u64,
+    observe: &mut dyn FnMut(&BranchObservation),
+) -> Trace {
     let program =
         assemble(source).unwrap_or_else(|e| panic!("kernel `{name}` failed to assemble: {e}"));
     let mut machine = Machine::with_memory(program, memory_words);
     let mut trace = Trace::new(name);
     machine
-        .run_into(max_steps, &mut trace)
+        .run_observed(max_steps, &mut trace, observe)
         .unwrap_or_else(|e| panic!("kernel `{name}` failed to run: {e}"));
     trace
 }
@@ -79,6 +92,16 @@ pub fn bubble_sort_source(n: usize) -> String {
 pub fn bubble_sort(n: usize) -> Trace {
     let source = bubble_sort_source(n);
     run_kernel("sim-bubble-sort", &source, n + 64, 200_000_000)
+}
+
+/// [`bubble_sort`], streaming per-branch operand observations.
+///
+/// # Panics
+///
+/// See [`bubble_sort`].
+pub fn bubble_sort_observed(n: usize, observe: &mut dyn FnMut(&BranchObservation)) -> Trace {
+    let source = bubble_sort_source(n);
+    run_kernel_observed("sim-bubble-sort", &source, n + 64, 200_000_000, observe)
 }
 
 /// Assembly text of the [`binary_search`] kernel.
@@ -162,6 +185,20 @@ pub fn binary_search(n: usize, queries: usize) -> Trace {
     run_kernel("sim-binary-search", &source, n + 64, 500_000_000)
 }
 
+/// [`binary_search`], streaming per-branch operand observations.
+///
+/// # Panics
+///
+/// See [`binary_search`].
+pub fn binary_search_observed(
+    n: usize,
+    queries: usize,
+    observe: &mut dyn FnMut(&BranchObservation),
+) -> Trace {
+    let source = binary_search_source(n, queries);
+    run_kernel_observed("sim-binary-search", &source, n + 64, 500_000_000, observe)
+}
+
 /// Assembly text of the [`sieve`] kernel.
 ///
 /// # Panics
@@ -221,6 +258,16 @@ pub fn sieve_source(n: usize) -> String {
 pub fn sieve(n: usize) -> Trace {
     let source = sieve_source(n);
     run_kernel("sim-sieve", &source, n + 64, 500_000_000)
+}
+
+/// [`sieve`], streaming per-branch operand observations.
+///
+/// # Panics
+///
+/// See [`sieve`].
+pub fn sieve_observed(n: usize, observe: &mut dyn FnMut(&BranchObservation)) -> Trace {
+    let source = sieve_source(n);
+    run_kernel_observed("sim-sieve", &source, n + 64, 500_000_000, observe)
 }
 
 /// Assembly text of the [`string_search`] kernel.
@@ -391,6 +438,16 @@ pub fn quicksort(n: usize) -> Trace {
     run_kernel("sim-quicksort", &source, 2 * n + 64, 600_000_000)
 }
 
+/// [`quicksort`], streaming per-branch operand observations.
+///
+/// # Panics
+///
+/// See [`quicksort`].
+pub fn quicksort_observed(n: usize, observe: &mut dyn FnMut(&BranchObservation)) -> Trace {
+    let source = quicksort_source(n);
+    run_kernel_observed("sim-quicksort", &source, 2 * n + 64, 600_000_000, observe)
+}
+
 /// Assembly text of the [`matmul`] kernel.
 ///
 /// # Panics
@@ -460,6 +517,16 @@ pub fn matmul_source(n: usize) -> String {
 pub fn matmul(n: usize) -> Trace {
     let source = matmul_source(n);
     run_kernel("sim-matmul", &source, 3 * n * n + 64, 600_000_000)
+}
+
+/// [`matmul`], streaming per-branch operand observations.
+///
+/// # Panics
+///
+/// See [`matmul`].
+pub fn matmul_observed(n: usize, observe: &mut dyn FnMut(&BranchObservation)) -> Trace {
+    let source = matmul_source(n);
+    run_kernel_observed("sim-matmul", &source, 3 * n * n + 64, 600_000_000, observe)
 }
 
 #[cfg(test)]

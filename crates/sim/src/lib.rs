@@ -38,4 +38,4 @@ pub mod machine;
 pub use asm::{assemble, AsmError};
 pub use disasm::disassemble;
 pub use isa::{Instruction, Program, Reg};
-pub use machine::{Machine, RunError};
+pub use machine::{BranchObservation, Machine, RunError};

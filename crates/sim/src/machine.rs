@@ -69,6 +69,24 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// One executed conditional branch together with the operand values the
+/// interpreter compared — the dynamic ground truth that `bpred-cfa`'s
+/// abstract per-site value sets and taken-probability bounds are audited
+/// against in `repro verify`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchObservation {
+    /// Instruction index of the branch.
+    pub index: usize,
+    /// Byte PC of the branch.
+    pub pc: u64,
+    /// Observed value of the branch's `rs` operand.
+    pub rs: i64,
+    /// Observed value of the branch's `rt` operand.
+    pub rt: i64,
+    /// Whether the branch was taken.
+    pub taken: bool,
+}
+
 /// A machine instance: registers, data memory, and a program.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -147,6 +165,24 @@ impl Machine {
     /// Returns a [`RunError`] on step-limit exhaustion, wild control
     /// transfer, bad memory access, or division by zero.
     pub fn run_into(&mut self, max_steps: u64, trace: &mut Trace) -> Result<(), RunError> {
+        self.run_observed(max_steps, trace, &mut |_| {})
+    }
+
+    /// Runs until `halt` like [`run_into`](Self::run_into), additionally
+    /// streaming every recorded conditional branch — with the operand
+    /// values the interpreter compared — to `observe`. The observations
+    /// correspond one-to-one, in order, with the conditional records
+    /// appended to `trace`.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_into`](Self::run_into).
+    pub fn run_observed(
+        &mut self,
+        max_steps: u64,
+        trace: &mut Trace,
+        observe: &mut dyn FnMut(&BranchObservation),
+    ) -> Result<(), RunError> {
         let limit = self.steps.saturating_add(max_steps);
         loop {
             if self.steps >= limit {
@@ -214,13 +250,21 @@ impl Machine {
                     rt,
                     target,
                 } => {
-                    let taken = cond.eval(self.reg(rs), self.reg(rt));
+                    let (a, b) = (self.reg(rs), self.reg(rt));
+                    let taken = cond.eval(a, b);
                     if taken && target >= self.program.instructions.len() {
                         return Err(RunError::BranchTargetOutOfBounds {
                             pc,
                             target: Program::pc_of(target),
                         });
                     }
+                    observe(&BranchObservation {
+                        index: self.pc_index,
+                        pc,
+                        rs: a,
+                        rt: b,
+                        taken,
+                    });
                     trace.push(BranchRecord::conditional(pc, Program::pc_of(target), taken));
                     if taken {
                         next = target;
@@ -442,6 +486,35 @@ mod tests {
             assert_eq!(r.pc % 4, 0);
             assert!(r.pc >= TEXT_BASE);
         }
+    }
+
+    #[test]
+    fn observed_run_matches_the_trace_record_for_record() {
+        let program = assemble(
+            r"
+                  li r1, 3
+            loop: addi r1, r1, -1
+                  bne r1, r0, loop
+                  halt
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::with_memory(program, 64);
+        let mut seen = Vec::new();
+        let mut trace = Trace::new("obs");
+        m.run_observed(1000, &mut trace, &mut |o| seen.push(*o))
+            .expect("halts");
+        let records: Vec<_> = trace.conditional().collect();
+        assert_eq!(seen.len(), records.len());
+        for (o, r) in seen.iter().zip(&records) {
+            assert_eq!(o.pc, r.pc);
+            assert_eq!(o.taken, r.taken);
+            assert_eq!(o.pc, Program::pc_of(o.index));
+            assert_eq!(o.rt, 0, "bne compares against r0");
+        }
+        // The counter's observed values at the test: 2, 1, 0.
+        let rs: Vec<i64> = seen.iter().map(|o| o.rs).collect();
+        assert_eq!(rs, [2, 1, 0]);
     }
 
     #[test]

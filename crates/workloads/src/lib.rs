@@ -34,7 +34,7 @@ pub mod tracer;
 
 mod kernels;
 
-pub use registry::{sim_kernel_program, Scale, Suite, Workload};
+pub use registry::{sim_kernel_observed, sim_kernel_program, Scale, Suite, Workload};
 pub use rng::Rng;
 pub use tracer::{Site, Tracer};
 

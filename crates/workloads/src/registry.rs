@@ -202,6 +202,31 @@ fn sim_sieve(scale: Scale) -> Trace {
     bpred_sim::kernels::sieve(sim_sieve_n(scale))
 }
 
+/// Re-executes the sim-kernel workload `name` at `scale` with the same
+/// per-scale parameters its trace generator uses, streaming every
+/// conditional branch — with the interpreter's observed operand values —
+/// to `observe`. Returns the trace it produced (identical to
+/// [`Workload::trace`] for the same name and scale), or `None` for
+/// workloads that are not program-backed. This is the dynamic ground
+/// truth the `cfa/absint` soundness audit compares abstract value sets
+/// and taken-probability bounds against.
+pub fn sim_kernel_observed(
+    name: &str,
+    scale: Scale,
+    observe: &mut dyn FnMut(&bpred_sim::BranchObservation),
+) -> Option<Trace> {
+    use bpred_sim::kernels as k;
+    let trace = match name {
+        "sim-bubble-sort" => k::bubble_sort_observed(sim_bubble_n(scale), observe),
+        "sim-binary-search" => k::binary_search_observed(4096, sim_bsearch_queries(scale), observe),
+        "sim-sieve" => k::sieve_observed(sim_sieve_n(scale), observe),
+        "sim-quicksort" => k::quicksort_observed(sim_quicksort_n(scale), observe),
+        "sim-matmul" => k::matmul_observed(sim_matmul_n(scale), observe),
+        _ => return None,
+    };
+    Some(trace)
+}
+
 /// The assembled [`bpred_sim::Program`] behind one sim-kernel workload
 /// at `scale` — built from the same source text (and the same per-scale
 /// parameters) the trace generator executes, so a static analysis of
@@ -406,6 +431,17 @@ mod tests {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("nope"), None);
         assert_eq!(Scale::Paper.to_string(), "paper");
+    }
+
+    #[test]
+    fn observed_rerun_reproduces_the_workload_trace() {
+        let w = Workload::by_name("sim-bubble-sort").unwrap();
+        let mut count = 0usize;
+        let t = sim_kernel_observed(w.name(), Scale::Smoke, &mut |_| count += 1).unwrap();
+        let reference = w.trace(Scale::Smoke);
+        assert_eq!(t.records(), reference.records());
+        assert_eq!(count, t.conditional().count());
+        assert!(sim_kernel_observed("gcc", Scale::Smoke, &mut |_| {}).is_none());
     }
 
     #[test]
